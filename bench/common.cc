@@ -1,0 +1,110 @@
+#include "common.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "base/logging.hh"
+
+namespace nuca {
+namespace bench {
+
+std::vector<SchemeResults>
+runAll(const std::vector<std::pair<std::string, SystemConfig>> &configs,
+       const std::vector<ExperimentSpec> &mixes,
+       const SimWindow &window)
+{
+    std::vector<SchemeResults> out;
+    out.reserve(configs.size());
+    for (const auto &[label, config] : configs) {
+        SchemeResults results;
+        results.label = label;
+        results.mixes.reserve(mixes.size());
+        for (std::size_t i = 0; i < mixes.size(); ++i) {
+            std::fprintf(stderr, "  [%s] mix %zu/%zu\r",
+                         label.c_str(), i + 1, mixes.size());
+            std::fflush(stderr);
+            results.mixes.push_back(
+                runMix(config, mixes[i], window));
+        }
+        std::fprintf(stderr, "  [%s] done (%zu mixes)      \n",
+                     label.c_str(), mixes.size());
+        out.push_back(std::move(results));
+    }
+    return out;
+}
+
+double
+mixHarmonic(const MixResult &result)
+{
+    return harmonicMean(result.ipc);
+}
+
+std::map<std::string, double>
+perAppSpeedup(const std::vector<ExperimentSpec> &mixes,
+              const SchemeResults &scheme,
+              const SchemeResults &baseline)
+{
+    panic_if(scheme.mixes.size() != mixes.size() ||
+                 baseline.mixes.size() != mixes.size(),
+             "result/mix count mismatch");
+    std::map<std::string, double> sums;
+    std::map<std::string, unsigned> counts;
+    for (std::size_t m = 0; m < mixes.size(); ++m) {
+        const auto &apps = mixes[m].apps;
+        for (std::size_t c = 0; c < apps.size(); ++c) {
+            const double base = baseline.mixes[m].ipc[c];
+            if (base <= 0.0)
+                continue;
+            sums[apps[c]] += scheme.mixes[m].ipc[c] / base;
+            counts[apps[c]] += 1;
+        }
+    }
+    std::map<std::string, double> out;
+    for (const auto &[app, sum] : sums)
+        out[app] = sum / counts[app];
+    return out;
+}
+
+double
+meanOfMap(const std::map<std::string, double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &[_, v] : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+unsigned
+mixCountFromEnv(unsigned def)
+{
+    return static_cast<unsigned>(envOr("REPRO_MIXES", def));
+}
+
+void
+printHeader(const std::string &what, const SimWindow &window,
+            unsigned mixes)
+{
+    std::printf("%s\n", what.c_str());
+    std::printf("methodology: %u random 4-app mixes, %llu warmup + "
+                "%llu measured cycles each\n",
+                mixes,
+                static_cast<unsigned long long>(window.warmupCycles),
+                static_cast<unsigned long long>(
+                    window.measureCycles));
+    std::printf("(override with REPRO_MIXES / REPRO_WARMUP_CYCLES / "
+                "REPRO_MEASURE_CYCLES)\n\n");
+}
+
+std::string
+bar(double value)
+{
+    const int chars =
+        value <= 0.0 ? 0 : static_cast<int>(value * 20.0 + 0.5);
+    return std::string(static_cast<std::size_t>(std::min(chars, 60)),
+                       '#');
+}
+
+} // namespace bench
+} // namespace nuca

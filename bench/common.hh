@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shared infrastructure for the figure-reproduction harnesses: run
+ * the same multiprogrammed mixes under several system configurations
+ * and aggregate per-experiment and per-application results the way
+ * the paper's figures report them.
+ */
+
+#ifndef NUCA_BENCH_COMMON_HH
+#define NUCA_BENCH_COMMON_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "sim/metrics.hh"
+
+namespace nuca {
+namespace bench {
+
+/** Results of every mix under one configuration. */
+struct SchemeResults
+{
+    std::string label;
+    std::vector<MixResult> mixes;
+};
+
+/**
+ * Run @p mixes under each configuration (printing progress to
+ * stderr, since full sweeps take minutes).
+ */
+std::vector<SchemeResults>
+runAll(const std::vector<std::pair<std::string, SystemConfig>> &configs,
+       const std::vector<ExperimentSpec> &mixes,
+       const SimWindow &window);
+
+/** Harmonic-mean IPC of one mix. */
+double mixHarmonic(const MixResult &result);
+
+/**
+ * Per-application aggregation (Figures 7, 8, 9, 10): for every
+ * application, the mean over all of its occurrences (across mixes
+ * and cores) of the per-core speedup versus the baseline scheme.
+ */
+std::map<std::string, double>
+perAppSpeedup(const std::vector<ExperimentSpec> &mixes,
+              const SchemeResults &scheme,
+              const SchemeResults &baseline);
+
+/** Mean of the per-app speedups (the figures' rightmost bar). */
+double meanOfMap(const std::map<std::string, double> &values);
+
+/** Read REPRO_MIXES (number of experiments), defaulting to @p def. */
+unsigned mixCountFromEnv(unsigned def);
+
+/** Print a header naming the experiment and the windows used. */
+void printHeader(const std::string &what, const SimWindow &window,
+                 unsigned mixes);
+
+/** An ASCII bar scaled so 1.0 is 20 characters. */
+std::string bar(double value);
+
+} // namespace bench
+} // namespace nuca
+
+#endif // NUCA_BENCH_COMMON_HH

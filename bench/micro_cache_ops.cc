@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the simulator's hot paths:
+ * cache lookups, fills, the adaptive organization's access paths and
+ * Algorithm 1's victim search. These guard the simulation speed the
+ * figure harnesses depend on.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "base/random.hh"
+#include "cache/set_assoc_cache.hh"
+#include "mem/main_memory.hh"
+#include "nuca/adaptive_nuca.hh"
+#include "nuca/sharing_engine.hh"
+
+namespace {
+
+using namespace nuca;
+
+void
+BM_SetAssocHit(benchmark::State &state)
+{
+    stats::Group root("b");
+    SetAssocCache cache(root, "c", 1ull << 20, 4);
+    // Resident working set.
+    for (unsigned i = 0; i < 1024; ++i)
+        cache.fill(i * blockBytes, false, 0);
+    Rng rng(1);
+    for (auto _ : state) {
+        const Addr a = rng.below(1024) * blockBytes;
+        benchmark::DoNotOptimize(cache.access(a, false));
+    }
+}
+BENCHMARK(BM_SetAssocHit);
+
+void
+BM_SetAssocMissFill(benchmark::State &state)
+{
+    stats::Group root("b");
+    SetAssocCache cache(root, "c", 1ull << 20, 4);
+    Addr a = 0;
+    for (auto _ : state) {
+        if (!cache.access(a, false))
+            benchmark::DoNotOptimize(cache.fill(a, false, 0));
+        a += blockBytes; // streaming: always a miss
+    }
+}
+BENCHMARK(BM_SetAssocMissFill);
+
+void
+BM_AdaptiveLocalHit(benchmark::State &state)
+{
+    stats::Group root("b");
+    MainMemory memory(root, "m", MainMemoryParams{});
+    AdaptiveNuca nuca(root, AdaptiveNucaParams{}, memory);
+    for (unsigned i = 0; i < 1024; ++i)
+        nuca.access(MemRequest{0, i * blockBytes, MemOp::Read}, i);
+    Rng rng(2);
+    Cycle now = 100000;
+    for (auto _ : state) {
+        const Addr a = rng.below(1024) * blockBytes;
+        benchmark::DoNotOptimize(
+            nuca.access(MemRequest{0, a, MemOp::Read}, ++now));
+    }
+}
+BENCHMARK(BM_AdaptiveLocalHit);
+
+void
+BM_AdaptiveMissWithAlgorithm1(benchmark::State &state)
+{
+    stats::Group root("b");
+    MainMemory memory(root, "m", MainMemoryParams{});
+    AdaptiveNuca nuca(root, AdaptiveNucaParams{}, memory);
+    // Fill every slot so each miss runs the full Algorithm 1 walk.
+    for (unsigned t = 0; t < 20; ++t) {
+        for (unsigned set = 0; set < nuca.numSets(); ++set) {
+            const Addr a =
+                (static_cast<Addr>(t) * nuca.numSets() + set) *
+                blockBytes;
+            nuca.access(MemRequest{static_cast<CoreId>(t % 4), a,
+                                   MemOp::Read},
+                        t);
+        }
+    }
+    Addr a = 1ull << 36; // fresh tags: guaranteed misses
+    Cycle now = 1u << 30;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            nuca.access(MemRequest{0, a, MemOp::Read}, ++now));
+        a += blockBytes;
+    }
+}
+BENCHMARK(BM_AdaptiveMissWithAlgorithm1);
+
+void
+BM_SharingEngineObserveMiss(benchmark::State &state)
+{
+    stats::Group root("b");
+    SharingEngineParams params;
+    SharingEngine engine(root, params);
+    Rng rng(3);
+    for (auto _ : state) {
+        const auto set = static_cast<unsigned>(rng.below(4096));
+        engine.recordEviction(set, 0, rng.below(1u << 20));
+        benchmark::DoNotOptimize(
+            engine.observeMiss(set, 0, rng.below(1u << 20)));
+    }
+}
+BENCHMARK(BM_SharingEngineObserveMiss);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Microbenchmark (google-benchmark) of whole-system simulation
+ * speed: cycles per second of the 4-core CMP under each last-level
+ * organization, on a representative intensive mix. This is the
+ * number that determines how long the figure sweeps take.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "sim/cmp_system.hh"
+#include "workload/spec_profiles.hh"
+
+namespace {
+
+using namespace nuca;
+
+void
+runScheme(benchmark::State &state, L3Scheme scheme)
+{
+    const std::vector<WorkloadProfile> mix = {
+        specProfile("mcf"), specProfile("gzip"), specProfile("ammp"),
+        specProfile("wupwise")};
+    CmpSystem system(SystemConfig::baseline(scheme), mix, 1);
+    system.run(50000); // warm
+    for (auto _ : state)
+        system.run(1000);
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+
+void
+BM_SystemCycles_Private(benchmark::State &state)
+{
+    runScheme(state, L3Scheme::Private);
+}
+BENCHMARK(BM_SystemCycles_Private)->Unit(benchmark::kMicrosecond);
+
+void
+BM_SystemCycles_Shared(benchmark::State &state)
+{
+    runScheme(state, L3Scheme::Shared);
+}
+BENCHMARK(BM_SystemCycles_Shared)->Unit(benchmark::kMicrosecond);
+
+void
+BM_SystemCycles_Adaptive(benchmark::State &state)
+{
+    runScheme(state, L3Scheme::Adaptive);
+}
+BENCHMARK(BM_SystemCycles_Adaptive)->Unit(benchmark::kMicrosecond);
+
+void
+BM_SystemCycles_RandomReplacement(benchmark::State &state)
+{
+    runScheme(state, L3Scheme::RandomReplacement);
+}
+BENCHMARK(BM_SystemCycles_RandomReplacement)
+    ->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Scheme shootout: run one multiprogrammed mix on all four last-level
+ * cache organizations and print a comparison table — per-core IPC,
+ * harmonic/arithmetic means, and L3 behaviour.
+ *
+ * Usage: scheme_shootout [app0 app1 app2 app3] [cycles]
+ * Defaults: mcf gzip ammp art, 2000000 cycles.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sim/cmp_system.hh"
+#include "sim/metrics.hh"
+#include "workload/spec_profiles.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace nuca;
+
+    std::vector<std::string> names = {"mcf", "gzip", "ammp", "art"};
+    Cycle cycles = 2000000;
+    if (argc >= 5) {
+        for (int i = 0; i < 4; ++i)
+            names[static_cast<std::size_t>(i)] = argv[i + 1];
+    }
+    if (argc == 2)
+        cycles = std::strtoull(argv[1], nullptr, 10);
+    if (argc >= 6)
+        cycles = std::strtoull(argv[5], nullptr, 10);
+
+    std::vector<WorkloadProfile> apps;
+    for (const auto &name : names)
+        apps.push_back(specProfile(name));
+
+    std::printf("mix: %s + %s + %s + %s, %llu measured cycles\n\n",
+                names[0].c_str(), names[1].c_str(), names[2].c_str(),
+                names[3].c_str(),
+                static_cast<unsigned long long>(cycles));
+    std::printf("%-19s %8s %8s %8s %8s %9s %9s %10s\n", "scheme",
+                names[0].c_str(), names[1].c_str(), names[2].c_str(),
+                names[3].c_str(), "harmonic", "average",
+                "mem fetches");
+
+    for (const auto scheme :
+         {L3Scheme::Private, L3Scheme::Shared, L3Scheme::Adaptive,
+          L3Scheme::RandomReplacement}) {
+        CmpSystem system(SystemConfig::baseline(scheme), apps, 1);
+        system.run(cycles / 2); // warm-up
+        system.resetStats();
+        const Counter fetches0 = system.memory().fetches();
+        system.run(cycles);
+
+        const auto ipcs = system.ipcs();
+        std::printf("%-19s %8.4f %8.4f %8.4f %8.4f %9.4f %9.4f %10llu\n",
+                    to_string(scheme).c_str(), ipcs[0], ipcs[1],
+                    ipcs[2], ipcs[3], harmonicMean(ipcs),
+                    arithmeticMean(ipcs),
+                    static_cast<unsigned long long>(
+                        system.memory().fetches() - fetches0));
+
+        if (scheme == L3Scheme::Adaptive) {
+            std::printf("%-19s", "  final quotas:");
+            for (unsigned c = 0; c < 4; ++c) {
+                std::printf(" %s=%u", names[c].c_str(),
+                            system.adaptive()->engine().quota(
+                                static_cast<CoreId>(c)));
+            }
+            std::printf(" blocks/set\n");
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Small integer-math helpers (powers of two, integer log2) used when
+ * decomposing addresses into cache index/tag fields.
+ */
+
+#ifndef NUCA_BASE_INTMATH_HH
+#define NUCA_BASE_INTMATH_HH
+
+#include <cstdint>
+
+namespace nuca {
+
+/** @return true iff @p n is a (positive) power of two. */
+constexpr bool
+isPowerOf2(std::uint64_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+/**
+ * Integer floor(log2(n)).
+ *
+ * @pre n > 0
+ */
+constexpr unsigned
+floorLog2(std::uint64_t n)
+{
+    unsigned l = 0;
+    while (n > 1) {
+        n >>= 1;
+        ++l;
+    }
+    return l;
+}
+
+/** Integer ceil(log2(n)); ceilLog2(1) == 0. */
+constexpr unsigned
+ceilLog2(std::uint64_t n)
+{
+    return isPowerOf2(n) ? floorLog2(n) : floorLog2(n) + 1;
+}
+
+/** Integer division rounding up. @pre b > 0 */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace nuca
+
+#endif // NUCA_BASE_INTMATH_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * gem5-style status/error reporting.
+ *
+ * panic()  - something happened that should never happen regardless of
+ *            user input, i.e. a simulator bug. Aborts (core dump).
+ * fatal()  - the simulation cannot continue because of a user error
+ *            (bad configuration, invalid argument). Exits with code 1.
+ * warn()   - functionality may not behave exactly as intended.
+ * inform() - normal status messages.
+ */
+
+#ifndef NUCA_BASE_LOGGING_HH
+#define NUCA_BASE_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace nuca {
+
+namespace logging_detail {
+
+/** Concatenate any streamable arguments into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace logging_detail
+
+/** Abort with a message: an internal invariant was violated. */
+#define panic(...)                                                        \
+    ::nuca::logging_detail::panicImpl(                                    \
+        __FILE__, __LINE__, ::nuca::logging_detail::concat(__VA_ARGS__))
+
+/** Exit(1) with a message: the user asked for something impossible. */
+#define fatal(...)                                                        \
+    ::nuca::logging_detail::fatalImpl(                                    \
+        __FILE__, __LINE__, ::nuca::logging_detail::concat(__VA_ARGS__))
+
+/** Conditional panic, for invariant checks that always run. */
+#define panic_if(cond, ...)                                               \
+    do {                                                                  \
+        if (cond) {                                                       \
+            panic("condition '" #cond "' failed: ", __VA_ARGS__);         \
+        }                                                                 \
+    } while (0)
+
+/** Conditional fatal for validating user-provided configuration. */
+#define fatal_if(cond, ...)                                               \
+    do {                                                                  \
+        if (cond) {                                                       \
+            fatal(__VA_ARGS__);                                           \
+        }                                                                 \
+    } while (0)
+
+/** Non-fatal warning to stderr. */
+#define warn(...)                                                         \
+    ::nuca::logging_detail::warnImpl(                                     \
+        ::nuca::logging_detail::concat(__VA_ARGS__))
+
+/** Informational message to stdout. */
+#define inform(...)                                                       \
+    ::nuca::logging_detail::informImpl(                                   \
+        ::nuca::logging_detail::concat(__VA_ARGS__))
+
+} // namespace nuca
+
+#endif // NUCA_BASE_LOGGING_HH

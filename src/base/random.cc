@@ -1,0 +1,156 @@
+#include "base/random.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace nuca {
+
+namespace {
+
+/** splitmix64 step; standard seeding companion for xoshiro. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitmix64(sm);
+    // xoshiro must not start from the all-zero state; splitmix64
+    // cannot produce four zero outputs from any seed, but guard anyway.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0)
+        s_[0] = 0x9e3779b97f4a7c15ULL;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::geometric(double p, std::uint64_t cap)
+{
+    panic_if(p <= 0.0 || p > 1.0, "geometric probability out of (0,1]");
+    if (p >= 1.0)
+        return 0;
+    // Inversion: floor(log(U) / log(1-p)).
+    const double u = std::max(real(), 0x1.0p-60);
+    const double draws = std::floor(std::log(u) / std::log1p(-p));
+    if (draws >= static_cast<double>(cap))
+        return cap;
+    return static_cast<std::uint64_t>(draws);
+}
+
+Rng
+Rng::split()
+{
+    // A fresh generator seeded from this stream's output; streams are
+    // decorrelated through the splitmix64 scrambler in the ctor.
+    return Rng(next());
+}
+
+AliasTable::AliasTable(const std::vector<double> &weights)
+{
+    panic_if(weights.empty(), "AliasTable built from no weights");
+    double total = 0.0;
+    for (double w : weights) {
+        panic_if(w < 0.0, "AliasTable weight is negative");
+        total += w;
+    }
+    panic_if(total <= 0.0, "AliasTable weights sum to zero");
+
+    const auto n = weights.size();
+    prob_.assign(n, 0.0);
+    alias_.assign(n, 0);
+    normWeights_.resize(n);
+
+    // Scaled probabilities: mean 1.0.
+    std::vector<double> scaled(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        normWeights_[i] = weights[i] / total;
+        scaled[i] = normWeights_[i] * static_cast<double>(n);
+    }
+
+    std::vector<unsigned> small, large;
+    for (std::size_t i = 0; i < n; ++i) {
+        (scaled[i] < 1.0 ? small : large)
+            .push_back(static_cast<unsigned>(i));
+    }
+
+    while (!small.empty() && !large.empty()) {
+        const unsigned s = small.back();
+        small.pop_back();
+        const unsigned l = large.back();
+        large.pop_back();
+        prob_[s] = scaled[s];
+        alias_[s] = l;
+        scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+        (scaled[l] < 1.0 ? small : large).push_back(l);
+    }
+    // Residual buckets are full-probability (floating-point leftovers).
+    for (unsigned i : large)
+        prob_[i] = 1.0;
+    for (unsigned i : small)
+        prob_[i] = 1.0;
+}
+
+double
+AliasTable::probabilityOf(unsigned i) const
+{
+    panic_if(i >= normWeights_.size(), "AliasTable index out of range");
+    return normWeights_[i];
+}
+
+ZipfSampler::ZipfSampler(unsigned n, double s)
+{
+    panic_if(n == 0, "ZipfSampler over zero ranks");
+    panic_if(s < 0.0, "ZipfSampler exponent is negative");
+    cdf_.resize(n);
+    double acc = 0.0;
+    for (unsigned k = 0; k < n; ++k) {
+        acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
+        cdf_[k] = acc;
+    }
+    for (auto &v : cdf_)
+        v /= acc;
+}
+
+unsigned
+ZipfSampler::sample(Rng &rng) const
+{
+    panic_if(cdf_.empty(), "sampling from an empty ZipfSampler");
+    const double u = rng.real();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    if (it == cdf_.end())
+        return static_cast<unsigned>(cdf_.size() - 1);
+    return static_cast<unsigned>(it - cdf_.begin());
+}
+
+} // namespace nuca

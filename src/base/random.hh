@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation and the discrete
+ * distributions the workload generators rely on.
+ *
+ * Every stochastic decision in the simulator (workload draws, spill
+ * targets, experiment mixes) flows from an explicitly seeded Rng so
+ * identical seeds reproduce identical simulations bit-for-bit across
+ * platforms. std::mt19937 and <random> distributions are avoided
+ * because their outputs are not specified identically across standard
+ * library implementations.
+ */
+
+#ifndef NUCA_BASE_RANDOM_HH
+#define NUCA_BASE_RANDOM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace nuca {
+
+/**
+ * xoshiro256** generator with a splitmix64-based seeding routine.
+ * Fast, high quality, and fully portable.
+ */
+class Rng
+{
+  public:
+    /** Seed the generator; the same seed yields the same stream. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound). @pre bound > 0 */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        panic_if(bound == 0, "Rng::below(0)");
+        // Multiply-shift rejection-free mapping (Lemire); bias is
+        // negligible (< 2^-64 * bound) for simulation purposes.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi */
+    std::uint64_t
+    between(std::uint64_t lo, std::uint64_t hi)
+    {
+        panic_if(lo > hi, "Rng::between with lo > hi");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw: true with probability @p p. */
+    bool
+    chance(double p)
+    {
+        return real() < p;
+    }
+
+    /**
+     * Geometric draw: number of failures before the first success
+     * with per-trial success probability @p p in (0, 1]. Mean is
+     * (1-p)/p. Capped at @p cap to bound pathological tails.
+     */
+    std::uint64_t geometric(double p, std::uint64_t cap = 1u << 20);
+
+    /** Derive an independent child stream (for per-core generators). */
+    Rng split();
+
+  private:
+    std::uint64_t s_[4];
+};
+
+/**
+ * Walker alias table: O(1) sampling from an arbitrary fixed discrete
+ * distribution. Used on every workload memory reference to pick which
+ * reuse region an access targets, so it has to be fast.
+ */
+class AliasTable
+{
+  public:
+    AliasTable() = default;
+
+    /**
+     * Build the table from (unnormalized, non-negative) weights.
+     * @pre at least one weight is positive.
+     */
+    explicit AliasTable(const std::vector<double> &weights);
+
+    /** Draw an index with probability proportional to its weight. */
+    unsigned
+    sample(Rng &rng) const
+    {
+        panic_if(prob_.empty(), "sampling from an empty AliasTable");
+        const auto i =
+            static_cast<unsigned>(rng.below(prob_.size()));
+        return rng.real() < prob_[i] ? i : alias_[i];
+    }
+
+    /** Number of outcomes. */
+    std::size_t size() const { return prob_.size(); }
+
+    /** Normalized probability of outcome @p i (for tests/inspection). */
+    double probabilityOf(unsigned i) const;
+
+  private:
+    std::vector<double> prob_;
+    std::vector<unsigned> alias_;
+    std::vector<double> normWeights_;
+};
+
+/**
+ * Zipf(s) sampler over ranks {0, ..., n-1}: P(k) proportional to
+ * 1/(k+1)^s. Implemented with a precomputed CDF + binary search; the
+ * workloads use modest n so the table stays small.
+ */
+class ZipfSampler
+{
+  public:
+    ZipfSampler() = default;
+
+    /** @pre n > 0, s >= 0 */
+    ZipfSampler(unsigned n, double s);
+
+    /** Draw a rank in [0, n). */
+    unsigned sample(Rng &rng) const;
+
+    unsigned size() const { return static_cast<unsigned>(cdf_.size()); }
+
+  private:
+    std::vector<double> cdf_;
+};
+
+} // namespace nuca
+
+#endif // NUCA_BASE_RANDOM_HH

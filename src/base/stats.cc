@@ -1,0 +1,164 @@
+#include "base/stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+namespace nuca {
+namespace stats {
+
+Stat::Stat(Group &parent, std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    parent.stats_.push_back(this);
+}
+
+void
+Scalar::dump(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << " " << value_ << " # " << desc() << "\n";
+}
+
+std::uint64_t
+Vector::total() const
+{
+    std::uint64_t t = 0;
+    for (auto v : values_)
+        t += v;
+    return t;
+}
+
+void
+Vector::dump(std::ostream &os, const std::string &prefix) const
+{
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+        os << prefix << name() << "[" << i << "] " << values_[i]
+           << " # " << desc() << "\n";
+    }
+    os << prefix << name() << ".total " << total() << " # " << desc()
+       << "\n";
+}
+
+void
+Vector::reset()
+{
+    std::fill(values_.begin(), values_.end(), 0);
+}
+
+Distribution::Distribution(Group &parent, std::string name,
+                           std::string desc, std::uint64_t min,
+                           std::uint64_t max, std::uint64_t bucketSize)
+    : Stat(parent, std::move(name), std::move(desc)),
+      min_(min), max_(max), bucketSize_(bucketSize)
+{
+    panic_if(max_ <= min_, "Distribution with max <= min");
+    panic_if(bucketSize_ == 0, "Distribution with zero bucket size");
+    counts_.assign((max_ - min_ + bucketSize_ - 1) / bucketSize_, 0);
+}
+
+void
+Distribution::sample(std::uint64_t v)
+{
+    if (count_ == 0) {
+        minSeen_ = maxSeen_ = v;
+    } else {
+        minSeen_ = std::min(minSeen_, v);
+        maxSeen_ = std::max(maxSeen_, v);
+    }
+    ++count_;
+    sum_ += static_cast<double>(v);
+
+    if (v < min_) {
+        ++underflow_;
+    } else if (v >= max_) {
+        ++overflow_;
+    } else {
+        ++counts_[(v - min_) / bucketSize_];
+    }
+}
+
+double
+Distribution::mean() const
+{
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+std::uint64_t
+Distribution::bucketCount(std::size_t i) const
+{
+    panic_if(i >= counts_.size(), "Distribution bucket out of range");
+    return counts_[i];
+}
+
+void
+Distribution::dump(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << ".count " << count_ << " # " << desc()
+       << "\n";
+    os << prefix << name() << ".mean " << mean() << " # " << desc()
+       << "\n";
+    if (underflow_ > 0)
+        os << prefix << name() << ".underflow " << underflow_ << "\n";
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (counts_[i] == 0)
+            continue;
+        const auto lo = min_ + i * bucketSize_;
+        os << prefix << name() << "[" << lo << ":"
+           << (lo + bucketSize_) << ") " << counts_[i] << "\n";
+    }
+    if (overflow_ > 0)
+        os << prefix << name() << ".overflow " << overflow_ << "\n";
+}
+
+void
+Distribution::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    underflow_ = overflow_ = count_ = 0;
+    sum_ = 0.0;
+    minSeen_ = maxSeen_ = 0;
+}
+
+void
+Formula::dump(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << " " << std::setprecision(6) << value()
+       << " # " << desc() << "\n";
+}
+
+Group::Group(Group &parent, std::string name) : name_(std::move(name))
+{
+    parent.children_.push_back(this);
+}
+
+void
+Group::dump(std::ostream &os, const std::string &prefix) const
+{
+    const std::string my_prefix =
+        prefix.empty() ? name_ + "." : prefix + name_ + ".";
+    for (const auto *stat : stats_)
+        stat->dump(os, my_prefix);
+    for (const auto *child : children_)
+        child->dump(os, my_prefix);
+}
+
+void
+Group::reset()
+{
+    for (auto *stat : stats_)
+        stat->reset();
+    for (auto *child : children_)
+        child->reset();
+}
+
+const Stat *
+Group::find(const std::string &name) const
+{
+    for (const auto *stat : stats_) {
+        if (stat->name() == name)
+            return stat;
+    }
+    return nullptr;
+}
+
+} // namespace stats
+} // namespace nuca

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * A small statistics package in the spirit of gem5's: named counters
+ * that register themselves with a group, plus derived formulas, with a
+ * uniform text dump. Components expose their behaviour exclusively
+ * through these stats, which is what the tests and the figure
+ * harnesses read.
+ */
+
+#ifndef NUCA_BASE_STATS_HH
+#define NUCA_BASE_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace nuca {
+namespace stats {
+
+class Group;
+
+/** Base class for all statistics: a name, a description, a dump. */
+class Stat
+{
+  public:
+    Stat(Group &parent, std::string name, std::string desc);
+    virtual ~Stat() = default;
+
+    Stat(const Stat &) = delete;
+    Stat &operator=(const Stat &) = delete;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    /** Print "name value # desc" line(s). */
+    virtual void dump(std::ostream &os, const std::string &prefix)
+        const = 0;
+
+    /** Reset the value(s) to zero. */
+    virtual void reset() = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+};
+
+/** A simple monotonically growing (or assignable) counter. */
+class Scalar : public Stat
+{
+  public:
+    Scalar(Group &parent, std::string name, std::string desc)
+        : Stat(parent, std::move(name), std::move(desc))
+    {}
+
+    Scalar &operator++() { ++value_; return *this; }
+    Scalar &operator+=(std::uint64_t v) { value_ += v; return *this; }
+    Scalar &operator=(std::uint64_t v) { value_ = v; return *this; }
+
+    std::uint64_t value() const { return value_; }
+
+    void dump(std::ostream &os, const std::string &prefix)
+        const override;
+    void reset() override { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** A fixed-length vector of counters (e.g. one per core). */
+class Vector : public Stat
+{
+  public:
+    Vector(Group &parent, std::string name, std::string desc,
+           std::size_t size)
+        : Stat(parent, std::move(name), std::move(desc)),
+          values_(size, 0)
+    {}
+
+    std::uint64_t &
+    operator[](std::size_t i)
+    {
+        panic_if(i >= values_.size(), "stat vector index out of range");
+        return values_[i];
+    }
+
+    std::uint64_t
+    value(std::size_t i) const
+    {
+        panic_if(i >= values_.size(), "stat vector index out of range");
+        return values_[i];
+    }
+
+    std::uint64_t total() const;
+    std::size_t size() const { return values_.size(); }
+
+    void dump(std::ostream &os, const std::string &prefix)
+        const override;
+    void reset() override;
+
+  private:
+    std::vector<std::uint64_t> values_;
+};
+
+/**
+ * A bucketed distribution over [min, max) with fixed-width buckets
+ * plus underflow/overflow, tracking count/sum/min/max seen.
+ */
+class Distribution : public Stat
+{
+  public:
+    Distribution(Group &parent, std::string name, std::string desc,
+                 std::uint64_t min, std::uint64_t max,
+                 std::uint64_t bucketSize);
+
+    void sample(std::uint64_t v);
+
+    std::uint64_t count() const { return count_; }
+    double mean() const;
+    std::uint64_t minSeen() const { return minSeen_; }
+    std::uint64_t maxSeen() const { return maxSeen_; }
+    std::uint64_t bucketCount(std::size_t i) const;
+    std::size_t buckets() const { return counts_.size(); }
+
+    void dump(std::ostream &os, const std::string &prefix)
+        const override;
+    void reset() override;
+
+  private:
+    std::uint64_t min_;
+    std::uint64_t max_;
+    std::uint64_t bucketSize_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    std::uint64_t minSeen_ = 0;
+    std::uint64_t maxSeen_ = 0;
+};
+
+/** A derived value computed on demand from other stats. */
+class Formula : public Stat
+{
+  public:
+    Formula(Group &parent, std::string name, std::string desc,
+            std::function<double()> fn)
+        : Stat(parent, std::move(name), std::move(desc)),
+          fn_(std::move(fn))
+    {}
+
+    double value() const { return fn_(); }
+
+    void dump(std::ostream &os, const std::string &prefix)
+        const override;
+    void reset() override {}
+
+  private:
+    std::function<double()> fn_;
+};
+
+/**
+ * A named collection of stats and child groups. Components own a
+ * Group (or register into their parent's) and create their stats as
+ * members referencing it.
+ */
+class Group
+{
+  public:
+    explicit Group(std::string name) : name_(std::move(name)) {}
+
+    /** Create a sub-group nested under @p parent. */
+    Group(Group &parent, std::string name);
+
+    Group(const Group &) = delete;
+    Group &operator=(const Group &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    /** Dump all stats of this group and its children. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /** Reset all stats of this group and its children. */
+    void reset();
+
+    /** Find a directly-owned stat by name; nullptr if absent. */
+    const Stat *find(const std::string &name) const;
+
+  private:
+    friend class Stat;
+
+    std::string name_;
+    std::vector<Stat *> stats_;
+    std::vector<Group *> children_;
+};
+
+} // namespace stats
+} // namespace nuca
+
+#endif // NUCA_BASE_STATS_HH

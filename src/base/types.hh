@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fundamental scalar types and architectural constants shared by every
+ * module in the simulator.
+ */
+
+#ifndef NUCA_BASE_TYPES_HH
+#define NUCA_BASE_TYPES_HH
+
+#include <cstdint>
+
+namespace nuca {
+
+/** A (virtual or physical) byte address. */
+using Addr = std::uint64_t;
+
+/** A point in simulated time, measured in processor clock cycles. */
+using Cycle = std::uint64_t;
+
+/** A count of things (instructions, misses, ...). */
+using Counter = std::uint64_t;
+
+/** Core identifier within a chip multiprocessor. */
+using CoreId = int;
+
+/** Marker for "no core" / "unowned". */
+constexpr CoreId invalidCore = -1;
+
+/** Cache block (line) size used throughout the paper's configuration. */
+constexpr unsigned blockBytes = 64;
+
+/** log2(blockBytes); number of block-offset bits in an address. */
+constexpr unsigned blockShift = 6;
+
+/** Virtual-memory page size used by the TLB model. */
+constexpr unsigned pageBytes = 4096;
+
+/** log2(pageBytes). */
+constexpr unsigned pageShift = 12;
+
+/** Strip the block offset, yielding a block-aligned address. */
+constexpr Addr
+blockAlign(Addr addr)
+{
+    return addr & ~static_cast<Addr>(blockBytes - 1);
+}
+
+/** Block number of an address (address divided by the block size). */
+constexpr Addr
+blockNumber(Addr addr)
+{
+    return addr >> blockShift;
+}
+
+/** Page number of an address. */
+constexpr Addr
+pageNumber(Addr addr)
+{
+    return addr >> pageShift;
+}
+
+} // namespace nuca
+
+#endif // NUCA_BASE_TYPES_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The per-block tag-array state shared by every cache model in the
+ * repository, including the core-ID extension the adaptive scheme
+ * adds (paper Figure 4(a)).
+ */
+
+#ifndef NUCA_CACHE_CACHE_BLOCK_HH
+#define NUCA_CACHE_CACHE_BLOCK_HH
+
+#include "base/types.hh"
+
+namespace nuca {
+
+/**
+ * Tag-array entry for one cache block. Recency is tracked with a
+ * monotonically increasing use stamp rather than explicit stack
+ * positions; comparing stamps yields the exact LRU order.
+ */
+struct CacheBlock
+{
+    /** Block tag (we store the full block number for simplicity). */
+    Addr tag = 0;
+
+    /** True if the entry holds a block. */
+    bool valid = false;
+
+    /** True if the block has been written since installation. */
+    bool dirty = false;
+
+    /**
+     * Core that fetched the block into the cache (paper Fig. 4(a)).
+     * Updated on every installation.
+     */
+    CoreId owner = invalidCore;
+
+    /** Use stamp; larger = more recently used. */
+    std::uint64_t lastUse = 0;
+
+    /** Install stamp; larger = more recently inserted (FIFO). */
+    std::uint64_t insertedAt = 0;
+
+    /** Reference bit for the NRU policy. */
+    bool referenced = false;
+};
+
+} // namespace nuca
+
+#endif // NUCA_CACHE_CACHE_BLOCK_HH

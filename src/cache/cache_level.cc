@@ -1,0 +1,40 @@
+#include "cache/cache_level.hh"
+
+namespace nuca {
+
+CacheLevel::CacheLevel(stats::Group &parent, const std::string &name,
+                       const CacheLevelParams &params)
+    : statsGroup_(parent, name),
+      cache_(statsGroup_, "tags", params.sizeBytes, params.assoc),
+      mshrs_(statsGroup_, "mshrs", params.mshrs),
+      hitLatency_(params.hitLatency)
+{
+}
+
+std::optional<Cycle>
+CacheLevel::tryAccess(Addr addr, bool is_write, Cycle now)
+{
+    if (cache_.access(addr, is_write))
+        return now + hitLatency_;
+    return std::nullopt;
+}
+
+Cycle
+CacheLevel::inFlightReady(Addr addr, Cycle now)
+{
+    return mshrs_.lookup(blockAlign(addr), now);
+}
+
+Cycle
+CacheLevel::beginMiss(Addr addr, Cycle now)
+{
+    return mshrs_.reserve(blockAlign(addr), now);
+}
+
+void
+CacheLevel::finishMiss(Addr addr, Cycle ready)
+{
+    mshrs_.complete(blockAlign(addr), ready);
+}
+
+} // namespace nuca

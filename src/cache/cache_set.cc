@@ -1,0 +1,126 @@
+#include "cache/cache_set.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace nuca {
+
+CacheBlock &
+CacheSet::block(unsigned way)
+{
+    panic_if(way >= blocks_.size(), "way out of range");
+    return blocks_[way];
+}
+
+const CacheBlock &
+CacheSet::block(unsigned way) const
+{
+    panic_if(way >= blocks_.size(), "way out of range");
+    return blocks_[way];
+}
+
+int
+CacheSet::findTag(Addr tag) const
+{
+    for (unsigned w = 0; w < blocks_.size(); ++w) {
+        if (blocks_[w].valid && blocks_[w].tag == tag)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+int
+CacheSet::findInvalid() const
+{
+    for (unsigned w = 0; w < blocks_.size(); ++w) {
+        if (!blocks_[w].valid)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+int
+CacheSet::lruWay() const
+{
+    int victim = -1;
+    for (unsigned w = 0; w < blocks_.size(); ++w) {
+        if (!blocks_[w].valid)
+            continue;
+        if (victim < 0 ||
+            blocks_[w].lastUse < blocks_[victim].lastUse) {
+            victim = static_cast<int>(w);
+        }
+    }
+    return victim;
+}
+
+int
+CacheSet::lruWayOf(CoreId core) const
+{
+    int victim = -1;
+    for (unsigned w = 0; w < blocks_.size(); ++w) {
+        if (!blocks_[w].valid || blocks_[w].owner != core)
+            continue;
+        if (victim < 0 ||
+            blocks_[w].lastUse < blocks_[victim].lastUse) {
+            victim = static_cast<int>(w);
+        }
+    }
+    return victim;
+}
+
+unsigned
+CacheSet::countOwned(CoreId core) const
+{
+    unsigned n = 0;
+    for (const auto &b : blocks_) {
+        if (b.valid && b.owner == core)
+            ++n;
+    }
+    return n;
+}
+
+unsigned
+CacheSet::countValid() const
+{
+    unsigned n = 0;
+    for (const auto &b : blocks_) {
+        if (b.valid)
+            ++n;
+    }
+    return n;
+}
+
+unsigned
+CacheSet::ownerLruRank(unsigned way) const
+{
+    panic_if(way >= blocks_.size() || !blocks_[way].valid,
+             "ownerLruRank of an invalid way");
+    const auto &ref = blocks_[way];
+    unsigned rank = 0;
+    for (const auto &b : blocks_) {
+        if (&b == &ref || !b.valid || b.owner != ref.owner)
+            continue;
+        if (b.lastUse < ref.lastUse)
+            ++rank;
+    }
+    return rank;
+}
+
+std::vector<unsigned>
+CacheSet::waysByLruOrder() const
+{
+    std::vector<unsigned> ways;
+    ways.reserve(blocks_.size());
+    for (unsigned w = 0; w < blocks_.size(); ++w) {
+        if (blocks_[w].valid)
+            ways.push_back(w);
+    }
+    std::sort(ways.begin(), ways.end(), [this](unsigned a, unsigned b) {
+        return blocks_[a].lastUse < blocks_[b].lastUse;
+    });
+    return ways;
+}
+
+} // namespace nuca

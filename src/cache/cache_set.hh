@@ -1,0 +1,73 @@
+/**
+ * @file
+ * LRU-stack operations over one cache set. The set is a fixed-size
+ * array of CacheBlocks; recency comes from use stamps, and all
+ * queries are linear scans (sets are at most 16 ways in every
+ * configuration the paper uses, so scans beat maintaining explicit
+ * stack state).
+ */
+
+#ifndef NUCA_CACHE_CACHE_SET_HH
+#define NUCA_CACHE_CACHE_SET_HH
+
+#include <vector>
+
+#include "base/types.hh"
+#include "cache/cache_block.hh"
+
+namespace nuca {
+
+/**
+ * One set of a set-associative cache. Provides tag search, LRU
+ * queries (globally and filtered per owning core), and LRU-rank
+ * computations used by the partitioning estimators.
+ */
+class CacheSet
+{
+  public:
+    explicit CacheSet(unsigned assoc) : blocks_(assoc) {}
+
+    unsigned assoc() const { return static_cast<unsigned>(blocks_.size()); }
+
+    CacheBlock &block(unsigned way);
+    const CacheBlock &block(unsigned way) const;
+
+    /** @return way holding @p tag, or -1 if absent. */
+    int findTag(Addr tag) const;
+
+    /** @return way of an invalid entry, or -1 if the set is full. */
+    int findInvalid() const;
+
+    /** @return way of the valid block with the smallest use stamp,
+     * or -1 if no block is valid. */
+    int lruWay() const;
+
+    /** @return way of the least recently used valid block owned by
+     * @p core, or -1 if the core owns no block in the set. */
+    int lruWayOf(CoreId core) const;
+
+    /** Number of valid blocks owned by @p core. */
+    unsigned countOwned(CoreId core) const;
+
+    /** Number of valid blocks in the set. */
+    unsigned countValid() const;
+
+    /**
+     * LRU rank of @p way among valid blocks owned by the same core:
+     * 0 means it is that core's LRU block. @pre block(way).valid
+     */
+    unsigned ownerLruRank(unsigned way) const;
+
+    /**
+     * Ways of all valid blocks sorted from least to most recently
+     * used (the "LRU stack" bottom-up walk of Algorithm 1).
+     */
+    std::vector<unsigned> waysByLruOrder() const;
+
+  private:
+    std::vector<CacheBlock> blocks_;
+};
+
+} // namespace nuca
+
+#endif // NUCA_CACHE_CACHE_SET_HH

@@ -1,0 +1,100 @@
+#include "cache/mshr.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace nuca {
+
+MshrFile::MshrFile(stats::Group &parent, const std::string &name,
+                   unsigned entries)
+    : capacity_(entries),
+      statsGroup_(parent, name),
+      allocations_(statsGroup_, "allocations",
+                   "primary misses that allocated an entry"),
+      merges_(statsGroup_, "merges",
+              "secondary misses merged into an in-flight miss"),
+      fullStalls_(statsGroup_, "full_stalls",
+                  "misses delayed because all entries were busy")
+{
+    fatal_if(capacity_ == 0, "MSHR file '", name, "' with no entries");
+    entries_.reserve(capacity_);
+}
+
+void
+MshrFile::prune(Cycle now)
+{
+    std::erase_if(entries_, [now](const Entry &e) {
+        return !e.reserved && e.ready <= now;
+    });
+}
+
+Cycle
+MshrFile::lookup(Addr block_addr, Cycle now)
+{
+    prune(now);
+    for (const auto &e : entries_) {
+        if (e.blockAddr == block_addr) {
+            ++merges_;
+            // A reserved entry whose completion is still being
+            // computed cannot be merged into meaningfully; the
+            // caller never issues two misses for one block within
+            // the same reserve/complete window.
+            panic_if(e.reserved, "merge into an incomplete MSHR entry");
+            return e.ready;
+        }
+    }
+    return 0;
+}
+
+Cycle
+MshrFile::reserve(Addr block_addr, Cycle now)
+{
+    prune(now);
+    Cycle start = now;
+    if (entries_.size() >= capacity_) {
+        // Structural stall: wait for the earliest in-flight miss.
+        Cycle earliest = 0;
+        std::size_t idx = entries_.size();
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            if (entries_[i].reserved)
+                continue;
+            if (idx == entries_.size() ||
+                entries_[i].ready < earliest) {
+                earliest = entries_[i].ready;
+                idx = i;
+            }
+        }
+        panic_if(idx == entries_.size(),
+                 "MSHR file full of incomplete reservations");
+        start = std::max(start, earliest);
+        entries_.erase(entries_.begin() +
+                       static_cast<std::ptrdiff_t>(idx));
+        ++fullStalls_;
+    }
+    ++allocations_;
+    entries_.push_back(Entry{block_addr, 0, true});
+    return start;
+}
+
+void
+MshrFile::complete(Addr block_addr, Cycle ready)
+{
+    for (auto &e : entries_) {
+        if (e.reserved && e.blockAddr == block_addr) {
+            e.reserved = false;
+            e.ready = ready;
+            return;
+        }
+    }
+    panic("MSHR complete() without a matching reservation");
+}
+
+unsigned
+MshrFile::inFlight(Cycle now)
+{
+    prune(now);
+    return static_cast<unsigned>(entries_.size());
+}
+
+} // namespace nuca

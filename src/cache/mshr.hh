@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Miss status holding registers for non-blocking caches.
+ *
+ * The timing model computes a miss's completion cycle at issue time,
+ * so an MSHR entry is simply (block address -> ready cycle). The file
+ * provides the two behaviours that matter for timing fidelity:
+ * merging secondary misses into an in-flight primary miss, and
+ * structural stalls when all entries are busy.
+ */
+
+#ifndef NUCA_CACHE_MSHR_HH
+#define NUCA_CACHE_MSHR_HH
+
+#include <string>
+#include <vector>
+
+#include "base/stats.hh"
+#include "base/types.hh"
+
+namespace nuca {
+
+/** A file of miss status holding registers. */
+class MshrFile
+{
+  public:
+    /**
+     * @param parent stats parent
+     * @param name stats group name
+     * @param entries number of registers (outstanding-miss bound)
+     */
+    MshrFile(stats::Group &parent, const std::string &name,
+             unsigned entries);
+
+    /**
+     * If a miss to @p block_addr is already outstanding at @p now,
+     * return its ready cycle (the secondary miss merges); otherwise
+     * return 0 (0 is never a valid ready cycle because every access
+     * takes at least one cycle).
+     */
+    Cycle lookup(Addr block_addr, Cycle now);
+
+    /**
+     * Reserve an entry for a new primary miss issued at @p now.
+     * If the file is full, the miss is delayed until the earliest
+     * in-flight miss retires.
+     *
+     * @return the cycle at which the miss can actually start.
+     */
+    Cycle reserve(Addr block_addr, Cycle now);
+
+    /**
+     * Record the completion time of the miss reserved earlier.
+     * @pre reserve() returned for this block and complete() has not
+     *      been called for it yet.
+     */
+    void complete(Addr block_addr, Cycle ready);
+
+    /** Entries still in flight at @p now (after pruning). */
+    unsigned inFlight(Cycle now);
+
+    unsigned capacity() const { return capacity_; }
+
+    Counter merges() const { return merges_.value(); }
+    Counter structuralStalls() const { return fullStalls_.value(); }
+
+  private:
+    struct Entry
+    {
+        Addr blockAddr;
+        Cycle ready;    // 0 while reserved but not yet completed
+        bool reserved;
+    };
+
+    void prune(Cycle now);
+
+    unsigned capacity_;
+    std::vector<Entry> entries_;
+
+    stats::Group statsGroup_;
+    stats::Scalar allocations_;
+    stats::Scalar merges_;
+    stats::Scalar fullStalls_;
+};
+
+} // namespace nuca
+
+#endif // NUCA_CACHE_MSHR_HH

@@ -1,0 +1,207 @@
+#include "cache/set_assoc_cache.hh"
+
+#include "base/intmath.hh"
+#include "base/logging.hh"
+
+namespace nuca {
+
+const char *
+to_string(ReplPolicy policy)
+{
+    switch (policy) {
+      case ReplPolicy::Lru:
+        return "lru";
+      case ReplPolicy::Fifo:
+        return "fifo";
+      case ReplPolicy::Random:
+        return "random";
+      case ReplPolicy::Nru:
+        return "nru";
+    }
+    panic("unknown replacement policy");
+}
+
+SetAssocCache::SetAssocCache(stats::Group &parent,
+                             const std::string &name,
+                             std::uint64_t size_bytes, unsigned assoc,
+                             ReplPolicy policy, std::uint64_t seed)
+    : policy_(policy),
+      rng_(seed),
+      assoc_(assoc),
+      statsGroup_(parent, name),
+      accesses_(statsGroup_, "accesses", "reads and writes observed"),
+      misses_(statsGroup_, "misses", "accesses that missed"),
+      writebacksProduced_(statsGroup_, "writebacks",
+                          "dirty blocks displaced by fills")
+{
+    fatal_if(assoc_ == 0, "cache '", name, "' has zero associativity");
+    fatal_if(size_bytes == 0 || size_bytes % (assoc_ * blockBytes) != 0,
+             "cache '", name, "' size ", size_bytes,
+             " is not a multiple of assoc*blockBytes");
+    const std::uint64_t sets = size_bytes / (assoc_ * blockBytes);
+    fatal_if(!isPowerOf2(sets), "cache '", name,
+             "' needs a power-of-two set count, got ", sets);
+    numSets_ = static_cast<unsigned>(sets);
+    indexMask_ = numSets_ - 1;
+    sets_.assign(numSets_, CacheSet(assoc_));
+}
+
+unsigned
+SetAssocCache::setIndex(Addr addr) const
+{
+    return static_cast<unsigned>(blockNumber(addr)) & indexMask_;
+}
+
+bool
+SetAssocCache::probe(Addr addr) const
+{
+    return sets_[setIndex(addr)].findTag(tagOf(addr)) >= 0;
+}
+
+bool
+SetAssocCache::access(Addr addr, bool is_write)
+{
+    ++accesses_;
+    auto &set = sets_[setIndex(addr)];
+    const int way = set.findTag(tagOf(addr));
+    if (way < 0) {
+        ++misses_;
+        return false;
+    }
+    auto &blk = set.block(static_cast<unsigned>(way));
+    blk.lastUse = nextStamp();
+    blk.referenced = true;
+    if (is_write)
+        blk.dirty = true;
+    return true;
+}
+
+unsigned
+SetAssocCache::victimWay(CacheSet &set)
+{
+    switch (policy_) {
+      case ReplPolicy::Lru: {
+          const int way = set.lruWay();
+          panic_if(way < 0, "full set with no LRU block");
+          return static_cast<unsigned>(way);
+      }
+      case ReplPolicy::Fifo: {
+          int victim = -1;
+          for (unsigned w = 0; w < assoc_; ++w) {
+              const auto &blk = set.block(w);
+              if (!blk.valid)
+                  continue;
+              if (victim < 0 ||
+                  blk.insertedAt <
+                      set.block(static_cast<unsigned>(victim))
+                          .insertedAt) {
+                  victim = static_cast<int>(w);
+              }
+          }
+          panic_if(victim < 0, "full set with no FIFO victim");
+          return static_cast<unsigned>(victim);
+      }
+      case ReplPolicy::Random:
+          return static_cast<unsigned>(rng_.below(assoc_));
+      case ReplPolicy::Nru: {
+          // First pass: any block with a clear reference bit. If
+          // none, clear all bits and take way 0 (the classic
+          // one-bit approximation).
+          for (unsigned w = 0; w < assoc_; ++w) {
+              if (!set.block(w).referenced)
+                  return w;
+          }
+          for (unsigned w = 0; w < assoc_; ++w)
+              set.block(w).referenced = false;
+          return 0;
+      }
+    }
+    panic("unknown replacement policy");
+}
+
+std::optional<EvictedBlock>
+SetAssocCache::fill(Addr addr, bool dirty, CoreId owner)
+{
+    auto &set = sets_[setIndex(addr)];
+    const Addr tag = tagOf(addr);
+    panic_if(set.findTag(tag) >= 0,
+             "fill of a block that is already present");
+
+    int way = set.findInvalid();
+    std::optional<EvictedBlock> victim;
+    if (way < 0) {
+        way = static_cast<int>(victimWay(set));
+        const auto &old = set.block(static_cast<unsigned>(way));
+        victim = EvictedBlock{addrOf(old), old.dirty, old.owner};
+        if (old.dirty)
+            ++writebacksProduced_;
+    }
+
+    auto &blk = set.block(static_cast<unsigned>(way));
+    blk.tag = tag;
+    blk.valid = true;
+    blk.dirty = dirty;
+    blk.owner = owner;
+    blk.lastUse = nextStamp();
+    blk.insertedAt = blk.lastUse;
+    blk.referenced = true;
+    return victim;
+}
+
+std::optional<EvictedBlock>
+SetAssocCache::invalidate(Addr addr)
+{
+    auto &set = sets_[setIndex(addr)];
+    const int way = set.findTag(tagOf(addr));
+    if (way < 0)
+        return std::nullopt;
+    auto &blk = set.block(static_cast<unsigned>(way));
+    EvictedBlock out{addrOf(blk), blk.dirty, blk.owner};
+    blk.valid = false;
+    blk.dirty = false;
+    blk.owner = invalidCore;
+    return out;
+}
+
+bool
+SetAssocCache::markDirty(Addr addr)
+{
+    auto &set = sets_[setIndex(addr)];
+    const int way = set.findTag(tagOf(addr));
+    if (way < 0)
+        return false;
+    set.block(static_cast<unsigned>(way)).dirty = true;
+    return true;
+}
+
+CacheSet &
+SetAssocCache::set(unsigned index)
+{
+    panic_if(index >= numSets_, "set index out of range");
+    return sets_[index];
+}
+
+const CacheSet &
+SetAssocCache::set(unsigned index) const
+{
+    panic_if(index >= numSets_, "set index out of range");
+    return sets_[index];
+}
+
+Addr
+SetAssocCache::addrOf(const CacheBlock &blk) const
+{
+    // Tags store the full block number, so the address is direct.
+    return blk.tag << blockShift;
+}
+
+double
+SetAssocCache::missRatio() const
+{
+    const auto acc = accesses();
+    return acc == 0 ? 0.0
+                    : static_cast<double>(misses()) /
+                          static_cast<double>(acc);
+}
+
+} // namespace nuca

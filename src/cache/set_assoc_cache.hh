@@ -1,0 +1,140 @@
+/**
+ * @file
+ * A plain set-associative, write-back/write-allocate cache tag model
+ * with LRU replacement. Used directly for the L1/L2 levels and the
+ * private/shared L3 baselines; the adaptive NUCA L3 builds its own
+ * structure from CacheSet because its replacement is non-LRU.
+ */
+
+#ifndef NUCA_CACHE_SET_ASSOC_CACHE_HH
+#define NUCA_CACHE_SET_ASSOC_CACHE_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/random.hh"
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "cache/cache_set.hh"
+
+namespace nuca {
+
+/** Replacement policy of a SetAssocCache. */
+enum class ReplPolicy
+{
+    Lru,    ///< least recently used (the paper's policy everywhere)
+    Fifo,   ///< oldest installed
+    Random, ///< uniformly random valid block
+    Nru,    ///< not-recently-used (one reference bit per block)
+};
+
+/** Printable policy name. */
+const char *to_string(ReplPolicy policy);
+
+/** Description of a block pushed out of a cache by a fill. */
+struct EvictedBlock
+{
+    Addr addr;
+    bool dirty;
+    CoreId owner;
+};
+
+/**
+ * Functional set-associative cache: tag state only (no data), LRU
+ * replacement, per-access stats. Timing lives in CacheLevel / the
+ * L3 organizations.
+ */
+class SetAssocCache
+{
+  public:
+    /**
+     * @param parent stats group to register under
+     * @param name stat group name (e.g. "l1d")
+     * @param size_bytes total capacity
+     * @param assoc number of ways
+     */
+    SetAssocCache(stats::Group &parent, const std::string &name,
+                  std::uint64_t size_bytes, unsigned assoc,
+                  ReplPolicy policy = ReplPolicy::Lru,
+                  std::uint64_t seed = 1);
+
+    ReplPolicy policy() const { return policy_; }
+
+    /** Number of sets. */
+    unsigned numSets() const { return numSets_; }
+    /** Associativity. */
+    unsigned assoc() const { return assoc_; }
+
+    /** Set index for an address. */
+    unsigned setIndex(Addr addr) const;
+    /** Tag for an address (the full block number). */
+    Addr tagOf(Addr addr) const { return blockNumber(addr); }
+
+    /** @return true if the block is present. Does not touch LRU. */
+    bool probe(Addr addr) const;
+
+    /**
+     * Look up @p addr; on a hit update LRU (and the dirty bit for
+     * writes) and return true. On a miss return false without
+     * changing any state (the caller decides whether to fill).
+     */
+    bool access(Addr addr, bool is_write);
+
+    /**
+     * Install the block for @p addr, evicting the set's LRU block if
+     * the set is full. The installed block becomes MRU.
+     *
+     * @return the displaced block, if any.
+     */
+    std::optional<EvictedBlock> fill(Addr addr, bool dirty,
+                                     CoreId owner);
+
+    /**
+     * Remove the block for @p addr if present.
+     * @return the removed block (with its dirty state), if present.
+     */
+    std::optional<EvictedBlock> invalidate(Addr addr);
+
+    /** Mark the block dirty if present; @return true if present. */
+    bool markDirty(Addr addr);
+
+    /** Direct set access for bespoke policies and tests. */
+    CacheSet &set(unsigned index);
+    const CacheSet &set(unsigned index) const;
+
+    /** Reconstruct a block-aligned address from set + tag. */
+    Addr addrOf(const CacheBlock &blk) const;
+
+    /** Accesses observed (reads + writes). */
+    Counter accesses() const { return accesses_.value(); }
+    /** Misses observed. */
+    Counter misses() const { return misses_.value(); }
+    /** Hits observed. */
+    Counter hits() const { return accesses() - misses(); }
+    /** Miss ratio in [0, 1]; 0 when no accesses. */
+    double missRatio() const;
+
+  private:
+    std::uint64_t nextStamp() { return ++stampCounter_; }
+
+    /** Pick the victim way in a full set per the policy. */
+    unsigned victimWay(CacheSet &set);
+
+    ReplPolicy policy_;
+    Rng rng_;
+    unsigned assoc_;
+    unsigned numSets_;
+    unsigned indexMask_;
+    std::vector<CacheSet> sets_;
+    std::uint64_t stampCounter_ = 0;
+
+    stats::Group statsGroup_;
+    stats::Scalar accesses_;
+    stats::Scalar misses_;
+    stats::Scalar writebacksProduced_;
+};
+
+} // namespace nuca
+
+#endif // NUCA_CACHE_SET_ASSOC_CACHE_HH

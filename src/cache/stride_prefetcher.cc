@@ -1,0 +1,129 @@
+#include "cache/stride_prefetcher.hh"
+
+#include <algorithm>
+
+#include "base/intmath.hh"
+#include "base/logging.hh"
+
+namespace nuca {
+
+StridePrefetcher::StridePrefetcher(stats::Group &parent,
+                                   const std::string &name,
+                                   const StridePrefetcherParams &params)
+    : params_(params),
+      statsGroup_(parent, name),
+      trainings_(statsGroup_, "trainings",
+                 "stride confirmations recorded"),
+      predictions_(statsGroup_, "predictions",
+                   "prefetch addresses produced")
+{
+    fatal_if(!isPowerOf2(params_.tableEntries),
+             "prefetcher table must be a power of two");
+    fatal_if(params_.degree == 0, "prefetch degree must be positive");
+    fatal_if(params_.zoneStreams && params_.zoneEntries == 0,
+             "zone stream detection needs entries");
+    table_.assign(params_.tableEntries, Entry{});
+    zones_.assign(params_.zoneEntries, ZoneEntry{});
+}
+
+void
+StridePrefetcher::observeZone(Addr addr, std::vector<Addr> &out)
+{
+    const Addr block = blockNumber(addr);
+    const Addr zone = addr >> 16; // 64 KB zones
+    // Fully-associative small table with round-robin-ish reuse: find
+    // the zone, else take the first invalid, else steal slot 0 and
+    // rotate so streams do not permanently starve each other.
+    ZoneEntry *entry = nullptr;
+    for (auto &z : zones_) {
+        if (z.valid && z.zone == zone) {
+            entry = &z;
+            break;
+        }
+    }
+    if (entry == nullptr) {
+        // Two-miss filter: only sequential pairs allocate a zone
+        // entry, so random traffic cannot churn the table.
+        const bool sequential_pair = block == lastBlockSeen_ + 1;
+        lastBlockSeen_ = block;
+        if (!sequential_pair)
+            return;
+        for (auto &z : zones_) {
+            if (!z.valid) {
+                entry = &z;
+                break;
+            }
+        }
+        if (entry == nullptr) {
+            std::rotate(zones_.begin(), zones_.begin() + 1,
+                        zones_.end());
+            entry = &zones_.back();
+        }
+        *entry = ZoneEntry{zone, block, 1, true};
+        return;
+    }
+    lastBlockSeen_ = block;
+
+    if (block == entry->lastBlock + 1) {
+        if (entry->runLength < 255)
+            ++entry->runLength;
+        ++trainings_;
+    } else if (block != entry->lastBlock) {
+        entry->runLength = 0;
+    }
+    entry->lastBlock = block;
+
+    if (entry->runLength >= params_.confidenceThreshold) {
+        for (unsigned d = 1; d <= params_.degree; ++d) {
+            out.push_back((block + d) << blockShift);
+            ++predictions_;
+        }
+    }
+}
+
+std::vector<Addr>
+StridePrefetcher::observe(Addr pc, Addr addr)
+{
+    std::vector<Addr> out;
+    if (params_.zoneStreams)
+        observeZone(addr, out);
+
+    auto &entry = table_[static_cast<unsigned>(pc >> 2) &
+                         (params_.tableEntries - 1)];
+
+    if (!entry.valid || entry.pc != pc) {
+        // Cold or conflicting entry: (re)allocate.
+        entry = Entry{pc, addr, 0, 0, true};
+        return out;
+    }
+
+    const auto stride = static_cast<std::int64_t>(addr) -
+                        static_cast<std::int64_t>(entry.lastAddr);
+    if (stride != 0 && stride == entry.stride) {
+        if (entry.confidence < 255)
+            ++entry.confidence;
+        ++trainings_;
+    } else {
+        entry.stride = stride;
+        entry.confidence = 0;
+    }
+    entry.lastAddr = addr;
+
+    if (entry.confidence >= params_.confidenceThreshold &&
+        entry.stride != 0) {
+        Addr next = addr;
+        for (unsigned d = 0; d < params_.degree; ++d) {
+            next = static_cast<Addr>(static_cast<std::int64_t>(next) +
+                                     entry.stride);
+            const Addr block = blockAlign(next);
+            // Only distinct blocks are worth fetching.
+            if (out.empty() || out.back() != block) {
+                out.push_back(block);
+                ++predictions_;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace nuca

@@ -1,0 +1,48 @@
+#include "cache/tlb.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace nuca {
+
+Tlb::Tlb(stats::Group &parent, const std::string &name,
+         unsigned entries, Cycle miss_penalty)
+    : capacity_(entries),
+      missPenalty_(miss_penalty),
+      statsGroup_(parent, name),
+      accesses_(statsGroup_, "accesses", "translations requested"),
+      misses_(statsGroup_, "misses", "translations that missed")
+{
+    fatal_if(capacity_ == 0, "TLB '", name, "' with no entries");
+    entries_.reserve(capacity_ + 1);
+}
+
+Cycle
+Tlb::translate(Addr addr)
+{
+    ++accesses_;
+    const Addr page = pageNumber(addr);
+
+    auto it = entries_.find(page);
+    if (it != entries_.end()) {
+        it->second = ++stampCounter_;
+        return 0;
+    }
+
+    ++misses_;
+    if (entries_.size() >= capacity_) {
+        // Evict the LRU entry. A linear scan over 128 entries only
+        // runs on misses, which are rare by design.
+        auto victim = std::min_element(
+            entries_.begin(), entries_.end(),
+            [](const auto &a, const auto &b) {
+                return a.second < b.second;
+            });
+        entries_.erase(victim);
+    }
+    entries_.emplace(page, ++stampCounter_);
+    return missPenalty_;
+}
+
+} // namespace nuca

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Translation lookaside buffer: 128-entry, fully associative, LRU,
+ * with a fixed miss penalty (Table 1: 30 cycles). The simulator uses
+ * a flat virtual==physical mapping, so the TLB contributes timing
+ * only.
+ */
+
+#ifndef NUCA_CACHE_TLB_HH
+#define NUCA_CACHE_TLB_HH
+
+#include <string>
+#include <unordered_map>
+
+#include "base/stats.hh"
+#include "base/types.hh"
+
+namespace nuca {
+
+/** A fully-associative LRU TLB with a flat miss penalty. */
+class Tlb
+{
+  public:
+    /**
+     * @param entries capacity in pages
+     * @param miss_penalty cycles added to an access on a TLB miss
+     */
+    Tlb(stats::Group &parent, const std::string &name, unsigned entries,
+        Cycle miss_penalty);
+
+    /**
+     * Translate the page of @p addr.
+     * @return extra cycles the access pays (0 on hit, the penalty on
+     *         a miss; the missing translation is installed).
+     */
+    Cycle translate(Addr addr);
+
+    Counter accesses() const { return accesses_.value(); }
+    Counter misses() const { return misses_.value(); }
+
+  private:
+    unsigned capacity_;
+    Cycle missPenalty_;
+    std::uint64_t stampCounter_ = 0;
+    /** page number -> last-use stamp */
+    std::unordered_map<Addr, std::uint64_t> entries_;
+
+    stats::Group statsGroup_;
+    stats::Scalar accesses_;
+    stats::Scalar misses_;
+};
+
+} // namespace nuca
+
+#endif // NUCA_CACHE_TLB_HH

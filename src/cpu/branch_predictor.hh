@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The combined branch predictor of Table 1: a 4K-entry bimodal
+ * table, a two-level predictor with a 1K-entry first-level history
+ * table and 10-bit histories, a 4K-entry chooser, and a 512-entry
+ * 4-way branch target buffer.
+ */
+
+#ifndef NUCA_CPU_BRANCH_PREDICTOR_HH
+#define NUCA_CPU_BRANCH_PREDICTOR_HH
+
+#include <string>
+#include <vector>
+
+#include "base/stats.hh"
+#include "base/types.hh"
+
+namespace nuca {
+
+/** Sizing of the combined predictor (defaults are Table 1). */
+struct BranchPredictorParams
+{
+    unsigned bimodalEntries = 4096;
+    unsigned historyEntries = 1024; ///< level-1 history table
+    unsigned historyBits = 10;      ///< pattern-history width
+    unsigned chooserEntries = 4096;
+    unsigned btbEntries = 512;
+    unsigned btbAssoc = 4;
+};
+
+/** The result of a branch lookup. */
+struct BranchPrediction
+{
+    bool taken;
+    /** Predicted target; valid only when btbHit. */
+    Addr target;
+    /** True if the BTB held an entry for the branch. */
+    bool btbHit;
+};
+
+/** Combined bimodal + two-level predictor with a chooser and a BTB. */
+class BranchPredictor
+{
+  public:
+    BranchPredictor(stats::Group &parent, const std::string &name,
+                    const BranchPredictorParams &params);
+
+    /** Predict direction and target for the branch at @p pc. */
+    BranchPrediction predict(Addr pc) const;
+
+    /**
+     * Train the predictor with the resolved outcome and record the
+     * target in the BTB for taken branches.
+     */
+    void update(Addr pc, bool taken, Addr target);
+
+    /**
+     * Predict, then train, returning whether the fetch unit would
+     * have followed the correct path (right direction, and for taken
+     * branches a BTB-provided correct target).
+     */
+    bool predictAndUpdate(Addr pc, bool taken, Addr target);
+
+    Counter lookups() const { return lookups_.value(); }
+    Counter directionMispredicts() const { return dirWrong_.value(); }
+    Counter targetMispredicts() const { return targetWrong_.value(); }
+
+    /** Fraction of lookups that followed the wrong path. */
+    double mispredictRate() const;
+
+  private:
+    struct BtbEntry
+    {
+        Addr pc = 0;
+        Addr target = 0;
+        bool valid = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    unsigned bimodalIndex(Addr pc) const;
+    unsigned historyIndex(Addr pc) const;
+    unsigned chooserIndex(Addr pc) const;
+
+    bool bimodalTaken(Addr pc) const;
+    bool twoLevelTaken(Addr pc) const;
+
+    const BtbEntry *btbLookup(Addr pc) const;
+    void btbInsert(Addr pc, Addr target);
+
+    BranchPredictorParams params_;
+    unsigned historyMask_;
+
+    /** 2-bit saturating counters. */
+    std::vector<std::uint8_t> bimodal_;
+    /** Per-branch history registers (level 1). */
+    std::vector<std::uint16_t> histories_;
+    /** Pattern history table (level 2), 2-bit counters. */
+    std::vector<std::uint8_t> pattern_;
+    /** 2-bit chooser counters; >= 2 selects the two-level component. */
+    std::vector<std::uint8_t> chooser_;
+
+    std::vector<BtbEntry> btb_;
+    std::uint64_t btbStamp_ = 0;
+
+    stats::Group statsGroup_;
+    stats::Scalar lookups_;
+    stats::Scalar dirWrong_;
+    stats::Scalar targetWrong_;
+};
+
+} // namespace nuca
+
+#endif // NUCA_CPU_BRANCH_PREDICTOR_HH

@@ -1,0 +1,51 @@
+#include "cpu/coherence.hh"
+
+#include "base/logging.hh"
+#include "cpu/memory_system.hh"
+
+namespace nuca {
+
+CoherenceHub::CoherenceHub(stats::Group &parent)
+    : statsGroup_(parent, "coherence"),
+      invalidations_(statsGroup_, "invalidations",
+                     "remote copies invalidated by stores"),
+      dirtyFlushes_(statsGroup_, "dirty_flushes",
+                    "invalidated copies that were dirty and were "
+                    "flushed to the L3/memory")
+{
+}
+
+void
+CoherenceHub::attach(MemorySystem *mem)
+{
+    panic_if(mem == nullptr, "attaching a null memory system");
+    systems_.push_back(mem);
+}
+
+void
+CoherenceHub::invalidateOthers(CoreId writer, Addr addr, Cycle now)
+{
+    for (std::size_t c = 0; c < systems_.size(); ++c) {
+        if (static_cast<CoreId>(c) == writer)
+            continue;
+        MemorySystem &mem = *systems_[c];
+        bool dirty = false;
+        bool had_copy = false;
+        if (const auto removed = mem.l1d().tags().invalidate(addr)) {
+            had_copy = true;
+            dirty |= removed->dirty;
+        }
+        if (const auto removed = mem.l2d().tags().invalidate(addr)) {
+            had_copy = true;
+            dirty |= removed->dirty;
+        }
+        if (had_copy)
+            ++invalidations_;
+        if (dirty) {
+            ++dirtyFlushes_;
+            mem.flushDirtyBlock(addr, now);
+        }
+    }
+}
+
+} // namespace nuca

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Invalidation-based coherence for the private L1/L2 hierarchies —
+ * the substrate for the paper's future-work item (Section 3: "We do
+ * not consider sharing of cache blocks in this paper... we
+ * hypothesize that the new scheme will be effective also for such
+ * workloads").
+ *
+ * Model: tags-only write-invalidate. A store by one core removes the
+ * block from every other core's L1D/L2D (dirty copies are written
+ * back through the L3 path first). Invalidation messages themselves
+ * are not timed — their performance effect is carried by the
+ * coherence misses they cause, which is the first-order term for the
+ * cache-partitioning questions this repository studies.
+ */
+
+#ifndef NUCA_CPU_COHERENCE_HH
+#define NUCA_CPU_COHERENCE_HH
+
+#include <vector>
+
+#include "base/stats.hh"
+#include "base/types.hh"
+
+namespace nuca {
+
+class MemorySystem;
+
+/** Broadcast write-invalidate hub connecting the per-core caches. */
+class CoherenceHub
+{
+  public:
+    explicit CoherenceHub(stats::Group &parent);
+
+    /** Register one core's memory system. Order = core id. */
+    void attach(MemorySystem *mem);
+
+    /**
+     * A store by @p writer to @p addr: invalidate every other
+     * core's L1D/L2D copy of the block. Dirty copies are flushed
+     * through their owner's L3 writeback path at @p now.
+     */
+    void invalidateOthers(CoreId writer, Addr addr, Cycle now);
+
+    Counter invalidations() const { return invalidations_.value(); }
+    Counter dirtyFlushes() const { return dirtyFlushes_.value(); }
+
+  private:
+    std::vector<MemorySystem *> systems_;
+
+    stats::Group statsGroup_;
+    stats::Scalar invalidations_;
+    stats::Scalar dirtyFlushes_;
+};
+
+} // namespace nuca
+
+#endif // NUCA_CPU_COHERENCE_HH

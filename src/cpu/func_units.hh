@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Functional-unit pools per Table 1: 4 integer ALUs, 4 FP ALUs, one
+ * integer multiply/divide unit, one FP multiply/divide unit, plus
+ * two memory ports. Multiplies are pipelined (a unit accepts a new
+ * op every cycle); divides occupy their unit for the full latency.
+ */
+
+#ifndef NUCA_CPU_FUNC_UNITS_HH
+#define NUCA_CPU_FUNC_UNITS_HH
+
+#include <string>
+#include <vector>
+
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "cpu/op_class.hh"
+
+namespace nuca {
+
+/** Pool sizes (defaults are Table 1 plus two memory ports). */
+struct FuncUnitParams
+{
+    unsigned intAlus = 4;
+    unsigned fpAlus = 4;
+    unsigned intMultDiv = 1;
+    unsigned fpMultDiv = 1;
+    unsigned memPorts = 2;
+};
+
+/** Per-cycle functional-unit arbitration. */
+class FuncUnits
+{
+  public:
+    FuncUnits(stats::Group &parent, const std::string &name,
+              const FuncUnitParams &params);
+
+    /**
+     * Try to claim a unit for @p op at cycle @p now.
+     *
+     * @return true if a unit was available (and is now claimed for
+     *         this op's issue interval); false on a structural
+     *         hazard.
+     */
+    bool tryIssue(OpClass op, Cycle now);
+
+    Counter structuralStalls() const { return stalls_.value(); }
+
+  private:
+    /** One pool of identical units tracked by busy-until cycles. */
+    struct Pool
+    {
+        std::vector<Cycle> busyUntil;
+
+        bool
+        claim(Cycle now, Cycle hold)
+        {
+            for (auto &b : busyUntil) {
+                if (b <= now) {
+                    b = now + hold;
+                    return true;
+                }
+            }
+            return false;
+        }
+    };
+
+    Pool &poolFor(OpClass op);
+    /** Cycles a unit stays busy after accepting @p op. */
+    static Cycle issueInterval(OpClass op);
+
+    Pool intAlu_;
+    Pool fpAlu_;
+    Pool intMultDiv_;
+    Pool fpMultDiv_;
+    Pool memPort_;
+
+    stats::Group statsGroup_;
+    stats::Scalar stalls_;
+};
+
+} // namespace nuca
+
+#endif // NUCA_CPU_FUNC_UNITS_HH

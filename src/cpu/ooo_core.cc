@@ -1,0 +1,278 @@
+#include "cpu/ooo_core.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace nuca {
+
+OooCore::OooCore(stats::Group &parent, const std::string &name,
+                 CoreId id, const OooCoreParams &params,
+                 MemorySystem &mem, InstSource &source)
+    : id_(id),
+      params_(params),
+      mem_(mem),
+      source_(source),
+      doneRing_(doneRingSize, 0),
+      statsGroup_(parent, name),
+      predictor_(statsGroup_, "bpred", params.predictor),
+      funcUnits_(statsGroup_, "fu", params.funcUnits),
+      committed_(statsGroup_, "committed_insts",
+                 "instructions committed"),
+      committedMem_(statsGroup_, "committed_mem_ops",
+                    "loads and stores committed"),
+      fetchStallCycles_(statsGroup_, "fetch_stall_cycles",
+                        "cycles fetch was stalled on a mispredicted "
+                        "branch or an I-cache miss"),
+      ruuFullStalls_(statsGroup_, "ruu_full_stalls",
+                     "dispatch attempts blocked by a full RUU"),
+      lsqFullStalls_(statsGroup_, "lsq_full_stalls",
+                     "dispatch attempts blocked by a full LSQ"),
+      forwardedLoads_(statsGroup_, "forwarded_loads",
+                      "loads satisfied by store-to-load forwarding"),
+      ruuOccupancyDist_(statsGroup_, "ruu_occupancy",
+                        "RUU entries in use, sampled per cycle", 0,
+                        132, 12),
+      commitWidthDist_(statsGroup_, "commit_width",
+                       "instructions committed per cycle", 0, 5, 1)
+{
+    fatal_if(params_.ruuSize == 0 || params_.lsqSize == 0 ||
+                 params_.fetchQueueSize == 0,
+             "core structures must be non-empty");
+    (void)id_;
+}
+
+void
+OooCore::tick(Cycle now)
+{
+    releaseLsqSlots(now);
+    const Counter committed_before = committed_.value();
+    commitStage(now);
+    commitWidthDist_.sample(committed_.value() - committed_before);
+    ruuOccupancyDist_.sample(ruu_.size());
+    issueStage(now);
+    dispatchStage(now);
+    fetchStage(now);
+}
+
+void
+OooCore::releaseLsqSlots(Cycle now)
+{
+    while (!lsqReleases_.empty() && lsqReleases_.top() <= now) {
+        lsqReleases_.pop();
+        panic_if(lsqInUse_ == 0, "LSQ release underflow");
+        --lsqInUse_;
+    }
+}
+
+std::optional<Cycle>
+OooCore::readyTime(const RuuEntry &entry) const
+{
+    Cycle ready = 0;
+    for (const auto dist : entry.inst.depDist) {
+        if (dist == 0)
+            continue;
+        if (dist > entry.seq)
+            continue; // producer predates the simulation
+        const Cycle done = doneCycleOf(entry.seq - dist);
+        if (done == notDone)
+            return std::nullopt; // producer not issued yet
+        ready = std::max(ready, done);
+    }
+    return ready;
+}
+
+bool
+OooCore::forwardingStore(std::size_t idx) const
+{
+    const Addr word = ruu_[idx].inst.effAddr >> 3;
+    // Walk younger-to-older from the load towards the RUU head; the
+    // youngest older store to the word is the forwarding source.
+    for (std::size_t i = idx; i-- > 0;) {
+        const auto &e = ruu_[i];
+        if (e.inst.isStore() && (e.inst.effAddr >> 3) == word)
+            return true;
+    }
+    return false;
+}
+
+void
+OooCore::commitStage(Cycle now)
+{
+    unsigned budget = params_.commitWidth;
+    while (budget > 0 && !ruu_.empty()) {
+        auto &head = ruu_.front();
+        if (!head.issued || head.doneAt > now)
+            break;
+        if (head.inst.isStore()) {
+            // The store writes the cache at commit; its LSQ slot is
+            // held until the write completes.
+            const Cycle written =
+                mem_.dataAccess(head.inst.effAddr, true, now);
+            lsqReleases_.push(written);
+            ++committedMem_;
+        } else if (head.inst.isLoad()) {
+            panic_if(lsqInUse_ == 0, "load commit without LSQ slot");
+            --lsqInUse_;
+            ++committedMem_;
+        }
+        ++committed_;
+        ruu_.pop_front();
+        --budget;
+        issueIdleUntil_ = now; // freed RUU/LSQ space wakes dispatch
+    }
+}
+
+void
+OooCore::issueStage(Cycle now)
+{
+    if (now < issueIdleUntil_)
+        return;
+
+    unsigned budget = params_.issueWidth;
+    unsigned issued_count = 0;
+    bool fu_blocked = false;
+    bool older_store_unissued = false;
+    Cycle next_ready = notDone;
+
+    for (std::size_t i = 0; i < ruu_.size() && budget > 0; ++i) {
+        auto &e = ruu_[i];
+        if (e.issued) {
+            continue;
+        }
+        if (e.inst.isLoad() && older_store_unissued) {
+            // Loads wait until every older store has computed its
+            // address (conservative disambiguation). The store's
+            // issue will wake the scheduler again.
+            continue;
+        }
+        const auto ready = readyTime(e);
+        if (!ready || *ready > now) {
+            if (ready)
+                next_ready = std::min(next_ready, *ready);
+            if (e.inst.isStore())
+                older_store_unissued = true;
+            continue;
+        }
+        if (!funcUnits_.tryIssue(e.inst.op, now)) {
+            fu_blocked = true;
+            if (e.inst.isStore())
+                older_store_unissued = true;
+            continue;
+        }
+
+        e.issued = true;
+        ++issued_count;
+        if (e.inst.isLoad()) {
+            if (forwardingStore(i)) {
+                ++forwardedLoads_;
+                e.doneAt = now + 2;
+            } else {
+                // One cycle of address generation, then the cache.
+                e.doneAt = mem_.dataAccess(e.inst.effAddr, false,
+                                           now + 1, e.inst.pc);
+            }
+        } else {
+            // Stores are "done" once the address is computed; the
+            // write happens at commit.
+            e.doneAt = now + opLatency(e.inst.op);
+        }
+        setDoneCycle(e.seq, e.doneAt);
+        --budget;
+    }
+
+    if (issued_count == 0 && !fu_blocked) {
+        // Nothing can issue before the earliest known ready time;
+        // commits and dispatches invalidate the sleep.
+        issueIdleUntil_ = next_ready == notDone ? notDone : next_ready;
+    } else {
+        issueIdleUntil_ = now;
+    }
+}
+
+void
+OooCore::dispatchStage(Cycle now)
+{
+    unsigned budget = params_.dispatchWidth;
+    while (budget > 0 && !fetchQueue_.empty()) {
+        const auto &front = fetchQueue_.front();
+        if (front.fetchedAt >= now)
+            break; // fetched this cycle; decodes next cycle
+        if (ruu_.size() >= params_.ruuSize) {
+            ++ruuFullStalls_;
+            break;
+        }
+        if (front.inst.isMem()) {
+            if (lsqInUse_ >= params_.lsqSize) {
+                ++lsqFullStalls_;
+                break;
+            }
+            ++lsqInUse_;
+        }
+        ruu_.push_back(RuuEntry{front.inst, front.seq, false, 0});
+        fetchQueue_.pop_front();
+        --budget;
+        issueIdleUntil_ = now; // the new entry may be ready at once
+    }
+}
+
+void
+OooCore::fetchStage(Cycle now)
+{
+    if (fetchStallSeq_) {
+        const Cycle done = doneCycleOf(*fetchStallSeq_);
+        if (done == notDone ||
+            now < done + params_.mispredictPenalty) {
+            ++fetchStallCycles_;
+            return;
+        }
+        fetchStallSeq_.reset();
+    }
+    if (icacheReadyAt_ > now) {
+        ++fetchStallCycles_;
+        return;
+    }
+
+    unsigned budget = params_.fetchWidth;
+    while (budget > 0 && fetchQueue_.size() < params_.fetchQueueSize) {
+        if (!pendingFetch_)
+            pendingFetch_ = source_.next();
+        const SynthInst &inst = *pendingFetch_;
+
+        // Crossing into a new cache line costs an I-cache access; a
+        // miss stalls fetch until the line arrives.
+        const Addr line = blockAlign(inst.pc);
+        if (line != lastFetchLine_) {
+            const Cycle ready = mem_.instFetch(inst.pc, now);
+            lastFetchLine_ = line;
+            if (ready > now + mem_.l1i().hitLatency()) {
+                icacheReadyAt_ = ready;
+                return; // pendingFetch_ is delivered after the miss
+            }
+        }
+
+        const std::uint64_t seq = nextSeq_++;
+        setDoneCycle(seq, notDone);
+        fetchQueue_.push_back(FetchedInst{inst, seq, now});
+        pendingFetch_.reset();
+        --budget;
+
+        if (inst.isBranch()) {
+            const bool correct_path = predictor_.predictAndUpdate(
+                inst.pc, inst.taken, inst.target);
+            if (!correct_path) {
+                // Fetch resumes after the branch resolves plus the
+                // redirect penalty.
+                fetchStallSeq_ = seq;
+                return;
+            }
+            if (inst.taken) {
+                // Correctly predicted taken branch: the redirect
+                // ends this fetch cycle.
+                return;
+            }
+        }
+    }
+}
+
+} // namespace nuca

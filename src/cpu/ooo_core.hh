@@ -1,0 +1,177 @@
+/**
+ * @file
+ * A trace-driven out-of-order core with SimpleScalar sim-outorder's
+ * structure and Table 1's parameters: a 4-entry fetch queue feeding
+ * 4-wide fetch/dispatch/issue/commit, a 128-entry register update
+ * unit (RUU), a 64-entry load/store queue, the combined branch
+ * predictor, and the functional-unit pools.
+ *
+ * The workload supplies the committed path only; a mispredicted
+ * branch stalls fetch until the branch resolves plus the 7-cycle
+ * redirect penalty (wrong-path instructions are not simulated —
+ * documented deviation from sim-outorder).
+ */
+
+#ifndef NUCA_CPU_OOO_CORE_HH
+#define NUCA_CPU_OOO_CORE_HH
+
+#include <deque>
+#include <optional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "cpu/branch_predictor.hh"
+#include "cpu/func_units.hh"
+#include "cpu/memory_system.hh"
+#include "cpu/synth_inst.hh"
+
+namespace nuca {
+
+/** Core structure parameters (defaults: Table 1). */
+struct OooCoreParams
+{
+    unsigned ruuSize = 128;
+    unsigned lsqSize = 64;
+    unsigned fetchQueueSize = 4;
+    unsigned fetchWidth = 4;
+    unsigned dispatchWidth = 4;
+    unsigned issueWidth = 4;
+    unsigned commitWidth = 4;
+    Cycle mispredictPenalty = 7;
+    BranchPredictorParams predictor{};
+    FuncUnitParams funcUnits{};
+};
+
+/** The out-of-order timing core. */
+class OooCore
+{
+  public:
+    OooCore(stats::Group &parent, const std::string &name, CoreId id,
+            const OooCoreParams &params, MemorySystem &mem,
+            InstSource &source);
+
+    /** Advance the core by one clock cycle. */
+    void tick(Cycle now);
+
+    /** Instructions committed so far. */
+    Counter committed() const { return committed_.value(); }
+
+    /** Committed loads + stores (for access-intensity metrics). */
+    Counter committedMemOps() const { return committedMem_.value(); }
+
+    /** Loads satisfied by store-to-load forwarding. */
+    Counter forwardedLoads() const { return forwardedLoads_.value(); }
+
+    BranchPredictor &predictor() { return predictor_; }
+    FuncUnits &funcUnits() { return funcUnits_; }
+
+    /** Occupancy of the RUU right now (tests/inspection). */
+    unsigned ruuOccupancy() const
+    {
+        return static_cast<unsigned>(ruu_.size());
+    }
+    /** Occupancy of the LSQ right now. */
+    unsigned lsqOccupancy() const { return lsqInUse_; }
+
+  private:
+    struct RuuEntry
+    {
+        SynthInst inst;
+        std::uint64_t seq;
+        bool issued = false;
+        Cycle doneAt = 0; // valid once issued
+    };
+
+    struct FetchedInst
+    {
+        SynthInst inst;
+        std::uint64_t seq;
+        Cycle fetchedAt;
+    };
+
+    static constexpr unsigned doneRingSize = 1u << 16;
+    static constexpr Cycle notDone = ~static_cast<Cycle>(0);
+
+    Cycle doneCycleOf(std::uint64_t seq) const
+    {
+        return doneRing_[seq & (doneRingSize - 1)];
+    }
+    void
+    setDoneCycle(std::uint64_t seq, Cycle c)
+    {
+        doneRing_[seq & (doneRingSize - 1)] = c;
+    }
+
+    void releaseLsqSlots(Cycle now);
+    void commitStage(Cycle now);
+    void issueStage(Cycle now);
+    void dispatchStage(Cycle now);
+    void fetchStage(Cycle now);
+
+    /**
+     * Earliest cycle the entry's register dependences are all
+     * resolved, or nullopt while a producer has not issued yet (its
+     * completion time is unknown).
+     */
+    std::optional<Cycle> readyTime(const RuuEntry &entry) const;
+
+    /**
+     * Find an older in-flight store writing the same 8-byte word as
+     * the load at RUU index @p idx. @return true if forwarding
+     * applies.
+     */
+    bool forwardingStore(std::size_t idx) const;
+
+    CoreId id_;
+    OooCoreParams params_;
+    MemorySystem &mem_;
+    InstSource &source_;
+
+    std::deque<FetchedInst> fetchQueue_;
+    std::deque<RuuEntry> ruu_;
+    std::vector<Cycle> doneRing_;
+
+    std::uint64_t nextSeq_ = 0;
+    unsigned lsqInUse_ = 0;
+    std::priority_queue<Cycle, std::vector<Cycle>,
+                        std::greater<Cycle>>
+        lsqReleases_;
+
+    /**
+     * Scheduler sleep optimization: the issue stage is skipped until
+     * this cycle. Recomputed by a scan that issues nothing (earliest
+     * known future ready time) and invalidated to "now" by commits,
+     * dispatches, issues, and functional-unit contention.
+     */
+    Cycle issueIdleUntil_ = 0;
+
+    /** Branch the fetch unit is stalled on, if any. */
+    std::optional<std::uint64_t> fetchStallSeq_;
+    /** Cycle the pending I-cache miss completes. */
+    Cycle icacheReadyAt_ = 0;
+    /** Instruction fetched from the source but not yet queued. */
+    std::optional<SynthInst> pendingFetch_;
+    /** Last instruction cache line fetched. */
+    Addr lastFetchLine_ = ~static_cast<Addr>(0);
+
+    stats::Group statsGroup_;
+    BranchPredictor predictor_;
+    FuncUnits funcUnits_;
+    stats::Scalar committed_;
+    stats::Scalar committedMem_;
+    stats::Scalar fetchStallCycles_;
+    stats::Scalar ruuFullStalls_;
+    stats::Scalar lsqFullStalls_;
+    stats::Scalar forwardedLoads_;
+    /** RUU occupancy sampled once per cycle. */
+    stats::Distribution ruuOccupancyDist_;
+    /** Instructions committed per cycle (IPC shape). */
+    stats::Distribution commitWidthDist_;
+};
+
+} // namespace nuca
+
+#endif // NUCA_CPU_OOO_CORE_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Operation classes of the dynamic instruction stream and their
+ * execution latencies, mirroring SimpleScalar's functional-unit
+ * classes for the subset the synthetic workloads use.
+ */
+
+#ifndef NUCA_CPU_OP_CLASS_HH
+#define NUCA_CPU_OP_CLASS_HH
+
+#include "base/types.hh"
+
+namespace nuca {
+
+/** What kind of operation a dynamic instruction performs. */
+enum class OpClass : std::uint8_t
+{
+    IntAlu,  ///< integer ALU op (also used by branches)
+    IntMult, ///< integer multiply
+    IntDiv,  ///< integer divide (unpipelined)
+    FpAlu,   ///< floating-point add/sub/cmp
+    FpMult,  ///< floating-point multiply
+    FpDiv,   ///< floating-point divide (unpipelined)
+    Load,    ///< memory read
+    Store,   ///< memory write
+    Branch,  ///< conditional or unconditional branch
+};
+
+/** Number of distinct op classes. */
+constexpr unsigned numOpClasses = 9;
+
+/** Execution latency in cycles (memory ops add the cache access). */
+constexpr Cycle
+opLatency(OpClass op)
+{
+    switch (op) {
+      case OpClass::IntAlu:
+      case OpClass::Branch:
+        return 1;
+      case OpClass::IntMult:
+        return 3;
+      case OpClass::IntDiv:
+        return 20;
+      case OpClass::FpAlu:
+        return 2;
+      case OpClass::FpMult:
+        return 4;
+      case OpClass::FpDiv:
+        return 12;
+      case OpClass::Load:
+      case OpClass::Store:
+        return 1; // address generation; the access itself is timed
+    }
+    return 1;
+}
+
+/** True for loads and stores. */
+constexpr bool
+isMemOp(OpClass op)
+{
+    return op == OpClass::Load || op == OpClass::Store;
+}
+
+} // namespace nuca
+
+#endif // NUCA_CPU_OP_CLASS_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The dynamic instruction record exchanged between a workload
+ * generator and the out-of-order core, and the source interface the
+ * core pulls instructions from.
+ *
+ * The core is trace-driven: the workload supplies the committed-path
+ * instruction stream (op class, PC, effective address, register
+ * dependences as backward distances, branch outcome). The core adds
+ * all timing: structural limits, dependence stalls, branch
+ * misprediction and the memory hierarchy.
+ */
+
+#ifndef NUCA_CPU_SYNTH_INST_HH
+#define NUCA_CPU_SYNTH_INST_HH
+
+#include "base/types.hh"
+#include "cpu/op_class.hh"
+
+namespace nuca {
+
+/** One dynamic instruction of the committed path. */
+struct SynthInst
+{
+    OpClass op = OpClass::IntAlu;
+
+    /** Instruction address (drives I-cache and predictor indexing). */
+    Addr pc = 0;
+
+    /** Effective address; meaningful for loads and stores only. */
+    Addr effAddr = 0;
+
+    /**
+     * Register dependences as backward dynamic distances: this
+     * instruction reads the results of the instructions
+     * `distance` positions earlier in the stream. 0 = unused slot.
+     */
+    std::uint32_t depDist[2] = {0, 0};
+
+    /** Branch outcome (meaningful when op == Branch). */
+    bool taken = false;
+
+    /** Branch target when taken. */
+    Addr target = 0;
+
+    bool isLoad() const { return op == OpClass::Load; }
+    bool isStore() const { return op == OpClass::Store; }
+    bool isBranch() const { return op == OpClass::Branch; }
+    bool isMem() const { return isMemOp(op); }
+};
+
+/** Pull-interface the core fetches its committed path from. */
+class InstSource
+{
+  public:
+    virtual ~InstSource() = default;
+
+    /** Produce the next dynamic instruction. Never ends. */
+    virtual SynthInst next() = 0;
+};
+
+} // namespace nuca
+
+#endif // NUCA_CPU_SYNTH_INST_HH

@@ -1,0 +1,52 @@
+#include "mem/main_memory.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace nuca {
+
+MainMemory::MainMemory(stats::Group &parent, const std::string &name,
+                       const MainMemoryParams &params)
+    : params_(params),
+      statsGroup_(parent, name),
+      fetches_(statsGroup_, "fetches", "block fetches from memory"),
+      writebacks_(statsGroup_, "writebacks",
+                  "dirty blocks written back to memory"),
+      queueCycles_(statsGroup_, "queue_cycles",
+                   "cycles requests waited for the channel")
+{
+    fatal_if(params_.chunkBytes == 0 ||
+                 blockBytes % params_.chunkBytes != 0,
+             "chunk size must divide the block size");
+    const Cycle chunks = blockBytes / params_.chunkBytes;
+    transferSlot_ = chunks * params_.interChunkLatency;
+}
+
+Cycle
+MainMemory::claimChannel(Cycle now)
+{
+    const Cycle start = std::max(now, busyUntil_);
+    queueCycles_ += start - now;
+    busyUntil_ = start + transferSlot_;
+    return start;
+}
+
+Cycle
+MainMemory::fetchBlock(Addr addr, Cycle now)
+{
+    (void)addr; // timing is address-independent in this model
+    ++fetches_;
+    const Cycle start = claimChannel(now);
+    return start + params_.firstChunkLatency;
+}
+
+void
+MainMemory::writebackBlock(Addr addr, Cycle now)
+{
+    (void)addr;
+    (void)now;
+    ++writebacks_;
+}
+
+} // namespace nuca

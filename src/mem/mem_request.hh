@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The request descriptor passed down the memory hierarchy.
+ */
+
+#ifndef NUCA_MEM_MEM_REQUEST_HH
+#define NUCA_MEM_MEM_REQUEST_HH
+
+#include "base/types.hh"
+
+namespace nuca {
+
+/** Kind of memory reference. */
+enum class MemOp
+{
+    Read,
+    Write,
+    InstFetch,
+};
+
+/** A memory reference as seen by the caches. */
+struct MemRequest
+{
+    CoreId core;
+    Addr addr;
+    MemOp op;
+
+    bool isWrite() const { return op == MemOp::Write; }
+    bool isInst() const { return op == MemOp::InstFetch; }
+
+    /** Block-aligned address of the reference. */
+    Addr blockAddr() const { return blockAlign(addr); }
+};
+
+} // namespace nuca
+
+#endif // NUCA_MEM_MEM_REQUEST_HH

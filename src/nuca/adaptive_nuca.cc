@@ -1,0 +1,548 @@
+#include "nuca/adaptive_nuca.hh"
+
+#include <algorithm>
+
+#include "base/intmath.hh"
+#include "base/logging.hh"
+
+namespace nuca {
+
+namespace {
+
+SharingEngineParams
+engineParamsFor(const AdaptiveNucaParams &p, unsigned num_sets)
+{
+    SharingEngineParams ep;
+    ep.numCores = p.numCores;
+    ep.numSets = num_sets;
+    ep.totalWays = p.numCores * p.localAssoc;
+    ep.localAssoc = p.localAssoc;
+    ep.initialQuota = p.localAssoc;
+    ep.epochMisses = p.epochMisses;
+    ep.shadowSampleShift = p.shadowSampleShift;
+    ep.adaptationEnabled = p.adaptationEnabled;
+    return ep;
+}
+
+} // namespace
+
+AdaptiveNuca::AdaptiveNuca(stats::Group &parent,
+                           const AdaptiveNucaParams &params,
+                           MainMemory &memory)
+    : params_(params),
+      memory_(memory),
+      numSets_(static_cast<unsigned>(
+          params.sizePerCoreBytes /
+          (static_cast<std::uint64_t>(params.localAssoc) *
+           blockBytes))),
+      totalWays_(params.numCores * params.localAssoc),
+      statsGroup_(parent, "l3_adaptive"),
+      engine_(statsGroup_, engineParamsFor(params, numSets_)),
+      localHits_(statsGroup_, "local_hits",
+                 "hits in the requester's local cache", params.numCores),
+      remoteHits_(statsGroup_, "remote_hits",
+                  "hits in a neighbor's cache", params.numCores),
+      misses_(statsGroup_, "misses", "misses per core",
+              params.numCores),
+      demotions_(statsGroup_, "demotions",
+                 "private blocks demoted to the shared partition"),
+      promotions_(statsGroup_, "promotions",
+                  "shared blocks promoted into a private partition"),
+      swaps_(statsGroup_, "swaps",
+             "neighbor-hit block exchanges between caches"),
+      evictions_(statsGroup_, "evictions", "blocks evicted from L3"),
+      overQuotaEvictions_(statsGroup_, "over_quota_evictions",
+                          "Algorithm 1 victims owned by an "
+                          "over-quota core")
+{
+    fatal_if(params_.numCores == 0, "adaptive NUCA with no cores");
+    fatal_if(!isPowerOf2(numSets_),
+             "adaptive NUCA needs a power-of-two set count, got ",
+             numSets_);
+    indexMask_ = numSets_ - 1;
+    slots_.assign(static_cast<std::size_t>(numSets_) * totalWays_,
+                  Slot{});
+}
+
+AdaptiveNuca::Slot &
+AdaptiveNuca::slotAt(unsigned set, unsigned slot)
+{
+    return slots_[static_cast<std::size_t>(set) * totalWays_ + slot];
+}
+
+const AdaptiveNuca::Slot &
+AdaptiveNuca::slotAtConst(unsigned set, unsigned slot) const
+{
+    return slots_[static_cast<std::size_t>(set) * totalWays_ + slot];
+}
+
+unsigned
+AdaptiveNuca::setIndex(Addr addr) const
+{
+    return static_cast<unsigned>(blockNumber(addr)) & indexMask_;
+}
+
+CoreId
+AdaptiveNuca::homeOf(unsigned slot) const
+{
+    panic_if(slot >= totalWays_, "slot out of range");
+    return static_cast<CoreId>(slot / params_.localAssoc);
+}
+
+const CacheBlock &
+AdaptiveNuca::blockAt(unsigned set, unsigned slot) const
+{
+    panic_if(set >= numSets_ || slot >= totalWays_,
+             "set/slot out of range");
+    return slotAtConst(set, slot).blk;
+}
+
+bool
+AdaptiveNuca::slotIsShared(unsigned set, unsigned slot) const
+{
+    panic_if(set >= numSets_ || slot >= totalWays_,
+             "set/slot out of range");
+    return slotAtConst(set, slot).isShared;
+}
+
+int
+AdaptiveNuca::findVisible(unsigned set, CoreId core, Addr tag) const
+{
+    for (unsigned s = 0; s < totalWays_; ++s) {
+        const auto &slot = slotAtConst(set, s);
+        if (!slot.blk.valid || slot.blk.tag != tag)
+            continue;
+        // Private blocks are visible only to the core whose local
+        // cache holds them (relaxed in parallel-workload mode so
+        // shared data is never duplicated).
+        if (!slot.isShared && homeOf(s) != core &&
+            !params_.allowRemotePrivateHits) {
+            continue;
+        }
+        return static_cast<int>(s);
+    }
+    return -1;
+}
+
+int
+AdaptiveNuca::findAny(unsigned set, Addr tag) const
+{
+    for (unsigned s = 0; s < totalWays_; ++s) {
+        const auto &slot = slotAtConst(set, s);
+        if (slot.blk.valid && slot.blk.tag == tag)
+            return static_cast<int>(s);
+    }
+    return -1;
+}
+
+int
+AdaptiveNuca::invalidLocalSlot(unsigned set, CoreId core) const
+{
+    const unsigned base =
+        static_cast<unsigned>(core) * params_.localAssoc;
+    for (unsigned s = base; s < base + params_.localAssoc; ++s) {
+        if (!slotAtConst(set, s).blk.valid)
+            return static_cast<int>(s);
+    }
+    return -1;
+}
+
+int
+AdaptiveNuca::invalidAnySlot(unsigned set) const
+{
+    for (unsigned s = 0; s < totalWays_; ++s) {
+        if (!slotAtConst(set, s).blk.valid)
+            return static_cast<int>(s);
+    }
+    return -1;
+}
+
+int
+AdaptiveNuca::privateLruSlot(unsigned set, CoreId core) const
+{
+    int victim = -1;
+    const unsigned base =
+        static_cast<unsigned>(core) * params_.localAssoc;
+    for (unsigned s = base; s < base + params_.localAssoc; ++s) {
+        const auto &slot = slotAtConst(set, s);
+        if (!slot.blk.valid || slot.isShared)
+            continue;
+        if (victim < 0 || slot.blk.lastUse <
+                              slotAtConst(set, victim).blk.lastUse) {
+            victim = static_cast<int>(s);
+        }
+    }
+    return victim;
+}
+
+int
+AdaptiveNuca::localSharedLruSlot(unsigned set, CoreId core) const
+{
+    int victim = -1;
+    const unsigned base =
+        static_cast<unsigned>(core) * params_.localAssoc;
+    for (unsigned s = base; s < base + params_.localAssoc; ++s) {
+        const auto &slot = slotAtConst(set, s);
+        if (!slot.blk.valid || !slot.isShared)
+            continue;
+        if (victim < 0 || slot.blk.lastUse <
+                              slotAtConst(set, victim).blk.lastUse) {
+            victim = static_cast<int>(s);
+        }
+    }
+    return victim;
+}
+
+unsigned
+AdaptiveNuca::ownedCount(unsigned set, CoreId core) const
+{
+    unsigned n = 0;
+    for (unsigned s = 0; s < totalWays_; ++s) {
+        const auto &slot = slotAtConst(set, s);
+        if (slot.blk.valid && slot.blk.owner == core)
+            ++n;
+    }
+    return n;
+}
+
+unsigned
+AdaptiveNuca::privateCount(unsigned set, CoreId core) const
+{
+    unsigned n = 0;
+    const unsigned base =
+        static_cast<unsigned>(core) * params_.localAssoc;
+    for (unsigned s = base; s < base + params_.localAssoc; ++s) {
+        const auto &slot = slotAtConst(set, s);
+        if (slot.blk.valid && !slot.isShared)
+            ++n;
+    }
+    return n;
+}
+
+bool
+AdaptiveNuca::isOwnerLru(unsigned set, unsigned slot) const
+{
+    const auto &ref = slotAtConst(set, slot).blk;
+    for (unsigned s = 0; s < totalWays_; ++s) {
+        if (s == slot)
+            continue;
+        const auto &blk = slotAtConst(set, s).blk;
+        if (blk.valid && blk.owner == ref.owner &&
+            blk.lastUse < ref.lastUse) {
+            return false;
+        }
+    }
+    return true;
+}
+
+int
+AdaptiveNuca::findSharedVictim(unsigned set, CoreId extra_owner) const
+{
+    // Collect shared slots in LRU-to-MRU order.
+    std::vector<unsigned> shared;
+    shared.reserve(totalWays_);
+    for (unsigned s = 0; s < totalWays_; ++s) {
+        const auto &slot = slotAtConst(set, s);
+        if (slot.blk.valid && slot.isShared)
+            shared.push_back(s);
+    }
+    if (shared.empty())
+        return -1;
+    std::sort(shared.begin(), shared.end(),
+              [this, set](unsigned a, unsigned b) {
+                  return slotAtConst(set, a).blk.lastUse <
+                         slotAtConst(set, b).blk.lastUse;
+              });
+
+    for (unsigned s : shared) {
+        const CoreId owner = slotAtConst(set, s).blk.owner;
+        unsigned count = ownedCount(set, owner);
+        if (owner == extra_owner)
+            ++count;
+        if (count > engine_.quota(owner))
+            return static_cast<int>(s);
+    }
+    // Nobody over quota: fall back to the LRU block of the shared
+    // partition (Algorithm 1, step 8).
+    return static_cast<int>(shared.front());
+}
+
+void
+AdaptiveNuca::evictSlot(unsigned set, unsigned slot, Cycle now)
+{
+    auto &victim = slotAt(set, slot);
+    panic_if(!victim.blk.valid, "evicting an invalid slot");
+    ++evictions_;
+    engine_.recordEviction(set, victim.blk.owner, victim.blk.tag);
+    if (victim.blk.dirty)
+        memory_.writebackBlock(victim.blk.tag << blockShift, now);
+    victim.blk.valid = false;
+    victim.blk.dirty = false;
+    victim.blk.owner = invalidCore;
+    victim.isShared = false;
+}
+
+void
+AdaptiveNuca::enforcePrivateCap(unsigned set, CoreId core)
+{
+    const unsigned cap = engine_.privateWays(core);
+    while (privateCount(set, core) > cap) {
+        const int demote = privateLruSlot(set, core);
+        panic_if(demote < 0, "private count positive but no LRU");
+        // In-place demotion: only the label changes (lazy
+        // repartitioning, Section 2.5). The block keeps its age.
+        slotAt(set, static_cast<unsigned>(demote)).isShared = true;
+        ++demotions_;
+    }
+}
+
+void
+AdaptiveNuca::maybeCountLruHit(unsigned set, unsigned slot,
+                               CoreId core)
+{
+    const auto &blk = slotAtConst(set, slot).blk;
+    if (blk.owner != core)
+        return;
+    // The loss estimator: a hit on the requester's own LRU block
+    // while it holds at least its quota means this hit would miss
+    // with one block per set less.
+    if (isOwnerLru(set, slot) &&
+        ownedCount(set, core) >= engine_.quota(core)) {
+        engine_.countLruHit(core);
+    }
+}
+
+L3Result
+AdaptiveNuca::access(const MemRequest &req, Cycle now)
+{
+    const unsigned set = setIndex(req.addr);
+    const Addr tag = blockNumber(req.addr);
+    const CoreId core = req.core;
+
+    const int found = findVisible(set, core, tag);
+    if (found >= 0) {
+        const auto fslot = static_cast<unsigned>(found);
+        maybeCountLruHit(set, fslot, core);
+
+        auto &slot = slotAt(set, fslot);
+        if (req.isWrite())
+            slot.blk.dirty = true;
+
+        if (homeOf(fslot) == core) {
+            // Local hit: fast. A shared-labeled block in the local
+            // cache is promoted back into the private partition.
+            slot.blk.lastUse = nextStamp();
+            if (slot.isShared) {
+                slot.isShared = false;
+                slot.blk.owner = core;
+                ++promotions_;
+                // The promoted block is MRU, so the cap demotes an
+                // older private block, never the promoted one.
+                enforcePrivateCap(set, core);
+            }
+            ++localHits_[static_cast<std::size_t>(core)];
+            return {L3Result::Where::LocalHit,
+                    now + params_.localHitLatency};
+        }
+
+        // Remote hit: move the block to the requester's local cache
+        // and push the requester's private-LRU block (or, lacking
+        // one, the local shared-LRU block) into the vacated slot as
+        // the shared partition's MRU (Section 2.3).
+        int back = invalidLocalSlot(set, core);
+        if (back < 0)
+            back = privateLruSlot(set, core);
+        if (back < 0)
+            back = localSharedLruSlot(set, core);
+        panic_if(back < 0, "local cache has neither an invalid, a "
+                           "private, nor a shared slot");
+        const auto bslot = static_cast<unsigned>(back);
+
+        auto &dst = slotAt(set, bslot);
+        const Slot displaced = dst;
+
+        dst.blk = slot.blk;
+        dst.blk.owner = core;
+        dst.blk.lastUse = nextStamp();
+        dst.isShared = false;
+        enforcePrivateCap(set, core);
+
+        auto &vacated = slotAt(set, fslot);
+        if (displaced.blk.valid) {
+            vacated.blk = displaced.blk;
+            vacated.blk.lastUse = nextStamp();
+            vacated.isShared = true;
+        } else {
+            vacated.blk.valid = false;
+            vacated.blk.dirty = false;
+            vacated.blk.owner = invalidCore;
+            vacated.isShared = false;
+        }
+        ++swaps_;
+        ++remoteHits_[static_cast<std::size_t>(core)];
+        return {L3Result::Where::RemoteHit,
+                now + params_.remoteHitLatency};
+    }
+
+    // Miss: estimator + epoch bookkeeping, then fetch and install.
+    engine_.observeMiss(set, core, tag);
+    ++misses_[static_cast<std::size_t>(core)];
+    const Cycle ready = memory_.fetchBlock(req.addr, now);
+    insertFromMemory(set, core, tag, req.isWrite(), ready);
+    return {L3Result::Where::Miss, ready};
+}
+
+void
+AdaptiveNuca::insertFromMemory(unsigned set, CoreId core, Addr tag,
+                               bool dirty, Cycle now)
+{
+    // New data always enters the requester's private partition as
+    // MRU (Section 2.4).
+    int dest = invalidLocalSlot(set, core);
+    if (dest >= 0) {
+        auto &slot = slotAt(set, static_cast<unsigned>(dest));
+        slot.blk = CacheBlock{tag, true, dirty, core, nextStamp()};
+        slot.isShared = false;
+        enforcePrivateCap(set, core);
+        return;
+    }
+
+    dest = privateLruSlot(set, core);
+    if (dest < 0)
+        dest = localSharedLruSlot(set, core);
+    panic_if(dest < 0, "full local cache with no victim");
+    const auto dslot = static_cast<unsigned>(dest);
+
+    auto &slot = slotAt(set, dslot);
+    const Slot displaced = slot;
+    slot.blk = CacheBlock{tag, true, dirty, core, nextStamp()};
+    slot.isShared = false;
+
+    // The displaced block is allocated in the shared partition; the
+    // shared partition makes room per Algorithm 1.
+    panic_if(!displaced.blk.valid, "displaced block is invalid");
+    int target = invalidAnySlot(set);
+    if (target < 0) {
+        target = findSharedVictim(set, displaced.blk.owner);
+        if (target < 0) {
+            // No shared block exists (transient cold state): the
+            // displaced block itself is evicted.
+            ++evictions_;
+            engine_.recordEviction(set, displaced.blk.owner,
+                                   displaced.blk.tag);
+            if (displaced.blk.dirty) {
+                memory_.writebackBlock(displaced.blk.tag << blockShift,
+                                       now);
+            }
+            enforcePrivateCap(set, core);
+            return;
+        }
+        // Evicting the displaced block directly when its own core is
+        // the over-quota one is represented by Algorithm 1 choosing
+        // a victim of the same owner; the displaced block is younger
+        // (it just left a private partition), so the in-cache block
+        // is the right victim either way.
+        const auto tslot = static_cast<unsigned>(target);
+        if (ownedCount(set, slotAtConst(set, tslot).blk.owner) +
+                (slotAtConst(set, tslot).blk.owner ==
+                         displaced.blk.owner
+                     ? 1u
+                     : 0u) >
+            engine_.quota(slotAtConst(set, tslot).blk.owner)) {
+            ++overQuotaEvictions_;
+        }
+        evictSlot(set, tslot, now);
+    }
+
+    auto &home = slotAt(set, static_cast<unsigned>(target));
+    home.blk = displaced.blk;
+    home.blk.lastUse = nextStamp(); // MRU of the shared partition
+    home.isShared = true;
+    ++demotions_;
+    enforcePrivateCap(set, core);
+}
+
+void
+AdaptiveNuca::writebackFromL2(CoreId core, Addr addr, Cycle now)
+{
+    (void)core;
+    const unsigned set = setIndex(addr);
+    const int found = findAny(set, blockNumber(addr));
+    if (found >= 0) {
+        slotAt(set, static_cast<unsigned>(found)).blk.dirty = true;
+        return;
+    }
+    memory_.writebackBlock(addr, now);
+}
+
+Counter
+AdaptiveNuca::localHitsOf(CoreId core) const
+{
+    return localHits_.value(static_cast<std::size_t>(core));
+}
+
+Counter
+AdaptiveNuca::remoteHitsOf(CoreId core) const
+{
+    return remoteHits_.value(static_cast<std::size_t>(core));
+}
+
+Counter
+AdaptiveNuca::missesOf(CoreId core) const
+{
+    return misses_.value(static_cast<std::size_t>(core));
+}
+
+void
+AdaptiveNuca::checkInvariants() const
+{
+    unsigned quota_sum = 0;
+    for (unsigned c = 0; c < params_.numCores; ++c)
+        quota_sum += engine_.quota(static_cast<CoreId>(c));
+    panic_if(quota_sum != totalWays_,
+             "quotas no longer sum to the total ways per set");
+
+    for (unsigned set = 0; set < numSets_; ++set) {
+        for (unsigned s = 0; s < totalWays_; ++s) {
+            const auto &slot = slotAtConst(set, s);
+            if (!slot.blk.valid)
+                continue;
+            panic_if(slot.blk.owner < 0 ||
+                         static_cast<unsigned>(slot.blk.owner) >=
+                             params_.numCores,
+                     "valid block with an invalid owner");
+            // A private-labeled block must live in its owner's
+            // local cache.
+            panic_if(!slot.isShared && homeOf(s) != slot.blk.owner,
+                     "private block outside its owner's cache");
+            // Tags must map back to this set.
+            panic_if((static_cast<unsigned>(slot.blk.tag) &
+                      indexMask_) != set,
+                     "block stored in the wrong set");
+        }
+        // No core may see two copies of one tag. Two *private*
+        // copies in different cores' partitions are tolerated: they
+        // can only arise when cores actually share addresses, which
+        // the paper's multiprogrammed workloads never do, and each
+        // core's view stays consistent.
+        for (unsigned a = 0; a < totalWays_; ++a) {
+            const auto &sa = slotAtConst(set, a);
+            if (!sa.blk.valid)
+                continue;
+            for (unsigned b = a + 1; b < totalWays_; ++b) {
+                const auto &sb = slotAtConst(set, b);
+                if (!sb.blk.valid || sb.blk.tag != sa.blk.tag)
+                    continue;
+                panic_if(sa.isShared && sb.isShared,
+                         "duplicate tag in the shared partition");
+                panic_if(sa.isShared != sb.isShared,
+                         "tag duplicated across the shared and a "
+                         "private partition");
+                panic_if(homeOf(a) == homeOf(b),
+                         "duplicate tag within one local cache");
+            }
+        }
+    }
+}
+
+} // namespace nuca

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The paper's proposed last-level cache organization: per-core local
+ * caches whose sets form one global NUCA set, split into per-core
+ * private partitions and a common shared partition whose per-core
+ * usage is bounded by dynamically adapted quotas (paper Section 2).
+ *
+ * Physical model. Each of the four local caches contributes
+ * `localAssoc` slots to every global set; slot s belongs to (is
+ * physically inside) core s/localAssoc's local cache. A hit in the
+ * requester's own local cache costs 14 cycles, a hit in a neighbor's
+ * cache 19 cycles (Table 1). Blocks move between caches only through
+ * the events the paper describes: the neighbor-hit swap and the
+ * demotion of a private-LRU block into the shared partition.
+ *
+ * Partition model. Every slot is labeled private or shared. Private
+ * blocks live in their owner's local cache and are invisible to (and
+ * protected from) other cores. The per-core quota (`max blocks in
+ * set`, adapted by the SharingEngine) bounds the number of blocks a
+ * core may keep per global set; Algorithm 1 enforces it lazily by
+ * preferring victims whose owner is over quota.
+ */
+
+#ifndef NUCA_NUCA_ADAPTIVE_NUCA_HH
+#define NUCA_NUCA_ADAPTIVE_NUCA_HH
+
+#include <optional>
+#include <vector>
+
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "cache/cache_block.hh"
+#include "mem/main_memory.hh"
+#include "nuca/l3_organization.hh"
+#include "nuca/sharing_engine.hh"
+
+namespace nuca {
+
+/** Configuration of the adaptive NUCA organization. */
+struct AdaptiveNucaParams
+{
+    unsigned numCores = 4;
+    std::uint64_t sizePerCoreBytes = 1ull << 20;
+    unsigned localAssoc = 4;
+    Cycle localHitLatency = 14;
+    Cycle remoteHitLatency = 19;
+    /** Misses between quota re-evaluations. */
+    Counter epochMisses = 2000;
+    /** log2 of the shadow-tag sampling divisor (0 = every set). */
+    unsigned shadowSampleShift = 0;
+    /** Ablation: freeze the quotas at the initial equal split. */
+    bool adaptationEnabled = true;
+    /**
+     * Parallel-workload extension: let remote cores hit (and pull
+     * over) blocks in other cores' private partitions instead of
+     * duplicating shared data. The paper's multiprogrammed setting
+     * keeps this off: private partitions are "inaccessible by the
+     * other cores" (Section 2).
+     */
+    bool allowRemotePrivateHits = false;
+};
+
+/** The adaptive shared/private NUCA L3. */
+class AdaptiveNuca : public L3Organization
+{
+  public:
+    AdaptiveNuca(stats::Group &parent,
+                 const AdaptiveNucaParams &params, MainMemory &memory);
+
+    L3Result access(const MemRequest &req, Cycle now) override;
+    void writebackFromL2(CoreId core, Addr addr, Cycle now) override;
+    std::string schemeName() const override { return "adaptive"; }
+
+    /** The sharing engine (quotas, estimators). */
+    SharingEngine &engine() { return engine_; }
+    const SharingEngine &engine() const { return engine_; }
+
+    unsigned numSets() const { return numSets_; }
+    unsigned totalWays() const { return totalWays_; }
+    unsigned localAssoc() const { return params_.localAssoc; }
+
+    /** Home core of a slot index within a set. */
+    CoreId homeOf(unsigned slot) const;
+
+    /** A slot's block state (tests/inspection). */
+    const CacheBlock &blockAt(unsigned set, unsigned slot) const;
+    /** A slot's partition label (tests/inspection). */
+    bool slotIsShared(unsigned set, unsigned slot) const;
+
+    /** Valid blocks owned by @p core in @p set (private + shared). */
+    unsigned ownedCount(unsigned set, CoreId core) const;
+    /** Valid private-labeled blocks of @p core in @p set. */
+    unsigned privateCount(unsigned set, CoreId core) const;
+
+    /**
+     * Verify structural invariants over every set; panics on
+     * violation. Used by the property tests after random workloads.
+     */
+    void checkInvariants() const;
+
+    Counter localHitsOf(CoreId core) const;
+    Counter remoteHitsOf(CoreId core) const;
+    Counter missesOf(CoreId core) const;
+    Counter misses() const { return misses_.total(); }
+
+  private:
+    struct Slot
+    {
+        CacheBlock blk;
+        bool isShared = false;
+    };
+
+    Slot &slotAt(unsigned set, unsigned slot);
+    const Slot &slotAtConst(unsigned set, unsigned slot) const;
+
+    unsigned setIndex(Addr addr) const;
+    std::uint64_t nextStamp() { return ++stampCounter_; }
+
+    /** Slot holding @p tag and visible to @p core, or -1. */
+    int findVisible(unsigned set, CoreId core, Addr tag) const;
+    /** Slot holding @p tag regardless of visibility, or -1. */
+    int findAny(unsigned set, Addr tag) const;
+    /** Invalid slot in @p core's local part of the set, or -1. */
+    int invalidLocalSlot(unsigned set, CoreId core) const;
+    /** Invalid slot anywhere in the set, or -1. */
+    int invalidAnySlot(unsigned set) const;
+    /** LRU private-labeled slot of @p core, or -1. */
+    int privateLruSlot(unsigned set, CoreId core) const;
+    /** LRU shared-labeled slot inside @p core's local cache, or -1. */
+    int localSharedLruSlot(unsigned set, CoreId core) const;
+
+    /** True if the block in @p slot is its owner's least recently
+     * used block among the owner's valid blocks in the set. */
+    bool isOwnerLru(unsigned set, unsigned slot) const;
+
+    /**
+     * Algorithm 1 over the shared partition: walk shared blocks from
+     * LRU towards MRU and return the first whose owner is over
+     * quota; fall back to the shared-LRU block. @p extra_owner, when
+     * valid, counts as one additional block for that owner (used for
+     * a displaced block that currently holds no slot). @return -1 if
+     * the set has no shared block.
+     */
+    int findSharedVictim(unsigned set, CoreId extra_owner) const;
+
+    /** Evict the block in @p slot: shadow-tag record + writeback. */
+    void evictSlot(unsigned set, unsigned slot, Cycle now);
+
+    /**
+     * Install a block fetched from memory into @p core's private
+     * partition, demoting/evicting per Section 2.4.
+     */
+    void insertFromMemory(unsigned set, CoreId core, Addr tag,
+                          bool dirty, Cycle now);
+
+    /** Demote @p core's private-LRU blocks in place until the
+     * private partition respects privateWays(core). */
+    void enforcePrivateCap(unsigned set, CoreId core);
+
+    /** Run the LRU-hit loss estimator for a hit on @p slot. */
+    void maybeCountLruHit(unsigned set, unsigned slot, CoreId core);
+
+    AdaptiveNucaParams params_;
+    MainMemory &memory_;
+    unsigned numSets_;
+    unsigned totalWays_;
+    unsigned indexMask_;
+    std::uint64_t stampCounter_ = 0;
+    std::vector<Slot> slots_;
+
+    stats::Group statsGroup_;
+    SharingEngine engine_;
+    stats::Vector localHits_;
+    stats::Vector remoteHits_;
+    stats::Vector misses_;
+    stats::Scalar demotions_;
+    stats::Scalar promotions_;
+    stats::Scalar swaps_;
+    stats::Scalar evictions_;
+    stats::Scalar overQuotaEvictions_;
+};
+
+} // namespace nuca
+
+#endif // NUCA_NUCA_ADAPTIVE_NUCA_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The common interface of every last-level cache organization the
+ * paper compares: private, shared, the adaptive shared/private NUCA
+ * scheme, and the Chang & Sohi-style "random replacement" hybrid.
+ *
+ * An organization owns the path to main memory: on a miss it fetches
+ * the block (paying channel contention), installs it, and performs
+ * any writebacks its replacement decisions produce. The caller (the
+ * per-core memory system) only sees where the request hit and when
+ * the data is ready.
+ *
+ * The L3 level carries no MSHR file of its own: per-core L2 MSHRs
+ * already merge duplicate block requests from one core, and in the
+ * paper's multiprogrammed workloads different cores never touch the
+ * same block.
+ */
+
+#ifndef NUCA_NUCA_L3_ORGANIZATION_HH
+#define NUCA_NUCA_L3_ORGANIZATION_HH
+
+#include <string>
+
+#include "base/types.hh"
+#include "mem/mem_request.hh"
+
+namespace nuca {
+
+/** Outcome of a last-level cache access. */
+struct L3Result
+{
+    enum class Where
+    {
+        LocalHit,  ///< hit in the requester's local partition/cache
+        RemoteHit, ///< hit in a neighboring core's partition/cache
+        Miss,      ///< satisfied from main memory
+    };
+
+    Where where;
+    /** Cycle the critical word is available to the L2. */
+    Cycle ready;
+
+    bool isHit() const { return where != Where::Miss; }
+};
+
+/** Abstract last-level cache organization. */
+class L3Organization
+{
+  public:
+    virtual ~L3Organization() = default;
+
+    /**
+     * Perform a timed L3 access on behalf of an L2 miss.
+     *
+     * @param req the memory reference (core, address, kind)
+     * @param now cycle the request leaves the L2
+     */
+    virtual L3Result access(const MemRequest &req, Cycle now) = 0;
+
+    /**
+     * Accept a dirty block displaced from a core's L2. If the block
+     * is still present in the L3 it is marked dirty; otherwise it is
+     * written through to memory.
+     */
+    virtual void writebackFromL2(CoreId core, Addr addr, Cycle now) = 0;
+
+    /** Human-readable scheme name for reports. */
+    virtual std::string schemeName() const = 0;
+};
+
+} // namespace nuca
+
+#endif // NUCA_NUCA_L3_ORGANIZATION_HH

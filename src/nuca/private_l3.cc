@@ -1,0 +1,70 @@
+#include "nuca/private_l3.hh"
+
+#include "base/logging.hh"
+
+namespace nuca {
+
+PrivateL3::PrivateL3(stats::Group &parent,
+                     const PrivateL3Params &params, MainMemory &memory)
+    : params_(params),
+      memory_(memory),
+      statsGroup_(parent, "l3_private"),
+      hits_(statsGroup_, "hits", "hits in the local private cache"),
+      misses_(statsGroup_, "misses", "misses per core",
+              params.numCores)
+{
+    fatal_if(params_.numCores == 0, "private L3 with no cores");
+    caches_.reserve(params_.numCores);
+    for (unsigned c = 0; c < params_.numCores; ++c) {
+        caches_.push_back(std::make_unique<SetAssocCache>(
+            statsGroup_, "core" + std::to_string(c),
+            params_.sizePerCoreBytes, params_.assoc, params_.policy,
+            /*seed=*/c + 1));
+    }
+}
+
+SetAssocCache &
+PrivateL3::cacheOf(CoreId core)
+{
+    panic_if(core < 0 ||
+                 static_cast<unsigned>(core) >= caches_.size(),
+             "core id out of range");
+    return *caches_[static_cast<unsigned>(core)];
+}
+
+Counter
+PrivateL3::missesOf(CoreId core) const
+{
+    return misses_.value(static_cast<std::size_t>(core));
+}
+
+L3Result
+PrivateL3::access(const MemRequest &req, Cycle now)
+{
+    auto &cache = cacheOf(req.core);
+    if (cache.access(req.addr, req.isWrite())) {
+        ++hits_;
+        return {L3Result::Where::LocalHit, now + params_.hitLatency};
+    }
+
+    ++misses_[static_cast<std::size_t>(req.core)];
+    const Cycle ready = memory_.fetchBlock(req.addr, now);
+    const auto victim =
+        cache.fill(req.addr, req.isWrite(), req.core);
+    if (victim && victim->dirty)
+        memory_.writebackBlock(victim->addr, ready);
+    return {L3Result::Where::Miss, ready};
+}
+
+void
+PrivateL3::writebackFromL2(CoreId core, Addr addr, Cycle now)
+{
+    auto &cache = cacheOf(core);
+    if (!cache.markDirty(addr)) {
+        // The L3 copy is gone (non-inclusive eviction); write the
+        // block through to memory.
+        memory_.writebackBlock(addr, now);
+    }
+}
+
+} // namespace nuca

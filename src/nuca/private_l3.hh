@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The private last-level cache baseline: each core owns an isolated
+ * 1 MB 4-way LRU cache (Table 1) with a 14-cycle hit latency. No
+ * capacity is ever shared, so there is no pollution and no remote
+ * hit. Misses reach memory after 258 cycles for the first chunk (two
+ * cycles less than the sharing organizations, which traverse the
+ * sharing interconnect).
+ */
+
+#ifndef NUCA_NUCA_PRIVATE_L3_HH
+#define NUCA_NUCA_PRIVATE_L3_HH
+
+#include <memory>
+#include <vector>
+
+#include "base/stats.hh"
+#include "cache/set_assoc_cache.hh"
+#include "mem/main_memory.hh"
+#include "nuca/l3_organization.hh"
+
+namespace nuca {
+
+/** Configuration of the private-L3 baseline. */
+struct PrivateL3Params
+{
+    unsigned numCores = 4;
+    std::uint64_t sizePerCoreBytes = 1ull << 20;
+    unsigned assoc = 4;
+    Cycle hitLatency = 14;
+    /** Replacement policy (ablation; the paper uses LRU). */
+    ReplPolicy policy = ReplPolicy::Lru;
+};
+
+/** Per-core private last-level caches. */
+class PrivateL3 : public L3Organization
+{
+  public:
+    PrivateL3(stats::Group &parent, const PrivateL3Params &params,
+              MainMemory &memory);
+
+    L3Result access(const MemRequest &req, Cycle now) override;
+    void writebackFromL2(CoreId core, Addr addr, Cycle now) override;
+    std::string schemeName() const override { return "private"; }
+
+    /** The tag array of one core's cache (tests/inspection). */
+    SetAssocCache &cacheOf(CoreId core);
+
+    Counter hits() const { return hits_.value(); }
+    Counter misses() const { return misses_.total(); }
+    Counter missesOf(CoreId core) const;
+
+  private:
+    PrivateL3Params params_;
+    MainMemory &memory_;
+
+    stats::Group statsGroup_;
+    std::vector<std::unique_ptr<SetAssocCache>> caches_;
+    stats::Scalar hits_;
+    stats::Vector misses_;
+};
+
+} // namespace nuca
+
+#endif // NUCA_NUCA_PRIVATE_L3_HH

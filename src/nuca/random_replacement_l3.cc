@@ -1,0 +1,154 @@
+#include "nuca/random_replacement_l3.hh"
+
+#include "base/logging.hh"
+
+namespace nuca {
+
+RandomReplacementL3::RandomReplacementL3(
+    stats::Group &parent, const RandomReplacementL3Params &params,
+    MainMemory &memory)
+    : params_(params),
+      memory_(memory),
+      rng_(params.seed),
+      statsGroup_(parent, "l3_random"),
+      localHits_(statsGroup_, "local_hits", "hits in the local cache",
+                 params.numCores),
+      remoteHits_(statsGroup_, "remote_hits",
+                  "hits in a neighbor's cache", params.numCores),
+      misses_(statsGroup_, "misses", "misses per core",
+              params.numCores),
+      spills_(statsGroup_, "spills",
+              "victims installed in a neighbor"),
+      spillDrops_(statsGroup_, "spill_drops",
+                  "victims dropped by the spill rules"),
+      migrations_(statsGroup_, "migrations",
+                  "remote hits migrated back to the requester")
+{
+    fatal_if(params_.numCores < 2,
+             "random replacement needs >= 2 cores to spill between");
+    caches_.reserve(params_.numCores);
+    for (unsigned c = 0; c < params_.numCores; ++c) {
+        caches_.push_back(std::make_unique<SetAssocCache>(
+            statsGroup_, "core" + std::to_string(c),
+            params_.sizePerCoreBytes, params_.assoc));
+    }
+}
+
+SetAssocCache &
+RandomReplacementL3::cacheOf(CoreId core)
+{
+    panic_if(core < 0 ||
+                 static_cast<unsigned>(core) >= caches_.size(),
+             "core id out of range");
+    return *caches_[static_cast<unsigned>(core)];
+}
+
+Counter
+RandomReplacementL3::localHitsOf(CoreId core) const
+{
+    return localHits_.value(static_cast<std::size_t>(core));
+}
+
+Counter
+RandomReplacementL3::remoteHitsOf(CoreId core) const
+{
+    return remoteHits_.value(static_cast<std::size_t>(core));
+}
+
+Counter
+RandomReplacementL3::missesOf(CoreId core) const
+{
+    return misses_.value(static_cast<std::size_t>(core));
+}
+
+void
+RandomReplacementL3::dropBlock(const EvictedBlock &victim, Cycle now)
+{
+    if (victim.dirty)
+        memory_.writebackBlock(victim.addr, now);
+}
+
+void
+RandomReplacementL3::maybeSpill(CoreId home,
+                                const EvictedBlock &victim, Cycle now)
+{
+    // Only blocks the evicting core itself loaded are spilled; a
+    // block that already lives away from home was spilled before and
+    // is dropped instead (no second chance).
+    if (victim.owner != home) {
+        ++spillDrops_;
+        dropBlock(victim, now);
+        return;
+    }
+
+    // Pick a random neighbor (any core but the home).
+    auto target = static_cast<CoreId>(
+        rng_.below(params_.numCores - 1));
+    if (target >= home)
+        ++target;
+
+    ++spills_;
+    // Install as MRU in the neighbor; the block it displaces is
+    // dropped to avoid ripple effects.
+    const auto displaced =
+        cacheOf(target).fill(victim.addr, victim.dirty, victim.owner);
+    if (displaced)
+        dropBlock(*displaced, now);
+}
+
+L3Result
+RandomReplacementL3::access(const MemRequest &req, Cycle now)
+{
+    auto &local = cacheOf(req.core);
+    if (local.access(req.addr, req.isWrite())) {
+        ++localHits_[static_cast<std::size_t>(req.core)];
+        return {L3Result::Where::LocalHit,
+                now + params_.localHitLatency};
+    }
+
+    // Probe all neighbors in parallel.
+    for (unsigned c = 0; c < params_.numCores; ++c) {
+        if (static_cast<CoreId>(c) == req.core)
+            continue;
+        auto &remote = cacheOf(static_cast<CoreId>(c));
+        if (!remote.probe(req.addr))
+            continue;
+
+        // Remote hit: migrate the block back to the requester. The
+        // migration is an access by the requesting core, so the
+        // local victim follows the spill rules.
+        const auto taken = remote.invalidate(req.addr);
+        panic_if(!taken, "probe hit but invalidate missed");
+        ++migrations_;
+        const bool dirty = taken->dirty || req.isWrite();
+        const auto victim = local.fill(req.addr, dirty, req.core);
+        if (victim)
+            maybeSpill(req.core, *victim, now);
+        ++remoteHits_[static_cast<std::size_t>(req.core)];
+        return {L3Result::Where::RemoteHit,
+                now + params_.remoteHitLatency};
+    }
+
+    ++misses_[static_cast<std::size_t>(req.core)];
+    const Cycle ready = memory_.fetchBlock(req.addr, now);
+    const auto victim =
+        local.fill(req.addr, req.isWrite(), req.core);
+    if (victim)
+        maybeSpill(req.core, *victim, ready);
+    return {L3Result::Where::Miss, ready};
+}
+
+void
+RandomReplacementL3::writebackFromL2(CoreId core, Addr addr, Cycle now)
+{
+    // The block may have migrated or been spilled; mark it dirty
+    // wherever it currently lives.
+    for (unsigned c = 0; c < params_.numCores; ++c) {
+        if (cacheOf(static_cast<CoreId>(c)).markDirty(addr))
+            return;
+    }
+    (void)core;
+    memory_.writebackBlock(addr, now);
+}
+
+} // namespace nuca

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The "random replacement" hybrid NUCA scheme the paper compares
+ * against (Section 4.7), modeled on Chang & Sohi's cooperative
+ * caching: private per-core caches that spill victims into a random
+ * neighbor.
+ *
+ * Spill rules, exactly as Section 4.7 describes them:
+ *  - when core a's own fill evicts a block that core a itself loaded
+ *    (owner == home), the victim is installed in a uniformly random
+ *    neighboring cache as MRU;
+ *  - a block that was already spilled once (owner != home) is never
+ *    spilled again — it is simply dropped;
+ *  - the block displaced by a spill is dropped as well, so a spill
+ *    never ripples further.
+ *
+ * On a miss in the local cache all neighbors are probed in parallel;
+ * a remote hit migrates the block back into the requester's cache
+ * (19 cycles). There is no pollution control of any kind, which is
+ * precisely what the adaptive scheme fixes.
+ */
+
+#ifndef NUCA_NUCA_RANDOM_REPLACEMENT_L3_HH
+#define NUCA_NUCA_RANDOM_REPLACEMENT_L3_HH
+
+#include <memory>
+#include <vector>
+
+#include "base/random.hh"
+#include "base/stats.hh"
+#include "cache/set_assoc_cache.hh"
+#include "mem/main_memory.hh"
+#include "nuca/l3_organization.hh"
+
+namespace nuca {
+
+/** Configuration of the random-replacement hybrid. */
+struct RandomReplacementL3Params
+{
+    unsigned numCores = 4;
+    std::uint64_t sizePerCoreBytes = 1ull << 20;
+    unsigned assoc = 4;
+    Cycle localHitLatency = 14;
+    Cycle remoteHitLatency = 19;
+    /** Seed for the random neighbor choice. */
+    std::uint64_t seed = 1;
+};
+
+/** Private caches with uncontrolled spilling to random neighbors. */
+class RandomReplacementL3 : public L3Organization
+{
+  public:
+    RandomReplacementL3(stats::Group &parent,
+                        const RandomReplacementL3Params &params,
+                        MainMemory &memory);
+
+    L3Result access(const MemRequest &req, Cycle now) override;
+    void writebackFromL2(CoreId core, Addr addr, Cycle now) override;
+    std::string schemeName() const override
+    {
+        return "random-replacement";
+    }
+
+    SetAssocCache &cacheOf(CoreId core);
+
+    Counter localHitsOf(CoreId core) const;
+    Counter remoteHitsOf(CoreId core) const;
+    Counter missesOf(CoreId core) const;
+    Counter spills() const { return spills_.value(); }
+    Counter spillDrops() const { return spillDrops_.value(); }
+
+  private:
+    /**
+     * Handle a block evicted from @p home's cache by @p home's own
+     * access: spill it to a random neighbor if it is eligible.
+     */
+    void maybeSpill(CoreId home, const EvictedBlock &victim,
+                    Cycle now);
+
+    /** Writeback a dropped dirty block. */
+    void dropBlock(const EvictedBlock &victim, Cycle now);
+
+    RandomReplacementL3Params params_;
+    MainMemory &memory_;
+    Rng rng_;
+
+    stats::Group statsGroup_;
+    std::vector<std::unique_ptr<SetAssocCache>> caches_;
+    stats::Vector localHits_;
+    stats::Vector remoteHits_;
+    stats::Vector misses_;
+    stats::Scalar spills_;
+    stats::Scalar spillDrops_;
+    stats::Scalar migrations_;
+};
+
+} // namespace nuca
+
+#endif // NUCA_NUCA_RANDOM_REPLACEMENT_L3_HH

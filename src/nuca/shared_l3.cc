@@ -1,0 +1,54 @@
+#include "nuca/shared_l3.hh"
+
+#include "base/logging.hh"
+
+namespace nuca {
+
+SharedL3::SharedL3(stats::Group &parent, const SharedL3Params &params,
+                   MainMemory &memory)
+    : params_(params),
+      memory_(memory),
+      statsGroup_(parent, "l3_shared"),
+      cache_(statsGroup_, "cache", params.sizeBytes, params.assoc,
+             params.policy, /*seed=*/7),
+      hits_(statsGroup_, "hits", "hits in the shared cache"),
+      misses_(statsGroup_, "misses", "misses per core",
+              params.numCores)
+{
+    fatal_if(params_.numCores == 0, "shared L3 with no cores");
+}
+
+Counter
+SharedL3::missesOf(CoreId core) const
+{
+    return misses_.value(static_cast<std::size_t>(core));
+}
+
+L3Result
+SharedL3::access(const MemRequest &req, Cycle now)
+{
+    if (cache_.access(req.addr, req.isWrite())) {
+        ++hits_;
+        // The shared cache has one uniform latency; every hit is
+        // reported as "local" since there is no distance notion.
+        return {L3Result::Where::LocalHit, now + params_.hitLatency};
+    }
+
+    ++misses_[static_cast<std::size_t>(req.core)];
+    const Cycle ready = memory_.fetchBlock(req.addr, now);
+    const auto victim =
+        cache_.fill(req.addr, req.isWrite(), req.core);
+    if (victim && victim->dirty)
+        memory_.writebackBlock(victim->addr, ready);
+    return {L3Result::Where::Miss, ready};
+}
+
+void
+SharedL3::writebackFromL2(CoreId core, Addr addr, Cycle now)
+{
+    (void)core;
+    if (!cache_.markDirty(addr))
+        memory_.writebackBlock(addr, now);
+}
+
+} // namespace nuca

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The shared last-level cache baseline: one unified 4 MB 16-way LRU
+ * cache serving all cores with a uniform 19-cycle hit latency
+ * (Table 1). Capacity is pooled with no protection at all, so a
+ * thrashing core can pollute everyone.
+ */
+
+#ifndef NUCA_NUCA_SHARED_L3_HH
+#define NUCA_NUCA_SHARED_L3_HH
+
+#include "base/stats.hh"
+#include "cache/set_assoc_cache.hh"
+#include "mem/main_memory.hh"
+#include "nuca/l3_organization.hh"
+
+namespace nuca {
+
+/** Configuration of the shared-L3 baseline. */
+struct SharedL3Params
+{
+    unsigned numCores = 4;
+    std::uint64_t sizeBytes = 4ull << 20;
+    unsigned assoc = 16;
+    Cycle hitLatency = 19;
+    /** Replacement policy (ablation; the paper uses LRU). */
+    ReplPolicy policy = ReplPolicy::Lru;
+};
+
+/** One LRU cache shared by every core. */
+class SharedL3 : public L3Organization
+{
+  public:
+    SharedL3(stats::Group &parent, const SharedL3Params &params,
+             MainMemory &memory);
+
+    L3Result access(const MemRequest &req, Cycle now) override;
+    void writebackFromL2(CoreId core, Addr addr, Cycle now) override;
+    std::string schemeName() const override { return "shared"; }
+
+    SetAssocCache &cache() { return cache_; }
+
+    Counter hits() const { return hits_.value(); }
+    Counter misses() const { return misses_.total(); }
+    Counter missesOf(CoreId core) const;
+
+  private:
+    SharedL3Params params_;
+    MainMemory &memory_;
+
+    stats::Group statsGroup_;
+    SetAssocCache cache_;
+    stats::Scalar hits_;
+    stats::Vector misses_;
+};
+
+} // namespace nuca
+
+#endif // NUCA_NUCA_SHARED_L3_HH

@@ -1,0 +1,212 @@
+#include "sim/cmp_system.hh"
+
+#include "base/logging.hh"
+#include "nuca/private_l3.hh"
+#include "nuca/random_replacement_l3.hh"
+#include "nuca/shared_l3.hh"
+
+namespace nuca {
+
+namespace {
+
+MainMemoryParams
+memParamsFor(const SystemConfig &config)
+{
+    MainMemoryParams p;
+    p.firstChunkLatency = config.scheme == L3Scheme::Private
+                              ? config.memFirstChunkPrivate
+                              : config.memFirstChunkShared;
+    return p;
+}
+
+} // namespace
+
+CmpSystem::CmpSystem(const SystemConfig &config,
+                     const std::vector<WorkloadProfile> &apps,
+                     std::uint64_t seed)
+    : config_(config),
+      root_("system"),
+      memory_(root_, "memory", memParamsFor(config))
+{
+    fatal_if(apps.size() != config_.numCores,
+             "need exactly one workload per core (", config_.numCores,
+             " cores, ", apps.size(), " workloads)");
+    for (unsigned c = 0; c < config_.numCores; ++c) {
+        workloads_.push_back(std::make_unique<SynthWorkload>(
+            apps[c], static_cast<CoreId>(c),
+            seed + c * 0x9e3779b9ull));
+    }
+    buildSystem();
+}
+
+CmpSystem::CmpSystem(const SystemConfig &config,
+                     std::vector<std::unique_ptr<InstSource>> sources)
+    : config_(config),
+      root_("system"),
+      memory_(root_, "memory", memParamsFor(config))
+{
+    fatal_if(sources.size() != config_.numCores,
+             "need exactly one instruction source per core (",
+             config_.numCores, " cores, ", sources.size(),
+             " sources)");
+    for (auto &source : sources) {
+        fatal_if(source == nullptr, "null instruction source");
+        workloads_.push_back(std::move(source));
+    }
+    buildSystem();
+}
+
+void
+CmpSystem::buildSystem()
+{
+    switch (config_.scheme) {
+      case L3Scheme::Private: {
+          PrivateL3Params p;
+          p.numCores = config_.numCores;
+          p.sizePerCoreBytes = config_.l3SizePerCoreBytes;
+          p.assoc = config_.l3LocalAssoc;
+          p.hitLatency = config_.l3LocalLatency;
+          p.policy = config_.l3ReplPolicy;
+          l3_ = std::make_unique<PrivateL3>(root_, p, memory_);
+          break;
+      }
+      case L3Scheme::Shared: {
+          SharedL3Params p;
+          p.numCores = config_.numCores;
+          p.sizeBytes = config_.l3SizePerCoreBytes * config_.numCores;
+          p.assoc = config_.l3LocalAssoc * config_.numCores;
+          p.hitLatency = config_.l3SharedLatency;
+          p.policy = config_.l3ReplPolicy;
+          l3_ = std::make_unique<SharedL3>(root_, p, memory_);
+          break;
+      }
+      case L3Scheme::Adaptive: {
+          AdaptiveNucaParams p;
+          p.numCores = config_.numCores;
+          p.sizePerCoreBytes = config_.l3SizePerCoreBytes;
+          p.localAssoc = config_.l3LocalAssoc;
+          p.localHitLatency = config_.l3LocalLatency;
+          p.remoteHitLatency = config_.l3SharedLatency;
+          p.epochMisses = config_.epochMisses;
+          p.shadowSampleShift = config_.shadowSampleShift;
+          p.adaptationEnabled = config_.adaptationEnabled;
+          p.allowRemotePrivateHits = config_.coherentSharing;
+          auto adaptive =
+              std::make_unique<AdaptiveNuca>(root_, p, memory_);
+          adaptive_ = adaptive.get();
+          l3_ = std::move(adaptive);
+          break;
+      }
+      case L3Scheme::RandomReplacement: {
+          RandomReplacementL3Params p;
+          p.numCores = config_.numCores;
+          p.sizePerCoreBytes = config_.l3SizePerCoreBytes;
+          p.assoc = config_.l3LocalAssoc;
+          p.localHitLatency = config_.l3LocalLatency;
+          p.remoteHitLatency = config_.l3SharedLatency;
+          p.seed = config_.schemeSeed;
+          l3_ = std::make_unique<RandomReplacementL3>(root_, p,
+                                                      memory_);
+          break;
+      }
+    }
+
+    if (config_.coherentSharing)
+        coherence_ = std::make_unique<CoherenceHub>(root_);
+
+    for (unsigned c = 0; c < config_.numCores; ++c) {
+        const auto core = static_cast<CoreId>(c);
+        memSystems_.push_back(std::make_unique<MemorySystem>(
+            root_, "core" + std::to_string(c) + ".mem", core,
+            config_.coreMem, *l3_));
+        if (coherence_) {
+            coherence_->attach(memSystems_.back().get());
+            memSystems_.back()->setCoherenceHub(coherence_.get());
+        }
+        cores_.push_back(std::make_unique<OooCore>(
+            root_, "core" + std::to_string(c), core, config_.core,
+            *memSystems_.back(), *workloads_[c]));
+    }
+
+    committedZero_.assign(config_.numCores, 0);
+    l3AccessZero_.assign(config_.numCores, 0);
+}
+
+void
+CmpSystem::run(Cycle cycles)
+{
+    const Cycle end = now_ + cycles;
+    while (now_ < end) {
+        for (auto &core : cores_)
+            core->tick(now_);
+        ++now_;
+    }
+}
+
+void
+CmpSystem::resetStats()
+{
+    statsZero_ = now_;
+    for (unsigned c = 0; c < config_.numCores; ++c) {
+        committedZero_[c] = cores_[c]->committed();
+        l3AccessZero_[c] = memSystems_[c]->l3DataAccesses();
+    }
+}
+
+double
+CmpSystem::ipcOf(CoreId core) const
+{
+    panic_if(core < 0 ||
+                 static_cast<unsigned>(core) >= config_.numCores,
+             "core id out of range");
+    const Cycle cycles = measuredCycles();
+    if (cycles == 0)
+        return 0.0;
+    const Counter insts =
+        cores_[static_cast<unsigned>(core)]->committed() -
+        committedZero_[static_cast<unsigned>(core)];
+    return static_cast<double>(insts) / static_cast<double>(cycles);
+}
+
+std::vector<double>
+CmpSystem::ipcs() const
+{
+    std::vector<double> out;
+    out.reserve(config_.numCores);
+    for (unsigned c = 0; c < config_.numCores; ++c)
+        out.push_back(ipcOf(static_cast<CoreId>(c)));
+    return out;
+}
+
+double
+CmpSystem::l3AccessesPerKilocycle(CoreId core) const
+{
+    const Cycle cycles = measuredCycles();
+    if (cycles == 0)
+        return 0.0;
+    const Counter accesses =
+        memSystems_[static_cast<unsigned>(core)]->l3DataAccesses() -
+        l3AccessZero_[static_cast<unsigned>(core)];
+    return 1000.0 * static_cast<double>(accesses) /
+           static_cast<double>(cycles);
+}
+
+OooCore &
+CmpSystem::coreAt(CoreId core)
+{
+    panic_if(core < 0 ||
+                 static_cast<unsigned>(core) >= cores_.size(),
+             "core id out of range");
+    return *cores_[static_cast<unsigned>(core)];
+}
+
+MemorySystem &
+CmpSystem::memOf(CoreId core)
+{
+    panic_if(core < 0 ||
+                 static_cast<unsigned>(core) >= memSystems_.size(),
+             "core id out of range");
+    return *memSystems_[static_cast<unsigned>(core)];
+}
+
+} // namespace nuca

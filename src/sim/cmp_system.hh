@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Assembly of the full chip multiprocessor: four out-of-order cores
+ * with private L1/L2 hierarchies, one of the four last-level cache
+ * organizations, and the shared memory channel, driven in lockstep
+ * one cycle at a time.
+ */
+
+#ifndef NUCA_SIM_CMP_SYSTEM_HH
+#define NUCA_SIM_CMP_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "cpu/coherence.hh"
+#include "cpu/memory_system.hh"
+#include "cpu/ooo_core.hh"
+#include "mem/main_memory.hh"
+#include "nuca/adaptive_nuca.hh"
+#include "nuca/l3_organization.hh"
+#include "sim/system_config.hh"
+#include "workload/profile.hh"
+#include "workload/synth_workload.hh"
+
+namespace nuca {
+
+/** A complete simulated CMP running one multiprogrammed mix. */
+class CmpSystem
+{
+  public:
+    /**
+     * @param config system parameters
+     * @param apps one workload profile per core
+     * @param seed workload seed (models the random fast-forward)
+     */
+    CmpSystem(const SystemConfig &config,
+              const std::vector<WorkloadProfile> &apps,
+              std::uint64_t seed);
+
+    /**
+     * Build a system driven by caller-provided instruction sources
+     * (e.g. TraceReplaySource), one per core. The system takes
+     * ownership.
+     */
+    CmpSystem(const SystemConfig &config,
+              std::vector<std::unique_ptr<InstSource>> sources);
+
+    /** Advance every core by @p cycles cycles. */
+    void run(Cycle cycles);
+
+    /**
+     * Zero all statistics (the warm-up boundary). Cache contents
+     * and predictor state are preserved.
+     */
+    void resetStats();
+
+    /** Cycles simulated since the last resetStats(). */
+    Cycle measuredCycles() const { return now_ - statsZero_; }
+
+    /** Committed IPC of @p core since the last resetStats(). */
+    double ipcOf(CoreId core) const;
+
+    /** Per-core IPCs since the last resetStats(). */
+    std::vector<double> ipcs() const;
+
+    /** L3 data accesses of @p core per 1000 cycles since reset
+     * (the Figure 5 classification metric). */
+    double l3AccessesPerKilocycle(CoreId core) const;
+
+    unsigned numCores() const { return config_.numCores; }
+    Cycle now() const { return now_; }
+
+    L3Organization &l3() { return *l3_; }
+    /** The adaptive organization, or nullptr for other schemes. */
+    AdaptiveNuca *adaptive() { return adaptive_; }
+    MainMemory &memory() { return memory_; }
+    /** The coherence hub, or nullptr outside parallel mode. */
+    CoherenceHub *coherence() { return coherence_.get(); }
+    OooCore &coreAt(CoreId core);
+    MemorySystem &memOf(CoreId core);
+    stats::Group &statsRoot() { return root_; }
+
+  private:
+    SystemConfig config_;
+    stats::Group root_;
+    MainMemory memory_;
+    std::unique_ptr<L3Organization> l3_;
+    AdaptiveNuca *adaptive_ = nullptr;
+
+    /** Shared tail of both constructors. */
+    void buildSystem();
+
+    std::vector<std::unique_ptr<InstSource>> workloads_;
+    std::unique_ptr<CoherenceHub> coherence_;
+    std::vector<std::unique_ptr<MemorySystem>> memSystems_;
+    std::vector<std::unique_ptr<OooCore>> cores_;
+
+    Cycle now_ = 0;
+    Cycle statsZero_ = 0;
+    /** Committed/accesses baselines captured at resetStats(). */
+    std::vector<Counter> committedZero_;
+    std::vector<Counter> l3AccessZero_;
+};
+
+} // namespace nuca
+
+#endif // NUCA_SIM_CMP_SYSTEM_HH

@@ -1,0 +1,80 @@
+#include "sim/experiment.hh"
+
+#include <cstdlib>
+
+#include "base/logging.hh"
+#include "base/random.hh"
+#include "sim/cmp_system.hh"
+#include "workload/spec_profiles.hh"
+
+namespace nuca {
+
+std::uint64_t
+envOr(const char *name, std::uint64_t def)
+{
+    const char *value = std::getenv(name);
+    if (value == nullptr || *value == '\0')
+        return def;
+    char *end = nullptr;
+    const unsigned long long parsed = std::strtoull(value, &end, 10);
+    fatal_if(end == value || *end != '\0',
+             "environment variable ", name,
+             " is not a number: '", value, "'");
+    return parsed;
+}
+
+SimWindow
+SimWindow::fromEnv(Cycle warmup_default, Cycle measure_default)
+{
+    SimWindow w;
+    w.warmupCycles = envOr("REPRO_WARMUP_CYCLES", warmup_default);
+    w.measureCycles = envOr("REPRO_MEASURE_CYCLES", measure_default);
+    return w;
+}
+
+std::vector<ExperimentSpec>
+makeMixes(const std::vector<std::string> &pool, unsigned count,
+          unsigned apps_per_mix, std::uint64_t seed)
+{
+    fatal_if(pool.empty(), "empty benchmark pool");
+    Rng rng(seed);
+    std::vector<ExperimentSpec> mixes;
+    mixes.reserve(count);
+    for (unsigned i = 0; i < count; ++i) {
+        ExperimentSpec spec;
+        spec.apps.reserve(apps_per_mix);
+        for (unsigned a = 0; a < apps_per_mix; ++a)
+            spec.apps.push_back(pool[rng.below(pool.size())]);
+        // The per-mix seed models each application's random
+        // fast-forward of 0.5-1.5 G instructions.
+        spec.seed = rng.next();
+        mixes.push_back(std::move(spec));
+    }
+    return mixes;
+}
+
+MixResult
+runMix(const SystemConfig &config, const ExperimentSpec &spec,
+       const SimWindow &window)
+{
+    std::vector<WorkloadProfile> apps;
+    apps.reserve(spec.apps.size());
+    for (const auto &name : spec.apps)
+        apps.push_back(specProfile(name));
+
+    CmpSystem system(config, apps, spec.seed);
+    system.run(window.warmupCycles);
+    system.resetStats();
+    system.run(window.measureCycles);
+
+    MixResult result;
+    result.ipc = system.ipcs();
+    result.l3AccessesPerKilocycle.reserve(system.numCores());
+    for (unsigned c = 0; c < system.numCores(); ++c) {
+        result.l3AccessesPerKilocycle.push_back(
+            system.l3AccessesPerKilocycle(static_cast<CoreId>(c)));
+    }
+    return result;
+}
+
+} // namespace nuca

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The multiprogrammed experiment methodology of Section 3: draw
+ * random 4-application mixes from a benchmark pool, fast-forward
+ * each application by a random amount (modeled by seeding the
+ * generators), warm the caches, then measure per-core IPC under a
+ * given system configuration.
+ */
+
+#ifndef NUCA_SIM_EXPERIMENT_HH
+#define NUCA_SIM_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "sim/system_config.hh"
+
+namespace nuca {
+
+/** One multiprogrammed mix: four application names plus a seed. */
+struct ExperimentSpec
+{
+    std::vector<std::string> apps;
+    std::uint64_t seed;
+};
+
+/** Per-core results of running one mix on one configuration. */
+struct MixResult
+{
+    std::vector<double> ipc;
+    std::vector<double> l3AccessesPerKilocycle;
+};
+
+/** Simulation window lengths. */
+struct SimWindow
+{
+    Cycle warmupCycles;
+    Cycle measureCycles;
+
+    /**
+     * Defaults scaled for interactive runs, overridable through the
+     * REPRO_WARMUP_CYCLES / REPRO_MEASURE_CYCLES environment
+     * variables (the paper simulates 200 M cycles per experiment;
+     * that is reachable by setting the variables accordingly).
+     */
+    static SimWindow fromEnv(Cycle warmup_default = 200000,
+                             Cycle measure_default = 1000000);
+};
+
+/** Read an unsigned environment override, or the default. */
+std::uint64_t envOr(const char *name, std::uint64_t def);
+
+/**
+ * Draw @p count random 4-app mixes (with replacement, like the
+ * paper's random selection) from @p pool.
+ */
+std::vector<ExperimentSpec>
+makeMixes(const std::vector<std::string> &pool, unsigned count,
+          unsigned apps_per_mix, std::uint64_t seed);
+
+/** Run one mix on one configuration. */
+MixResult runMix(const SystemConfig &config,
+                 const ExperimentSpec &spec, const SimWindow &window);
+
+} // namespace nuca
+
+#endif // NUCA_SIM_EXPERIMENT_HH

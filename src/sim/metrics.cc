@@ -1,0 +1,62 @@
+#include "sim/metrics.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace nuca {
+
+double
+harmonicMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double denom = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            return 0.0;
+        denom += 1.0 / v;
+    }
+    return static_cast<double>(values.size()) / denom;
+}
+
+double
+arithmeticMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+geometricMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            return 0.0;
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+std::vector<double>
+speedups(const std::vector<double> &a, const std::vector<double> &b)
+{
+    panic_if(a.size() != b.size(),
+             "speedup vectors differ in length");
+    std::vector<double> out;
+    out.reserve(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        panic_if(b[i] == 0.0, "speedup against a zero baseline");
+        out.push_back(a[i] / b[i]);
+    }
+    return out;
+}
+
+} // namespace nuca

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Summary metrics used by the evaluation: the paper reports both
+ * harmonic and arithmetic means of per-core IPC (Section 2.6 argues
+ * the harmonic mean is what the scheme optimizes).
+ */
+
+#ifndef NUCA_SIM_METRICS_HH
+#define NUCA_SIM_METRICS_HH
+
+#include <vector>
+
+namespace nuca {
+
+/** Harmonic mean; 0 if the input is empty or has a zero element. */
+double harmonicMean(const std::vector<double> &values);
+
+/** Arithmetic mean; 0 if the input is empty. */
+double arithmeticMean(const std::vector<double> &values);
+
+/** Geometric mean; 0 if the input is empty or has a zero element. */
+double geometricMean(const std::vector<double> &values);
+
+/** Element-wise ratio a[i] / b[i]. @pre same sizes, b[i] != 0. */
+std::vector<double> speedups(const std::vector<double> &a,
+                             const std::vector<double> &b);
+
+} // namespace nuca
+
+#endif // NUCA_SIM_METRICS_HH

@@ -1,0 +1,66 @@
+#include "sim/system_config.hh"
+
+#include "base/logging.hh"
+
+namespace nuca {
+
+std::string
+to_string(L3Scheme scheme)
+{
+    switch (scheme) {
+      case L3Scheme::Private:
+        return "private";
+      case L3Scheme::Shared:
+        return "shared";
+      case L3Scheme::Adaptive:
+        return "adaptive";
+      case L3Scheme::RandomReplacement:
+        return "random-replacement";
+    }
+    panic("unknown L3 scheme");
+}
+
+SystemConfig
+SystemConfig::baseline(L3Scheme scheme)
+{
+    SystemConfig cfg;
+    cfg.scheme = scheme;
+    return cfg;
+}
+
+SystemConfig
+SystemConfig::quadSizePrivate()
+{
+    SystemConfig cfg = baseline(L3Scheme::Private);
+    // Each private cache grows to the size (and associativity) of
+    // the shared cache while keeping the private hit latency: an
+    // idealized upper bound, exactly as Figure 7 uses it.
+    cfg.l3SizePerCoreBytes = 4ull << 20;
+    cfg.l3LocalAssoc = 16;
+    return cfg;
+}
+
+SystemConfig
+SystemConfig::large8MB(L3Scheme scheme)
+{
+    SystemConfig cfg = baseline(scheme);
+    // 8 MB total: 2 MB per core. The paper keeps the 4 MB timing
+    // model for a simple comparison (Section 4.4).
+    cfg.l3SizePerCoreBytes = 2ull << 20;
+    return cfg;
+}
+
+SystemConfig
+SystemConfig::scaledTech(L3Scheme scheme)
+{
+    SystemConfig cfg = baseline(scheme);
+    cfg.coreMem.l2i.hitLatency = 11;
+    cfg.coreMem.l2d.hitLatency = 11;
+    cfg.l3LocalLatency = 16;
+    cfg.l3SharedLatency = 24;
+    cfg.memFirstChunkPrivate = 330;
+    cfg.memFirstChunkShared = 338;
+    return cfg;
+}
+
+} // namespace nuca

@@ -1,0 +1,62 @@
+#include "workload/branch_model.hh"
+
+#include "base/logging.hh"
+
+namespace nuca {
+
+BranchModel::BranchModel(const BranchModelParams &params,
+                         Rng site_layout_rng)
+    : params_(params)
+{
+    fatal_if(params_.numSites == 0, "branch model needs sites");
+    fatal_if(params_.loopPeriod < 2, "loop period must be >= 2");
+
+    const double total =
+        params_.biasedFrac + params_.loopFrac + params_.randomFrac;
+    fatal_if(total <= 0.0, "branch site fractions sum to zero");
+
+    sites_.reserve(params_.numSites);
+    for (unsigned i = 0; i < params_.numSites; ++i) {
+        const double u = site_layout_rng.real() * total;
+        SiteKind kind;
+        if (u < params_.biasedFrac) {
+            kind = SiteKind::Biased;
+        } else if (u < params_.biasedFrac + params_.loopFrac) {
+            kind = SiteKind::Loop;
+        } else {
+            kind = SiteKind::Random;
+        }
+        sites_.push_back(Site{kind, 0});
+    }
+    // Zipf-distributed site popularity: a few hot branches dominate,
+    // like real programs.
+    sitePicker_ = ZipfSampler(params_.numSites, 1.1);
+}
+
+BranchModel::Outcome
+BranchModel::next(Rng &rng)
+{
+    const unsigned idx = sitePicker_.sample(rng);
+    auto &site = sites_[idx];
+    bool taken = false;
+    switch (site.kind) {
+      case SiteKind::Biased:
+        taken = rng.chance(params_.biasedTakenProb);
+        break;
+      case SiteKind::Loop:
+        ++site.loopPos;
+        if (site.loopPos >= params_.loopPeriod) {
+            site.loopPos = 0;
+            taken = false;
+        } else {
+            taken = true;
+        }
+        break;
+      case SiteKind::Random:
+        taken = rng.chance(0.5);
+        break;
+    }
+    return Outcome{idx, taken};
+}
+
+} // namespace nuca

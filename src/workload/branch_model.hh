@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Branch-behaviour generator: a population of static branch sites
+ * whose outcome processes span the predictability spectrum.
+ *
+ *  - Biased sites are taken with a fixed high probability; a bimodal
+ *    predictor learns them almost perfectly.
+ *  - Loop sites repeat (taken^(k-1), not-taken) with period k; a
+ *    two-level predictor with enough history learns them exactly,
+ *    a bimodal one mispredicts once per period.
+ *  - Random sites are 50/50 coin flips: irreducible mispredictions.
+ *
+ * Mixing the three site classes dials an application's overall
+ * misprediction rate without hard-coding it.
+ */
+
+#ifndef NUCA_WORKLOAD_BRANCH_MODEL_HH
+#define NUCA_WORKLOAD_BRANCH_MODEL_HH
+
+#include <vector>
+
+#include "base/random.hh"
+#include "base/types.hh"
+
+namespace nuca {
+
+/** Mixture parameters for the branch sites of one workload. */
+struct BranchModelParams
+{
+    /** Static branch sites to materialize. */
+    unsigned numSites = 64;
+    /** Fractions of site classes (normalized internally). */
+    double biasedFrac = 0.6;
+    double loopFrac = 0.3;
+    double randomFrac = 0.1;
+    /** Taken probability of biased sites. */
+    double biasedTakenProb = 0.92;
+    /** Period of loop sites (taken k-1 times, then not taken). */
+    unsigned loopPeriod = 8;
+};
+
+/** Generates (site, outcome) pairs for the workload's branches. */
+class BranchModel
+{
+  public:
+    BranchModel(const BranchModelParams &params, Rng site_layout_rng);
+
+    /** One branch event. */
+    struct Outcome
+    {
+        /** Index of the static site (maps to a PC). */
+        unsigned site;
+        bool taken;
+    };
+
+    /** Draw the next branch event. */
+    Outcome next(Rng &rng);
+
+    unsigned numSites() const
+    {
+        return static_cast<unsigned>(sites_.size());
+    }
+
+  private:
+    enum class SiteKind
+    {
+        Biased,
+        Loop,
+        Random,
+    };
+
+    struct Site
+    {
+        SiteKind kind;
+        unsigned loopPos = 0;
+    };
+
+    BranchModelParams params_;
+    std::vector<Site> sites_;
+    ZipfSampler sitePicker_;
+};
+
+} // namespace nuca
+
+#endif // NUCA_WORKLOAD_BRANCH_MODEL_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The static description of one synthetic application: instruction
+ * mix, ILP, branch behaviour, code footprint and the data reuse
+ * mixture. A profile plus a seed fully determines a workload.
+ */
+
+#ifndef NUCA_WORKLOAD_PROFILE_HH
+#define NUCA_WORKLOAD_PROFILE_HH
+
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "workload/branch_model.hh"
+#include "workload/reuse_model.hh"
+
+namespace nuca {
+
+/** All knobs of one synthetic application. */
+struct WorkloadProfile
+{
+    std::string name;
+
+    /** Instruction mix (the rest are plain ALU operations). */
+    double loadFrac = 0.25;
+    double storeFrac = 0.10;
+    double branchFrac = 0.12;
+
+    /** Fraction of ALU operations that are floating point. */
+    double fpFrac = 0.0;
+    /** Fraction of integer ALU operations that are mult/div. */
+    double mulDivFrac = 0.02;
+
+    /** Mean backward distance of register dependences (ILP knob). */
+    double meanDepDist = 12.0;
+    /**
+     * Probability that a load's address depends on the previous
+     * load (pointer chasing; throttles memory-level parallelism).
+     */
+    double loadChainFrac = 0.0;
+
+    BranchModelParams branches{};
+
+    /** Instruction footprint in bytes. */
+    std::uint64_t codeFootprintBytes = 32ull << 10;
+
+    /** Data reuse mixture (per-core private address space). */
+    std::vector<MemRegion> regions;
+
+    /**
+     * Parallel-workload extension (the paper's Section 3 future
+     * work): fraction of memory references that target the
+     * process-wide shared regions, which live at one global base
+     * common to all cores.
+     */
+    double sharedFrac = 0.0;
+    /** Reuse mixture of the shared data (empty = no sharing). */
+    std::vector<MemRegion> sharedRegions;
+
+    /**
+     * Expected Figure 5 class: true if the application should
+     * produce more than ~9 last-level data accesses per kilocycle.
+     */
+    bool llcIntensive = false;
+};
+
+} // namespace nuca
+
+#endif // NUCA_WORKLOAD_PROFILE_HH

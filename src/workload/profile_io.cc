@@ -1,0 +1,193 @@
+#include "workload/profile_io.hh"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace nuca {
+
+namespace {
+
+double
+parseDouble(const std::string &value, const std::string &line)
+{
+    char *end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &end);
+    fatal_if(end == value.c_str() || *end != '\0',
+             "profile: bad number '", value, "' in line: ", line);
+    return parsed;
+}
+
+std::uint64_t
+parseUint(const std::string &value, const std::string &line)
+{
+    char *end = nullptr;
+    const auto parsed = std::strtoull(value.c_str(), &end, 10);
+    fatal_if(end == value.c_str() || *end != '\0',
+             "profile: bad integer '", value, "' in line: ", line);
+    return parsed;
+}
+
+MemRegion
+parseRegion(const std::string &value, const std::string &line)
+{
+    std::istringstream is(value);
+    std::string pattern, kb, weight;
+    fatal_if(!std::getline(is, pattern, ':') ||
+                 !std::getline(is, kb, ':') ||
+                 !std::getline(is, weight),
+             "profile: region needs pattern:KB:weight, got: ", line);
+
+    MemRegion region{};
+    if (pattern == "random") {
+        region.pattern = RegionPattern::Random;
+    } else if (pattern == "cyclic") {
+        region.pattern = RegionPattern::Cyclic;
+    } else if (pattern == "stream") {
+        region.pattern = RegionPattern::Stream;
+    } else {
+        fatal("profile: unknown region pattern '", pattern,
+              "' in line: ", line);
+    }
+    region.footprintBytes =
+        region.pattern == RegionPattern::Stream
+            ? 64ull << 20
+            : parseUint(kb, line) * 1024;
+    region.weight = parseDouble(weight, line);
+    return region;
+}
+
+const char *
+patternName(RegionPattern pattern)
+{
+    switch (pattern) {
+      case RegionPattern::Random:
+        return "random";
+      case RegionPattern::Cyclic:
+        return "cyclic";
+      case RegionPattern::Stream:
+        return "stream";
+    }
+    panic("unknown region pattern");
+}
+
+} // namespace
+
+WorkloadProfile
+readProfile(std::istream &is)
+{
+    WorkloadProfile p;
+    p.regions.clear();
+
+    std::string line;
+    bool saw_name = false;
+    while (std::getline(is, line)) {
+        // Strip comments and whitespace-only lines.
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+
+        const auto eq = line.find('=');
+        fatal_if(eq == std::string::npos,
+                 "profile: expected key=value, got: ", line);
+        const std::string key = line.substr(0, eq);
+        const std::string value = line.substr(eq + 1);
+
+        if (key == "name") {
+            p.name = value;
+            saw_name = true;
+        } else if (key == "loadFrac") {
+            p.loadFrac = parseDouble(value, line);
+        } else if (key == "storeFrac") {
+            p.storeFrac = parseDouble(value, line);
+        } else if (key == "branchFrac") {
+            p.branchFrac = parseDouble(value, line);
+        } else if (key == "fpFrac") {
+            p.fpFrac = parseDouble(value, line);
+        } else if (key == "mulDivFrac") {
+            p.mulDivFrac = parseDouble(value, line);
+        } else if (key == "meanDepDist") {
+            p.meanDepDist = parseDouble(value, line);
+        } else if (key == "loadChainFrac") {
+            p.loadChainFrac = parseDouble(value, line);
+        } else if (key == "codeKB") {
+            p.codeFootprintBytes = parseUint(value, line) * 1024;
+        } else if (key == "llcIntensive") {
+            p.llcIntensive = parseUint(value, line) != 0;
+        } else if (key == "region") {
+            p.regions.push_back(parseRegion(value, line));
+        } else if (key == "sharedFrac") {
+            p.sharedFrac = parseDouble(value, line);
+        } else if (key == "sharedRegion") {
+            p.sharedRegions.push_back(parseRegion(value, line));
+        } else if (key == "branchSites") {
+            p.branches.numSites =
+                static_cast<unsigned>(parseUint(value, line));
+        } else if (key == "branchBiased") {
+            p.branches.biasedFrac = parseDouble(value, line);
+        } else if (key == "branchLoop") {
+            p.branches.loopFrac = parseDouble(value, line);
+        } else if (key == "branchRandom") {
+            p.branches.randomFrac = parseDouble(value, line);
+        } else if (key == "branchLoopPeriod") {
+            p.branches.loopPeriod =
+                static_cast<unsigned>(parseUint(value, line));
+        } else if (key == "branchTakenProb") {
+            p.branches.biasedTakenProb = parseDouble(value, line);
+        } else {
+            fatal("profile: unknown key '", key, "'");
+        }
+    }
+
+    fatal_if(!saw_name, "profile: missing 'name='");
+    fatal_if(p.regions.empty(), "profile '", p.name,
+             "' has no regions");
+    return p;
+}
+
+WorkloadProfile
+loadProfileFile(const std::string &path)
+{
+    std::ifstream is(path);
+    fatal_if(!is, "cannot open profile file '", path, "'");
+    return readProfile(is);
+}
+
+void
+writeProfile(std::ostream &os, const WorkloadProfile &profile)
+{
+    os << "name=" << profile.name << '\n'
+       << "loadFrac=" << profile.loadFrac << '\n'
+       << "storeFrac=" << profile.storeFrac << '\n'
+       << "branchFrac=" << profile.branchFrac << '\n'
+       << "fpFrac=" << profile.fpFrac << '\n'
+       << "mulDivFrac=" << profile.mulDivFrac << '\n'
+       << "meanDepDist=" << profile.meanDepDist << '\n'
+       << "loadChainFrac=" << profile.loadChainFrac << '\n'
+       << "codeKB=" << profile.codeFootprintBytes / 1024 << '\n'
+       << "llcIntensive=" << (profile.llcIntensive ? 1 : 0) << '\n'
+       << "branchSites=" << profile.branches.numSites << '\n'
+       << "branchBiased=" << profile.branches.biasedFrac << '\n'
+       << "branchLoop=" << profile.branches.loopFrac << '\n'
+       << "branchRandom=" << profile.branches.randomFrac << '\n'
+       << "branchLoopPeriod=" << profile.branches.loopPeriod << '\n'
+       << "branchTakenProb=" << profile.branches.biasedTakenProb
+       << '\n';
+    for (const auto &r : profile.regions) {
+        os << "region=" << patternName(r.pattern) << ':'
+           << r.footprintBytes / 1024 << ':' << r.weight << '\n';
+    }
+    if (profile.sharedFrac > 0.0)
+        os << "sharedFrac=" << profile.sharedFrac << '\n';
+    for (const auto &r : profile.sharedRegions) {
+        os << "sharedRegion=" << patternName(r.pattern) << ':'
+           << r.footprintBytes / 1024 << ':' << r.weight << '\n';
+    }
+}
+
+} // namespace nuca

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Text serialization of WorkloadProfiles, so new applications can be
+ * defined for `nuca_sim` without recompiling.
+ *
+ * Format: one `key=value` pair per line, `#` comments. Repeatable
+ * keys `region=` and `sharedRegion=` take `pattern:KB:weight` with
+ * pattern one of `random`, `cyclic`, `stream` (stream ignores KB).
+ *
+ *     name=dbscan
+ *     loadFrac=0.31
+ *     storeFrac=0.07
+ *     branchFrac=0.08
+ *     fpFrac=0
+ *     meanDepDist=18
+ *     loadChainFrac=0
+ *     codeKB=24
+ *     llcIntensive=1
+ *     region=random:32:0.80
+ *     region=random:1280:0.14
+ *     region=stream:0:0.06
+ *     branchSites=64
+ *     branchBiased=0.6
+ *     branchLoop=0.3
+ *     branchRandom=0.1
+ *     branchLoopPeriod=7
+ *     branchTakenProb=0.95
+ */
+
+#ifndef NUCA_WORKLOAD_PROFILE_IO_HH
+#define NUCA_WORKLOAD_PROFILE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/profile.hh"
+
+namespace nuca {
+
+/** Parse a profile from a stream; fatal() on malformed input. */
+WorkloadProfile readProfile(std::istream &is);
+
+/** Load a profile from a file; fatal() if unreadable. */
+WorkloadProfile loadProfileFile(const std::string &path);
+
+/** Serialize a profile in the same format (round-trips). */
+void writeProfile(std::ostream &os, const WorkloadProfile &profile);
+
+} // namespace nuca
+
+#endif // NUCA_WORKLOAD_PROFILE_IO_HH

@@ -1,0 +1,78 @@
+#include "workload/reuse_model.hh"
+
+#include "base/intmath.hh"
+#include "base/logging.hh"
+
+namespace nuca {
+
+namespace {
+
+/** Window a stream region wanders through before wrapping (1 GB):
+ * far larger than any cache, so every touch stays cold. */
+constexpr std::uint64_t streamWindowBytes = 1ull << 30;
+
+} // namespace
+
+ReuseModel::ReuseModel(const std::vector<MemRegion> &regions,
+                       Addr base)
+{
+    fatal_if(regions.empty(), "reuse model needs at least one region");
+
+    std::vector<double> weights;
+    weights.reserve(regions.size());
+    Addr next_base = base;
+    for (const auto &region : regions) {
+        fatal_if(region.footprintBytes < blockBytes,
+                 "region footprint below one block");
+        RegionState state;
+        state.base = next_base;
+        state.pattern = region.pattern;
+        if (region.pattern == RegionPattern::Stream) {
+            state.blocks = streamWindowBytes / blockBytes;
+            next_base += streamWindowBytes;
+        } else {
+            state.blocks = region.footprintBytes / blockBytes;
+            next_base += region.footprintBytes;
+        }
+        // Keep regions page-aligned so TLB behaviour is sane.
+        next_base = (next_base + pageBytes - 1) &
+                    ~static_cast<Addr>(pageBytes - 1);
+        regions_.push_back(state);
+        weights.push_back(region.weight);
+    }
+    picker_ = AliasTable(weights);
+}
+
+Addr
+ReuseModel::nextAddr(Rng &rng)
+{
+    auto &region = regions_[picker_.sample(rng)];
+    std::uint64_t block = 0;
+    switch (region.pattern) {
+      case RegionPattern::Cyclic:
+      case RegionPattern::Stream:
+        block = region.cursor;
+        region.cursor = (region.cursor + 1) % region.blocks;
+        break;
+      case RegionPattern::Random:
+        block = rng.below(region.blocks);
+        break;
+    }
+    // Touch a random 8-byte word of the block: offsets matter only
+    // for store-to-load forwarding, not for any cache level.
+    const Addr offset = rng.below(blockBytes / 8) * 8;
+    return region.base + block * blockBytes + offset;
+}
+
+std::uint64_t
+ReuseModel::residentFootprintBytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &region : regions_) {
+        if (region.pattern != RegionPattern::Stream)
+            total += region.blocks * blockBytes;
+    }
+    return total;
+}
+
+} // namespace nuca

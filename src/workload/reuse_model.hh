@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The multi-region memory reuse model behind the synthetic SPEC
+ * stand-ins.
+ *
+ * A workload's data references are drawn from a weighted mixture of
+ * regions. Each region has a footprint and an access pattern:
+ *
+ *  - Cyclic: the region's blocks are visited round-robin. Under LRU
+ *    this produces the classic associativity cliff: with the paper's
+ *    4096-set L3, a cyclic region of N bytes demands about
+ *    N / 256 KB ways per set — all misses below that, all hits at or
+ *    above it. This is the knob that places an application on the
+ *    Figure 3 miss-vs-ways curve.
+ *  - Random: blocks are drawn uniformly; the miss ratio falls
+ *    smoothly as capacity grows (soft sensitivity).
+ *  - Stream: a monotonically advancing cursor; every block is cold.
+ *    Models the streaming/compulsory component.
+ *
+ * Region weights select how often each region is referenced, so the
+ * same mixture also fixes the L2-miss (= L3 access) intensity that
+ * drives the paper's Figure 5 classification.
+ */
+
+#ifndef NUCA_WORKLOAD_REUSE_MODEL_HH
+#define NUCA_WORKLOAD_REUSE_MODEL_HH
+
+#include <vector>
+
+#include "base/random.hh"
+#include "base/types.hh"
+
+namespace nuca {
+
+/** Access pattern of one reuse region. */
+enum class RegionPattern
+{
+    Cyclic,
+    Random,
+    Stream,
+};
+
+/** Static description of one reuse region. */
+struct MemRegion
+{
+    std::uint64_t footprintBytes;
+    double weight;
+    RegionPattern pattern;
+};
+
+/** Draws data addresses from a weighted mixture of regions. */
+class ReuseModel
+{
+  public:
+    /**
+     * @param regions the mixture (weights need not be normalized)
+     * @param base lowest address the model may generate; regions are
+     *        laid out consecutively above it (with a stream region
+     *        given a large private window)
+     */
+    ReuseModel(const std::vector<MemRegion> &regions, Addr base);
+
+    /** Draw the next data address. */
+    Addr nextAddr(Rng &rng);
+
+    /** Number of regions in the mixture. */
+    std::size_t regionCount() const { return regions_.size(); }
+
+    /** Total footprint of the non-stream regions, in bytes. */
+    std::uint64_t residentFootprintBytes() const;
+
+  private:
+    struct RegionState
+    {
+        Addr base;
+        std::uint64_t blocks;
+        RegionPattern pattern;
+        std::uint64_t cursor = 0;
+    };
+
+    std::vector<RegionState> regions_;
+    AliasTable picker_;
+};
+
+} // namespace nuca
+
+#endif // NUCA_WORKLOAD_REUSE_MODEL_HH

@@ -1,0 +1,179 @@
+#include "workload/trace.hh"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace nuca {
+
+namespace {
+
+char
+opChar(OpClass op)
+{
+    switch (op) {
+      case OpClass::IntAlu:
+        return 'A';
+      case OpClass::IntMult:
+        return 'M';
+      case OpClass::IntDiv:
+        return 'D';
+      case OpClass::FpAlu:
+        return 'F';
+      case OpClass::FpMult:
+        return 'X';
+      case OpClass::FpDiv:
+        return 'Y';
+      case OpClass::Load:
+        return 'L';
+      case OpClass::Store:
+        return 'S';
+      case OpClass::Branch:
+        return 'B';
+    }
+    panic("unknown op class");
+}
+
+OpClass
+opFromChar(char c)
+{
+    switch (c) {
+      case 'A':
+        return OpClass::IntAlu;
+      case 'M':
+        return OpClass::IntMult;
+      case 'D':
+        return OpClass::IntDiv;
+      case 'F':
+        return OpClass::FpAlu;
+      case 'X':
+        return OpClass::FpMult;
+      case 'Y':
+        return OpClass::FpDiv;
+      case 'L':
+        return OpClass::Load;
+      case 'S':
+        return OpClass::Store;
+      case 'B':
+        return OpClass::Branch;
+      default:
+        fatal("trace: unknown op code '", c, "'");
+    }
+}
+
+Addr
+parseHex(const std::string &token, const std::string &line)
+{
+    char *end = nullptr;
+    const auto value = std::strtoull(token.c_str(), &end, 16);
+    fatal_if(end == token.c_str() || *end != '\0',
+             "trace: bad hex field '", token, "' in line: ", line);
+    return value;
+}
+
+} // namespace
+
+std::string
+traceEncode(const SynthInst &inst)
+{
+    std::ostringstream os;
+    os << opChar(inst.op) << ' ' << std::hex << inst.pc;
+    if (inst.isMem())
+        os << ' ' << std::hex << inst.effAddr;
+    if (inst.isBranch()) {
+        os << ' ' << (inst.taken ? 1 : 0) << ' ' << std::hex
+           << inst.target;
+    }
+    if (inst.depDist[0] != 0 || inst.depDist[1] != 0) {
+        os << " d" << std::dec << inst.depDist[0];
+        if (inst.depDist[1] != 0)
+            os << ',' << inst.depDist[1];
+    }
+    return os.str();
+}
+
+SynthInst
+traceDecode(const std::string &line)
+{
+    std::istringstream is(line);
+    std::string op_token;
+    is >> op_token;
+    fatal_if(op_token.size() != 1, "trace: bad op field in line: ",
+             line);
+
+    SynthInst inst;
+    inst.op = opFromChar(op_token[0]);
+
+    std::string token;
+    fatal_if(!(is >> token), "trace: missing pc in line: ", line);
+    inst.pc = parseHex(token, line);
+
+    if (inst.isMem()) {
+        fatal_if(!(is >> token),
+                 "trace: missing effaddr in line: ", line);
+        inst.effAddr = parseHex(token, line);
+    }
+    if (inst.isBranch()) {
+        int taken = 0;
+        fatal_if(!(is >> taken),
+                 "trace: missing taken flag in line: ", line);
+        inst.taken = taken != 0;
+        fatal_if(!(is >> token),
+                 "trace: missing target in line: ", line);
+        inst.target = parseHex(token, line);
+    }
+
+    if (is >> token) {
+        fatal_if(token.size() < 2 || token[0] != 'd',
+                 "trace: bad dependence field '", token,
+                 "' in line: ", line);
+        const auto comma = token.find(',');
+        inst.depDist[0] = static_cast<std::uint32_t>(
+            std::strtoul(token.c_str() + 1, nullptr, 10));
+        if (comma != std::string::npos) {
+            inst.depDist[1] = static_cast<std::uint32_t>(
+                std::strtoul(token.c_str() + comma + 1, nullptr,
+                             10));
+        }
+    }
+    return inst;
+}
+
+void
+writeTrace(std::ostream &os, InstSource &source, std::uint64_t count)
+{
+    for (std::uint64_t i = 0; i < count; ++i)
+        os << traceEncode(source.next()) << '\n';
+}
+
+TraceReplaySource::TraceReplaySource(std::istream &is)
+{
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        insts_.push_back(traceDecode(line));
+    }
+    fatal_if(insts_.empty(), "trace: no instructions found");
+}
+
+TraceReplaySource::TraceReplaySource(std::vector<SynthInst> insts)
+    : insts_(std::move(insts))
+{
+    fatal_if(insts_.empty(), "trace: no instructions provided");
+}
+
+SynthInst
+TraceReplaySource::next()
+{
+    const SynthInst inst = insts_[pos_];
+    if (++pos_ >= insts_.size()) {
+        pos_ = 0;
+        ++loops_;
+    }
+    return inst;
+}
+
+} // namespace nuca

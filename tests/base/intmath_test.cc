@@ -1,0 +1,81 @@
+/** @file Unit tests for the integer-math helpers. */
+
+#include <gtest/gtest.h>
+
+#include "base/intmath.hh"
+#include "base/types.hh"
+
+namespace nuca {
+namespace {
+
+TEST(IntMath, IsPowerOf2RecognizesPowers)
+{
+    for (unsigned shift = 0; shift < 63; ++shift)
+        EXPECT_TRUE(isPowerOf2(1ull << shift)) << "shift " << shift;
+}
+
+TEST(IntMath, IsPowerOf2RejectsNonPowers)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_FALSE(isPowerOf2(6));
+    EXPECT_FALSE(isPowerOf2(100));
+    EXPECT_FALSE(isPowerOf2((1ull << 40) + 1));
+}
+
+TEST(IntMath, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4), 2u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+    EXPECT_EQ(floorLog2(4097), 12u);
+    EXPECT_EQ(floorLog2(1ull << 40), 40u);
+}
+
+TEST(IntMath, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(4), 2u);
+    EXPECT_EQ(ceilLog2(5), 3u);
+    // The paper's four cores need two core-ID bits per block.
+    EXPECT_EQ(ceilLog2(4), 2u);
+}
+
+TEST(IntMath, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 4), 0u);
+    EXPECT_EQ(divCeil(1, 4), 1u);
+    EXPECT_EQ(divCeil(4, 4), 1u);
+    EXPECT_EQ(divCeil(5, 4), 2u);
+}
+
+TEST(AddressHelpers, BlockAlignStripsOffset)
+{
+    EXPECT_EQ(blockAlign(0x1000), 0x1000u);
+    EXPECT_EQ(blockAlign(0x103f), 0x1000u);
+    EXPECT_EQ(blockAlign(0x1040), 0x1040u);
+}
+
+TEST(AddressHelpers, BlockAndPageNumbers)
+{
+    EXPECT_EQ(blockNumber(0x0), 0u);
+    EXPECT_EQ(blockNumber(0x3f), 0u);
+    EXPECT_EQ(blockNumber(0x40), 1u);
+    EXPECT_EQ(pageNumber(0xfff), 0u);
+    EXPECT_EQ(pageNumber(0x1000), 1u);
+}
+
+TEST(AddressHelpers, BlockGeometryMatchesTable1)
+{
+    // Table 1: 64-byte blocks everywhere.
+    EXPECT_EQ(blockBytes, 64u);
+    EXPECT_EQ(1u << blockShift, blockBytes);
+    EXPECT_EQ(1u << pageShift, pageBytes);
+}
+
+} // namespace
+} // namespace nuca

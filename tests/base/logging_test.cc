@@ -1,0 +1,50 @@
+/** @file Tests for the gem5-style error reporting. */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+
+namespace nuca {
+namespace {
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("invariant ", 42, " broken"),
+                 "panic: invariant 42 broken");
+}
+
+TEST(LoggingDeath, FatalExitsWithCodeOne)
+{
+    EXPECT_EXIT(fatal("bad config value ", 7),
+                ::testing::ExitedWithCode(1), "bad config value 7");
+}
+
+TEST(LoggingDeath, PanicIfFiresOnlyWhenTrue)
+{
+    panic_if(false, "must not fire");
+    EXPECT_DEATH(panic_if(1 + 1 == 2, "arithmetic works"),
+                 "arithmetic works");
+}
+
+TEST(LoggingDeath, FatalIfFiresOnlyWhenTrue)
+{
+    fatal_if(false, "must not fire");
+    EXPECT_EXIT(fatal_if(true, "user error"),
+                ::testing::ExitedWithCode(1), "user error");
+}
+
+TEST(Logging, WarnAndInformDoNotTerminate)
+{
+    warn("just a warning: ", 1);
+    inform("status: ", "ok");
+    SUCCEED();
+}
+
+TEST(Logging, MessagesConcatenateMixedTypes)
+{
+    EXPECT_DEATH(panic("a=", 1, " b=", 2.5, " c=", "str"),
+                 "a=1 b=2.5 c=str");
+}
+
+} // namespace
+} // namespace nuca

@@ -1,0 +1,212 @@
+/** @file Unit and statistical tests for the RNG and distributions. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "base/random.hh"
+
+namespace nuca {
+namespace {
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    unsigned same = 0;
+    for (int i = 0; i < 1000; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 2u);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(rng.below(13), 13u);
+}
+
+TEST(Rng, BelowCoversFullRange)
+{
+    Rng rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(rng.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, BetweenInclusiveBounds)
+{
+    Rng rng(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = rng.between(5, 9);
+        ASSERT_GE(v, 5u);
+        ASSERT_LE(v, 9u);
+        saw_lo |= v == 5;
+        saw_hi |= v == 9;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, RealInUnitInterval)
+{
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.real();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(3);
+    unsigned hits = 0;
+    const int trials = 100000;
+    for (int i = 0; i < trials; ++i) {
+        if (rng.chance(0.3))
+            ++hits;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(Rng, GeometricMeanMatches)
+{
+    Rng rng(17);
+    const double p = 0.2;
+    double sum = 0;
+    const int trials = 200000;
+    for (int i = 0; i < trials; ++i)
+        sum += static_cast<double>(rng.geometric(p));
+    // Mean failures before success = (1-p)/p = 4.
+    EXPECT_NEAR(sum / trials, 4.0, 0.1);
+}
+
+TEST(Rng, GeometricRespectsCap)
+{
+    Rng rng(19);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LE(rng.geometric(0.001, 50), 50u);
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng parent(21);
+    Rng child = parent.split();
+    unsigned same = 0;
+    for (int i = 0; i < 1000; ++i) {
+        if (parent.next() == child.next())
+            ++same;
+    }
+    EXPECT_LT(same, 2u);
+}
+
+TEST(AliasTable, SingleOutcome)
+{
+    AliasTable table({5.0});
+    Rng rng(1);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(table.sample(rng), 0u);
+}
+
+TEST(AliasTable, ProbabilitiesNormalized)
+{
+    AliasTable table({1.0, 3.0, 6.0});
+    EXPECT_NEAR(table.probabilityOf(0), 0.1, 1e-12);
+    EXPECT_NEAR(table.probabilityOf(1), 0.3, 1e-12);
+    EXPECT_NEAR(table.probabilityOf(2), 0.6, 1e-12);
+}
+
+TEST(AliasTable, EmpiricalFrequenciesMatchWeights)
+{
+    const std::vector<double> weights = {1, 2, 3, 4, 10};
+    AliasTable table(weights);
+    Rng rng(42);
+    std::vector<unsigned> counts(weights.size(), 0);
+    const int trials = 400000;
+    for (int i = 0; i < trials; ++i)
+        ++counts[table.sample(rng)];
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        EXPECT_NEAR(static_cast<double>(counts[i]) / trials,
+                    table.probabilityOf(static_cast<unsigned>(i)),
+                    0.01)
+            << "outcome " << i;
+    }
+}
+
+TEST(AliasTable, ZeroWeightOutcomeNeverDrawn)
+{
+    AliasTable table({1.0, 0.0, 1.0});
+    Rng rng(8);
+    for (int i = 0; i < 50000; ++i)
+        ASSERT_NE(table.sample(rng), 1u);
+}
+
+TEST(ZipfSampler, RankZeroIsMostPopular)
+{
+    ZipfSampler zipf(64, 1.1);
+    Rng rng(4);
+    std::vector<unsigned> counts(64, 0);
+    for (int i = 0; i < 100000; ++i)
+        ++counts[zipf.sample(rng)];
+    EXPECT_GT(counts[0], counts[1]);
+    EXPECT_GT(counts[1], counts[10]);
+    EXPECT_GT(counts[10], counts[63]);
+}
+
+TEST(ZipfSampler, ExponentZeroIsUniform)
+{
+    ZipfSampler zipf(10, 0.0);
+    Rng rng(6);
+    std::vector<unsigned> counts(10, 0);
+    const int trials = 200000;
+    for (int i = 0; i < trials; ++i)
+        ++counts[zipf.sample(rng)];
+    for (const auto c : counts)
+        EXPECT_NEAR(static_cast<double>(c) / trials, 0.1, 0.01);
+}
+
+/** Property sweep: alias-table sampling matches its declared
+ * distribution for a variety of shapes. */
+class AliasTableShapes
+    : public ::testing::TestWithParam<std::vector<double>>
+{};
+
+TEST_P(AliasTableShapes, SamplesMatchDeclaredProbabilities)
+{
+    const auto weights = GetParam();
+    AliasTable table(weights);
+    Rng rng(1234);
+    std::vector<unsigned> counts(weights.size(), 0);
+    const int trials = 200000;
+    for (int i = 0; i < trials; ++i)
+        ++counts[table.sample(rng)];
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        EXPECT_NEAR(static_cast<double>(counts[i]) / trials,
+                    table.probabilityOf(static_cast<unsigned>(i)),
+                    0.012);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AliasTableShapes,
+    ::testing::Values(std::vector<double>{1.0, 1.0},
+                      std::vector<double>{0.9, 0.05, 0.05},
+                      std::vector<double>{1, 2, 4, 8, 16, 32},
+                      std::vector<double>{5, 0, 5, 0, 5},
+                      std::vector<double>(100, 1.0)));
+
+} // namespace
+} // namespace nuca

@@ -1,0 +1,118 @@
+/** @file Unit tests for the statistics package. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "base/stats.hh"
+
+namespace nuca {
+namespace {
+
+TEST(StatsScalar, IncrementAndAssign)
+{
+    stats::Group group("g");
+    stats::Scalar s(group, "s", "test scalar");
+    EXPECT_EQ(s.value(), 0u);
+    ++s;
+    ++s;
+    EXPECT_EQ(s.value(), 2u);
+    s += 10;
+    EXPECT_EQ(s.value(), 12u);
+    s = 5;
+    EXPECT_EQ(s.value(), 5u);
+    s.reset();
+    EXPECT_EQ(s.value(), 0u);
+}
+
+TEST(StatsVector, IndexingAndTotal)
+{
+    stats::Group group("g");
+    stats::Vector v(group, "v", "test vector", 4);
+    v[0] = 1;
+    v[1] = 2;
+    v[3] = 7;
+    EXPECT_EQ(v.value(0), 1u);
+    EXPECT_EQ(v.value(3), 7u);
+    EXPECT_EQ(v.total(), 10u);
+    EXPECT_EQ(v.size(), 4u);
+    v.reset();
+    EXPECT_EQ(v.total(), 0u);
+}
+
+TEST(StatsDistribution, BucketsAndMoments)
+{
+    stats::Group group("g");
+    stats::Distribution d(group, "d", "test dist", 0, 100, 10);
+    EXPECT_EQ(d.buckets(), 10u);
+    d.sample(5);
+    d.sample(15);
+    d.sample(15);
+    d.sample(99);
+    d.sample(150); // overflow
+    EXPECT_EQ(d.count(), 5u);
+    EXPECT_EQ(d.bucketCount(0), 1u);
+    EXPECT_EQ(d.bucketCount(1), 2u);
+    EXPECT_EQ(d.bucketCount(9), 1u);
+    EXPECT_EQ(d.minSeen(), 5u);
+    EXPECT_EQ(d.maxSeen(), 150u);
+    EXPECT_DOUBLE_EQ(d.mean(), (5 + 15 + 15 + 99 + 150) / 5.0);
+}
+
+TEST(StatsFormula, ComputesOnDemand)
+{
+    stats::Group group("g");
+    stats::Scalar hits(group, "hits", "");
+    stats::Scalar total(group, "total", "");
+    stats::Formula ratio(group, "ratio", "hit ratio", [&] {
+        return total.value() == 0
+                   ? 0.0
+                   : static_cast<double>(hits.value()) /
+                         static_cast<double>(total.value());
+    });
+    EXPECT_DOUBLE_EQ(ratio.value(), 0.0);
+    hits += 3;
+    total += 4;
+    EXPECT_DOUBLE_EQ(ratio.value(), 0.75);
+}
+
+TEST(StatsGroup, DumpContainsNamesValuesAndHierarchy)
+{
+    stats::Group root("root");
+    stats::Group child(root, "child");
+    stats::Scalar a(root, "a", "alpha");
+    stats::Scalar b(child, "b", "beta");
+    a += 42;
+    b += 7;
+
+    std::ostringstream os;
+    root.dump(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("root.a 42"), std::string::npos);
+    EXPECT_NE(text.find("root.child.b 7"), std::string::npos);
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+}
+
+TEST(StatsGroup, ResetCascadesToChildren)
+{
+    stats::Group root("root");
+    stats::Group child(root, "child");
+    stats::Scalar a(root, "a", "");
+    stats::Scalar b(child, "b", "");
+    a += 1;
+    b += 2;
+    root.reset();
+    EXPECT_EQ(a.value(), 0u);
+    EXPECT_EQ(b.value(), 0u);
+}
+
+TEST(StatsGroup, FindLocatesOwnStats)
+{
+    stats::Group root("root");
+    stats::Scalar a(root, "a", "");
+    EXPECT_EQ(root.find("a"), &a);
+    EXPECT_EQ(root.find("missing"), nullptr);
+}
+
+} // namespace
+} // namespace nuca

@@ -1,0 +1,75 @@
+/** @file Unit tests for the timed cache level. */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache_level.hh"
+
+namespace nuca {
+namespace {
+
+CacheLevelParams
+smallLevel()
+{
+    return CacheLevelParams{8 * 1024, 2, 3, 4};
+}
+
+TEST(CacheLevel, HitReturnsNowPlusLatency)
+{
+    stats::Group g("g");
+    CacheLevel level(g, "l1", smallLevel());
+    EXPECT_FALSE(level.tryAccess(0x1000, false, 10).has_value());
+    level.fill(0x1000, false, 0);
+    const auto hit = level.tryAccess(0x1000, false, 20);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, 23u);
+}
+
+TEST(CacheLevel, MissBeginFinishTracksInFlight)
+{
+    stats::Group g("g");
+    CacheLevel level(g, "l1", smallLevel());
+    const Cycle start = level.beginMiss(0x1000, 5);
+    EXPECT_EQ(start, 5u);
+    level.finishMiss(0x1000, 400);
+    EXPECT_EQ(level.inFlightReady(0x1000, 10), 400u);
+    EXPECT_EQ(level.inFlightReady(0x1000, 401), 0u);
+}
+
+TEST(CacheLevel, InFlightCoversWholeBlock)
+{
+    stats::Group g("g");
+    CacheLevel level(g, "l1", smallLevel());
+    level.beginMiss(0x1000, 0);
+    level.finishMiss(0x1000, 100);
+    // Another word of the same block merges.
+    EXPECT_EQ(level.inFlightReady(0x1008, 1), 100u);
+    // A different block does not.
+    EXPECT_EQ(level.inFlightReady(0x1040, 1), 0u);
+}
+
+TEST(CacheLevel, FillPropagatesVictim)
+{
+    stats::Group g("g");
+    CacheLevel level(g, "l1", smallLevel());
+    const unsigned sets = level.tags().numSets();
+    const Addr a = 0;
+    const Addr b = a + sets * blockBytes;
+    const Addr c = b + sets * blockBytes;
+    level.fill(a, true, 0);
+    level.fill(b, false, 0);
+    const auto victim = level.fill(c, false, 0);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(victim->addr, a);
+    EXPECT_TRUE(victim->dirty);
+}
+
+TEST(CacheLevel, HitLatencyExposed)
+{
+    stats::Group g("g");
+    CacheLevel level(g, "l2", CacheLevelParams{256 * 1024, 4, 9, 8});
+    EXPECT_EQ(level.hitLatency(), 9u);
+    EXPECT_EQ(level.tags().numSets(), 1024u);
+}
+
+} // namespace
+} // namespace nuca

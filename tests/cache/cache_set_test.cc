@@ -1,0 +1,107 @@
+/** @file Unit tests for CacheSet's LRU-stack queries. */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache_set.hh"
+
+namespace nuca {
+namespace {
+
+/** Install a block into @p way with explicit owner and stamp. */
+void
+put(CacheSet &set, unsigned way, Addr tag, CoreId owner,
+    std::uint64_t stamp)
+{
+    auto &blk = set.block(way);
+    blk.tag = tag;
+    blk.valid = true;
+    blk.owner = owner;
+    blk.lastUse = stamp;
+}
+
+TEST(CacheSet, FindTagAndInvalid)
+{
+    CacheSet set(4);
+    EXPECT_EQ(set.findTag(1), -1);
+    EXPECT_EQ(set.findInvalid(), 0);
+    put(set, 0, 1, 0, 10);
+    put(set, 2, 9, 1, 20);
+    EXPECT_EQ(set.findTag(1), 0);
+    EXPECT_EQ(set.findTag(9), 2);
+    EXPECT_EQ(set.findTag(5), -1);
+    EXPECT_EQ(set.findInvalid(), 1);
+}
+
+TEST(CacheSet, LruWayPicksSmallestStamp)
+{
+    CacheSet set(4);
+    EXPECT_EQ(set.lruWay(), -1);
+    put(set, 0, 1, 0, 30);
+    put(set, 1, 2, 0, 10);
+    put(set, 2, 3, 0, 20);
+    EXPECT_EQ(set.lruWay(), 1);
+}
+
+TEST(CacheSet, LruWayOfFiltersByOwner)
+{
+    CacheSet set(4);
+    put(set, 0, 1, 0, 5);
+    put(set, 1, 2, 1, 1);
+    put(set, 2, 3, 0, 3);
+    EXPECT_EQ(set.lruWayOf(0), 2);
+    EXPECT_EQ(set.lruWayOf(1), 1);
+    EXPECT_EQ(set.lruWayOf(2), -1);
+}
+
+TEST(CacheSet, CountsByOwnerAndValidity)
+{
+    CacheSet set(8);
+    put(set, 0, 1, 0, 1);
+    put(set, 1, 2, 0, 2);
+    put(set, 5, 3, 2, 3);
+    EXPECT_EQ(set.countOwned(0), 2u);
+    EXPECT_EQ(set.countOwned(1), 0u);
+    EXPECT_EQ(set.countOwned(2), 1u);
+    EXPECT_EQ(set.countValid(), 3u);
+}
+
+TEST(CacheSet, OwnerLruRankOrdersWithinOwner)
+{
+    CacheSet set(4);
+    put(set, 0, 1, 0, 50);
+    put(set, 1, 2, 0, 10);
+    put(set, 2, 3, 1, 5);
+    put(set, 3, 4, 0, 30);
+    // Among owner 0: way1 (10) < way3 (30) < way0 (50).
+    EXPECT_EQ(set.ownerLruRank(1), 0u);
+    EXPECT_EQ(set.ownerLruRank(3), 1u);
+    EXPECT_EQ(set.ownerLruRank(0), 2u);
+    // Owner 1 has a single block: rank 0.
+    EXPECT_EQ(set.ownerLruRank(2), 0u);
+}
+
+TEST(CacheSet, WaysByLruOrderIsAscendingInStamps)
+{
+    CacheSet set(4);
+    put(set, 0, 1, 0, 40);
+    put(set, 1, 2, 0, 10);
+    put(set, 3, 4, 1, 25);
+    const auto order = set.waysByLruOrder();
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], 1u);
+    EXPECT_EQ(order[1], 3u);
+    EXPECT_EQ(order[2], 0u);
+}
+
+TEST(CacheSet, WaysByLruOrderSkipsInvalid)
+{
+    CacheSet set(4);
+    EXPECT_TRUE(set.waysByLruOrder().empty());
+    put(set, 2, 7, 0, 1);
+    const auto order = set.waysByLruOrder();
+    ASSERT_EQ(order.size(), 1u);
+    EXPECT_EQ(order[0], 2u);
+}
+
+} // namespace
+} // namespace nuca

@@ -1,0 +1,89 @@
+/** @file Unit tests for the MSHR file. */
+
+#include <gtest/gtest.h>
+
+#include "cache/mshr.hh"
+
+namespace nuca {
+namespace {
+
+TEST(Mshr, LookupMissesWhenEmpty)
+{
+    stats::Group g("g");
+    MshrFile mshrs(g, "m", 4);
+    EXPECT_EQ(mshrs.lookup(0x1000, 0), 0u);
+    EXPECT_EQ(mshrs.inFlight(0), 0u);
+}
+
+TEST(Mshr, ReserveCompleteLookupCycle)
+{
+    stats::Group g("g");
+    MshrFile mshrs(g, "m", 4);
+    const Cycle start = mshrs.reserve(0x1000, 10);
+    EXPECT_EQ(start, 10u);
+    mshrs.complete(0x1000, 300);
+    EXPECT_EQ(mshrs.inFlight(10), 1u);
+
+    // A secondary miss merges and sees the primary's ready cycle.
+    EXPECT_EQ(mshrs.lookup(0x1000, 50), 300u);
+    EXPECT_EQ(mshrs.merges(), 1u);
+}
+
+TEST(Mshr, EntriesRetireWhenReady)
+{
+    stats::Group g("g");
+    MshrFile mshrs(g, "m", 4);
+    mshrs.reserve(0x1000, 0);
+    mshrs.complete(0x1000, 100);
+    EXPECT_EQ(mshrs.inFlight(99), 1u);
+    EXPECT_EQ(mshrs.inFlight(100), 0u);
+    // After retirement the block is no longer merged into.
+    EXPECT_EQ(mshrs.lookup(0x1000, 150), 0u);
+}
+
+TEST(Mshr, FullFileDelaysNewMiss)
+{
+    stats::Group g("g");
+    MshrFile mshrs(g, "m", 2);
+    mshrs.reserve(0x1000, 0);
+    mshrs.complete(0x1000, 200);
+    mshrs.reserve(0x2000, 0);
+    mshrs.complete(0x2000, 300);
+
+    // Third miss at cycle 10 must wait for the earliest retirement.
+    const Cycle start = mshrs.reserve(0x3000, 10);
+    EXPECT_EQ(start, 200u);
+    EXPECT_EQ(mshrs.structuralStalls(), 1u);
+}
+
+TEST(Mshr, FullFileNoDelayIfEntryAlreadyRetired)
+{
+    stats::Group g("g");
+    MshrFile mshrs(g, "m", 1);
+    mshrs.reserve(0x1000, 0);
+    mshrs.complete(0x1000, 50);
+    // At cycle 60 the entry has retired: no stall.
+    const Cycle start = mshrs.reserve(0x2000, 60);
+    EXPECT_EQ(start, 60u);
+    EXPECT_EQ(mshrs.structuralStalls(), 0u);
+}
+
+TEST(Mshr, DistinctBlocksDoNotMerge)
+{
+    stats::Group g("g");
+    MshrFile mshrs(g, "m", 4);
+    mshrs.reserve(0x1000, 0);
+    mshrs.complete(0x1000, 500);
+    EXPECT_EQ(mshrs.lookup(0x2000, 10), 0u);
+    EXPECT_EQ(mshrs.merges(), 0u);
+}
+
+TEST(Mshr, CapacityReported)
+{
+    stats::Group g("g");
+    MshrFile mshrs(g, "m", 16);
+    EXPECT_EQ(mshrs.capacity(), 16u);
+}
+
+} // namespace
+} // namespace nuca

@@ -1,0 +1,200 @@
+/** @file Unit and property tests for the set-associative cache. */
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+#include <vector>
+
+#include "base/random.hh"
+#include "cache/set_assoc_cache.hh"
+
+namespace nuca {
+namespace {
+
+/** Address mapping to @p set with a distinguishing @p tag_idx. */
+Addr
+addrFor(const SetAssocCache &cache, unsigned set,
+        std::uint64_t tag_idx)
+{
+    return (static_cast<Addr>(tag_idx) * cache.numSets() + set) *
+           blockBytes;
+}
+
+TEST(SetAssocCache, GeometryFromSizeAndAssoc)
+{
+    stats::Group g("g");
+    // The paper's private L3: 1 MB, 4-way, 64 B blocks -> 4096 sets.
+    SetAssocCache cache(g, "l3", 1ull << 20, 4);
+    EXPECT_EQ(cache.numSets(), 4096u);
+    EXPECT_EQ(cache.assoc(), 4u);
+    // The shared L3: 4 MB, 16-way -> also 4096 sets.
+    SetAssocCache shared(g, "shared", 4ull << 20, 16);
+    EXPECT_EQ(shared.numSets(), 4096u);
+}
+
+TEST(SetAssocCache, MissThenFillThenHit)
+{
+    stats::Group g("g");
+    SetAssocCache cache(g, "c", 8 * 1024, 2);
+    const Addr a = 0x1000;
+    EXPECT_FALSE(cache.access(a, false));
+    EXPECT_FALSE(cache.probe(a));
+    EXPECT_FALSE(cache.fill(a, false, 0).has_value());
+    EXPECT_TRUE(cache.probe(a));
+    EXPECT_TRUE(cache.access(a, false));
+    EXPECT_EQ(cache.accesses(), 2u);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(SetAssocCache, SameSetEvictionIsLru)
+{
+    stats::Group g("g");
+    SetAssocCache cache(g, "c", 8 * 1024, 2);
+    const Addr a = addrFor(cache, 3, 0);
+    const Addr b = addrFor(cache, 3, 1);
+    const Addr c = addrFor(cache, 3, 2);
+    cache.fill(a, false, 0);
+    cache.fill(b, false, 0);
+    // Touch a so b becomes LRU.
+    EXPECT_TRUE(cache.access(a, false));
+    const auto victim = cache.fill(c, false, 0);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(victim->addr, b);
+    EXPECT_TRUE(cache.probe(a));
+    EXPECT_FALSE(cache.probe(b));
+}
+
+TEST(SetAssocCache, WriteSetsDirtyAndEvictReportsIt)
+{
+    stats::Group g("g");
+    SetAssocCache cache(g, "c", 8 * 1024, 2);
+    const Addr a = addrFor(cache, 0, 0);
+    cache.fill(a, false, 1);
+    EXPECT_TRUE(cache.access(a, true)); // write hit -> dirty
+    cache.fill(addrFor(cache, 0, 1), false, 1);
+    const auto victim = cache.fill(addrFor(cache, 0, 2), false, 1);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(victim->addr, a);
+    EXPECT_TRUE(victim->dirty);
+    EXPECT_EQ(victim->owner, 1);
+}
+
+TEST(SetAssocCache, InvalidateRemovesAndReportsState)
+{
+    stats::Group g("g");
+    SetAssocCache cache(g, "c", 8 * 1024, 2);
+    const Addr a = 0x2000;
+    EXPECT_FALSE(cache.invalidate(a).has_value());
+    cache.fill(a, true, 2);
+    const auto removed = cache.invalidate(a);
+    ASSERT_TRUE(removed.has_value());
+    EXPECT_TRUE(removed->dirty);
+    EXPECT_EQ(removed->owner, 2);
+    EXPECT_FALSE(cache.probe(a));
+}
+
+TEST(SetAssocCache, MarkDirtyOnlyWhenPresent)
+{
+    stats::Group g("g");
+    SetAssocCache cache(g, "c", 8 * 1024, 2);
+    const Addr a = 0x3000;
+    EXPECT_FALSE(cache.markDirty(a));
+    cache.fill(a, false, 0);
+    EXPECT_TRUE(cache.markDirty(a));
+    const auto removed = cache.invalidate(a);
+    ASSERT_TRUE(removed.has_value());
+    EXPECT_TRUE(removed->dirty);
+}
+
+TEST(SetAssocCache, CyclicOverAssocThrashes)
+{
+    stats::Group g("g");
+    SetAssocCache cache(g, "c", 8 * 1024, 2);
+    // Three blocks cycling through a 2-way set: classic LRU thrash,
+    // zero hits after warmup.
+    const Addr a = addrFor(cache, 1, 0);
+    const Addr b = addrFor(cache, 1, 1);
+    const Addr c = addrFor(cache, 1, 2);
+    for (int round = 0; round < 10; ++round) {
+        for (const Addr x : {a, b, c}) {
+            if (!cache.access(x, false))
+                cache.fill(x, false, 0);
+        }
+    }
+    EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(SetAssocCache, CyclicWithinAssocAlwaysHitsAfterWarmup)
+{
+    stats::Group g("g");
+    SetAssocCache cache(g, "c", 8 * 1024, 2);
+    const Addr a = addrFor(cache, 1, 0);
+    const Addr b = addrFor(cache, 1, 1);
+    for (const Addr x : {a, b})
+        cache.fill(x, false, 0);
+    for (int round = 0; round < 10; ++round) {
+        for (const Addr x : {a, b})
+            ASSERT_TRUE(cache.access(x, false));
+    }
+}
+
+TEST(SetAssocCache, MissRatioComputation)
+{
+    stats::Group g("g");
+    SetAssocCache cache(g, "c", 8 * 1024, 2);
+    EXPECT_DOUBLE_EQ(cache.missRatio(), 0.0);
+    cache.access(0x0, false);            // miss
+    cache.fill(0x0, false, 0);
+    cache.access(0x0, false);            // hit
+    cache.access(0x0, false);            // hit
+    cache.access(0x40000, false);        // miss
+    EXPECT_DOUBLE_EQ(cache.missRatio(), 0.5);
+}
+
+/**
+ * Property: against a brute-force model, the cache holds exactly the
+ * most recently used `assoc` blocks of every set under any access
+ * pattern.
+ */
+class SetAssocCacheLruProperty
+    : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(SetAssocCacheLruProperty, MatchesReferenceLruModel)
+{
+    const unsigned assoc = GetParam();
+    stats::Group g("g");
+    SetAssocCache cache(g, "c", 64ull * assoc * 16, assoc);
+    const unsigned sets = cache.numSets();
+    ASSERT_EQ(sets, 16u);
+
+    // Reference model: per-set vector of block addrs, MRU at front.
+    std::vector<std::vector<Addr>> model(sets);
+    Rng rng(99);
+
+    for (int i = 0; i < 20000; ++i) {
+        const unsigned set = static_cast<unsigned>(rng.below(sets));
+        const Addr addr = addrFor(cache, set, rng.below(3 * assoc));
+        auto &mset = model[set];
+        const auto it = std::find(mset.begin(), mset.end(), addr);
+        const bool model_hit = it != mset.end();
+        if (model_hit) {
+            mset.erase(it);
+        } else if (mset.size() >= assoc) {
+            mset.pop_back();
+        }
+        mset.insert(mset.begin(), addr);
+
+        const bool hit = cache.access(addr, false);
+        ASSERT_EQ(hit, model_hit) << "iteration " << i;
+        if (!hit)
+            cache.fill(addr, false, 0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Assocs, SetAssocCacheLruProperty,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u));
+
+} // namespace
+} // namespace nuca

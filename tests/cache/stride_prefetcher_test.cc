@@ -1,0 +1,167 @@
+/** @file Unit tests for the stride prefetcher. */
+
+#include <gtest/gtest.h>
+
+#include "base/random.hh"
+#include "cache/stride_prefetcher.hh"
+
+namespace nuca {
+namespace {
+
+/** PC-table-only configuration (isolates the stride table). */
+StridePrefetcherParams
+defaults()
+{
+    StridePrefetcherParams p;
+    p.zoneStreams = false;
+    return p;
+}
+
+TEST(StridePrefetcher, NoPredictionsUntilConfident)
+{
+    stats::Group g("g");
+    StridePrefetcher pf(g, "pf", defaults());
+    const Addr pc = 0x1000;
+    EXPECT_TRUE(pf.observe(pc, 0x10000).empty()); // allocate
+    EXPECT_TRUE(pf.observe(pc, 0x10040).empty()); // stride learned
+    EXPECT_TRUE(pf.observe(pc, 0x10080).empty()); // confidence 1
+    // Confidence reaches the threshold (2): predictions start.
+    const auto targets = pf.observe(pc, 0x100c0);
+    ASSERT_EQ(targets.size(), 2u);
+    EXPECT_EQ(targets[0], 0x10100u);
+    EXPECT_EQ(targets[1], 0x10140u);
+}
+
+TEST(StridePrefetcher, DetectsNegativeStrides)
+{
+    stats::Group g("g");
+    StridePrefetcher pf(g, "pf", defaults());
+    const Addr pc = 0x2000;
+    pf.observe(pc, 0x20000);
+    pf.observe(pc, 0x20000 - 64);
+    pf.observe(pc, 0x20000 - 128);
+    const auto targets = pf.observe(pc, 0x20000 - 192);
+    ASSERT_FALSE(targets.empty());
+    EXPECT_EQ(targets[0], 0x20000u - 256);
+}
+
+TEST(StridePrefetcher, StrideChangeResetsConfidence)
+{
+    stats::Group g("g");
+    StridePrefetcher pf(g, "pf", defaults());
+    const Addr pc = 0x3000;
+    pf.observe(pc, 0x1000);
+    pf.observe(pc, 0x1040);
+    pf.observe(pc, 0x1080);
+    EXPECT_FALSE(pf.observe(pc, 0x10c0).empty());
+    // The stream jumps: predictions stop until retrained.
+    EXPECT_TRUE(pf.observe(pc, 0x900000).empty());
+    EXPECT_TRUE(pf.observe(pc, 0x900040).empty());
+    EXPECT_TRUE(pf.observe(pc, 0x900080).empty());
+    EXPECT_FALSE(pf.observe(pc, 0x9000c0).empty());
+}
+
+TEST(StridePrefetcher, ZeroStrideNeverPredicts)
+{
+    stats::Group g("g");
+    StridePrefetcher pf(g, "pf", defaults());
+    const Addr pc = 0x4000;
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(pf.observe(pc, 0x5000).empty());
+}
+
+TEST(StridePrefetcher, SubBlockStridesCollapseToDistinctBlocks)
+{
+    stats::Group g("g");
+    StridePrefetcherParams params;
+    params.zoneStreams = false;
+    params.degree = 2;
+    StridePrefetcher pf(g, "pf", params);
+    const Addr pc = 0x5000;
+    // 8-byte stride: both lookahead targets land in one block.
+    pf.observe(pc, 0x1000);
+    pf.observe(pc, 0x1008);
+    pf.observe(pc, 0x1010);
+    const auto targets = pf.observe(pc, 0x1018);
+    ASSERT_EQ(targets.size(), 1u);
+    EXPECT_EQ(targets[0], 0x1000u);
+}
+
+TEST(StridePrefetcher, IndependentPcsTrackIndependentStreams)
+{
+    stats::Group g("g");
+    StridePrefetcher pf(g, "pf", defaults());
+    for (int i = 0; i < 8; ++i) {
+        pf.observe(0x1000, 0x10000 + i * 64);
+        pf.observe(0x1004, 0x80000 + i * 128);
+    }
+    const auto a = pf.observe(0x1000, 0x10000 + 8 * 64);
+    const auto b = pf.observe(0x1004, 0x80000 + 8 * 128);
+    ASSERT_FALSE(a.empty());
+    ASSERT_FALSE(b.empty());
+    EXPECT_EQ(a[0], 0x10000u + 9 * 64);
+    EXPECT_EQ(b[0], 0x80000u + 9 * 128);
+}
+
+TEST(StridePrefetcher, ZoneDetectorCatchesMultiPcStreams)
+{
+    stats::Group g("g");
+    StridePrefetcher pf(g, "pf", StridePrefetcherParams{});
+    // A block-sequential stream touched from a *different PC each
+    // time* — invisible to the PC table, caught by the zone table.
+    std::vector<Addr> targets;
+    for (unsigned i = 0; i < 8; ++i) {
+        targets = pf.observe(0x1000 + i * 24, 0x400000 + i * 64);
+    }
+    ASSERT_FALSE(targets.empty());
+    EXPECT_EQ(targets[0], 0x400000u + 8 * 64);
+}
+
+TEST(StridePrefetcher, ZoneDetectorIgnoresNonSequentialTraffic)
+{
+    stats::Group g("g");
+    StridePrefetcher pf(g, "pf", StridePrefetcherParams{});
+    Rng rng(3);
+    unsigned predicted = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const Addr addr = rng.below(1u << 22) & ~0x7ull;
+        predicted += pf.observe(0x1000 + (i % 7) * 4, addr).size();
+    }
+    EXPECT_LT(predicted, 40u);
+}
+
+TEST(StridePrefetcher, ZoneTableEvictsUnderPressure)
+{
+    stats::Group g("g");
+    StridePrefetcherParams params;
+    params.zoneEntries = 2;
+    StridePrefetcher pf(g, "pf", params);
+    // Three interleaved streams over two entries still make forward
+    // progress without crashing; at least one stream trains.
+    std::vector<Addr> all;
+    for (unsigned i = 0; i < 32; ++i) {
+        for (unsigned sidx = 0; sidx < 3; ++sidx) {
+            const Addr base = 0x1000000 * (sidx + 1);
+            const auto t = pf.observe(0x100, base + i * 64);
+            all.insert(all.end(), t.begin(), t.end());
+        }
+    }
+    SUCCEED(); // structural: no panic, bounded table
+}
+
+TEST(StridePrefetcher, TableConflictReallocates)
+{
+    stats::Group g("g");
+    StridePrefetcherParams params;
+    params.zoneStreams = false;
+    params.tableEntries = 1; // every PC conflicts
+    StridePrefetcher pf(g, "pf", params);
+    pf.observe(0x1000, 0x10000);
+    pf.observe(0x1000, 0x10040);
+    // A different PC steals the entry; the old stream must retrain.
+    pf.observe(0x2000, 0x50000);
+    EXPECT_TRUE(pf.observe(0x1000, 0x10080).empty());
+}
+
+} // namespace
+} // namespace nuca

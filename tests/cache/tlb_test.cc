@@ -1,0 +1,49 @@
+/** @file Unit tests for the TLB model. */
+
+#include <gtest/gtest.h>
+
+#include "cache/tlb.hh"
+
+namespace nuca {
+namespace {
+
+TEST(Tlb, MissThenHitOnSamePage)
+{
+    stats::Group g("g");
+    Tlb tlb(g, "dtlb", 4, 30);
+    EXPECT_EQ(tlb.translate(0x1000), 30u);
+    EXPECT_EQ(tlb.translate(0x1abc), 0u); // same page
+    EXPECT_EQ(tlb.translate(0x2000), 30u);
+    EXPECT_EQ(tlb.accesses(), 3u);
+    EXPECT_EQ(tlb.misses(), 2u);
+}
+
+TEST(Tlb, LruEvictionAtCapacity)
+{
+    stats::Group g("g");
+    Tlb tlb(g, "dtlb", 2, 30);
+    tlb.translate(0x1000); // page 1
+    tlb.translate(0x2000); // page 2
+    tlb.translate(0x1000); // touch page 1 -> page 2 is LRU
+    tlb.translate(0x3000); // evicts page 2
+    EXPECT_EQ(tlb.translate(0x1000), 0u);
+    EXPECT_EQ(tlb.translate(0x2000), 30u); // was evicted
+}
+
+TEST(Tlb, Table1Configuration)
+{
+    stats::Group g("g");
+    // 128 entries, fully associative, 30-cycle penalty: all 128
+    // pages fit, the 129th evicts the least recently used.
+    Tlb tlb(g, "dtlb", 128, 30);
+    for (Addr p = 0; p < 128; ++p)
+        EXPECT_EQ(tlb.translate(p << pageShift), 30u);
+    for (Addr p = 0; p < 128; ++p)
+        EXPECT_EQ(tlb.translate(p << pageShift), 0u) << "page " << p;
+    EXPECT_EQ(tlb.translate(200ull << pageShift), 30u);
+    // Page 0 was the least recently touched after the re-walk.
+    EXPECT_EQ(tlb.translate(0), 30u);
+}
+
+} // namespace
+} // namespace nuca

@@ -1,0 +1,162 @@
+/** @file Unit tests for the combined branch predictor. */
+
+#include <gtest/gtest.h>
+
+#include "base/random.hh"
+#include "cpu/branch_predictor.hh"
+
+namespace nuca {
+namespace {
+
+BranchPredictor
+makePredictor(stats::Group &g)
+{
+    return BranchPredictor(g, "bp", BranchPredictorParams{});
+}
+
+TEST(BranchPredictor, LearnsAlwaysTakenBranch)
+{
+    stats::Group g("g");
+    auto bp = makePredictor(g);
+    const Addr pc = 0x1000, target = 0x2000;
+    for (int i = 0; i < 8; ++i)
+        bp.predictAndUpdate(pc, true, target);
+    // Fully trained: correct direction and BTB target.
+    EXPECT_TRUE(bp.predictAndUpdate(pc, true, target));
+    const auto pred = bp.predict(pc);
+    EXPECT_TRUE(pred.taken);
+    EXPECT_TRUE(pred.btbHit);
+    EXPECT_EQ(pred.target, target);
+}
+
+TEST(BranchPredictor, LearnsNeverTakenBranch)
+{
+    stats::Group g("g");
+    auto bp = makePredictor(g);
+    const Addr pc = 0x1004;
+    for (int i = 0; i < 8; ++i)
+        bp.predictAndUpdate(pc, false, 0);
+    EXPECT_TRUE(bp.predictAndUpdate(pc, false, 0));
+    EXPECT_FALSE(bp.predict(pc).taken);
+}
+
+TEST(BranchPredictor, TwoLevelLearnsShortLoopPattern)
+{
+    stats::Group g("g");
+    auto bp = makePredictor(g);
+    const Addr pc = 0x3000, target = 0x2f00;
+    // Period-5 loop: T T T T N. A bimodal predictor mispredicts
+    // every 5th branch forever; the two-level component learns the
+    // pattern, so late-phase accuracy must approach 100%.
+    auto run = [&](int iters) {
+        unsigned wrong = 0;
+        for (int i = 0; i < iters; ++i) {
+            const bool taken = (i % 5) != 4;
+            if (!bp.predictAndUpdate(pc, taken, target))
+                ++wrong;
+        }
+        return wrong;
+    };
+    run(600); // training
+    EXPECT_LE(run(500), 5u);
+}
+
+TEST(BranchPredictor, BtbMissOnTakenBranchIsWrongPath)
+{
+    stats::Group g("g");
+    auto bp = makePredictor(g);
+    const Addr pc = 0x4000;
+    // First taken encounter: even if direction guessed taken, the
+    // BTB cannot supply the target.
+    bp.predictAndUpdate(pc, true, 0x5000);
+    EXPECT_GE(bp.directionMispredicts() + bp.targetMispredicts(), 1u);
+}
+
+TEST(BranchPredictor, BtbTracksRetargetedBranch)
+{
+    stats::Group g("g");
+    auto bp = makePredictor(g);
+    const Addr pc = 0x6000;
+    for (int i = 0; i < 4; ++i)
+        bp.predictAndUpdate(pc, true, 0x7000);
+    // The branch switches target (e.g. an indirect jump).
+    EXPECT_FALSE(bp.predictAndUpdate(pc, true, 0x8000));
+    // After the update the BTB holds the new target.
+    EXPECT_EQ(bp.predict(pc).target, 0x8000u);
+}
+
+TEST(BranchPredictor, BtbConflictEvictsLru)
+{
+    stats::Group g("g");
+    BranchPredictorParams params;
+    params.btbEntries = 8;
+    params.btbAssoc = 2; // 4 sets
+    BranchPredictor bp(g, "bp", params);
+    // Three branches mapping to the same BTB set (pc >> 2 mod 4).
+    const Addr a = 0x10, b = 0x50, c = 0x90;
+    bp.update(a, true, 0x1000);
+    bp.update(b, true, 0x2000);
+    bp.predict(a); // no LRU update on predict; use update instead
+    bp.update(a, true, 0x1000);
+    bp.update(c, true, 0x3000); // evicts b
+    EXPECT_TRUE(bp.predict(a).btbHit);
+    EXPECT_FALSE(bp.predict(b).btbHit);
+    EXPECT_TRUE(bp.predict(c).btbHit);
+}
+
+TEST(BranchPredictor, RandomBranchesMispredictAboutHalf)
+{
+    stats::Group g("g");
+    auto bp = makePredictor(g);
+    Rng rng(3);
+    const Addr pc = 0x9000;
+    unsigned wrong = 0;
+    const int trials = 4000;
+    for (int i = 0; i < trials; ++i) {
+        if (!bp.predictAndUpdate(pc, rng.chance(0.5), 0xa000))
+            ++wrong;
+    }
+    EXPECT_NEAR(static_cast<double>(wrong) / trials, 0.5, 0.08);
+}
+
+TEST(BranchPredictor, MispredictRateAggregatesBothKinds)
+{
+    stats::Group g("g");
+    auto bp = makePredictor(g);
+    bp.predictAndUpdate(0x100, true, 0x200); // cold: wrong path
+    EXPECT_GT(bp.mispredictRate(), 0.0);
+    EXPECT_EQ(bp.lookups(), 1u);
+}
+
+/** Distinct branches should not destructively interfere when they
+ * fit the tables (aliasing sweep). */
+class BranchPredictorAliasing
+    : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(BranchPredictorAliasing, ManyBiasedBranchesStayAccurate)
+{
+    const unsigned branches = GetParam();
+    stats::Group g("g");
+    auto bp = makePredictor(g);
+    // Train: branch k is always-taken iff k is even.
+    for (int round = 0; round < 12; ++round) {
+        for (unsigned k = 0; k < branches; ++k) {
+            const Addr pc = 0x1000 + 4 * k;
+            bp.predictAndUpdate(pc, k % 2 == 0, 0x100000 + 64 * k);
+        }
+    }
+    unsigned wrong = 0;
+    for (unsigned k = 0; k < branches; ++k) {
+        const Addr pc = 0x1000 + 4 * k;
+        if (!bp.predictAndUpdate(pc, k % 2 == 0, 0x100000 + 64 * k))
+            ++wrong;
+    }
+    EXPECT_LE(wrong, branches / 20);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BranchPredictorAliasing,
+                         ::testing::Values(8u, 64u, 256u));
+
+} // namespace
+} // namespace nuca

@@ -1,0 +1,127 @@
+/** @file Unit tests for the write-invalidate coherence hub. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cpu/coherence.hh"
+#include "cpu/memory_system.hh"
+#include "mem/main_memory.hh"
+#include "nuca/shared_l3.hh"
+
+namespace nuca {
+namespace {
+
+/** Two cores over a shared L3 with a coherence hub. */
+struct Rig
+{
+    Rig()
+        : root("t"),
+          memory(root, "memory", MainMemoryParams{}),
+          l3(root, SharedL3Params{}, memory),
+          hub(root)
+    {
+        for (unsigned c = 0; c < 2; ++c) {
+            mems.push_back(std::make_unique<MemorySystem>(
+                root, "mem" + std::to_string(c),
+                static_cast<CoreId>(c), CoreMemoryParams{}, l3));
+            hub.attach(mems.back().get());
+            mems.back()->setCoherenceHub(&hub);
+        }
+    }
+
+    stats::Group root;
+    MainMemory memory;
+    SharedL3 l3;
+    CoherenceHub hub;
+    std::vector<std::unique_ptr<MemorySystem>> mems;
+};
+
+TEST(Coherence, StoreInvalidatesRemoteCopies)
+{
+    Rig rig;
+    const Addr a = 0x10000;
+    rig.mems[0]->dataAccess(a, false, 0);   // core 0 reads
+    rig.mems[1]->dataAccess(a, false, 100); // core 1 reads
+    EXPECT_TRUE(rig.mems[0]->l1d().tags().probe(a));
+    EXPECT_TRUE(rig.mems[1]->l1d().tags().probe(a));
+
+    // Core 0 writes: core 1's copies vanish.
+    rig.mems[0]->dataAccess(a, true, 1000);
+    EXPECT_TRUE(rig.mems[0]->l1d().tags().probe(a));
+    EXPECT_FALSE(rig.mems[1]->l1d().tags().probe(a));
+    EXPECT_FALSE(rig.mems[1]->l2d().tags().probe(a));
+    EXPECT_GE(rig.hub.invalidations(), 1u);
+}
+
+TEST(Coherence, InvalidatedCoreMissesAgain)
+{
+    Rig rig;
+    const Addr a = 0x20000;
+    rig.mems[1]->dataAccess(a, false, 0);
+    // Warm: core 1 hits locally (3 cycles after a TLB hit).
+    EXPECT_EQ(rig.mems[1]->dataAccess(a, false, 500), 503u);
+    rig.mems[0]->dataAccess(a, true, 1000);
+    // Coherence miss: core 1 must go at least to the L3 again.
+    EXPECT_GT(rig.mems[1]->dataAccess(a, false, 2000), 2000u + 12u);
+}
+
+TEST(Coherence, DirtyRemoteCopyIsFlushed)
+{
+    Rig rig;
+    const Addr a = 0x30000;
+    rig.mems[1]->dataAccess(a, true, 0); // core 1 has it dirty
+    const Counter before = rig.hub.dirtyFlushes();
+    rig.mems[0]->dataAccess(a, true, 500);
+    EXPECT_EQ(rig.hub.dirtyFlushes(), before + 1);
+}
+
+TEST(Coherence, WriterDoesNotInvalidateItself)
+{
+    Rig rig;
+    const Addr a = 0x40000;
+    rig.mems[0]->dataAccess(a, true, 0);
+    rig.mems[0]->dataAccess(a, true, 100);
+    EXPECT_TRUE(rig.mems[0]->l1d().tags().probe(a));
+    EXPECT_EQ(rig.hub.invalidations(), 0u);
+}
+
+TEST(Coherence, ReadsDoNotInvalidate)
+{
+    Rig rig;
+    const Addr a = 0x50000;
+    rig.mems[0]->dataAccess(a, false, 0);
+    rig.mems[1]->dataAccess(a, false, 100);
+    rig.mems[0]->dataAccess(a, false, 200);
+    EXPECT_TRUE(rig.mems[1]->l1d().tags().probe(a));
+    EXPECT_EQ(rig.hub.invalidations(), 0u);
+}
+
+TEST(Coherence, PingPongProducesRepeatedInvalidations)
+{
+    Rig rig;
+    const Addr a = 0x60000;
+    Cycle now = 0;
+    for (int i = 0; i < 10; ++i) {
+        rig.mems[0]->dataAccess(a, true, now += 1000);
+        rig.mems[1]->dataAccess(a, true, now += 1000);
+    }
+    // Each write after the first invalidates the other core's copy.
+    EXPECT_GE(rig.hub.invalidations(), 18u);
+}
+
+TEST(Coherence, WithoutHubNoInvalidations)
+{
+    stats::Group root("t");
+    MainMemory memory(root, "memory", MainMemoryParams{});
+    SharedL3 l3(root, SharedL3Params{}, memory);
+    MemorySystem a(root, "a", 0, CoreMemoryParams{}, l3);
+    MemorySystem b(root, "b", 1, CoreMemoryParams{}, l3);
+    const Addr addr = 0x70000;
+    b.dataAccess(addr, false, 0);
+    a.dataAccess(addr, true, 100); // no hub: b keeps its stale copy
+    EXPECT_TRUE(b.l1d().tags().probe(addr));
+}
+
+} // namespace
+} // namespace nuca

@@ -1,0 +1,93 @@
+/** @file Unit tests for the functional-unit pools. */
+
+#include <gtest/gtest.h>
+
+#include "cpu/func_units.hh"
+
+namespace nuca {
+namespace {
+
+TEST(FuncUnits, Table1PoolWidths)
+{
+    stats::Group g("g");
+    FuncUnits fu(g, "fu", FuncUnitParams{});
+    // 4 INT ALUs per cycle, not 5.
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(fu.tryIssue(OpClass::IntAlu, 0));
+    EXPECT_FALSE(fu.tryIssue(OpClass::IntAlu, 0));
+    // Next cycle they are free again (pipelined).
+    EXPECT_TRUE(fu.tryIssue(OpClass::IntAlu, 1));
+}
+
+TEST(FuncUnits, BranchesShareIntAlus)
+{
+    stats::Group g("g");
+    FuncUnits fu(g, "fu", FuncUnitParams{});
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(fu.tryIssue(OpClass::Branch, 10));
+    EXPECT_FALSE(fu.tryIssue(OpClass::IntAlu, 10));
+}
+
+TEST(FuncUnits, TwoMemoryPorts)
+{
+    stats::Group g("g");
+    FuncUnits fu(g, "fu", FuncUnitParams{});
+    EXPECT_TRUE(fu.tryIssue(OpClass::Load, 0));
+    EXPECT_TRUE(fu.tryIssue(OpClass::Store, 0));
+    EXPECT_FALSE(fu.tryIssue(OpClass::Load, 0));
+    EXPECT_TRUE(fu.tryIssue(OpClass::Load, 1));
+}
+
+TEST(FuncUnits, MultiplyIsPipelinedDivideIsNot)
+{
+    stats::Group g("g");
+    FuncUnits fu(g, "fu", FuncUnitParams{});
+    // One INT mult/div unit: multiplies issue back to back...
+    EXPECT_TRUE(fu.tryIssue(OpClass::IntMult, 0));
+    EXPECT_FALSE(fu.tryIssue(OpClass::IntMult, 0)); // same cycle: busy
+    EXPECT_TRUE(fu.tryIssue(OpClass::IntMult, 1));
+    // ...but a divide blocks the unit for its full latency.
+    EXPECT_TRUE(fu.tryIssue(OpClass::IntDiv, 10));
+    EXPECT_FALSE(fu.tryIssue(OpClass::IntMult, 11));
+    EXPECT_FALSE(fu.tryIssue(OpClass::IntMult, 29));
+    EXPECT_TRUE(fu.tryIssue(OpClass::IntMult, 30));
+}
+
+TEST(FuncUnits, FpPoolIndependentFromIntPool)
+{
+    stats::Group g("g");
+    FuncUnits fu(g, "fu", FuncUnitParams{});
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(fu.tryIssue(OpClass::IntAlu, 0));
+    // INT ALUs exhausted; FP ALUs still available.
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(fu.tryIssue(OpClass::FpAlu, 0));
+    EXPECT_FALSE(fu.tryIssue(OpClass::FpAlu, 0));
+}
+
+TEST(FuncUnits, StallsAreCounted)
+{
+    stats::Group g("g");
+    FuncUnits fu(g, "fu", FuncUnitParams{});
+    fu.tryIssue(OpClass::FpDiv, 0);
+    fu.tryIssue(OpClass::FpDiv, 1); // busy: stall
+    fu.tryIssue(OpClass::FpDiv, 2); // busy: stall
+    EXPECT_EQ(fu.structuralStalls(), 2u);
+}
+
+TEST(OpClasses, LatenciesAreSimpleScalarLike)
+{
+    EXPECT_EQ(opLatency(OpClass::IntAlu), 1u);
+    EXPECT_EQ(opLatency(OpClass::Branch), 1u);
+    EXPECT_EQ(opLatency(OpClass::IntMult), 3u);
+    EXPECT_EQ(opLatency(OpClass::IntDiv), 20u);
+    EXPECT_EQ(opLatency(OpClass::FpAlu), 2u);
+    EXPECT_EQ(opLatency(OpClass::FpMult), 4u);
+    EXPECT_EQ(opLatency(OpClass::FpDiv), 12u);
+    EXPECT_TRUE(isMemOp(OpClass::Load));
+    EXPECT_TRUE(isMemOp(OpClass::Store));
+    EXPECT_FALSE(isMemOp(OpClass::Branch));
+}
+
+} // namespace
+} // namespace nuca

@@ -1,0 +1,146 @@
+/** @file Unit tests for the per-core memory hierarchy timing. */
+
+#include <gtest/gtest.h>
+
+#include "cpu/memory_system.hh"
+#include "mem/main_memory.hh"
+#include "nuca/private_l3.hh"
+
+namespace nuca {
+namespace {
+
+/** One core in front of a private L3 with Table 1 timing. */
+struct Fixture
+{
+    Fixture()
+        : root("t"),
+          memory(root, "memory", MainMemoryParams{258, 4, 8}),
+          l3(root, PrivateL3Params{}, memory),
+          mem(root, "mem", 0, CoreMemoryParams{}, l3)
+    {
+    }
+
+    stats::Group root;
+    MainMemory memory;
+    PrivateL3 l3;
+    MemorySystem mem;
+};
+
+TEST(MemorySystem, L1DHitLatency)
+{
+    Fixture f;
+    f.mem.dataAccess(0x1000, false, 0); // cold; installs everywhere
+    // Second access: TLB hit + L1D hit = 3 cycles.
+    EXPECT_EQ(f.mem.dataAccess(0x1000, false, 1000), 1003u);
+}
+
+TEST(MemorySystem, L1IHitLatencyIsTwoCycles)
+{
+    Fixture f;
+    f.mem.instFetch(0x1000, 0);
+    EXPECT_EQ(f.mem.instFetch(0x1000, 1000), 1002u);
+}
+
+TEST(MemorySystem, ColdMissLatencyBreakdown)
+{
+    Fixture f;
+    // Cold data access: DTLB miss (30) + L1D tag (3) + L2D tag (9)
+    // + memory first chunk (258) = 300.
+    EXPECT_EQ(f.mem.dataAccess(0x100000, false, 0), 300u);
+}
+
+TEST(MemorySystem, WarmTlbMissLatency)
+{
+    Fixture f;
+    f.mem.dataAccess(0x100000, false, 0); // warm TLB + caches
+    // New block, same page: 3 + 9 + 258 = 270.
+    EXPECT_EQ(f.mem.dataAccess(0x100040, false, 1000), 1270u);
+}
+
+TEST(MemorySystem, L2HitAfterL1Eviction)
+{
+    Fixture f;
+    const unsigned l1_sets = f.mem.l1d().tags().numSets();
+    const Addr a = 0x0;
+    f.mem.dataAccess(a, false, 0);
+    // Evict `a` from the 2-way L1 with two conflicting blocks; they
+    // stay within the larger L2.
+    f.mem.dataAccess(a + l1_sets * blockBytes, false, 400);
+    f.mem.dataAccess(a + 2 * l1_sets * blockBytes, false, 800);
+    // `a` now misses L1 but hits L2: 3 + 9 = 12 cycles.
+    EXPECT_EQ(f.mem.dataAccess(a, false, 5000), 5012u);
+}
+
+TEST(MemorySystem, SecondaryMissMergesIntoPrimary)
+{
+    Fixture f;
+    const Cycle primary = f.mem.dataAccess(0x200000, false, 0);
+    // Another word of the same block one cycle later: rides the
+    // in-flight miss instead of paying a fresh memory trip.
+    const Cycle secondary = f.mem.dataAccess(0x200008, false, 1);
+    EXPECT_EQ(secondary, primary);
+    EXPECT_GE(f.mem.l1d().mshrs().merges(), 1u);
+}
+
+TEST(MemorySystem, IndependentMissesOverlapOnBus)
+{
+    Fixture f;
+    const Cycle first = f.mem.dataAccess(0x300000, false, 0);
+    const Cycle second = f.mem.dataAccess(0x400000, false, 0);
+    // Both outstanding concurrently; the second only pays the
+    // channel slot (32 cycles), not a serialized full latency.
+    EXPECT_EQ(first, 300u);
+    EXPECT_EQ(second, 332u);
+}
+
+TEST(MemorySystem, InstAndDataPathsAreSplit)
+{
+    Fixture f;
+    f.mem.dataAccess(0x500000, false, 0);
+    // The same block as an instruction fetch misses the (separate)
+    // L1I/L2I and the private L3 absorbs it.
+    const Counter l2i_misses = f.mem.l2i().tags().misses();
+    f.mem.instFetch(0x500000, 1000);
+    EXPECT_GT(f.mem.l2i().tags().misses(), l2i_misses);
+}
+
+TEST(MemorySystem, L3AccessCountersTrackPrimaryL2Misses)
+{
+    Fixture f;
+    f.mem.dataAccess(0x600000, false, 0);
+    f.mem.dataAccess(0x600000, false, 1000); // L1 hit: no L3 access
+    f.mem.instFetch(0x700000, 2000);
+    EXPECT_EQ(f.mem.l3DataAccesses(), 1u);
+    EXPECT_EQ(f.mem.l3InstAccesses(), 1u);
+    EXPECT_EQ(f.mem.l3DataMisses(), 1u);
+}
+
+TEST(MemorySystem, StoreMissInstallsDirtyInL1Only)
+{
+    Fixture f;
+    f.mem.dataAccess(0x800000, true, 0);
+    // Push the dirty block out of the L1: it must land dirty in L2
+    // (a writeback), not be lost.
+    const unsigned l1_sets = f.mem.l1d().tags().numSets();
+    f.mem.dataAccess(0x800000 + l1_sets * blockBytes, false, 500);
+    f.mem.dataAccess(0x800000 + 2ull * l1_sets * blockBytes, false,
+                     1000);
+    EXPECT_GE(f.mem.l1d().tags().misses(), 1u);
+    // Re-access hits L2 (12 cycles), data still present.
+    EXPECT_EQ(f.mem.dataAccess(0x800000, false, 5000), 5012u);
+}
+
+TEST(MemorySystem, Table1Geometry)
+{
+    Fixture f;
+    EXPECT_EQ(f.mem.l1d().tags().numSets(), 512u);   // 64K 2-way
+    EXPECT_EQ(f.mem.l1i().tags().numSets(), 512u);
+    EXPECT_EQ(f.mem.l2i().tags().numSets(), 512u);   // 128K 4-way
+    EXPECT_EQ(f.mem.l2d().tags().numSets(), 1024u);  // 256K 4-way
+    EXPECT_EQ(f.mem.l1d().hitLatency(), 3u);
+    EXPECT_EQ(f.mem.l1i().hitLatency(), 2u);
+    EXPECT_EQ(f.mem.l2d().hitLatency(), 9u);
+}
+
+} // namespace
+} // namespace nuca

@@ -1,0 +1,269 @@
+/** @file Unit tests for the out-of-order core's timing behaviour. */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "base/random.hh"
+
+#include "cpu/ooo_core.hh"
+#include "mem/main_memory.hh"
+#include "nuca/private_l3.hh"
+
+namespace nuca {
+namespace {
+
+/** InstSource generating instructions from an index function. */
+class FnSource : public InstSource
+{
+  public:
+    explicit FnSource(std::function<SynthInst(std::uint64_t)> fn)
+        : fn_(std::move(fn))
+    {}
+
+    SynthInst
+    next() override
+    {
+        return fn_(index_++);
+    }
+
+  private:
+    std::function<SynthInst(std::uint64_t)> fn_;
+    std::uint64_t index_ = 0;
+};
+
+/** A full single-core rig: core + hierarchy + private L3 + memory. */
+struct Rig
+{
+    explicit Rig(std::function<SynthInst(std::uint64_t)> fn)
+        : root("t"),
+          memory(root, "memory", MainMemoryParams{258, 4, 8}),
+          l3(root, PrivateL3Params{}, memory),
+          mem(root, "mem", 0, CoreMemoryParams{}, l3),
+          source(std::move(fn)),
+          core(root, "core", 0, OooCoreParams{}, mem, source)
+    {
+    }
+
+    /** Run for @p cycles and return the committed IPC. */
+    double
+    run(Cycle cycles)
+    {
+        for (Cycle t = now_; t < now_ + cycles; ++t)
+            core.tick(t);
+        now_ += cycles;
+        return static_cast<double>(core.committed()) /
+               static_cast<double>(now_);
+    }
+
+    /** Warm up, then return the IPC of the measured window only
+     * (excludes cold-start I-cache misses). */
+    double
+    runWarm(Cycle warmup, Cycle measure)
+    {
+        run(warmup);
+        const Counter before = core.committed();
+        run(measure);
+        return static_cast<double>(core.committed() - before) /
+               static_cast<double>(measure);
+    }
+
+    Cycle now_ = 0;
+
+    stats::Group root;
+    MainMemory memory;
+    PrivateL3 l3;
+    MemorySystem mem;
+    FnSource source;
+    OooCore core;
+};
+
+/** A plain independent ALU op at a small looping PC. */
+SynthInst
+aluAt(std::uint64_t i)
+{
+    SynthInst inst;
+    inst.op = OpClass::IntAlu;
+    inst.pc = 0x1000 + (i % 256) * 4;
+    return inst;
+}
+
+TEST(OooCore, IndependentAluStreamReachesFullWidth)
+{
+    Rig rig(aluAt);
+    const double ipc = rig.runWarm(8000, 20000);
+    // 4-wide machine with no hazards: IPC close to 4.
+    EXPECT_GT(ipc, 3.7);
+    EXPECT_LE(ipc, 4.0);
+}
+
+TEST(OooCore, SerialDependenceChainLimitsIpcToOne)
+{
+    Rig rig([](std::uint64_t i) {
+        SynthInst inst = aluAt(i);
+        inst.depDist[0] = 1; // each op needs its predecessor
+        return inst;
+    });
+    const double ipc = rig.runWarm(8000, 20000);
+    EXPECT_GT(ipc, 0.9);
+    EXPECT_LT(ipc, 1.1);
+}
+
+TEST(OooCore, FpDividesSerializeOnTheSingleUnit)
+{
+    Rig rig([](std::uint64_t i) {
+        SynthInst inst = aluAt(i);
+        inst.op = OpClass::FpDiv;
+        return inst;
+    });
+    const double ipc = rig.run(20000);
+    // One unpipelined FP divider, 12-cycle latency: ~1/12 IPC.
+    EXPECT_NEAR(ipc, 1.0 / 12.0, 0.02);
+}
+
+TEST(OooCore, LoadsHittingL1SustainMemPortThroughput)
+{
+    Rig rig([](std::uint64_t i) {
+        SynthInst inst = aluAt(i);
+        inst.op = OpClass::Load;
+        // A tiny set of hot addresses: after warmup all L1 hits.
+        inst.effAddr = 0x100000 + (i % 16) * 8;
+        return inst;
+    });
+    const double ipc = rig.runWarm(8000, 20000);
+    // Two memory ports bound an all-load stream at 2 per cycle.
+    EXPECT_GT(ipc, 1.8);
+    EXPECT_LE(ipc, 2.05);
+}
+
+TEST(OooCore, ColdLoadsFillTheRuuWithOutstandingMisses)
+{
+    Rig rig([](std::uint64_t i) {
+        SynthInst inst = aluAt(i);
+        inst.op = OpClass::Load;
+        // Every load misses everywhere (streaming).
+        inst.effAddr = 0x1000000 + i * blockBytes;
+        return inst;
+    });
+    rig.run(2000);
+    // Long-latency misses back the machine up to the L1 MSHR bound
+    // (16 outstanding misses) plus issued-but-stalled work.
+    EXPECT_GT(rig.core.ruuOccupancy(), 16u);
+    EXPECT_GT(rig.core.lsqOccupancy(), 16u);
+    EXPECT_GT(rig.mem.l1d().mshrs().structuralStalls(), 0u);
+}
+
+TEST(OooCore, MispredictedBranchesThrottleFetch)
+{
+    // Never-taken branches that the predictor learns perfectly vs
+    // 50/50 random branches.
+    Rig predictable([](std::uint64_t i) {
+        SynthInst inst = aluAt(i);
+        if (i % 4 == 3) {
+            inst.op = OpClass::Branch;
+            inst.pc = 0x2000;
+            inst.taken = false;
+        }
+        return inst;
+    });
+    auto rng = std::make_shared<Rng>(99);
+    Rig random([rng](std::uint64_t i) {
+        SynthInst inst = aluAt(i);
+        if (i % 4 == 3) {
+            inst.op = OpClass::Branch;
+            inst.pc = 0x2000;
+            inst.taken = rng->chance(0.5); // irreducibly random
+            inst.target = 0x3000;
+        }
+        return inst;
+    });
+    const double ipc_good = predictable.runWarm(8000, 30000);
+    const double ipc_bad = random.runWarm(8000, 30000);
+    EXPECT_GT(ipc_good, ipc_bad * 1.5);
+    EXPECT_GT(random.core.predictor().mispredictRate(), 0.2);
+}
+
+TEST(OooCore, TakenBranchLimitsFetchToOneBasicBlockPerCycle)
+{
+    // Alternating taken branches: fetch can pass at most one taken
+    // branch per cycle, capping IPC near the run length.
+    Rig rig([](std::uint64_t i) {
+        SynthInst inst;
+        if (i % 2 == 0) {
+            inst.op = OpClass::IntAlu;
+            inst.pc = 0x1000;
+        } else {
+            inst.op = OpClass::Branch;
+            inst.pc = 0x1004;
+            inst.taken = true;
+            inst.target = 0x1000;
+        }
+        return inst;
+    });
+    const double ipc = rig.run(30000);
+    EXPECT_LT(ipc, 2.3);
+    EXPECT_GT(ipc, 1.2);
+}
+
+TEST(OooCore, StoreToLoadForwardingHappens)
+{
+    Rig rig([](std::uint64_t i) {
+        SynthInst inst = aluAt(i);
+        if (i % 8 == 0) {
+            inst.op = OpClass::Store;
+            inst.effAddr = 0x100000 + (i % 64) * 8;
+        } else if (i % 8 == 1) {
+            inst.op = OpClass::Load;
+            inst.effAddr = 0x100000 + ((i - 1) % 64) * 8;
+        }
+        return inst;
+    });
+    rig.run(10000);
+    EXPECT_GT(rig.core.committed(), 0u);
+    // Loads one instruction behind a same-word store forward.
+    EXPECT_GT(rig.core.forwardedLoads(), 0u);
+}
+
+TEST(OooCore, CommittedMemOpsCountsLoadsAndStores)
+{
+    Rig rig([](std::uint64_t i) {
+        SynthInst inst = aluAt(i);
+        if (i % 2 == 0) {
+            inst.op = OpClass::Load;
+            inst.effAddr = 0x100000 + (i % 8) * 8;
+        }
+        return inst;
+    });
+    rig.run(5000);
+    const Counter committed = rig.core.committed();
+    const Counter mem_ops = rig.core.committedMemOps();
+    EXPECT_NEAR(static_cast<double>(mem_ops) /
+                    static_cast<double>(committed),
+                0.5, 0.05);
+}
+
+TEST(OooCore, IcacheMissesStallFetch)
+{
+    // Jump across a huge code footprint every instruction: every
+    // line is cold, so fetch pays an L2I/L3/memory trip per line.
+    Rig rig([](std::uint64_t i) {
+        SynthInst inst;
+        inst.op = OpClass::IntAlu;
+        inst.pc = 0x1000 + i * 4096;
+        return inst;
+    });
+    const double ipc = rig.run(20000);
+    EXPECT_LT(ipc, 0.1);
+}
+
+TEST(OooCore, DeterministicAcrossRuns)
+{
+    Rig a(aluAt), b(aluAt);
+    a.run(5000);
+    b.run(5000);
+    EXPECT_EQ(a.core.committed(), b.core.committed());
+}
+
+} // namespace
+} // namespace nuca

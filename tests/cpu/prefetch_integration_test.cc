@@ -1,0 +1,105 @@
+/** @file Integration tests: the stride prefetcher in the hierarchy. */
+
+#include <gtest/gtest.h>
+
+#include "base/random.hh"
+#include "cpu/memory_system.hh"
+#include "mem/main_memory.hh"
+#include "nuca/private_l3.hh"
+
+namespace nuca {
+namespace {
+
+struct Rig
+{
+    explicit Rig(bool prefetch)
+        : root("t"),
+          memory(root, "memory", MainMemoryParams{258, 4, 8}),
+          l3(root, PrivateL3Params{}, memory)
+    {
+        CoreMemoryParams params;
+        params.enablePrefetcher = prefetch;
+        mem = std::make_unique<MemorySystem>(root, "mem", 0, params,
+                                             l3);
+    }
+
+    stats::Group root;
+    MainMemory memory;
+    PrivateL3 l3;
+    std::unique_ptr<MemorySystem> mem;
+};
+
+TEST(PrefetchIntegration, DisabledByDefault)
+{
+    stats::Group root("t");
+    MainMemory memory(root, "memory", MainMemoryParams{});
+    PrivateL3 l3(root, PrivateL3Params{}, memory);
+    MemorySystem mem(root, "mem", 0, CoreMemoryParams{}, l3);
+    EXPECT_EQ(mem.prefetcher(), nullptr);
+    EXPECT_EQ(mem.prefetchesIssued(), 0u);
+}
+
+TEST(PrefetchIntegration, StreamingLoadsPrefetchIntoL2)
+{
+    Rig rig(true);
+    const Addr pc = 0x1000;
+    Cycle now = 0;
+    // A steady one-block stride from one load PC.
+    for (unsigned i = 0; i < 32; ++i)
+        rig.mem->dataAccess(0x100000 + i * 64, false, now += 1000, pc);
+    EXPECT_GT(rig.mem->prefetchesIssued(), 10u);
+
+    // Blocks ahead of the stream are already in the L2.
+    EXPECT_TRUE(rig.mem->l2d().tags().probe(0x100000 + 33 * 64));
+}
+
+TEST(PrefetchIntegration, PrefetchHidesMemoryLatency)
+{
+    // Demand misses behind the prefetcher become L2 hits: compare
+    // the demand latency of a late stream element with and without.
+    const auto lastLatency = [](bool prefetch) {
+        Rig rig(prefetch);
+        Cycle now = 0;
+        Cycle last = 0;
+        for (unsigned i = 0; i < 64; ++i) {
+            const Cycle start = now += 2000;
+            last = rig.mem->dataAccess(0x200000 + i * 64, false,
+                                       start, 0x1000) -
+                   start;
+        }
+        return last;
+    };
+    const Cycle without = lastLatency(false);
+    const Cycle with = lastLatency(true);
+    EXPECT_GT(without, 200u); // raw memory trip
+    EXPECT_LT(with, 40u);     // L2 hit thanks to the prefetcher
+}
+
+TEST(PrefetchIntegration, RandomAccessesDoNotPrefetch)
+{
+    Rig rig(true);
+    Rng rng(9);
+    Cycle now = 0;
+    for (int i = 0; i < 200; ++i) {
+        const Addr addr = rng.below(1u << 24) & ~0x7ull;
+        rig.mem->dataAccess(addr, false, now += 500, 0x1000);
+    }
+    // No stable stride: essentially nothing issued.
+    EXPECT_LT(rig.mem->prefetchesIssued(), 8u);
+}
+
+TEST(PrefetchIntegration, PrefetchTrafficReachesTheL3)
+{
+    Rig rig(true);
+    Cycle now = 0;
+    const Counter before = rig.memory.fetches();
+    for (unsigned i = 0; i < 32; ++i)
+        rig.mem->dataAccess(0x300000 + i * 64, false, now += 1000,
+                            0x2000);
+    // Prefetches fetch real blocks: memory sees more than the 32
+    // demand blocks.
+    EXPECT_GT(rig.memory.fetches() - before, 32u);
+}
+
+} // namespace
+} // namespace nuca

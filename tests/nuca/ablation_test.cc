@@ -1,0 +1,71 @@
+/** @file Tests for the adaptation-freeze ablation knob. */
+
+#include <gtest/gtest.h>
+
+#include "mem/main_memory.hh"
+#include "nuca/adaptive_nuca.hh"
+
+namespace nuca {
+namespace {
+
+TEST(AdaptationAblation, FrozenEngineNeverMovesQuotas)
+{
+    stats::Group g("g");
+    SharingEngineParams params;
+    params.numCores = 4;
+    params.numSets = 64;
+    params.totalWays = 16;
+    params.localAssoc = 4;
+    params.initialQuota = 4;
+    params.adaptationEnabled = false;
+    SharingEngine engine(g, params);
+
+    // Strong gain signal for core 0, no losses anywhere.
+    for (int i = 0; i < 50; ++i) {
+        engine.recordEviction(0, 0, 0x100 + i);
+        engine.observeMiss(0, 0, 0x100 + i);
+    }
+    engine.repartitionNow();
+    EXPECT_EQ(engine.repartitions(), 0u);
+    for (CoreId c = 0; c < 4; ++c)
+        EXPECT_EQ(engine.quota(c), 4u);
+}
+
+TEST(AdaptationAblation, EstimatorsStillCountWhenFrozen)
+{
+    stats::Group g("g");
+    SharingEngineParams params;
+    params.numCores = 4;
+    params.numSets = 64;
+    params.totalWays = 16;
+    params.localAssoc = 4;
+    params.initialQuota = 4;
+    params.adaptationEnabled = false;
+    SharingEngine engine(g, params);
+    engine.recordEviction(1, 2, 0xaa);
+    EXPECT_TRUE(engine.observeMiss(1, 2, 0xaa));
+    EXPECT_EQ(engine.shadowHitsOf(2), 1u);
+}
+
+TEST(AdaptationAblation, FrozenNucaStillSharesSpareCapacity)
+{
+    stats::Group g("g");
+    MainMemory memory(g, "memory", MainMemoryParams{});
+    AdaptiveNucaParams params;
+    params.sizePerCoreBytes = 64 * 1024;
+    params.adaptationEnabled = false;
+    AdaptiveNuca nuca(g, params, memory);
+
+    // A single active core can still spill into idle neighbors:
+    // lazy sharing is structural, not part of the controller.
+    for (unsigned t = 0; t < 16; ++t) {
+        const Addr a = (t * nuca.numSets()) * blockBytes;
+        nuca.access(MemRequest{0, a, MemOp::Read}, t * 100);
+    }
+    EXPECT_EQ(nuca.ownedCount(0, 0), 16u);
+    EXPECT_EQ(nuca.engine().quota(0), 4u);
+    nuca.checkInvariants();
+}
+
+} // namespace
+} // namespace nuca

@@ -1,0 +1,189 @@
+/** @file
+ * Conformance suite: every L3 organization must honor the same
+ * interface contract. Parameterized over the four schemes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "base/random.hh"
+#include "mem/main_memory.hh"
+#include "nuca/adaptive_nuca.hh"
+#include "nuca/private_l3.hh"
+#include "nuca/random_replacement_l3.hh"
+#include "nuca/shared_l3.hh"
+
+namespace nuca {
+namespace {
+
+enum class Scheme
+{
+    Private,
+    Shared,
+    Adaptive,
+    RandomReplacement,
+};
+
+struct Rig
+{
+    explicit Rig(Scheme scheme)
+        : root("t"), memory(root, "memory", MainMemoryParams{})
+    {
+        switch (scheme) {
+          case Scheme::Private: {
+              PrivateL3Params p;
+              p.sizePerCoreBytes = 64 * 1024;
+              l3 = std::make_unique<PrivateL3>(root, p, memory);
+              break;
+          }
+          case Scheme::Shared: {
+              SharedL3Params p;
+              p.sizeBytes = 256 * 1024;
+              l3 = std::make_unique<SharedL3>(root, p, memory);
+              break;
+          }
+          case Scheme::Adaptive: {
+              AdaptiveNucaParams p;
+              p.sizePerCoreBytes = 64 * 1024;
+              l3 = std::make_unique<AdaptiveNuca>(root, p, memory);
+              break;
+          }
+          case Scheme::RandomReplacement: {
+              RandomReplacementL3Params p;
+              p.sizePerCoreBytes = 64 * 1024;
+              l3 = std::make_unique<RandomReplacementL3>(root, p,
+                                                         memory);
+              break;
+          }
+        }
+    }
+
+    stats::Group root;
+    MainMemory memory;
+    std::unique_ptr<L3Organization> l3;
+};
+
+class L3Conformance : public ::testing::TestWithParam<Scheme>
+{};
+
+TEST_P(L3Conformance, ColdAccessMissesAndPaysMemoryLatency)
+{
+    Rig rig(GetParam());
+    const auto res =
+        rig.l3->access(MemRequest{0, 0x1000, MemOp::Read}, 100);
+    EXPECT_EQ(res.where, L3Result::Where::Miss);
+    EXPECT_GE(res.ready, 100u + 258u);
+    EXPECT_EQ(rig.memory.fetches(), 1u);
+}
+
+TEST_P(L3Conformance, SecondAccessHitsWithoutMemoryTraffic)
+{
+    Rig rig(GetParam());
+    rig.l3->access(MemRequest{2, 0x1000, MemOp::Read}, 0);
+    const auto res =
+        rig.l3->access(MemRequest{2, 0x1000, MemOp::Read}, 1000);
+    EXPECT_TRUE(res.isHit());
+    // A hit takes the local (14) or remote/shared (19) latency.
+    EXPECT_GE(res.ready, 1000u + 14u);
+    EXPECT_LE(res.ready, 1000u + 19u);
+    EXPECT_EQ(rig.memory.fetches(), 1u);
+}
+
+TEST_P(L3Conformance, HitNeverPrecedesRequest)
+{
+    Rig rig(GetParam());
+    Rng rng(5);
+    for (int i = 0; i < 2000; ++i) {
+        const auto core = static_cast<CoreId>(rng.below(4));
+        const Addr addr =
+            (rng.below(64) + 1000 * static_cast<Addr>(core)) *
+            blockBytes;
+        const Cycle now = static_cast<Cycle>(i) * 7;
+        const auto res = rig.l3->access(
+            MemRequest{core, addr,
+                       rng.chance(0.2) ? MemOp::Write : MemOp::Read},
+            now);
+        ASSERT_GT(res.ready, now);
+    }
+}
+
+TEST_P(L3Conformance, WriteThenEvictionReachesMemory)
+{
+    Rig rig(GetParam());
+    // Dirty a block, then flood its set from the same core far past
+    // any organization's total capacity.
+    rig.l3->access(MemRequest{0, 0x0, MemOp::Write}, 0);
+    for (unsigned t = 1; t <= 40; ++t) {
+        rig.l3->access(MemRequest{0,
+                                  static_cast<Addr>(t) * 1024 * 1024,
+                                  MemOp::Read},
+                       t * 100);
+    }
+    EXPECT_GE(rig.memory.writebacks(), 1u);
+}
+
+TEST_P(L3Conformance, WritebackFromL2OfAbsentBlockGoesToMemory)
+{
+    Rig rig(GetParam());
+    const Counter before = rig.memory.writebacks();
+    rig.l3->writebackFromL2(1, 0xdead000, 50);
+    EXPECT_EQ(rig.memory.writebacks(), before + 1);
+}
+
+TEST_P(L3Conformance, WritebackFromL2OfPresentBlockIsAbsorbed)
+{
+    Rig rig(GetParam());
+    rig.l3->access(MemRequest{3, 0x2000, MemOp::Read}, 0);
+    const Counter before = rig.memory.writebacks();
+    rig.l3->writebackFromL2(3, 0x2000, 100);
+    EXPECT_EQ(rig.memory.writebacks(), before);
+}
+
+TEST_P(L3Conformance, SchemeNameIsStable)
+{
+    Rig rig(GetParam());
+    EXPECT_FALSE(rig.l3->schemeName().empty());
+}
+
+TEST_P(L3Conformance, CapacityIsBounded)
+{
+    // Touch far more distinct blocks than the organization can hold;
+    // re-touching them all must produce a substantial miss count
+    // (no organization can conjure capacity).
+    Rig rig(GetParam());
+    const unsigned blocks = 3 * 4096; // 3x the 256 KB total capacity
+    Cycle now = 0;
+    for (unsigned round = 0; round < 2; ++round) {
+        for (unsigned b = 0; b < blocks; ++b) {
+            rig.l3->access(MemRequest{static_cast<CoreId>(b % 4),
+                                      static_cast<Addr>(b) *
+                                          blockBytes,
+                                      MemOp::Read},
+                           now += 3);
+        }
+    }
+    // Second round: at most 1/3 of blocks can have survived.
+    EXPECT_GE(rig.memory.fetches(), blocks + 2 * blocks / 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, L3Conformance,
+    ::testing::Values(Scheme::Private, Scheme::Shared,
+                      Scheme::Adaptive, Scheme::RandomReplacement),
+    [](const ::testing::TestParamInfo<Scheme> &info) {
+        switch (info.param) {
+          case Scheme::Private:
+            return "Private";
+          case Scheme::Shared:
+            return "Shared";
+          case Scheme::Adaptive:
+            return "Adaptive";
+          case Scheme::RandomReplacement:
+            return "RandomReplacement";
+        }
+        return "Unknown";
+    });
+
+} // namespace
+} // namespace nuca

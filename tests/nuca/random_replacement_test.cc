@@ -1,0 +1,184 @@
+/** @file Unit tests for the Chang & Sohi-style random-replacement
+ * hybrid (paper Section 4.7). */
+
+#include <gtest/gtest.h>
+
+#include "mem/main_memory.hh"
+#include "nuca/random_replacement_l3.hh"
+
+namespace nuca {
+namespace {
+
+struct Fixture
+{
+    explicit Fixture(std::uint64_t seed = 1)
+        : root("t"), memory(root, "memory", MainMemoryParams{})
+    {
+        RandomReplacementL3Params params;
+        params.sizePerCoreBytes = 64 * 1024;
+        params.seed = seed;
+        l3 = std::make_unique<RandomReplacementL3>(root, params,
+                                                   memory);
+    }
+
+    Addr
+    addr(unsigned set, std::uint64_t t) const
+    {
+        return (t * l3->cacheOf(0).numSets() + set) * blockBytes;
+    }
+
+    L3Result
+    read(CoreId core, Addr a, Cycle now = 0)
+    {
+        return l3->access(MemRequest{core, a, MemOp::Read}, now);
+    }
+
+    /** Cores holding block @p a. */
+    std::vector<CoreId>
+    holders(Addr a)
+    {
+        std::vector<CoreId> out;
+        for (CoreId c = 0; c < 4; ++c) {
+            if (l3->cacheOf(c).probe(a))
+                out.push_back(c);
+        }
+        return out;
+    }
+
+    stats::Group root;
+    MainMemory memory;
+    std::unique_ptr<RandomReplacementL3> l3;
+};
+
+TEST(RandomReplacement, LocalMissAndHitTiming)
+{
+    Fixture f;
+    const auto miss = f.read(0, 0x1000, 10);
+    EXPECT_EQ(miss.where, L3Result::Where::Miss);
+    EXPECT_EQ(miss.ready, 10u + 260u);
+    const auto hit = f.read(0, 0x1000, 400);
+    EXPECT_EQ(hit.where, L3Result::Where::LocalHit);
+    EXPECT_EQ(hit.ready, 400u + 14u);
+}
+
+TEST(RandomReplacement, OwnVictimSpillsToNeighbor)
+{
+    Fixture f;
+    // Core 0 fills one set past its associativity: each overflow
+    // spills the victim (owner == home) into a random neighbor.
+    for (unsigned t = 0; t < 5; ++t)
+        f.read(0, f.addr(2, t), t * 10);
+    EXPECT_EQ(f.l3->spills(), 1u);
+    // The spilled block (tag 0, the LRU at overflow) lives in
+    // exactly one neighbor.
+    const auto where = f.holders(f.addr(2, 0));
+    ASSERT_EQ(where.size(), 1u);
+    EXPECT_NE(where[0], 0);
+}
+
+TEST(RandomReplacement, SpilledBlockIsNeverReSpilled)
+{
+    Fixture f;
+    // Spill core 0's block into a neighbor, then flood that
+    // neighbor's set with the neighbor's own blocks: the foreign
+    // block must be dropped, not forwarded again.
+    for (unsigned t = 0; t < 5; ++t)
+        f.read(0, f.addr(2, t), t * 10);
+    const auto where = f.holders(f.addr(2, 0));
+    ASSERT_EQ(where.size(), 1u);
+    const CoreId host = where[0];
+
+    const Counter drops_before = f.l3->spillDrops();
+    for (unsigned t = 100; t < 120; ++t)
+        f.read(host, f.addr(2, t), 1000 + t);
+    EXPECT_GT(f.l3->spillDrops(), drops_before);
+    EXPECT_TRUE(f.holders(f.addr(2, 0)).empty());
+}
+
+TEST(RandomReplacement, RemoteHitMigratesBack)
+{
+    Fixture f;
+    // Spill a block of core 0 to a neighbor, then access it again.
+    for (unsigned t = 0; t < 5; ++t)
+        f.read(0, f.addr(2, t), t * 10);
+    ASSERT_EQ(f.holders(f.addr(2, 0)).size(), 1u);
+
+    const auto res = f.read(0, f.addr(2, 0), 5000);
+    EXPECT_EQ(res.where, L3Result::Where::RemoteHit);
+    EXPECT_EQ(res.ready, 5000u + 19u);
+    // Migrated home: present in core 0, gone from the neighbor.
+    const auto where = f.holders(f.addr(2, 0));
+    ASSERT_EQ(where.size(), 1u);
+    EXPECT_EQ(where[0], 0);
+}
+
+TEST(RandomReplacement, SpillTargetsAreRandomized)
+{
+    // Across many spills the three neighbors all receive blocks.
+    Fixture f(/*seed=*/77);
+    std::vector<bool> seen(4, false);
+    for (unsigned set = 0; set < 32; ++set) {
+        for (unsigned t = 0; t < 5; ++t)
+            f.read(0, f.addr(set, t), set * 100 + t);
+        for (CoreId c = 1; c < 4; ++c) {
+            if (f.l3->cacheOf(c).probe(f.addr(set, 0)) ||
+                f.l3->cacheOf(c).probe(f.addr(set, 1))) {
+                seen[static_cast<unsigned>(c)] = true;
+            }
+        }
+    }
+    EXPECT_TRUE(seen[1]);
+    EXPECT_TRUE(seen[2]);
+    EXPECT_TRUE(seen[3]);
+    EXPECT_FALSE(seen[0]);
+}
+
+TEST(RandomReplacement, DirtyDropsWriteBack)
+{
+    Fixture f;
+    // Dirty block spilled then dropped must reach memory.
+    f.l3->access(MemRequest{0, f.addr(3, 0), MemOp::Write}, 0);
+    for (unsigned t = 1; t < 5; ++t)
+        f.read(0, f.addr(3, t), t * 10);
+    const auto where = f.holders(f.addr(3, 0));
+    ASSERT_EQ(where.size(), 1u);
+    const CoreId host = where[0];
+    const Counter wb_before = f.memory.writebacks();
+    for (unsigned t = 100; t < 120; ++t)
+        f.read(host, f.addr(3, t), 1000 + t);
+    EXPECT_GT(f.memory.writebacks(), wb_before);
+}
+
+TEST(RandomReplacement, WritebackFromL2FindsMigratedBlock)
+{
+    Fixture f;
+    for (unsigned t = 0; t < 5; ++t)
+        f.read(0, f.addr(2, t), t * 10);
+    // Block tag 0 now lives in a neighbor; the L2 writeback must
+    // find and dirty it there rather than going to memory.
+    const Counter before = f.memory.writebacks();
+    f.l3->writebackFromL2(0, f.addr(2, 0), 500);
+    EXPECT_EQ(f.memory.writebacks(), before);
+}
+
+TEST(RandomReplacement, DeterministicForFixedSeed)
+{
+    Fixture a(42), b(42);
+    for (unsigned set = 0; set < 8; ++set) {
+        for (unsigned t = 0; t < 6; ++t) {
+            a.read(0, a.addr(set, t), set * 100 + t);
+            b.read(0, b.addr(set, t), set * 100 + t);
+        }
+    }
+    for (CoreId c = 0; c < 4; ++c) {
+        for (unsigned set = 0; set < 8; ++set) {
+            for (unsigned t = 0; t < 6; ++t) {
+                EXPECT_EQ(a.l3->cacheOf(c).probe(a.addr(set, t)),
+                          b.l3->cacheOf(c).probe(b.addr(set, t)));
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace nuca

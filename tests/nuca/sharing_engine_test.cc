@@ -1,0 +1,290 @@
+/** @file Unit tests for the sharing engine (estimators + policy). */
+
+#include <gtest/gtest.h>
+
+#include "base/random.hh"
+#include "nuca/sharing_engine.hh"
+
+namespace nuca {
+namespace {
+
+SharingEngineParams
+smallParams()
+{
+    SharingEngineParams p;
+    p.numCores = 4;
+    p.numSets = 64;
+    p.totalWays = 16;
+    p.localAssoc = 4;
+    p.initialQuota = 4;
+    p.epochMisses = 100;
+    return p;
+}
+
+TEST(SharingEngine, InitialQuotasAreThePaperSplit)
+{
+    stats::Group g("g");
+    SharingEngine engine(g, smallParams());
+    for (CoreId c = 0; c < 4; ++c) {
+        // Quota 4 = 3 private ways (75% of the local cache) plus the
+        // 1-block contribution to the shared partition.
+        EXPECT_EQ(engine.quota(c), 4u);
+        EXPECT_EQ(engine.privateWays(c), 3u);
+    }
+}
+
+TEST(SharingEngine, MaxQuotaLeavesMinimumForOthers)
+{
+    stats::Group g("g");
+    SharingEngine engine(g, smallParams());
+    // 16 ways minus 3 cores * minQuota(2) = 10.
+    EXPECT_EQ(engine.maxQuota(), 10u);
+}
+
+TEST(SharingEngine, PrivateWaysClampedToLocalAssoc)
+{
+    stats::Group g("g");
+    auto params = smallParams();
+    params.epochMisses = 1;
+    SharingEngine engine(g, params);
+    // Drive core 0 up: core 0 shadow hits, others none; core 1 has
+    // no LRU hits.
+    for (int round = 0; round < 10; ++round) {
+        engine.recordEviction(0, 0, 1000 + round);
+        engine.observeMiss(0, 0, 1000 + round); // shadow hit, epoch
+    }
+    EXPECT_GT(engine.quota(0), 4u);
+    // privateWays never exceeds the local associativity.
+    EXPECT_EQ(engine.privateWays(0), 4u);
+}
+
+TEST(SharingEngine, ShadowTagHitDetection)
+{
+    stats::Group g("g");
+    SharingEngine engine(g, smallParams());
+    engine.recordEviction(5, 2, 0xabc);
+    // Miss by the same core on the recorded tag: shadow hit.
+    EXPECT_TRUE(engine.observeMiss(5, 2, 0xabc));
+    EXPECT_EQ(engine.shadowHitsOf(2), 1u);
+    // A different tag or a different core does not match.
+    EXPECT_FALSE(engine.observeMiss(5, 2, 0xdef));
+    EXPECT_FALSE(engine.observeMiss(5, 1, 0xabc));
+    EXPECT_EQ(engine.shadowHitsOf(1), 0u);
+}
+
+TEST(SharingEngine, ShadowTagOverwrittenByNewerEviction)
+{
+    stats::Group g("g");
+    SharingEngine engine(g, smallParams());
+    engine.recordEviction(3, 0, 0x111);
+    engine.recordEviction(3, 0, 0x222);
+    EXPECT_FALSE(engine.observeMiss(3, 0, 0x111));
+    EXPECT_TRUE(engine.observeMiss(3, 0, 0x222));
+}
+
+TEST(SharingEngine, RepartitionMovesQuotaFromMinLossToMaxGain)
+{
+    stats::Group g("g");
+    auto params = smallParams();
+    SharingEngine engine(g, params);
+
+    // Core 3 gains the most (most shadow hits); core 1 loses the
+    // least (fewest LRU hits).
+    engine.recordEviction(0, 3, 0x1);
+    engine.observeMiss(0, 3, 0x1);
+    engine.recordEviction(1, 3, 0x2);
+    engine.observeMiss(1, 3, 0x2);
+    engine.countLruHit(0);
+    engine.countLruHit(0);
+    engine.countLruHit(2);
+    engine.countLruHit(2);
+    engine.countLruHit(3);
+
+    engine.repartitionNow();
+    EXPECT_EQ(engine.quota(3), 5u);
+    EXPECT_EQ(engine.quota(1), 3u);
+    EXPECT_EQ(engine.quota(0), 4u);
+    EXPECT_EQ(engine.quota(2), 4u);
+    EXPECT_EQ(engine.repartitions(), 1u);
+}
+
+TEST(SharingEngine, NoMoveWhenGainDoesNotExceedLoss)
+{
+    stats::Group g("g");
+    SharingEngine engine(g, smallParams());
+    // Gain (1 shadow hit) equals loss (1 LRU hit) for every core:
+    // the strict comparison blocks the move.
+    engine.recordEviction(0, 0, 0x1);
+    engine.observeMiss(0, 0, 0x1);
+    for (CoreId c = 0; c < 4; ++c)
+        engine.countLruHit(c);
+    engine.repartitionNow();
+    EXPECT_EQ(engine.repartitions(), 0u);
+    for (CoreId c = 0; c < 4; ++c)
+        EXPECT_EQ(engine.quota(c), 4u);
+}
+
+TEST(SharingEngine, GainerExcludedFromLoserSearch)
+{
+    stats::Group g("g");
+    SharingEngine engine(g, smallParams());
+    // Core 0 has both the most shadow hits and the fewest LRU hits;
+    // the loser search skips it (a core cannot trade with itself)
+    // and picks the cheapest other core.
+    engine.recordEviction(0, 0, 0x1);
+    engine.observeMiss(0, 0, 0x1);
+    engine.recordEviction(1, 0, 0x2);
+    engine.observeMiss(1, 0, 0x2);
+    engine.countLruHit(1);
+    engine.countLruHit(2);
+    engine.countLruHit(2);
+    engine.countLruHit(3);
+    engine.countLruHit(3);
+    engine.repartitionNow();
+    EXPECT_EQ(engine.repartitions(), 1u);
+    EXPECT_EQ(engine.quota(0), 5u);
+    EXPECT_EQ(engine.quota(1), 3u);
+}
+
+TEST(SharingEngine, CountersResetEachEpoch)
+{
+    stats::Group g("g");
+    SharingEngine engine(g, smallParams());
+    engine.recordEviction(0, 0, 0x1);
+    engine.observeMiss(0, 0, 0x1);
+    engine.countLruHit(1);
+    engine.repartitionNow();
+    EXPECT_EQ(engine.shadowHitsOf(0), 0u);
+    EXPECT_EQ(engine.lruHitsOf(1), 0u);
+}
+
+TEST(SharingEngine, EpochTriggersOnMissCount)
+{
+    stats::Group g("g");
+    auto params = smallParams();
+    params.epochMisses = 10;
+    SharingEngine engine(g, params);
+    // Give core 2 a clear gain so each epoch moves one block.
+    for (int i = 0; i < 9; ++i) {
+        engine.recordEviction(0, 2, 0x100 + i);
+        engine.observeMiss(0, 2, 0x100 + i);
+    }
+    EXPECT_EQ(engine.quota(2), 4u); // epoch not yet complete
+    engine.recordEviction(0, 2, 0x200);
+    engine.observeMiss(0, 2, 0x200); // 10th miss -> repartition
+    EXPECT_EQ(engine.quota(2), 5u);
+    EXPECT_EQ(engine.epochProgress(), 0u);
+}
+
+TEST(SharingEngine, QuotaSumInvariantUnderStress)
+{
+    stats::Group g("g");
+    auto params = smallParams();
+    params.epochMisses = 5;
+    SharingEngine engine(g, params);
+    Rng rng(3);
+    for (int i = 0; i < 5000; ++i) {
+        const auto set = static_cast<unsigned>(rng.below(64));
+        const auto core = static_cast<CoreId>(rng.below(4));
+        const Addr tag = rng.below(512);
+        engine.recordEviction(set, core, tag);
+        engine.observeMiss(set, static_cast<CoreId>(rng.below(4)),
+                           rng.below(512));
+        if (rng.chance(0.3))
+            engine.countLruHit(static_cast<CoreId>(rng.below(4)));
+
+        unsigned sum = 0;
+        for (CoreId c = 0; c < 4; ++c) {
+            const unsigned q = engine.quota(c);
+            ASSERT_GE(q, 2u);
+            ASSERT_LE(q, engine.maxQuota());
+            sum += q;
+        }
+        ASSERT_EQ(sum, 16u);
+    }
+}
+
+TEST(SharingEngine, SampledSetsAreLowestIndexed)
+{
+    stats::Group g("g");
+    auto params = smallParams();
+    params.shadowSampleShift = 4; // 1/16 of 64 sets = 4 sets
+    SharingEngine engine(g, params);
+    EXPECT_EQ(engine.sampledSets(), 4u);
+    EXPECT_TRUE(engine.setIsSampled(0));
+    EXPECT_TRUE(engine.setIsSampled(3));
+    EXPECT_FALSE(engine.setIsSampled(4));
+    EXPECT_FALSE(engine.setIsSampled(63));
+}
+
+TEST(SharingEngine, UnsampledSetsDoNotCountShadowHits)
+{
+    stats::Group g("g");
+    auto params = smallParams();
+    params.shadowSampleShift = 4;
+    SharingEngine engine(g, params);
+    engine.recordEviction(60, 0, 0x9);
+    EXPECT_FALSE(engine.observeMiss(60, 0, 0x9));
+    EXPECT_EQ(engine.shadowHitsOf(0), 0u);
+}
+
+TEST(SharingEngine, SampledShadowHitsScaledAgainstLruHits)
+{
+    stats::Group g("g");
+    auto params = smallParams();
+    params.shadowSampleShift = 4; // scale factor 16
+    SharingEngine engine(g, params);
+    // 1 sampled shadow hit for core 0 scales to 16; core 1 loses 10
+    // LRU hits; 16 > 10, so the move happens.
+    engine.recordEviction(0, 0, 0x1);
+    engine.observeMiss(0, 0, 0x1);
+    for (int i = 0; i < 10; ++i)
+        engine.countLruHit(1);
+    for (int i = 0; i < 11; ++i)
+        engine.countLruHit(0); // core 0 must not be the loser
+    for (int i = 0; i < 12; ++i) {
+        engine.countLruHit(2);
+        engine.countLruHit(3);
+    }
+    engine.repartitionNow();
+    EXPECT_EQ(engine.quota(0), 5u);
+    EXPECT_EQ(engine.quota(1), 3u);
+}
+
+TEST(SharingEngine, StorageCostMatchesSection27)
+{
+    stats::Group g("g");
+    // The baseline: 4096 sets, 4 cores, 16 ways. With full shadow
+    // tags the paper's formula is s*p*t + log2(p)*b + p*3*w.
+    SharingEngineParams p;
+    p.numCores = 4;
+    p.numSets = 4096;
+    p.totalWays = 16;
+    p.localAssoc = 4;
+    p.initialQuota = 4;
+    p.tagBits = 36;
+    p.counterBits = 16;
+    SharingEngine engine(g, p);
+    EXPECT_EQ(engine.shadowTagBits(), 4096ull * 4 * 36);
+    EXPECT_EQ(engine.coreIdBits(), 2ull * 4096 * 16);
+    EXPECT_EQ(engine.storageCostBits(),
+              4096ull * 4 * 36 + 2ull * 4096 * 16 + 4ull * 3 * 16);
+}
+
+TEST(SharingEngine, SampledStorageIsRoughly6Percent)
+{
+    stats::Group g("g");
+    SharingEngineParams p;
+    p.numCores = 4;
+    p.numSets = 4096;
+    p.totalWays = 16;
+    p.localAssoc = 4;
+    p.initialQuota = 4;
+    p.shadowSampleShift = 4; // 1/16 = 6.25% of the sets
+    SharingEngine engine(g, p);
+    EXPECT_EQ(engine.sampledSets(), 256u);
+    EXPECT_EQ(engine.shadowTagBits(), 256ull * 4 * 36);
+}
+
+} // namespace
+} // namespace nuca

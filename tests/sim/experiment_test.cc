@@ -1,0 +1,97 @@
+/** @file Tests for the multiprogrammed experiment methodology. */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+#include "sim/experiment.hh"
+#include "workload/spec_profiles.hh"
+
+namespace nuca {
+namespace {
+
+TEST(Experiment, MixesDrawFromPoolOnly)
+{
+    const std::vector<std::string> pool = {"mcf", "gzip", "ammp"};
+    const auto mixes = makeMixes(pool, 20, 4, 99);
+    ASSERT_EQ(mixes.size(), 20u);
+    for (const auto &mix : mixes) {
+        ASSERT_EQ(mix.apps.size(), 4u);
+        for (const auto &app : mix.apps) {
+            EXPECT_TRUE(app == "mcf" || app == "gzip" ||
+                        app == "ammp")
+                << app;
+        }
+    }
+}
+
+TEST(Experiment, MixesAreSeededDeterministically)
+{
+    const auto pool = llcIntensiveNames();
+    const auto a = makeMixes(pool, 10, 4, 5);
+    const auto b = makeMixes(pool, 10, 4, 5);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].apps, b[i].apps);
+        EXPECT_EQ(a[i].seed, b[i].seed);
+    }
+    const auto c = makeMixes(pool, 10, 4, 6);
+    bool any_diff = false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        any_diff |= a[i].apps != c[i].apps || a[i].seed != c[i].seed;
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Experiment, MixesVaryAcrossExperiments)
+{
+    const auto pool = allProfileNames();
+    const auto mixes = makeMixes(pool, 30, 4, 7);
+    std::set<std::vector<std::string>> distinct;
+    for (const auto &mix : mixes)
+        distinct.insert(mix.apps);
+    EXPECT_GT(distinct.size(), 25u);
+}
+
+TEST(Experiment, RunMixProducesPerCoreResults)
+{
+    SimWindow window{5000, 20000};
+    ExperimentSpec spec{{"eon", "mesa", "crafty", "wupwise"}, 11};
+    const auto result =
+        runMix(SystemConfig::baseline(L3Scheme::Private), spec,
+               window);
+    ASSERT_EQ(result.ipc.size(), 4u);
+    ASSERT_EQ(result.l3AccessesPerKilocycle.size(), 4u);
+    for (const double ipc : result.ipc)
+        EXPECT_GT(ipc, 0.0);
+}
+
+TEST(Experiment, EnvOverrideParsesNumbers)
+{
+    ::setenv("NUCA_TEST_ENV_VALUE", "12345", 1);
+    EXPECT_EQ(envOr("NUCA_TEST_ENV_VALUE", 1), 12345u);
+    ::unsetenv("NUCA_TEST_ENV_VALUE");
+    EXPECT_EQ(envOr("NUCA_TEST_ENV_VALUE", 42), 42u);
+    ::setenv("NUCA_TEST_ENV_EMPTY", "", 1);
+    EXPECT_EQ(envOr("NUCA_TEST_ENV_EMPTY", 7), 7u);
+    ::unsetenv("NUCA_TEST_ENV_EMPTY");
+}
+
+TEST(Experiment, WindowFromEnvUsesDefaults)
+{
+    ::unsetenv("REPRO_WARMUP_CYCLES");
+    ::unsetenv("REPRO_MEASURE_CYCLES");
+    const auto window = SimWindow::fromEnv(111, 222);
+    EXPECT_EQ(window.warmupCycles, 111u);
+    EXPECT_EQ(window.measureCycles, 222u);
+
+    ::setenv("REPRO_WARMUP_CYCLES", "333", 1);
+    ::setenv("REPRO_MEASURE_CYCLES", "444", 1);
+    const auto overridden = SimWindow::fromEnv(111, 222);
+    EXPECT_EQ(overridden.warmupCycles, 333u);
+    EXPECT_EQ(overridden.measureCycles, 444u);
+    ::unsetenv("REPRO_WARMUP_CYCLES");
+    ::unsetenv("REPRO_MEASURE_CYCLES");
+}
+
+} // namespace
+} // namespace nuca

@@ -1,0 +1,63 @@
+/** @file Unit tests for the summary metrics. */
+
+#include <gtest/gtest.h>
+
+#include "sim/metrics.hh"
+
+namespace nuca {
+namespace {
+
+TEST(Metrics, HarmonicMeanBasics)
+{
+    EXPECT_DOUBLE_EQ(harmonicMean({}), 0.0);
+    EXPECT_DOUBLE_EQ(harmonicMean({2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(harmonicMean({1.0, 1.0}), 1.0);
+    // H(1, 3) = 2 / (1 + 1/3) = 1.5.
+    EXPECT_DOUBLE_EQ(harmonicMean({1.0, 3.0}), 1.5);
+    EXPECT_DOUBLE_EQ(harmonicMean({1.0, 0.0}), 0.0);
+}
+
+TEST(Metrics, HarmonicIsDominatedBySlowest)
+{
+    // The paper's Section 2.6 argument: the harmonic mean tracks
+    // the slowest application far more than the arithmetic mean.
+    const std::vector<double> ipc = {0.03, 1.5, 1.5, 1.5};
+    EXPECT_LT(harmonicMean(ipc), 0.13);
+    EXPECT_GT(arithmeticMean(ipc), 1.1);
+}
+
+TEST(Metrics, ArithmeticMeanBasics)
+{
+    EXPECT_DOUBLE_EQ(arithmeticMean({}), 0.0);
+    EXPECT_DOUBLE_EQ(arithmeticMean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Metrics, GeometricMeanBasics)
+{
+    EXPECT_DOUBLE_EQ(geometricMean({}), 0.0);
+    EXPECT_DOUBLE_EQ(geometricMean({4.0, 1.0}), 2.0);
+    EXPECT_DOUBLE_EQ(geometricMean({2.0, 0.0}), 0.0);
+}
+
+TEST(Metrics, MeanInequalityHolds)
+{
+    const std::vector<double> v = {0.3, 0.9, 1.7, 2.5};
+    EXPECT_LE(harmonicMean(v), geometricMean(v));
+    EXPECT_LE(geometricMean(v), arithmeticMean(v));
+}
+
+TEST(Metrics, SpeedupsElementwise)
+{
+    const auto s = speedups({2.0, 3.0}, {1.0, 6.0});
+    ASSERT_EQ(s.size(), 2u);
+    EXPECT_DOUBLE_EQ(s[0], 2.0);
+    EXPECT_DOUBLE_EQ(s[1], 0.5);
+}
+
+TEST(Metrics, SpeedupsSizeMismatchPanics)
+{
+    EXPECT_DEATH(speedups({1.0}, {1.0, 2.0}), "differ");
+}
+
+} // namespace
+} // namespace nuca

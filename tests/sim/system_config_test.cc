@@ -1,0 +1,100 @@
+/** @file Tests pinning the system configurations to Table 1 and the
+ * evaluation section's variants. */
+
+#include <gtest/gtest.h>
+
+#include "sim/system_config.hh"
+
+namespace nuca {
+namespace {
+
+TEST(SystemConfig, Table1Baseline)
+{
+    const auto cfg = SystemConfig::baseline(L3Scheme::Adaptive);
+    EXPECT_EQ(cfg.numCores, 4u);
+
+    // Core structures.
+    EXPECT_EQ(cfg.core.ruuSize, 128u);
+    EXPECT_EQ(cfg.core.lsqSize, 64u);
+    EXPECT_EQ(cfg.core.fetchQueueSize, 4u);
+    EXPECT_EQ(cfg.core.fetchWidth, 4u);
+    EXPECT_EQ(cfg.core.issueWidth, 4u);
+    EXPECT_EQ(cfg.core.commitWidth, 4u);
+    EXPECT_EQ(cfg.core.mispredictPenalty, 7u);
+
+    // Predictor.
+    EXPECT_EQ(cfg.core.predictor.bimodalEntries, 4096u);
+    EXPECT_EQ(cfg.core.predictor.historyEntries, 1024u);
+    EXPECT_EQ(cfg.core.predictor.historyBits, 10u);
+    EXPECT_EQ(cfg.core.predictor.chooserEntries, 4096u);
+    EXPECT_EQ(cfg.core.predictor.btbEntries, 512u);
+    EXPECT_EQ(cfg.core.predictor.btbAssoc, 4u);
+
+    // Functional units.
+    EXPECT_EQ(cfg.core.funcUnits.intAlus, 4u);
+    EXPECT_EQ(cfg.core.funcUnits.fpAlus, 4u);
+    EXPECT_EQ(cfg.core.funcUnits.intMultDiv, 1u);
+    EXPECT_EQ(cfg.core.funcUnits.fpMultDiv, 1u);
+
+    // Hierarchy.
+    EXPECT_EQ(cfg.coreMem.l1i.sizeBytes, 64ull << 10);
+    EXPECT_EQ(cfg.coreMem.l1i.assoc, 2u);
+    EXPECT_EQ(cfg.coreMem.l1i.hitLatency, 2u);
+    EXPECT_EQ(cfg.coreMem.l1d.hitLatency, 3u);
+    EXPECT_EQ(cfg.coreMem.l2i.sizeBytes, 128ull << 10);
+    EXPECT_EQ(cfg.coreMem.l2d.sizeBytes, 256ull << 10);
+    EXPECT_EQ(cfg.coreMem.l2d.hitLatency, 9u);
+    EXPECT_EQ(cfg.coreMem.tlbEntries, 128u);
+    EXPECT_EQ(cfg.coreMem.tlbMissPenalty, 30u);
+
+    // L3 and memory.
+    EXPECT_EQ(cfg.l3SizePerCoreBytes, 1ull << 20);
+    EXPECT_EQ(cfg.l3LocalAssoc, 4u);
+    EXPECT_EQ(cfg.l3LocalLatency, 14u);
+    EXPECT_EQ(cfg.l3SharedLatency, 19u);
+    EXPECT_EQ(cfg.memFirstChunkShared, 260u);
+    EXPECT_EQ(cfg.memFirstChunkPrivate, 258u);
+    EXPECT_EQ(cfg.epochMisses, 2000u);
+}
+
+TEST(SystemConfig, QuadSizePrivateIsFourTimesLarger)
+{
+    const auto cfg = SystemConfig::quadSizePrivate();
+    EXPECT_EQ(cfg.scheme, L3Scheme::Private);
+    EXPECT_EQ(cfg.l3SizePerCoreBytes, 4ull << 20);
+    EXPECT_EQ(cfg.l3LocalAssoc, 16u);
+    EXPECT_EQ(cfg.l3LocalLatency, 14u);
+}
+
+TEST(SystemConfig, Large8MBKeepsTiming)
+{
+    const auto cfg = SystemConfig::large8MB(L3Scheme::Shared);
+    EXPECT_EQ(cfg.l3SizePerCoreBytes, 2ull << 20);
+    EXPECT_EQ(cfg.l3SharedLatency, 19u);
+    EXPECT_EQ(cfg.l3LocalLatency, 14u);
+}
+
+TEST(SystemConfig, ScaledTechMatchesSection45)
+{
+    const auto cfg = SystemConfig::scaledTech(L3Scheme::Adaptive);
+    EXPECT_EQ(cfg.coreMem.l2i.hitLatency, 11u);
+    EXPECT_EQ(cfg.coreMem.l2d.hitLatency, 11u);
+    EXPECT_EQ(cfg.l3LocalLatency, 16u);
+    EXPECT_EQ(cfg.l3SharedLatency, 24u);
+    EXPECT_EQ(cfg.memFirstChunkPrivate, 330u);
+    EXPECT_EQ(cfg.memFirstChunkShared, 338u);
+    // L1 latencies are close to the core and do not scale.
+    EXPECT_EQ(cfg.coreMem.l1d.hitLatency, 3u);
+}
+
+TEST(SystemConfig, SchemeNames)
+{
+    EXPECT_EQ(to_string(L3Scheme::Private), "private");
+    EXPECT_EQ(to_string(L3Scheme::Shared), "shared");
+    EXPECT_EQ(to_string(L3Scheme::Adaptive), "adaptive");
+    EXPECT_EQ(to_string(L3Scheme::RandomReplacement),
+              "random-replacement");
+}
+
+} // namespace
+} // namespace nuca

@@ -1,0 +1,118 @@
+/** @file Unit tests for the branch-behaviour generator. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cpu/branch_predictor.hh"
+#include "workload/branch_model.hh"
+
+namespace nuca {
+namespace {
+
+TEST(BranchModel, SitesStayInRange)
+{
+    BranchModelParams params;
+    params.numSites = 16;
+    BranchModel model(params, Rng(1));
+    Rng rng(2);
+    for (int i = 0; i < 5000; ++i)
+        ASSERT_LT(model.next(rng).site, 16u);
+}
+
+TEST(BranchModel, SitePopularityIsSkewed)
+{
+    BranchModelParams params;
+    params.numSites = 64;
+    BranchModel model(params, Rng(1));
+    Rng rng(3);
+    std::vector<unsigned> counts(64, 0);
+    for (int i = 0; i < 100000; ++i)
+        ++counts[model.next(rng).site];
+    EXPECT_GT(counts[0], counts[32] * 2);
+}
+
+TEST(BranchModel, AllBiasedSitesAreMostlyTaken)
+{
+    BranchModelParams params;
+    params.numSites = 32;
+    params.biasedFrac = 1.0;
+    params.loopFrac = 0.0;
+    params.randomFrac = 0.0;
+    params.biasedTakenProb = 0.9;
+    BranchModel model(params, Rng(1));
+    Rng rng(4);
+    unsigned taken = 0;
+    const int trials = 50000;
+    for (int i = 0; i < trials; ++i) {
+        if (model.next(rng).taken)
+            ++taken;
+    }
+    EXPECT_NEAR(static_cast<double>(taken) / trials, 0.9, 0.01);
+}
+
+TEST(BranchModel, LoopSitesFollowPeriod)
+{
+    BranchModelParams params;
+    params.numSites = 1;
+    params.biasedFrac = 0.0;
+    params.loopFrac = 1.0;
+    params.randomFrac = 0.0;
+    params.loopPeriod = 4;
+    BranchModel model(params, Rng(1));
+    Rng rng(5);
+    // Pattern: T T T N repeating.
+    for (int round = 0; round < 10; ++round) {
+        EXPECT_TRUE(model.next(rng).taken);
+        EXPECT_TRUE(model.next(rng).taken);
+        EXPECT_TRUE(model.next(rng).taken);
+        EXPECT_FALSE(model.next(rng).taken);
+    }
+}
+
+TEST(BranchModel, MixturesProducePredictableDifferences)
+{
+    // A predictable mixture must yield a much lower misprediction
+    // rate on the real predictor than a random mixture.
+    const auto measure = [](double biased, double loop,
+                            double random) {
+        BranchModelParams params;
+        params.numSites = 32;
+        params.biasedFrac = biased;
+        params.loopFrac = loop;
+        params.randomFrac = random;
+        params.biasedTakenProb = 0.98;
+        BranchModel model(params, Rng(1));
+        stats::Group g("g");
+        BranchPredictor bp(g, "bp", BranchPredictorParams{});
+        Rng rng(6);
+        for (int i = 0; i < 30000; ++i) {
+            const auto outcome = model.next(rng);
+            bp.predictAndUpdate(0x1000 + outcome.site * 4,
+                                outcome.taken,
+                                0x100000 + outcome.site * 64);
+        }
+        return bp.mispredictRate();
+    };
+
+    const double predictable = measure(0.6, 0.4, 0.0);
+    const double noisy = measure(0.0, 0.0, 1.0);
+    EXPECT_LT(predictable, 0.08);
+    EXPECT_GT(noisy, 0.35);
+}
+
+TEST(BranchModel, DeterministicForFixedSeeds)
+{
+    BranchModelParams params;
+    BranchModel a(params, Rng(7)), b(params, Rng(7));
+    Rng ra(8), rb(8);
+    for (int i = 0; i < 1000; ++i) {
+        const auto oa = a.next(ra);
+        const auto ob = b.next(rb);
+        ASSERT_EQ(oa.site, ob.site);
+        ASSERT_EQ(oa.taken, ob.taken);
+    }
+}
+
+} // namespace
+} // namespace nuca

@@ -1,0 +1,130 @@
+/** @file Unit tests for profile-file parsing and round-tripping. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/profile_io.hh"
+#include "workload/spec_profiles.hh"
+#include "workload/synth_workload.hh"
+
+namespace nuca {
+namespace {
+
+TEST(ProfileIo, ParsesACompleteProfile)
+{
+    std::istringstream is(R"(# a comment
+name=dbscan
+loadFrac=0.31
+storeFrac=0.07
+branchFrac=0.08
+meanDepDist=18
+codeKB=24
+llcIntensive=1
+region=random:32:0.80
+region=cyclic:1280:0.14
+region=stream:0:0.06
+branchLoopPeriod=9
+)");
+    const auto p = readProfile(is);
+    EXPECT_EQ(p.name, "dbscan");
+    EXPECT_DOUBLE_EQ(p.loadFrac, 0.31);
+    EXPECT_DOUBLE_EQ(p.storeFrac, 0.07);
+    EXPECT_EQ(p.codeFootprintBytes, 24u * 1024);
+    EXPECT_TRUE(p.llcIntensive);
+    ASSERT_EQ(p.regions.size(), 3u);
+    EXPECT_EQ(p.regions[0].pattern, RegionPattern::Random);
+    EXPECT_EQ(p.regions[0].footprintBytes, 32u * 1024);
+    EXPECT_EQ(p.regions[1].pattern, RegionPattern::Cyclic);
+    EXPECT_DOUBLE_EQ(p.regions[1].weight, 0.14);
+    EXPECT_EQ(p.regions[2].pattern, RegionPattern::Stream);
+    EXPECT_EQ(p.branches.loopPeriod, 9u);
+}
+
+TEST(ProfileIo, EverySpecProfileRoundTrips)
+{
+    for (const auto &original : specProfiles()) {
+        std::ostringstream os;
+        writeProfile(os, original);
+        std::istringstream is(os.str());
+        const auto back = readProfile(is);
+
+        EXPECT_EQ(back.name, original.name);
+        EXPECT_DOUBLE_EQ(back.loadFrac, original.loadFrac);
+        EXPECT_DOUBLE_EQ(back.storeFrac, original.storeFrac);
+        EXPECT_DOUBLE_EQ(back.branchFrac, original.branchFrac);
+        EXPECT_DOUBLE_EQ(back.fpFrac, original.fpFrac);
+        EXPECT_DOUBLE_EQ(back.meanDepDist, original.meanDepDist);
+        EXPECT_EQ(back.llcIntensive, original.llcIntensive);
+        ASSERT_EQ(back.regions.size(), original.regions.size());
+        for (std::size_t r = 0; r < back.regions.size(); ++r) {
+            EXPECT_EQ(back.regions[r].pattern,
+                      original.regions[r].pattern);
+            EXPECT_DOUBLE_EQ(back.regions[r].weight,
+                             original.regions[r].weight);
+        }
+    }
+}
+
+TEST(ProfileIo, RoundTrippedProfileGeneratesIdenticalStream)
+{
+    const auto &original = specProfile("gzip");
+    std::ostringstream os;
+    writeProfile(os, original);
+    std::istringstream is(os.str());
+    const auto back = readProfile(is);
+
+    SynthWorkload a(original, 0, 5), b(back, 0, 5);
+    for (int i = 0; i < 20000; ++i) {
+        const auto ia = a.next();
+        const auto ib = b.next();
+        ASSERT_EQ(ia.op, ib.op);
+        ASSERT_EQ(ia.effAddr, ib.effAddr);
+        ASSERT_EQ(ia.pc, ib.pc);
+    }
+}
+
+TEST(ProfileIo, SharedRegionsRoundTrip)
+{
+    WorkloadProfile p;
+    p.name = "pthread";
+    p.regions = {{32 * 1024, 1.0, RegionPattern::Random}};
+    p.sharedFrac = 0.4;
+    p.sharedRegions = {{512 * 1024, 1.0, RegionPattern::Random}};
+    std::ostringstream os;
+    writeProfile(os, p);
+    std::istringstream is(os.str());
+    const auto back = readProfile(is);
+    EXPECT_DOUBLE_EQ(back.sharedFrac, 0.4);
+    ASSERT_EQ(back.sharedRegions.size(), 1u);
+    EXPECT_EQ(back.sharedRegions[0].footprintBytes, 512u * 1024);
+}
+
+TEST(ProfileIo, MalformedInputIsFatal)
+{
+    const auto parse = [](const char *text) {
+        std::istringstream is(text);
+        readProfile(is);
+    };
+    EXPECT_EXIT(parse("loadFrac=0.3\nregion=random:32:1\n"),
+                ::testing::ExitedWithCode(1), "missing 'name='");
+    EXPECT_EXIT(parse("name=x\n"), ::testing::ExitedWithCode(1),
+                "no regions");
+    EXPECT_EXIT(parse("name=x\nbogusKey=1\n"),
+                ::testing::ExitedWithCode(1), "unknown key");
+    EXPECT_EXIT(parse("name=x\nregion=weird:32:1\n"),
+                ::testing::ExitedWithCode(1), "unknown region");
+    EXPECT_EXIT(parse("name=x\nloadFrac=abc\n"),
+                ::testing::ExitedWithCode(1), "bad number");
+    EXPECT_EXIT(parse("name=x\nregion=random:32\n"),
+                ::testing::ExitedWithCode(1), "pattern:KB:weight");
+}
+
+TEST(ProfileIo, MissingFileIsFatal)
+{
+    EXPECT_EXIT(loadProfileFile("/nonexistent/x.profile"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace nuca

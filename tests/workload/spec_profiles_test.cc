@@ -1,0 +1,108 @@
+/** @file Sanity tests over the SPEC2000 stand-in profile table. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/spec_profiles.hh"
+
+namespace nuca {
+namespace {
+
+TEST(SpecProfiles, TwentyFourApplications)
+{
+    // All of SPEC2000 except vortex and sixtrack (Section 3).
+    EXPECT_EQ(specProfiles().size(), 24u);
+    const auto names = allProfileNames();
+    const std::set<std::string> unique(names.begin(), names.end());
+    EXPECT_EQ(unique.size(), 24u);
+    EXPECT_EQ(unique.count("vortex"), 0u);
+    EXPECT_EQ(unique.count("sixtrack"), 0u);
+}
+
+TEST(SpecProfiles, PaperApplicationsPresent)
+{
+    // The applications the paper's figures discuss by name.
+    for (const char *name :
+         {"mcf", "gzip", "ammp", "art", "twolf", "vpr", "wupwise",
+          "parser", "swim", "gcc", "crafty", "eon"}) {
+        EXPECT_NO_FATAL_FAILURE(specProfile(name)) << name;
+    }
+}
+
+TEST(SpecProfiles, IntensiveClassIsMarkedConsistently)
+{
+    const auto intensive = llcIntensiveNames();
+    // Figure 7's cache-hungry quartet is in the intensive class.
+    const std::set<std::string> set(intensive.begin(),
+                                    intensive.end());
+    EXPECT_TRUE(set.count("ammp"));
+    EXPECT_TRUE(set.count("art"));
+    EXPECT_TRUE(set.count("twolf"));
+    EXPECT_TRUE(set.count("vpr"));
+    EXPECT_TRUE(set.count("mcf"));
+    EXPECT_TRUE(set.count("gzip"));
+    // The anecdote's victim is not.
+    EXPECT_FALSE(set.count("wupwise"));
+    EXPECT_FALSE(set.count("mesa"));
+    // A meaningful split in both directions.
+    EXPECT_GE(intensive.size(), 10u);
+    EXPECT_LE(intensive.size(), 16u);
+}
+
+TEST(SpecProfiles, FractionsAndWeightsAreSane)
+{
+    for (const auto &p : specProfiles()) {
+        EXPECT_GT(p.loadFrac, 0.0) << p.name;
+        EXPECT_LT(p.loadFrac + p.storeFrac + p.branchFrac, 1.0)
+            << p.name;
+        EXPECT_GE(p.fpFrac, 0.0) << p.name;
+        EXPECT_LE(p.fpFrac, 1.0) << p.name;
+        EXPECT_GE(p.meanDepDist, 1.0) << p.name;
+        EXPECT_FALSE(p.regions.empty()) << p.name;
+
+        double weight = 0.0;
+        for (const auto &r : p.regions) {
+            EXPECT_GT(r.weight, 0.0) << p.name;
+            EXPECT_GE(r.footprintBytes, blockBytes) << p.name;
+            weight += r.weight;
+        }
+        EXPECT_NEAR(weight, 1.0, 1e-6) << p.name;
+    }
+}
+
+TEST(SpecProfiles, IntensiveAppsHaveL3ScaleFootprints)
+{
+    // Every intensive app must reference something beyond the L2
+    // (256 KB) with non-trivial weight; light apps only marginally.
+    for (const auto &p : specProfiles()) {
+        double beyond_l2 = 0.0;
+        for (const auto &r : p.regions) {
+            if (r.pattern == RegionPattern::Stream ||
+                r.footprintBytes > 256 * 1024) {
+                beyond_l2 += r.weight;
+            }
+        }
+        if (p.llcIntensive) {
+            EXPECT_GT(beyond_l2, 0.03) << p.name;
+        } else {
+            EXPECT_LT(beyond_l2, 0.03) << p.name;
+        }
+    }
+}
+
+TEST(SpecProfiles, UnknownNameIsFatal)
+{
+    EXPECT_DEATH(specProfile("nosuchapp"), "unknown");
+}
+
+TEST(SpecProfiles, IdleProfileBarelyTouchesMemory)
+{
+    const auto &idle = idleProfile();
+    EXPECT_LT(idle.loadFrac + idle.storeFrac, 0.05);
+    EXPECT_EQ(idle.regions.size(), 1u);
+    EXPECT_LE(idle.regions[0].footprintBytes, 64u * 1024);
+}
+
+} // namespace
+} // namespace nuca

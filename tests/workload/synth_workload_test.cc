@@ -1,0 +1,176 @@
+/** @file Unit tests for the synthetic workload generator. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/spec_profiles.hh"
+#include "workload/synth_workload.hh"
+
+namespace nuca {
+namespace {
+
+WorkloadProfile
+simpleProfile()
+{
+    WorkloadProfile p;
+    p.name = "test";
+    p.loadFrac = 0.30;
+    p.storeFrac = 0.10;
+    p.branchFrac = 0.10;
+    p.fpFrac = 0.5;
+    p.meanDepDist = 10;
+    p.regions = {{64 * 1024, 1.0, RegionPattern::Random}};
+    return p;
+}
+
+TEST(SynthWorkload, InstructionMixMatchesProfile)
+{
+    SynthWorkload workload(simpleProfile(), 0, 42);
+    std::map<OpClass, unsigned> counts;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        ++counts[workload.next().op];
+
+    EXPECT_NEAR(counts[OpClass::Load] / double(n), 0.30, 0.01);
+    EXPECT_NEAR(counts[OpClass::Store] / double(n), 0.10, 0.01);
+    EXPECT_NEAR(counts[OpClass::Branch] / double(n), 0.10, 0.01);
+    // Half of the remaining ALU work is floating point.
+    const double alu = 1.0 - 0.5;
+    const double fp = (counts[OpClass::FpAlu] +
+                       counts[OpClass::FpMult] +
+                       counts[OpClass::FpDiv]) /
+                      double(n);
+    EXPECT_NEAR(fp, alu * 0.5, 0.02);
+}
+
+TEST(SynthWorkload, DeterministicForSameSeed)
+{
+    SynthWorkload a(simpleProfile(), 0, 7), b(simpleProfile(), 0, 7);
+    for (int i = 0; i < 10000; ++i) {
+        const auto ia = a.next();
+        const auto ib = b.next();
+        ASSERT_EQ(ia.op, ib.op);
+        ASSERT_EQ(ia.pc, ib.pc);
+        ASSERT_EQ(ia.effAddr, ib.effAddr);
+        ASSERT_EQ(ia.taken, ib.taken);
+        ASSERT_EQ(ia.depDist[0], ib.depDist[0]);
+    }
+}
+
+TEST(SynthWorkload, DifferentSeedsModelDifferentPhases)
+{
+    SynthWorkload a(simpleProfile(), 0, 1), b(simpleProfile(), 0, 2);
+    unsigned same = 0;
+    for (int i = 0; i < 1000; ++i) {
+        if (a.next().op == b.next().op)
+            ++same;
+    }
+    EXPECT_LT(same, 900u);
+}
+
+TEST(SynthWorkload, CoresHaveDisjointAddressSpaces)
+{
+    SynthWorkload c0(simpleProfile(), 0, 7);
+    SynthWorkload c1(simpleProfile(), 1, 7);
+    EXPECT_NE(c0.dataBase(), c1.dataBase());
+    Addr min0 = ~0ull, max0 = 0, min1 = ~0ull, max1 = 0;
+    for (int i = 0; i < 50000; ++i) {
+        const auto i0 = c0.next();
+        const auto i1 = c1.next();
+        if (i0.isMem()) {
+            min0 = std::min(min0, i0.effAddr);
+            max0 = std::max(max0, i0.effAddr);
+        }
+        if (i1.isMem()) {
+            min1 = std::min(min1, i1.effAddr);
+            max1 = std::max(max1, i1.effAddr);
+        }
+    }
+    EXPECT_LT(max0, min1); // fully disjoint ranges
+}
+
+TEST(SynthWorkload, DepDistancesBoundedAndMeanRoughlyMatches)
+{
+    auto profile = simpleProfile();
+    profile.meanDepDist = 8;
+    SynthWorkload workload(profile, 0, 3);
+    double sum = 0;
+    unsigned count = 0;
+    for (int i = 0; i < 100000; ++i) {
+        const auto inst = workload.next();
+        for (auto d : inst.depDist) {
+            if (d == 0)
+                continue;
+            ASSERT_GE(d, 1u);
+            ASSERT_LE(d, 64u);
+            sum += d;
+            ++count;
+        }
+    }
+    ASSERT_GT(count, 0u);
+    // Truncated geometric with mean 8 (cap 64 trims the tail a bit).
+    EXPECT_NEAR(sum / count, 8.0, 1.0);
+}
+
+TEST(SynthWorkload, PointerChasingAddsLoadLoadDependences)
+{
+    auto chasing = simpleProfile();
+    chasing.loadChainFrac = 1.0;
+    SynthWorkload workload(chasing, 0, 5);
+    // With chain fraction 1, every load after the first depends on
+    // the previous load exactly.
+    int last_load = -1;
+    int idx = 0;
+    unsigned checked = 0;
+    for (int i = 0; i < 20000; ++i, ++idx) {
+        const auto inst = workload.next();
+        if (inst.isLoad()) {
+            if (last_load >= 0 && idx - last_load <= 64) {
+                ASSERT_EQ(inst.depDist[0],
+                          static_cast<unsigned>(idx - last_load));
+                ++checked;
+            }
+            last_load = idx;
+        }
+    }
+    EXPECT_GT(checked, 1000u);
+}
+
+TEST(SynthWorkload, BranchPcsAreStablePerSite)
+{
+    SynthWorkload workload(simpleProfile(), 0, 9);
+    // Collect branch PCs; the set must be bounded by the number of
+    // sites so the predictor can learn.
+    std::map<Addr, unsigned> pcs;
+    for (int i = 0; i < 50000; ++i) {
+        const auto inst = workload.next();
+        if (inst.isBranch())
+            ++pcs[inst.pc];
+    }
+    EXPECT_LE(pcs.size(),
+              static_cast<std::size_t>(
+                  simpleProfile().branches.numSites));
+    EXPECT_GE(pcs.size(), 4u);
+}
+
+TEST(SynthWorkload, PcStaysInsideCodeFootprint)
+{
+    auto profile = simpleProfile();
+    profile.codeFootprintBytes = 8 * 1024;
+    SynthWorkload workload(profile, 2, 11);
+    const Addr code_base = workload.dataBase() - (1ull << 32);
+    for (int i = 0; i < 50000; ++i) {
+        const auto inst = workload.next();
+        ASSERT_GE(inst.pc, code_base);
+        ASSERT_LT(inst.pc, code_base + profile.codeFootprintBytes);
+        if (inst.isBranch() && inst.taken) {
+            ASSERT_GE(inst.target, code_base);
+            ASSERT_LT(inst.target,
+                      code_base + profile.codeFootprintBytes);
+        }
+    }
+}
+
+} // namespace
+} // namespace nuca

@@ -1,0 +1,133 @@
+/** @file Unit tests for trace capture and replay. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/spec_profiles.hh"
+#include "workload/synth_workload.hh"
+#include "workload/trace.hh"
+
+namespace nuca {
+namespace {
+
+TEST(Trace, EncodeDecodeAlu)
+{
+    SynthInst inst;
+    inst.op = OpClass::IntAlu;
+    inst.pc = 0x400104;
+    inst.depDist[0] = 3;
+    const auto line = traceEncode(inst);
+    const auto back = traceDecode(line);
+    EXPECT_EQ(back.op, OpClass::IntAlu);
+    EXPECT_EQ(back.pc, 0x400104u);
+    EXPECT_EQ(back.depDist[0], 3u);
+    EXPECT_EQ(back.depDist[1], 0u);
+}
+
+TEST(Trace, EncodeDecodeLoadStore)
+{
+    SynthInst inst;
+    inst.op = OpClass::Load;
+    inst.pc = 0x1000;
+    inst.effAddr = 0x7fe0010;
+    inst.depDist[0] = 5;
+    inst.depDist[1] = 12;
+    const auto back = traceDecode(traceEncode(inst));
+    EXPECT_EQ(back.op, OpClass::Load);
+    EXPECT_EQ(back.effAddr, 0x7fe0010u);
+    EXPECT_EQ(back.depDist[0], 5u);
+    EXPECT_EQ(back.depDist[1], 12u);
+
+    inst.op = OpClass::Store;
+    EXPECT_EQ(traceDecode(traceEncode(inst)).op, OpClass::Store);
+}
+
+TEST(Trace, EncodeDecodeBranch)
+{
+    SynthInst inst;
+    inst.op = OpClass::Branch;
+    inst.pc = 0x40010c;
+    inst.taken = true;
+    inst.target = 0x400090;
+    const auto back = traceDecode(traceEncode(inst));
+    EXPECT_EQ(back.op, OpClass::Branch);
+    EXPECT_TRUE(back.taken);
+    EXPECT_EQ(back.target, 0x400090u);
+
+    inst.taken = false;
+    EXPECT_FALSE(traceDecode(traceEncode(inst)).taken);
+}
+
+TEST(Trace, AllOpClassesRoundTrip)
+{
+    for (const auto op :
+         {OpClass::IntAlu, OpClass::IntMult, OpClass::IntDiv,
+          OpClass::FpAlu, OpClass::FpMult, OpClass::FpDiv,
+          OpClass::Load, OpClass::Store, OpClass::Branch}) {
+        SynthInst inst;
+        inst.op = op;
+        inst.pc = 0x2000;
+        inst.effAddr = 0x9000;
+        inst.target = 0x2040;
+        EXPECT_EQ(traceDecode(traceEncode(inst)).op, op);
+    }
+}
+
+TEST(Trace, CaptureAndReplayWholeWorkload)
+{
+    SynthWorkload original(specProfile("gzip"), 0, 55);
+    std::ostringstream os;
+    writeTrace(os, original, 5000);
+
+    std::istringstream is(os.str());
+    TraceReplaySource replay(is);
+    ASSERT_EQ(replay.size(), 5000u);
+
+    // The replayed stream matches a fresh generation exactly.
+    SynthWorkload fresh(specProfile("gzip"), 0, 55);
+    for (int i = 0; i < 5000; ++i) {
+        const auto a = fresh.next();
+        const auto b = replay.next();
+        ASSERT_EQ(a.op, b.op) << "inst " << i;
+        ASSERT_EQ(a.pc, b.pc) << "inst " << i;
+        ASSERT_EQ(a.effAddr, b.effAddr) << "inst " << i;
+        ASSERT_EQ(a.taken, b.taken) << "inst " << i;
+        ASSERT_EQ(a.target, b.target) << "inst " << i;
+        ASSERT_EQ(a.depDist[0], b.depDist[0]) << "inst " << i;
+        ASSERT_EQ(a.depDist[1], b.depDist[1]) << "inst " << i;
+    }
+}
+
+TEST(Trace, ReplayLoopsAtEnd)
+{
+    std::vector<SynthInst> insts(3);
+    insts[0].pc = 0x10;
+    insts[1].pc = 0x14;
+    insts[2].pc = 0x18;
+    TraceReplaySource replay(insts);
+    for (int round = 0; round < 3; ++round) {
+        EXPECT_EQ(replay.next().pc, 0x10u);
+        EXPECT_EQ(replay.next().pc, 0x14u);
+        EXPECT_EQ(replay.next().pc, 0x18u);
+    }
+    EXPECT_EQ(replay.loops(), 3u);
+}
+
+TEST(Trace, CommentsAndBlankLinesIgnored)
+{
+    std::istringstream is("# a comment\n\nA 1000\n# another\nA 1004\n");
+    TraceReplaySource replay(is);
+    EXPECT_EQ(replay.size(), 2u);
+}
+
+TEST(Trace, MalformedInputIsFatal)
+{
+    EXPECT_DEATH(traceDecode("Z 1000"), "unknown op");
+    EXPECT_DEATH(traceDecode("L zzzz"), "bad hex");
+    EXPECT_DEATH(traceDecode("L 1000"), "missing effaddr");
+    EXPECT_DEATH(traceDecode("B 1000 1"), "missing target");
+}
+
+} // namespace
+} // namespace nuca
