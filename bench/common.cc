@@ -2,16 +2,73 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
 #include "base/logging.hh"
+#include "sim/parallel_runner.hh"
 
 namespace nuca {
 namespace bench {
 
+namespace {
+
+/** One (scheme, mix) cell of the sweep matrix. */
+struct SweepJob
+{
+    std::size_t scheme;
+    std::size_t mix;
+};
+
+} // namespace
+
 std::vector<SchemeResults>
 runAll(const std::vector<std::pair<std::string, SystemConfig>> &configs,
        const std::vector<ExperimentSpec> &mixes,
-       const SimWindow &window)
+       const SimWindow &window, unsigned jobs)
+{
+    // Flatten the sweep scheme-major — the same order the serial
+    // loop used — so results land in identical submission slots.
+    std::vector<SweepJob> sweep;
+    sweep.reserve(configs.size() * mixes.size());
+    for (std::size_t s = 0; s < configs.size(); ++s) {
+        for (std::size_t m = 0; m < mixes.size(); ++m)
+            sweep.push_back({s, m});
+    }
+
+    const unsigned pool = jobs == 0 ? jobsFromEnv() : jobs;
+    ProgressReporter progress("sweep", sweep.size());
+    auto cells = runParallel(
+        sweep,
+        [&](const SweepJob &job) {
+            return runMix(configs[job.scheme].second, mixes[job.mix],
+                          window);
+        },
+        pool, &progress);
+    progress.finish();
+
+    std::vector<SchemeResults> out;
+    out.reserve(configs.size());
+    for (std::size_t s = 0; s < configs.size(); ++s) {
+        SchemeResults results;
+        results.label = configs[s].first;
+        results.mixes.reserve(mixes.size());
+        for (std::size_t m = 0; m < mixes.size(); ++m)
+            results.mixes.push_back(
+                std::move(cells[s * mixes.size() + m]));
+        out.push_back(std::move(results));
+    }
+
+    if (const char *path = std::getenv("REPRO_JSON");
+        path != nullptr && *path != '\0')
+        writeResultsJson(path, mixes, out, window);
+    return out;
+}
+
+std::vector<SchemeResults>
+runAllSerial(
+    const std::vector<std::pair<std::string, SystemConfig>> &configs,
+    const std::vector<ExperimentSpec> &mixes,
+    const SimWindow &window)
 {
     std::vector<SchemeResults> out;
     out.reserve(configs.size());
@@ -19,18 +76,57 @@ runAll(const std::vector<std::pair<std::string, SystemConfig>> &configs,
         SchemeResults results;
         results.label = label;
         results.mixes.reserve(mixes.size());
-        for (std::size_t i = 0; i < mixes.size(); ++i) {
-            std::fprintf(stderr, "  [%s] mix %zu/%zu\r",
-                         label.c_str(), i + 1, mixes.size());
-            std::fflush(stderr);
-            results.mixes.push_back(
-                runMix(config, mixes[i], window));
-        }
-        std::fprintf(stderr, "  [%s] done (%zu mixes)      \n",
-                     label.c_str(), mixes.size());
+        for (const auto &mix : mixes)
+            results.mixes.push_back(runMix(config, mix, window));
         out.push_back(std::move(results));
     }
     return out;
+}
+
+json::Value
+resultsToJson(const std::vector<ExperimentSpec> &mixes,
+              const std::vector<SchemeResults> &results,
+              const SimWindow &window)
+{
+    json::Value doc = json::Value::object();
+    doc.set("warmup_cycles", window.warmupCycles);
+    doc.set("measure_cycles", window.measureCycles);
+    doc.set("mix_count", static_cast<std::uint64_t>(mixes.size()));
+
+    json::Value records = json::Value::array();
+    for (const auto &scheme : results) {
+        panic_if(scheme.mixes.size() != mixes.size(),
+                 "result/mix count mismatch");
+        for (std::size_t m = 0; m < mixes.size(); ++m) {
+            json::Value record = json::Value::object();
+            record.set("label", scheme.label);
+            json::Value apps = json::Value::array();
+            for (const auto &app : mixes[m].apps)
+                apps.append(app);
+            record.set("mix", std::move(apps));
+            // As a decimal string: 64-bit seeds exceed a double's
+            // 53-bit mantissa and would lose precision as numbers.
+            record.set("seed", std::to_string(mixes[m].seed));
+            json::Value ipc = json::Value::array();
+            for (const double v : scheme.mixes[m].ipc)
+                ipc.append(v);
+            record.set("ipc", std::move(ipc));
+            record.set("harmonic", mixHarmonic(scheme.mixes[m]));
+            records.append(std::move(record));
+        }
+    }
+    doc.set("results", std::move(records));
+    return doc;
+}
+
+void
+writeResultsJson(const std::string &path,
+                 const std::vector<ExperimentSpec> &mixes,
+                 const std::vector<SchemeResults> &results,
+                 const SimWindow &window)
+{
+    json::writeFile(path, resultsToJson(mixes, results, window));
+    std::fprintf(stderr, "  results written to %s\n", path.c_str());
 }
 
 double
@@ -88,22 +184,26 @@ printHeader(const std::string &what, const SimWindow &window,
 {
     std::printf("%s\n", what.c_str());
     std::printf("methodology: %u random 4-app mixes, %llu warmup + "
-                "%llu measured cycles each\n",
+                "%llu measured cycles each, %u worker threads\n",
                 mixes,
                 static_cast<unsigned long long>(window.warmupCycles),
                 static_cast<unsigned long long>(
-                    window.measureCycles));
+                    window.measureCycles),
+                jobsFromEnv());
     std::printf("(override with REPRO_MIXES / REPRO_WARMUP_CYCLES / "
-                "REPRO_MEASURE_CYCLES)\n\n");
+                "REPRO_MEASURE_CYCLES / REPRO_JOBS; REPRO_JSON=<path> "
+                "writes machine-readable results)\n\n");
 }
 
 std::string
 bar(double value)
 {
+    constexpr int maxChars = 60;
     const int chars =
         value <= 0.0 ? 0 : static_cast<int>(value * 20.0 + 0.5);
-    return std::string(static_cast<std::size_t>(std::min(chars, 60)),
-                       '#');
+    if (chars <= maxChars)
+        return std::string(static_cast<std::size_t>(chars), '#');
+    return std::string(maxChars - 1, '#') + '+';
 }
 
 } // namespace bench

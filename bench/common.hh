@@ -4,6 +4,13 @@
  * the same multiprogrammed mixes under several system configurations
  * and aggregate per-experiment and per-application results the way
  * the paper's figures report them.
+ *
+ * Sweeps fan out over a worker pool (REPRO_JOBS threads, default
+ * hardware_concurrency) and are bit-identical to the serial loop for
+ * any pool size: every (scheme, mix) job builds its own CmpSystem
+ * from its explicit per-mix seed, and results are collected by
+ * submission index. REPRO_JSON=<path> additionally writes the sweep
+ * results as machine-readable JSON.
  */
 
 #ifndef NUCA_BENCH_COMMON_HH
@@ -14,6 +21,7 @@
 #include <vector>
 
 #include "sim/experiment.hh"
+#include "sim/json_writer.hh"
 #include "sim/metrics.hh"
 
 namespace nuca {
@@ -27,13 +35,43 @@ struct SchemeResults
 };
 
 /**
- * Run @p mixes under each configuration (printing progress to
- * stderr, since full sweeps take minutes).
+ * Run @p mixes under each configuration on the worker pool
+ * (printing thread-safe completed/total progress to stderr, since
+ * full sweeps take minutes). @p jobs selects the pool size; the
+ * default 0 reads REPRO_JOBS / the hardware. When REPRO_JSON is set,
+ * the results are also written there via writeResultsJson.
  */
 std::vector<SchemeResults>
 runAll(const std::vector<std::pair<std::string, SystemConfig>> &configs,
        const std::vector<ExperimentSpec> &mixes,
-       const SimWindow &window);
+       const SimWindow &window, unsigned jobs = 0);
+
+/**
+ * The pre-pool serial reference: one runMix after another on the
+ * calling thread, no progress output. Kept as the oracle the
+ * determinism regression tests compare the pool against.
+ */
+std::vector<SchemeResults>
+runAllSerial(
+    const std::vector<std::pair<std::string, SystemConfig>> &configs,
+    const std::vector<ExperimentSpec> &mixes,
+    const SimWindow &window);
+
+/**
+ * The machine-readable form of a sweep: one {label, mix, ipc[],
+ * harmonic} record per (scheme, mix), plus the window/mix-count
+ * metadata needed to compare runs across PRs.
+ */
+json::Value
+resultsToJson(const std::vector<ExperimentSpec> &mixes,
+              const std::vector<SchemeResults> &results,
+              const SimWindow &window);
+
+/** Serialize resultsToJson to @p path. */
+void writeResultsJson(const std::string &path,
+                      const std::vector<ExperimentSpec> &mixes,
+                      const std::vector<SchemeResults> &results,
+                      const SimWindow &window);
 
 /** Harmonic-mean IPC of one mix. */
 double mixHarmonic(const MixResult &result);
@@ -58,7 +96,11 @@ unsigned mixCountFromEnv(unsigned def);
 void printHeader(const std::string &what, const SimWindow &window,
                  unsigned mixes);
 
-/** An ASCII bar scaled so 1.0 is 20 characters. */
+/**
+ * An ASCII bar scaled so 1.0 is 20 characters, clamped to 60
+ * characters; a clamped bar ends in '+' so an off-scale value stays
+ * distinguishable from one that merely reaches 3.0.
+ */
 std::string bar(double value);
 
 } // namespace bench

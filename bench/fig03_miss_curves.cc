@@ -22,6 +22,7 @@
 
 #include "cache/set_assoc_cache.hh"
 #include "sim/experiment.hh"
+#include "sim/parallel_runner.hh"
 #include "workload/spec_profiles.hh"
 #include "workload/synth_workload.hh"
 
@@ -92,11 +93,17 @@ main()
         std::printf(" %10s", app.c_str());
     std::printf("\n");
 
-    std::vector<std::vector<Counter>> curves;
-    for (const auto &app : apps) {
-        std::fprintf(stderr, "  replaying %s...\n", app.c_str());
-        curves.push_back(missCurve(specProfile(app), insts));
-    }
+    // Each replay is an independent functional simulation from its
+    // own SynthWorkload seed, so the applications fan out over the
+    // worker pool.
+    ProgressReporter progress("replay", apps.size());
+    const auto curves = runParallel(
+        apps,
+        [insts](const std::string &app) {
+            return missCurve(specProfile(app), insts);
+        },
+        jobsFromEnv(), &progress);
+    progress.finish();
 
     for (unsigned w = 0; w < maxWays; ++w) {
         std::printf("%-6u", w + 1);

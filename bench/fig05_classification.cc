@@ -10,16 +10,71 @@
  * 9 accesses/kilocycle threshold are LLC-intensive (paper
  * Section 4.1).
  *
+ * The 24 characterization runs are independent (one CmpSystem each,
+ * same fixed seed), so they fan out over the worker pool; rows are
+ * printed afterwards in the profile-table order.
+ *
  * The table also prints the diagnostics used to calibrate the
  * synthetic profiles: IPC, per-level miss ratios and the branch
  * misprediction rate.
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "sim/cmp_system.hh"
 #include "sim/experiment.hh"
+#include "sim/parallel_runner.hh"
 #include "workload/spec_profiles.hh"
+
+namespace {
+
+using namespace nuca;
+
+/** One application's characterization numbers. */
+struct ClassRow
+{
+    double intensity = 0.0;
+    double ipc = 0.0;
+    double l1dMissPct = 0.0;
+    double l2dMissPct = 0.0;
+    double l3MissPct = 0.0;
+    double mispredictPct = 0.0;
+};
+
+ClassRow
+characterize(const WorkloadProfile &profile, const SimWindow &window)
+{
+    const SystemConfig config =
+        SystemConfig::baseline(L3Scheme::Private);
+    std::vector<WorkloadProfile> apps(4, idleProfile());
+    apps[0] = profile;
+    CmpSystem system(config, apps, /*seed=*/12345);
+    system.run(window.warmupCycles);
+    system.resetStats();
+    system.run(window.measureCycles);
+
+    auto &mem = system.memOf(0);
+    auto &core = system.coreAt(0);
+    const double l3_accesses =
+        static_cast<double>(mem.l3DataAccesses());
+
+    ClassRow row;
+    row.intensity = system.l3AccessesPerKilocycle(0);
+    row.ipc = system.ipcOf(0);
+    row.l1dMissPct = 100.0 * mem.l1d().tags().missRatio();
+    row.l2dMissPct = 100.0 * mem.l2d().tags().missRatio();
+    row.l3MissPct =
+        l3_accesses == 0.0
+            ? 0.0
+            : 100.0 * static_cast<double>(mem.l3DataMisses()) /
+                  l3_accesses;
+    row.mispredictPct =
+        100.0 * core.predictor().mispredictRate();
+    return row;
+}
+
+} // namespace
 
 int
 main()
@@ -37,38 +92,29 @@ main()
                 "l3acc/kc", "IPC", "L1D%", "L2D%", "L3miss%",
                 "bpred%", "expected", "class");
 
+    const auto &profiles = specProfiles();
+    ProgressReporter progress("characterize", profiles.size());
+    const auto rows = runParallel(
+        profiles,
+        [&window](const WorkloadProfile &profile) {
+            return characterize(profile, window);
+        },
+        jobsFromEnv(), &progress);
+    progress.finish();
+
     unsigned misclassified = 0;
-    for (const auto &profile : specProfiles()) {
-        const SystemConfig config =
-            SystemConfig::baseline(L3Scheme::Private);
-        std::vector<WorkloadProfile> apps(4, idleProfile());
-        apps[0] = profile;
-        CmpSystem system(config, apps, /*seed=*/12345);
-        system.run(window.warmupCycles);
-        system.resetStats();
-        system.run(window.measureCycles);
-
-        const double intensity = system.l3AccessesPerKilocycle(0);
-        auto &mem = system.memOf(0);
-        auto &core = system.coreAt(0);
-        const double l3_accesses = static_cast<double>(
-            mem.l3DataAccesses());
-        const double l3_miss_pct =
-            l3_accesses == 0.0
-                ? 0.0
-                : 100.0 * static_cast<double>(mem.l3DataMisses()) /
-                      l3_accesses;
-
-        const bool classified_intensive = intensity > 9.0;
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+        const auto &profile = profiles[i];
+        const auto &row = rows[i];
+        const bool classified_intensive = row.intensity > 9.0;
         if (classified_intensive != profile.llcIntensive)
             ++misclassified;
 
         std::printf("%-10s %9.2f %6.3f %7.2f %7.2f %7.2f %7.2f %9s "
                     "%s%s\n",
-                    profile.name.c_str(), intensity, system.ipcOf(0),
-                    100.0 * mem.l1d().tags().missRatio(),
-                    100.0 * mem.l2d().tags().missRatio(), l3_miss_pct,
-                    100.0 * core.predictor().mispredictRate(),
+                    profile.name.c_str(), row.intensity, row.ipc,
+                    row.l1dMissPct, row.l2dMissPct, row.l3MissPct,
+                    row.mispredictPct,
                     profile.llcIntensive ? "intensive" : "light",
                     classified_intensive ? "intensive" : "light",
                     classified_intensive == profile.llcIntensive
@@ -77,6 +123,6 @@ main()
     }
 
     std::printf("\nmisclassified: %u of %zu\n", misclassified,
-                specProfiles().size());
+                profiles.size());
     return 0;
 }

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "common.hh"
+#include "sim/parallel_runner.hh"
 #include "workload/spec_profiles.hh"
 
 int
@@ -54,11 +55,17 @@ main()
                 "wupwise}\n");
     ExperimentSpec anecdote{{"ammp", "ammp", "ammp", "wupwise"},
                             424242};
-    const auto priv = runMix(
-        SystemConfig::baseline(L3Scheme::Private), anecdote, window);
-    const auto adapt = runMix(
-        SystemConfig::baseline(L3Scheme::Adaptive), anecdote,
-        window);
+    const std::vector<L3Scheme> schemes = {L3Scheme::Private,
+                                           L3Scheme::Adaptive};
+    const auto anecdote_runs = runParallel(
+        schemes,
+        [&](L3Scheme scheme) {
+            return runMix(SystemConfig::baseline(scheme), anecdote,
+                          window);
+        },
+        jobsFromEnv());
+    const auto &priv = anecdote_runs[0];
+    const auto &adapt = anecdote_runs[1];
     std::printf("  %-9s %9s %9s\n", "core/app", "private",
                 "adaptive");
     for (unsigned c = 0; c < 4; ++c) {

@@ -4,6 +4,11 @@
  * cache organizations and print a comparison table — per-core IPC,
  * harmonic/arithmetic means, and L3 behaviour.
  *
+ * The four organizations are independent simulations of the same
+ * mix, so they fan out over the worker pool (REPRO_JOBS threads) and
+ * the table is printed in a fixed order afterwards — the output is
+ * identical to the old serial loop's.
+ *
  * Usage: scheme_shootout [app0 app1 app2 app3] [cycles]
  * Defaults: mcf gzip ammp art, 2000000 cycles.
  */
@@ -15,7 +20,43 @@
 
 #include "sim/cmp_system.hh"
 #include "sim/metrics.hh"
+#include "sim/parallel_runner.hh"
 #include "workload/spec_profiles.hh"
+
+namespace {
+
+using namespace nuca;
+
+/** Everything one scheme's table row needs, simulated off-thread. */
+struct SchemeRow
+{
+    std::vector<double> ipcs;
+    Counter fetches = 0;
+    std::vector<unsigned> quotas; // adaptive scheme only
+};
+
+SchemeRow
+runScheme(L3Scheme scheme, const std::vector<WorkloadProfile> &apps,
+          Cycle cycles)
+{
+    CmpSystem system(SystemConfig::baseline(scheme), apps, 1);
+    system.run(cycles / 2); // warm-up
+    system.resetStats();
+    const Counter fetches0 = system.memory().fetches();
+    system.run(cycles);
+
+    SchemeRow row;
+    row.ipcs = system.ipcs();
+    row.fetches = system.memory().fetches() - fetches0;
+    if (scheme == L3Scheme::Adaptive) {
+        for (unsigned c = 0; c < system.numCores(); ++c)
+            row.quotas.push_back(system.adaptive()->engine().quota(
+                static_cast<CoreId>(c)));
+    }
+    return row;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -46,29 +87,27 @@ main(int argc, char **argv)
                 names[3].c_str(), "harmonic", "average",
                 "mem fetches");
 
-    for (const auto scheme :
-         {L3Scheme::Private, L3Scheme::Shared, L3Scheme::Adaptive,
-          L3Scheme::RandomReplacement}) {
-        CmpSystem system(SystemConfig::baseline(scheme), apps, 1);
-        system.run(cycles / 2); // warm-up
-        system.resetStats();
-        const Counter fetches0 = system.memory().fetches();
-        system.run(cycles);
+    const std::vector<L3Scheme> schemes = {
+        L3Scheme::Private, L3Scheme::Shared, L3Scheme::Adaptive,
+        L3Scheme::RandomReplacement};
+    const auto rows = runParallel(
+        schemes,
+        [&](L3Scheme scheme) { return runScheme(scheme, apps, cycles); },
+        jobsFromEnv());
 
-        const auto ipcs = system.ipcs();
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
+        const auto &row = rows[s];
         std::printf("%-19s %8.4f %8.4f %8.4f %8.4f %9.4f %9.4f %10llu\n",
-                    to_string(scheme).c_str(), ipcs[0], ipcs[1],
-                    ipcs[2], ipcs[3], harmonicMean(ipcs),
-                    arithmeticMean(ipcs),
-                    static_cast<unsigned long long>(
-                        system.memory().fetches() - fetches0));
+                    to_string(schemes[s]).c_str(), row.ipcs[0],
+                    row.ipcs[1], row.ipcs[2], row.ipcs[3],
+                    harmonicMean(row.ipcs), arithmeticMean(row.ipcs),
+                    static_cast<unsigned long long>(row.fetches));
 
-        if (scheme == L3Scheme::Adaptive) {
+        if (!row.quotas.empty()) {
             std::printf("%-19s", "  final quotas:");
-            for (unsigned c = 0; c < 4; ++c) {
+            for (std::size_t c = 0; c < row.quotas.size(); ++c) {
                 std::printf(" %s=%u", names[c].c_str(),
-                            system.adaptive()->engine().quota(
-                                static_cast<CoreId>(c)));
+                            row.quotas[c]);
             }
             std::printf(" blocks/set\n");
         }

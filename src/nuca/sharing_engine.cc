@@ -138,8 +138,17 @@ SharingEngine::repartitionNow()
     // from shrinking: fewest hits in own LRU blocks. Shadow hits are
     // scaled up when only a subset of sets carries shadow tags
     // because LRU hits are counted in every set (Section 4.6).
-    unsigned gainer = 0;
-    for (unsigned c = 1; c < params_.numCores; ++c) {
+    //
+    // Both scans break ties strictly, which would structurally favor
+    // whichever core is visited first: a symmetric workload with
+    // permanently tied counters would drain quota toward core 0
+    // epoch after epoch. Rotating the scan start across epochs keeps
+    // ties fair without disturbing any decision where the counters
+    // actually differ.
+    const unsigned n = params_.numCores;
+    unsigned gainer = scanStart_;
+    for (unsigned k = 1; k < n; ++k) {
+        const unsigned c = (scanStart_ + k) % n;
         if (shadowHits_[c] > shadowHits_[gainer])
             gainer = c;
     }
@@ -150,7 +159,8 @@ SharingEngine::repartitionNow()
     // skipped: otherwise a single fully-squeezed core would block
     // all further adaptation for the rest of the run.
     int loser = -1;
-    for (unsigned c = 0; c < params_.numCores; ++c) {
+    for (unsigned k = 0; k < n; ++k) {
+        const unsigned c = (scanStart_ + k) % n;
         if (c == gainer || quotas_[c] <= params_.minQuota)
             continue;
         if (loser < 0 ||
@@ -158,6 +168,7 @@ SharingEngine::repartitionNow()
             loser = static_cast<int>(c);
         }
     }
+    scanStart_ = (scanStart_ + 1) % n;
 
     const Counter gain = shadowHits_[gainer] * shadowScale_;
 

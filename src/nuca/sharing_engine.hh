@@ -156,6 +156,13 @@ class SharingEngine
     std::vector<Counter> shadowHits_;
     std::vector<Counter> lruHits_;
     Counter epochMissCount_ = 0;
+    /**
+     * First core visited by the gainer/loser scans, advanced each
+     * epoch so strict tie-breaking does not structurally favor low
+     * core IDs (symmetric workloads would otherwise drift quota
+     * toward core 0).
+     */
+    unsigned scanStart_ = 0;
 
     stats::Group statsGroup_;
     stats::Scalar repartitions_;

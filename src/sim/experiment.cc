@@ -1,5 +1,7 @@
 #include "sim/experiment.hh"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
 
 #include "base/logging.hh"
@@ -15,11 +17,22 @@ envOr(const char *name, std::uint64_t def)
     const char *value = std::getenv(name);
     if (value == nullptr || *value == '\0')
         return def;
+    // strtoull silently wraps negative input ("-1" parses to
+    // 2^64-1, which once sent a sweep off to run 18 quintillion
+    // mixes) and saturates on overflow; reject both explicitly.
+    const char *digits = value;
+    while (std::isspace(static_cast<unsigned char>(*digits)))
+        ++digits;
+    fatal_if(*digits == '-', "environment variable ", name,
+             " must be non-negative: '", value, "'");
+    errno = 0;
     char *end = nullptr;
-    const unsigned long long parsed = std::strtoull(value, &end, 10);
-    fatal_if(end == value || *end != '\0',
+    const unsigned long long parsed = std::strtoull(digits, &end, 10);
+    fatal_if(end == digits || *end != '\0',
              "environment variable ", name,
              " is not a number: '", value, "'");
+    fatal_if(errno == ERANGE, "environment variable ", name,
+             " overflows 64 bits: '", value, "'");
     return parsed;
 }
 

@@ -1,0 +1,57 @@
+#include "sim/parallel_runner.hh"
+
+#include <cstdio>
+
+#include "sim/experiment.hh"
+
+namespace nuca {
+
+unsigned
+jobsFromEnv()
+{
+    const auto jobs = envOr("REPRO_JOBS", 0);
+    if (jobs != 0)
+        return static_cast<unsigned>(jobs);
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+ProgressReporter::ProgressReporter(std::string label,
+                                   std::size_t total, bool quiet)
+    : label_(std::move(label)), total_(total),
+      quiet_(quiet || total == 0)
+{
+}
+
+void
+ProgressReporter::completed()
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    ++done_;
+    if (quiet_)
+        return;
+    std::fprintf(stderr, "  [%s] %zu/%zu\r", label_.c_str(), done_,
+                 total_);
+    std::fflush(stderr);
+}
+
+void
+ProgressReporter::finish()
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (quiet_ || finished_)
+        return;
+    finished_ = true;
+    std::fprintf(stderr, "  [%s] done (%zu jobs)      \n",
+                 label_.c_str(), done_);
+    std::fflush(stderr);
+}
+
+std::size_t
+ProgressReporter::done() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return done_;
+}
+
+} // namespace nuca

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * A deterministic worker pool for embarrassingly parallel experiment
+ * sweeps. Every (scheme, mix) experiment builds its own CmpSystem
+ * from an explicit per-mix seed and shares no mutable state with its
+ * siblings, so a sweep can fan out across threads and still produce
+ * results bit-identical to the serial loop: jobs are indexed at
+ * submission time and each worker writes only results[i], so the
+ * output order never depends on scheduling.
+ *
+ * The pool size comes from the REPRO_JOBS environment variable and
+ * defaults to std::thread::hardware_concurrency(); REPRO_JOBS=1
+ * degenerates to an inline serial loop with no threads spawned.
+ */
+
+#ifndef NUCA_SIM_PARALLEL_RUNNER_HH
+#define NUCA_SIM_PARALLEL_RUNNER_HH
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace nuca {
+
+/**
+ * Worker count for experiment sweeps: REPRO_JOBS if set and nonzero,
+ * otherwise hardware_concurrency() (or 1 where that is unknown).
+ */
+unsigned jobsFromEnv();
+
+/**
+ * Thread-safe completed/total progress line on stderr. Workers call
+ * completed() as jobs finish (in any order, from any thread); the
+ * reporter redraws a single `\r`-terminated line under a mutex and
+ * finish() settles it with a newline. Construction with total == 0
+ * or quiet == true suppresses all output.
+ */
+class ProgressReporter
+{
+  public:
+    ProgressReporter(std::string label, std::size_t total,
+                     bool quiet = false);
+
+    /** Count one finished job and redraw the progress line. */
+    void completed();
+
+    /** Print the closing "done" line (idempotent). */
+    void finish();
+
+    /** Jobs reported finished so far. */
+    std::size_t done() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::string label_;
+    std::size_t total_;
+    std::size_t done_ = 0;
+    bool quiet_;
+    bool finished_ = false;
+};
+
+/**
+ * Run fn(jobs[i]) for every job on a pool of @p num_threads workers
+ * and return the results in submission order: results[i] always
+ * corresponds to jobs[i] regardless of which worker ran it or when.
+ *
+ * @p fn must be safe to invoke concurrently from multiple threads
+ * (the experiment harness guarantees this: runMix touches only its
+ * own CmpSystem). Its result type must be default-constructible.
+ * With num_threads <= 1 (or fewer than two jobs) everything runs
+ * inline on the calling thread — that path is the serial reference
+ * the determinism tests compare against.
+ */
+template <typename Job, typename Fn>
+auto
+runParallel(const std::vector<Job> &jobs, Fn fn, unsigned num_threads,
+            ProgressReporter *progress = nullptr)
+    -> std::vector<std::invoke_result_t<Fn &, const Job &>>
+{
+    using Result = std::invoke_result_t<Fn &, const Job &>;
+    std::vector<Result> results(jobs.size());
+
+    const std::size_t workers =
+        std::min<std::size_t>(num_threads == 0 ? 1 : num_threads,
+                              jobs.size());
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            results[i] = fn(jobs[i]);
+            if (progress)
+                progress->completed();
+        }
+        return results;
+    }
+
+    // The job queue: a shared cursor over the submission-ordered job
+    // vector. Workers claim the next unclaimed index and write only
+    // their own results slot, so no two threads ever touch the same
+    // element.
+    std::atomic<std::size_t> next{0};
+    std::mutex error_mutex;
+    std::exception_ptr error;
+
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= jobs.size())
+                return;
+            try {
+                results[i] = fn(jobs[i]);
+            } catch (...) {
+                std::lock_guard<std::mutex> guard(error_mutex);
+                if (!error)
+                    error = std::current_exception();
+                return;
+            }
+            if (progress)
+                progress->completed();
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (std::size_t t = 0; t < workers; ++t)
+        threads.emplace_back(worker);
+    for (auto &thread : threads)
+        thread.join();
+
+    if (error)
+        std::rethrow_exception(error);
+    return results;
+}
+
+/** Convenience overload: pool size from REPRO_JOBS / the hardware. */
+template <typename Job, typename Fn>
+auto
+runParallel(const std::vector<Job> &jobs, Fn fn,
+            ProgressReporter *progress = nullptr)
+{
+    return runParallel(jobs, std::move(fn), jobsFromEnv(), progress);
+}
+
+} // namespace nuca
+
+#endif // NUCA_SIM_PARALLEL_RUNNER_HH

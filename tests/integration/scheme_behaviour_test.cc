@@ -164,7 +164,12 @@ TEST(SchemeBehaviour, QuotasFollowDemand)
     system.run(400000);
     const auto &engine = system.adaptive()->engine();
     EXPECT_GT(engine.quota(0), 4u);
-    EXPECT_LT(engine.quota(1), 4u);
+    // The hog's gain comes out of the idle cores' quotas. Which idle
+    // core donates first is a tie broken by the rotating scan start,
+    // so assert on their total rather than on core 1 specifically.
+    const unsigned idle_total = engine.quota(1) + engine.quota(2) +
+                                engine.quota(3);
+    EXPECT_LT(idle_total, 12u);
     system.adaptive()->checkInvariants();
 }
 

@@ -146,6 +146,67 @@ TEST(SharingEngine, GainerExcludedFromLoserSearch)
     EXPECT_EQ(engine.quota(1), 3u);
 }
 
+TEST(SharingEngine, TiedEpochsRotateInsteadOfFavoringCoreZero)
+{
+    stats::Group g("g");
+    SharingEngine engine(g, smallParams());
+    // A perfectly symmetric workload: every epoch each core gets one
+    // shadow hit and no LRU hits, so gain (1) > loss (0) for every
+    // candidate and all counters tie. The rotating scan start must
+    // spread the moves around the cores instead of repeatedly
+    // handing the block to core 0.
+    std::vector<unsigned> gained;
+    for (unsigned epoch = 0; epoch < 4; ++epoch) {
+        std::vector<unsigned> before;
+        for (CoreId c = 0; c < 4; ++c)
+            before.push_back(engine.quota(c));
+        for (CoreId c = 0; c < 4; ++c) {
+            const Addr tag = 0x100 * (epoch + 1) + c;
+            engine.recordEviction(0, c, tag);
+            engine.observeMiss(0, c, tag);
+        }
+        engine.repartitionNow();
+        for (CoreId c = 0; c < 4; ++c) {
+            if (engine.quota(c) > before[static_cast<unsigned>(c)])
+                gained.push_back(static_cast<unsigned>(c));
+        }
+    }
+    // One move per epoch, each epoch's gainer a different core.
+    EXPECT_EQ(engine.repartitions(), 4u);
+    ASSERT_EQ(gained.size(), 4u);
+    EXPECT_EQ(gained, (std::vector<unsigned>{0, 1, 2, 3}));
+    // After a full rotation the symmetric workload is back at the
+    // symmetric split — no structural drift toward core 0.
+    for (CoreId c = 0; c < 4; ++c)
+        EXPECT_EQ(engine.quota(c), 4u);
+}
+
+TEST(SharingEngine, DistinctCountersUnaffectedByRotation)
+{
+    stats::Group g("g");
+    SharingEngine engine(g, smallParams());
+    // With strictly distinct counters the rotation must not change
+    // any decision: run several epochs where core 2 is always the
+    // clear gainer and core 1 always the clear cheapest loser.
+    for (unsigned epoch = 0; epoch < 2; ++epoch) {
+        for (unsigned i = 0; i < 3; ++i) {
+            const Addr tag = 0x10 * (epoch + 1) + i;
+            engine.recordEviction(0, 2, tag);
+            engine.observeMiss(0, 2, tag);
+        }
+        engine.countLruHit(0);
+        engine.countLruHit(0);
+        engine.countLruHit(3);
+        engine.countLruHit(3);
+        engine.countLruHit(1);
+        engine.repartitionNow();
+    }
+    EXPECT_EQ(engine.quota(2), 6u);
+    EXPECT_EQ(engine.quota(1), 2u);
+    EXPECT_EQ(engine.quota(0), 4u);
+    EXPECT_EQ(engine.quota(3), 4u);
+}
+
 TEST(SharingEngine, CountersResetEachEpoch)
 {
     stats::Group g("g");

@@ -76,6 +76,47 @@ TEST(Experiment, EnvOverrideParsesNumbers)
     ::unsetenv("NUCA_TEST_ENV_EMPTY");
 }
 
+TEST(Experiment, EnvOverrideRejectsNegativeNumbers)
+{
+    // strtoull would silently wrap "-1" to 2^64-1 — a sweep asked
+    // for -1 mixes must fail fast instead of hanging.
+    ::setenv("NUCA_TEST_ENV_VALUE", "-1", 1);
+    EXPECT_EXIT(envOr("NUCA_TEST_ENV_VALUE", 1),
+                testing::ExitedWithCode(1), "must be non-negative");
+    ::setenv("NUCA_TEST_ENV_VALUE", "  -5", 1);
+    EXPECT_EXIT(envOr("NUCA_TEST_ENV_VALUE", 1),
+                testing::ExitedWithCode(1), "must be non-negative");
+    ::unsetenv("NUCA_TEST_ENV_VALUE");
+}
+
+TEST(Experiment, EnvOverrideRejectsOverflow)
+{
+    // 2^64 saturates strtoull with ERANGE; reject instead.
+    ::setenv("NUCA_TEST_ENV_VALUE", "18446744073709551616", 1);
+    EXPECT_EXIT(envOr("NUCA_TEST_ENV_VALUE", 1),
+                testing::ExitedWithCode(1), "overflows 64 bits");
+    ::unsetenv("NUCA_TEST_ENV_VALUE");
+}
+
+TEST(Experiment, EnvOverrideRejectsTrailingGarbage)
+{
+    ::setenv("NUCA_TEST_ENV_VALUE", "123abc", 1);
+    EXPECT_EXIT(envOr("NUCA_TEST_ENV_VALUE", 1),
+                testing::ExitedWithCode(1), "not a number");
+    ::setenv("NUCA_TEST_ENV_VALUE", "abc", 1);
+    EXPECT_EXIT(envOr("NUCA_TEST_ENV_VALUE", 1),
+                testing::ExitedWithCode(1), "not a number");
+    ::unsetenv("NUCA_TEST_ENV_VALUE");
+}
+
+TEST(Experiment, EnvOverrideStillAcceptsMaxUint64)
+{
+    ::setenv("NUCA_TEST_ENV_VALUE", "18446744073709551615", 1);
+    EXPECT_EQ(envOr("NUCA_TEST_ENV_VALUE", 1),
+              18446744073709551615ull);
+    ::unsetenv("NUCA_TEST_ENV_VALUE");
+}
+
 TEST(Experiment, WindowFromEnvUsesDefaults)
 {
     ::unsetenv("REPRO_WARMUP_CYCLES");

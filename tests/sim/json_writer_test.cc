@@ -1,0 +1,133 @@
+/** @file Tests for the minimal JSON document model. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "sim/json_writer.hh"
+
+namespace nuca {
+namespace {
+
+using json::Value;
+
+TEST(JsonWriter, ScalarsDump)
+{
+    EXPECT_EQ(Value().dump(), "null");
+    EXPECT_EQ(Value(true).dump(), "true");
+    EXPECT_EQ(Value(false).dump(), "false");
+    EXPECT_EQ(Value(42).dump(), "42");
+    EXPECT_EQ(Value(1.5).dump(), "1.5");
+    EXPECT_EQ(Value("hi").dump(), "\"hi\"");
+}
+
+TEST(JsonWriter, StringsAreEscaped)
+{
+    EXPECT_EQ(json::escape("a\"b\\c"), "a\\\"b\\\\c");
+    EXPECT_EQ(json::escape("line\nbreak\ttab"),
+              "line\\nbreak\\ttab");
+    EXPECT_EQ(json::escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriter, ObjectsPreserveInsertionOrder)
+{
+    Value obj = Value::object();
+    obj.set("zebra", 1);
+    obj.set("apple", 2);
+    obj.set("zebra", 3); // replace, keep position
+    EXPECT_EQ(obj.dump(), "{\"zebra\":3,\"apple\":2}");
+    EXPECT_EQ(obj.size(), 2u);
+    EXPECT_TRUE(obj.contains("apple"));
+    EXPECT_FALSE(obj.contains("mango"));
+}
+
+TEST(JsonWriter, ArraysNest)
+{
+    Value arr = Value::array();
+    arr.append(1).append("two");
+    Value inner = Value::array();
+    inner.append(3.5);
+    arr.append(std::move(inner));
+    EXPECT_EQ(arr.dump(), "[1,\"two\",[3.5]]");
+    EXPECT_EQ(arr.at(2).at(0).asNumber(), 3.5);
+}
+
+TEST(JsonWriter, PrettyPrintIndents)
+{
+    Value obj = Value::object();
+    obj.set("a", 1);
+    EXPECT_EQ(obj.dump(2), "{\n  \"a\": 1\n}");
+}
+
+TEST(JsonWriter, ParseRoundTripsDump)
+{
+    Value doc = Value::object();
+    doc.set("label", "adaptive");
+    Value mix = Value::array();
+    mix.append("mcf").append("gzip").append("ammp").append("art");
+    doc.set("mix", std::move(mix));
+    Value ipc = Value::array();
+    ipc.append(0.123456789012345).append(1.75);
+    doc.set("ipc", std::move(ipc));
+    doc.set("harmonic", 0.3333333333333333);
+    doc.set("quote", "say \"hi\"\n");
+
+    for (const unsigned indent : {0u, 2u}) {
+        const auto parsed = Value::tryParse(doc.dump(indent));
+        ASSERT_TRUE(parsed.has_value()) << "indent " << indent;
+        EXPECT_EQ(parsed->at("label").asString(), "adaptive");
+        EXPECT_EQ(parsed->at("mix").size(), 4u);
+        EXPECT_EQ(parsed->at("mix").at(0).asString(), "mcf");
+        // %.17g serialization round-trips doubles exactly.
+        EXPECT_EQ(parsed->at("ipc").at(0).asNumber(),
+                  0.123456789012345);
+        EXPECT_EQ(parsed->at("harmonic").asNumber(),
+                  0.3333333333333333);
+        EXPECT_EQ(parsed->at("quote").asString(), "say \"hi\"\n");
+    }
+}
+
+TEST(JsonWriter, ParseHandlesLiteralsAndNumbers)
+{
+    const auto v =
+        Value::tryParse(" [ null , true , false , -2.5e3 ] ");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_TRUE(v->at(0).isNull());
+    EXPECT_TRUE(v->at(1).asBool());
+    EXPECT_FALSE(v->at(2).asBool());
+    EXPECT_EQ(v->at(3).asNumber(), -2500.0);
+}
+
+TEST(JsonWriter, ParseRejectsMalformedInput)
+{
+    EXPECT_FALSE(Value::tryParse("").has_value());
+    EXPECT_FALSE(Value::tryParse("{").has_value());
+    EXPECT_FALSE(Value::tryParse("[1,]").has_value());
+    EXPECT_FALSE(Value::tryParse("{\"a\":}").has_value());
+    EXPECT_FALSE(Value::tryParse("\"unterminated").has_value());
+    EXPECT_FALSE(Value::tryParse("123 trailing").has_value());
+    EXPECT_FALSE(Value::tryParse("nul").has_value());
+}
+
+TEST(JsonWriter, ParseUnescapesUnicodeEscapes)
+{
+    const auto v = Value::tryParse("\"\\u0041\\u0001\"");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->asString(), std::string("A") + '\x01');
+}
+
+TEST(JsonWriter, FileRoundTrip)
+{
+    const std::string path =
+        testing::TempDir() + "json_writer_test.json";
+    Value doc = Value::object();
+    doc.set("answer", 42);
+    json::writeFile(path, doc);
+    const auto parsed = Value::parse(json::readFile(path));
+    EXPECT_EQ(parsed.at("answer").asNumber(), 42.0);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace nuca

@@ -1,0 +1,151 @@
+/** @file Tests for the deterministic worker pool. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "sim/parallel_runner.hh"
+
+namespace nuca {
+namespace {
+
+TEST(ParallelRunner, ResultsArriveInSubmissionOrder)
+{
+    std::vector<int> jobs(100);
+    std::iota(jobs.begin(), jobs.end(), 0);
+    for (const unsigned threads : {1u, 2u, 8u}) {
+        const auto results = runParallel(
+            jobs, [](int i) { return i * i; }, threads);
+        ASSERT_EQ(results.size(), jobs.size());
+        for (int i = 0; i < 100; ++i)
+            EXPECT_EQ(results[static_cast<std::size_t>(i)], i * i);
+    }
+}
+
+TEST(ParallelRunner, EveryJobRunsExactlyOnce)
+{
+    std::vector<int> jobs(257);
+    std::iota(jobs.begin(), jobs.end(), 0);
+    std::atomic<int> invocations{0};
+    const auto results = runParallel(
+        jobs,
+        [&](int i) {
+            invocations.fetch_add(1);
+            return i;
+        },
+        8);
+    EXPECT_EQ(invocations.load(), 257);
+    for (int i = 0; i < 257; ++i)
+        EXPECT_EQ(results[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ParallelRunner, EmptyJobListReturnsEmpty)
+{
+    const std::vector<int> jobs;
+    const auto results =
+        runParallel(jobs, [](int i) { return i; }, 4);
+    EXPECT_TRUE(results.empty());
+}
+
+TEST(ParallelRunner, MoreThreadsThanJobsIsSafe)
+{
+    const std::vector<int> jobs = {1, 2};
+    const auto results =
+        runParallel(jobs, [](int i) { return i + 10; }, 64);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0], 11);
+    EXPECT_EQ(results[1], 12);
+}
+
+TEST(ParallelRunner, ZeroThreadsFallsBackToSerial)
+{
+    const std::vector<int> jobs = {5};
+    const auto results =
+        runParallel(jobs, [](int i) { return i; }, 0u);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0], 5);
+}
+
+TEST(ParallelRunner, WorkerExceptionPropagates)
+{
+    std::vector<int> jobs(16);
+    std::iota(jobs.begin(), jobs.end(), 0);
+    EXPECT_THROW(
+        runParallel(
+            jobs,
+            [](int i) {
+                if (i == 7)
+                    throw std::runtime_error("job 7 failed");
+                return i;
+            },
+            4),
+        std::runtime_error);
+}
+
+TEST(ParallelRunner, ProgressCountsEveryCompletion)
+{
+    std::vector<int> jobs(40);
+    std::iota(jobs.begin(), jobs.end(), 0);
+    ProgressReporter progress("test", jobs.size(), /*quiet=*/true);
+    runParallel(jobs, [](int i) { return i; }, 4, &progress);
+    EXPECT_EQ(progress.done(), 40u);
+    progress.finish();
+}
+
+TEST(ParallelRunner, JobsFromEnvReadsOverride)
+{
+    ::setenv("REPRO_JOBS", "3", 1);
+    EXPECT_EQ(jobsFromEnv(), 3u);
+    ::unsetenv("REPRO_JOBS");
+    // Unset (and explicit 0) fall back to the hardware; the exact
+    // value is machine-dependent but never zero.
+    EXPECT_GE(jobsFromEnv(), 1u);
+    ::setenv("REPRO_JOBS", "0", 1);
+    EXPECT_GE(jobsFromEnv(), 1u);
+    ::unsetenv("REPRO_JOBS");
+}
+
+// The core determinism guarantee at the experiment level: the same
+// (config, mix) jobs produce bit-identical MixResults regardless of
+// the pool size, because every job owns its CmpSystem and its seed.
+TEST(ParallelRunner, RunMixIsBitIdenticalAcrossPoolSizes)
+{
+    const SimWindow window{2000, 8000};
+    const auto mixes =
+        makeMixes({"mcf", "gzip", "ammp", "art"}, 4, 4, 77);
+    const SystemConfig config =
+        SystemConfig::baseline(L3Scheme::Adaptive);
+
+    const auto reference = runParallel(
+        mixes,
+        [&](const ExperimentSpec &mix) {
+            return runMix(config, mix, window);
+        },
+        1);
+    for (const unsigned threads : {2u, 8u}) {
+        const auto results = runParallel(
+            mixes,
+            [&](const ExperimentSpec &mix) {
+                return runMix(config, mix, window);
+            },
+            threads);
+        ASSERT_EQ(results.size(), reference.size());
+        for (std::size_t m = 0; m < results.size(); ++m) {
+            // Exact equality, not tolerance: the parallel path must
+            // reproduce the serial path bit for bit.
+            EXPECT_EQ(results[m].ipc, reference[m].ipc)
+                << "mix " << m << ", " << threads << " threads";
+            EXPECT_EQ(results[m].l3AccessesPerKilocycle,
+                      reference[m].l3AccessesPerKilocycle)
+                << "mix " << m << ", " << threads << " threads";
+        }
+    }
+}
+
+} // namespace
+} // namespace nuca
