@@ -40,8 +40,13 @@ runAll(const std::vector<std::pair<std::string, SystemConfig>> &configs,
     auto cells = runParallel(
         sweep,
         [&](const SweepJob &job) {
+            // The label makes REPRO_TRACE write one file per
+            // (scheme, mix) experiment, so concurrent workers never
+            // share a trace writer.
             return runMix(configs[job.scheme].second, mixes[job.mix],
-                          window);
+                          window,
+                          configs[job.scheme].first + ".mix" +
+                              std::to_string(job.mix));
         },
         pool, &progress);
     progress.finish();
@@ -76,8 +81,11 @@ runAllSerial(
         SchemeResults results;
         results.label = label;
         results.mixes.reserve(mixes.size());
-        for (const auto &mix : mixes)
-            results.mixes.push_back(runMix(config, mix, window));
+        for (std::size_t m = 0; m < mixes.size(); ++m) {
+            results.mixes.push_back(
+                runMix(config, mixes[m], window,
+                       label + ".mix" + std::to_string(m)));
+        }
         out.push_back(std::move(results));
     }
     return out;
@@ -192,7 +200,8 @@ printHeader(const std::string &what, const SimWindow &window,
                 jobsFromEnv());
     std::printf("(override with REPRO_MIXES / REPRO_WARMUP_CYCLES / "
                 "REPRO_MEASURE_CYCLES / REPRO_JOBS; REPRO_JSON=<path> "
-                "writes machine-readable results)\n\n");
+                "writes machine-readable results; REPRO_TRACE=<path> "
+                "writes one JSONL telemetry trace per experiment)\n\n");
 }
 
 std::string

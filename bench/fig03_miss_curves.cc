@@ -23,6 +23,7 @@
 #include "cache/set_assoc_cache.hh"
 #include "sim/experiment.hh"
 #include "sim/parallel_runner.hh"
+#include "sim/telemetry.hh"
 #include "workload/spec_profiles.hh"
 #include "workload/synth_workload.hh"
 
@@ -48,9 +49,37 @@ missCurve(const WorkloadProfile &profile, std::uint64_t insts)
             ways));
     }
 
+    // REPRO_TRACE: periodic snapshots of the per-associativity miss
+    // counters so the curve's convergence over the replay is
+    // visible. The replay is functional (no cycles), so the sample
+    // period is interpreted in instructions.
+    const auto trace = sinkFromEnv("fig3." + profile.name);
+    const std::uint64_t period =
+        TelemetryConfig::fromEnv().samplePeriod;
+    if (trace) {
+        json::Value meta = json::Value::object();
+        meta.set("type", "meta");
+        meta.set("scheme", "fig3_replay");
+        meta.set("app", profile.name);
+        meta.set("period", period);
+        trace->write(meta);
+    }
+    const auto emitSample = [&](std::uint64_t inst) {
+        json::Value record = json::Value::object();
+        record.set("type", "sample");
+        record.set("inst", inst);
+        json::Value misses = json::Value::array();
+        for (const auto &l3 : l3s)
+            misses.append(l3->misses());
+        record.set("misses_per_way", std::move(misses));
+        trace->write(record);
+    };
+
     SynthWorkload workload(profile, 0, 2024);
     for (std::uint64_t i = 0; i < insts; ++i) {
         const SynthInst inst = workload.next();
+        if (trace && i > 0 && i % period == 0)
+            emitSample(i);
         if (!inst.isMem())
             continue;
         const bool is_write = inst.isStore();
@@ -65,6 +94,8 @@ missCurve(const WorkloadProfile &profile, std::uint64_t insts)
                 l3->fill(inst.effAddr, false, 0);
         }
     }
+    if (trace)
+        emitSample(insts);
 
     std::vector<Counter> curve;
     curve.reserve(maxWays);

@@ -25,6 +25,7 @@
 #include "sim/cmp_system.hh"
 #include "sim/experiment.hh"
 #include "sim/parallel_runner.hh"
+#include "sim/telemetry.hh"
 #include "workload/spec_profiles.hh"
 
 namespace {
@@ -50,6 +51,9 @@ characterize(const WorkloadProfile &profile, const SimWindow &window)
     std::vector<WorkloadProfile> apps(4, idleProfile());
     apps[0] = profile;
     CmpSystem system(config, apps, /*seed=*/12345);
+    // One trace per characterization run when REPRO_TRACE is set.
+    const auto trace =
+        attachTelemetryFromEnv(system, "fig5." + profile.name);
     system.run(window.warmupCycles);
     system.resetStats();
     system.run(window.measureCycles);

@@ -61,7 +61,8 @@ main()
         schemes,
         [&](L3Scheme scheme) {
             return runMix(SystemConfig::baseline(scheme), anecdote,
-                          window);
+                          window,
+                          "anecdote." + to_string(scheme));
         },
         jobsFromEnv());
     const auto &priv = anecdote_runs[0];

@@ -21,6 +21,7 @@
 #include "sim/cmp_system.hh"
 #include "sim/metrics.hh"
 #include "sim/parallel_runner.hh"
+#include "sim/telemetry.hh"
 #include "workload/spec_profiles.hh"
 
 namespace {
@@ -40,6 +41,13 @@ runScheme(L3Scheme scheme, const std::vector<WorkloadProfile> &apps,
           Cycle cycles)
 {
     CmpSystem system(SystemConfig::baseline(scheme), apps, 1);
+    // REPRO_TRACE=<path> traces the adaptive run (the one with
+    // repartition dynamics) to exactly <path>; only one of the four
+    // parallel scheme runs writes, so the file never interleaves.
+    const auto trace =
+        scheme == L3Scheme::Adaptive
+            ? attachTelemetryFromEnv(system, "")
+            : nullptr;
     system.run(cycles / 2); // warm-up
     system.resetStats();
     const Counter fetches0 = system.memory().fetches();

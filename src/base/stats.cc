@@ -1,10 +1,29 @@
 #include "base/stats.hh"
 
 #include <algorithm>
-#include <iomanip>
+#include <cstdio>
 
 namespace nuca {
 namespace stats {
+
+namespace {
+
+/**
+ * Doubles in dumps are formatted through snprintf rather than stream
+ * manipulators: std::setprecision is sticky and would leak into the
+ * caller's stream, and the default precision differs enough across
+ * libstdc++ versions to make dump diffs unstable. %.6g matches the
+ * precision the dumps always intended.
+ */
+std::string
+formatDouble(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+} // namespace
 
 Stat::Stat(Group &parent, std::string name, std::string desc)
     : name_(std::move(name)), desc_(std::move(desc))
@@ -16,6 +35,12 @@ void
 Scalar::dump(std::ostream &os, const std::string &prefix) const
 {
     os << prefix << name() << " " << value_ << " # " << desc() << "\n";
+}
+
+void
+Scalar::visit(Visitor &v, const std::string &prefix) const
+{
+    v.record(prefix + name(), static_cast<double>(value_));
 }
 
 std::uint64_t
@@ -30,12 +55,29 @@ Vector::total() const
 void
 Vector::dump(std::ostream &os, const std::string &prefix) const
 {
+    // A zero-length vector has nothing to report; emitting only the
+    // ".total 0" line would be a dangling aggregate of no elements.
+    if (values_.empty())
+        return;
     for (std::size_t i = 0; i < values_.size(); ++i) {
         os << prefix << name() << "[" << i << "] " << values_[i]
            << " # " << desc() << "\n";
     }
     os << prefix << name() << ".total " << total() << " # " << desc()
        << "\n";
+}
+
+void
+Vector::visit(Visitor &v, const std::string &prefix) const
+{
+    if (values_.empty())
+        return;
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+        v.record(prefix + name() + "[" + std::to_string(i) + "]",
+                 static_cast<double>(values_[i]));
+    }
+    v.record(prefix + name() + ".total",
+             static_cast<double>(total()));
 }
 
 void
@@ -94,8 +136,16 @@ Distribution::dump(std::ostream &os, const std::string &prefix) const
 {
     os << prefix << name() << ".count " << count_ << " # " << desc()
        << "\n";
-    os << prefix << name() << ".mean " << mean() << " # " << desc()
-       << "\n";
+    os << prefix << name() << ".mean " << formatDouble(mean())
+       << " # " << desc() << "\n";
+    // min/max are only meaningful once something was sampled; with
+    // count == 0 they would print as a spurious [0, 0] range.
+    if (count_ > 0) {
+        os << prefix << name() << ".min " << minSeen_ << " # "
+           << desc() << "\n";
+        os << prefix << name() << ".max " << maxSeen_ << " # "
+           << desc() << "\n";
+    }
     if (underflow_ > 0)
         os << prefix << name() << ".underflow " << underflow_ << "\n";
     for (std::size_t i = 0; i < counts_.size(); ++i) {
@@ -110,6 +160,18 @@ Distribution::dump(std::ostream &os, const std::string &prefix) const
 }
 
 void
+Distribution::visit(Visitor &v, const std::string &prefix) const
+{
+    const std::string base = prefix + name();
+    v.record(base + ".count", static_cast<double>(count_));
+    v.record(base + ".mean", mean());
+    if (count_ > 0) {
+        v.record(base + ".min", static_cast<double>(minSeen_));
+        v.record(base + ".max", static_cast<double>(maxSeen_));
+    }
+}
+
+void
 Distribution::reset()
 {
     std::fill(counts_.begin(), counts_.end(), 0);
@@ -121,8 +183,14 @@ Distribution::reset()
 void
 Formula::dump(std::ostream &os, const std::string &prefix) const
 {
-    os << prefix << name() << " " << std::setprecision(6) << value()
-       << " # " << desc() << "\n";
+    os << prefix << name() << " " << formatDouble(value()) << " # "
+       << desc() << "\n";
+}
+
+void
+Formula::visit(Visitor &v, const std::string &prefix) const
+{
+    v.record(prefix + name(), value());
 }
 
 Group::Group(Group &parent, std::string name) : name_(std::move(name))
@@ -142,6 +210,17 @@ Group::dump(std::ostream &os, const std::string &prefix) const
 }
 
 void
+Group::visit(Visitor &v, const std::string &prefix) const
+{
+    const std::string my_prefix =
+        prefix.empty() ? name_ + "." : prefix + name_ + ".";
+    for (const auto *stat : stats_)
+        stat->visit(v, my_prefix);
+    for (const auto *child : children_)
+        child->visit(v, my_prefix);
+}
+
+void
 Group::reset()
 {
     for (auto *stat : stats_)
@@ -150,14 +229,86 @@ Group::reset()
         child->reset();
 }
 
+namespace {
+
+/** True when @p path starts with "@p head." (a dotted descent). */
+bool
+descendsInto(const std::string &path, const std::string &head)
+{
+    return path.size() > head.size() + 1 &&
+           path.compare(0, head.size(), head) == 0 &&
+           path[head.size()] == '.';
+}
+
+} // namespace
+
 const Stat *
-Group::find(const std::string &name) const
+Group::find(const std::string &path) const
 {
     for (const auto *stat : stats_) {
-        if (stat->name() == name)
+        if (stat->name() == path)
             return stat;
     }
+    // Group names may themselves contain dots ("core0.mem"), so the
+    // descent matches whole child names against the path head rather
+    // than splitting at the first dot.
+    for (const auto *child : children_) {
+        if (!descendsInto(path, child->name()))
+            continue;
+        if (const Stat *found =
+                child->find(path.substr(child->name().size() + 1)))
+            return found;
+    }
     return nullptr;
+}
+
+const Group *
+Group::findGroup(const std::string &path) const
+{
+    for (const auto *child : children_) {
+        if (child->name() == path)
+            return child;
+        if (!descendsInto(path, child->name()))
+            continue;
+        if (const Group *found = child->findGroup(
+                path.substr(child->name().size() + 1)))
+            return found;
+    }
+    return nullptr;
+}
+
+void
+Snapshot::take(const Group &root)
+{
+    entries_.clear();
+    index_.clear();
+    root.visit(*this);
+}
+
+void
+Snapshot::record(const std::string &name, double value)
+{
+    index_.emplace(name, entries_.size());
+    entries_.emplace_back(name, value);
+}
+
+std::optional<double>
+Snapshot::value(const std::string &name) const
+{
+    const auto it = index_.find(name);
+    if (it == index_.end())
+        return std::nullopt;
+    return entries_[it->second].second;
+}
+
+Snapshot
+Snapshot::delta(const Snapshot &older) const
+{
+    Snapshot out;
+    out.entries_.reserve(entries_.size());
+    for (const auto &[name, v] : entries_)
+        out.record(name, v - older.value(name).value_or(0.0));
+    return out;
 }
 
 } // namespace stats

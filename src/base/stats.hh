@@ -12,8 +12,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <ostream>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "base/logging.hh"
@@ -22,6 +25,21 @@ namespace nuca {
 namespace stats {
 
 class Group;
+
+/**
+ * Receiver of structured stat records: every stat yields one or more
+ * {dotted-name, value} pairs — the same names the text dump prints,
+ * but as machine-readable values (vectors yield "name[i]" plus
+ * "name.total", distributions their ".count"/".mean"/".min"/".max").
+ */
+class Visitor
+{
+  public:
+    virtual ~Visitor() = default;
+
+    /** One record. @p name is the full dotted path. */
+    virtual void record(const std::string &name, double value) = 0;
+};
 
 /** Base class for all statistics: a name, a description, a dump. */
 class Stat
@@ -38,6 +56,10 @@ class Stat
 
     /** Print "name value # desc" line(s). */
     virtual void dump(std::ostream &os, const std::string &prefix)
+        const = 0;
+
+    /** Yield this stat's {dotted-name, value} records. */
+    virtual void visit(Visitor &v, const std::string &prefix)
         const = 0;
 
     /** Reset the value(s) to zero. */
@@ -64,6 +86,7 @@ class Scalar : public Stat
 
     void dump(std::ostream &os, const std::string &prefix)
         const override;
+    void visit(Visitor &v, const std::string &prefix) const override;
     void reset() override { value_ = 0; }
 
   private:
@@ -99,6 +122,7 @@ class Vector : public Stat
 
     void dump(std::ostream &os, const std::string &prefix)
         const override;
+    void visit(Visitor &v, const std::string &prefix) const override;
     void reset() override;
 
   private:
@@ -127,6 +151,7 @@ class Distribution : public Stat
 
     void dump(std::ostream &os, const std::string &prefix)
         const override;
+    void visit(Visitor &v, const std::string &prefix) const override;
     void reset() override;
 
   private:
@@ -156,6 +181,7 @@ class Formula : public Stat
 
     void dump(std::ostream &os, const std::string &prefix)
         const override;
+    void visit(Visitor &v, const std::string &prefix) const override;
     void reset() override {}
 
   private:
@@ -183,11 +209,24 @@ class Group
     /** Dump all stats of this group and its children. */
     void dump(std::ostream &os, const std::string &prefix = "") const;
 
+    /** Visit all stats of this group and its children, yielding the
+     * same dotted names the dump prints. */
+    void visit(Visitor &v, const std::string &prefix = "") const;
+
     /** Reset all stats of this group and its children. */
     void reset();
 
-    /** Find a directly-owned stat by name; nullptr if absent. */
-    const Stat *find(const std::string &name) const;
+    /**
+     * Find a stat by name relative to this group. A plain name
+     * searches the directly-owned stats (the original behaviour); a
+     * dotted path ("sharing_engine.repartitions") descends through
+     * child groups, including groups whose own names contain dots
+     * ("core0.mem.l1d.misses"). @return nullptr if absent.
+     */
+    const Stat *find(const std::string &path) const;
+
+    /** Find a child group by (possibly dotted) relative path. */
+    const Group *findGroup(const std::string &path) const;
 
   private:
     friend class Stat;
@@ -195,6 +234,49 @@ class Group
     std::string name_;
     std::vector<Stat *> stats_;
     std::vector<Group *> children_;
+};
+
+/**
+ * A point-in-time capture of every stat under a group as flat
+ * {dotted-name, value} entries, with O(1) lookup by name and
+ * snapshot-to-snapshot deltas — the substrate for per-interval rate
+ * telemetry (take one snapshot per epoch and diff, instead of
+ * re-parsing text dumps).
+ */
+class Snapshot : public Visitor
+{
+  public:
+    Snapshot() = default;
+
+    /** Capture all stats under @p root (names as in root.dump()). */
+    explicit Snapshot(const Group &root) { take(root); }
+
+    /** Replace the contents with a fresh capture of @p root. */
+    void take(const Group &root);
+
+    void record(const std::string &name, double value) override;
+
+    std::size_t size() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+
+    /** Entries in visit (dump) order. */
+    const std::vector<std::pair<std::string, double>> &
+    entries() const { return entries_; }
+
+    /** Value of a dotted name; nullopt when absent. */
+    std::optional<double> value(const std::string &name) const;
+
+    /**
+     * Per-name difference `this - older`: one entry per entry of
+     * *this, with names absent from @p older treated as zero (stats
+     * count up from zero, so a stat created between snapshots has a
+     * well-defined delta).
+     */
+    Snapshot delta(const Snapshot &older) const;
+
+  private:
+    std::vector<std::pair<std::string, double>> entries_;
+    std::unordered_map<std::string, std::size_t> index_;
 };
 
 } // namespace stats

@@ -134,6 +134,17 @@ SharingEngine::repartitionNow()
 {
     ++epochsEvaluated_;
 
+    // Snapshot the pre-decision state for the observer before the
+    // epoch counters are consumed; skipped entirely when nobody is
+    // listening.
+    RepartitionEvent event;
+    if (observer_) {
+        event.epoch = epochsEvaluated_.value();
+        event.quotaBefore = quotas_;
+        event.shadowHits = shadowHits_;
+        event.lruHits = lruHits_;
+    }
+
     // Highest gain from growing: most shadow-tag hits. Lowest loss
     // from shrinking: fewest hits in own LRU blocks. Shadow hits are
     // scaled up when only a subset of sets carries shadow tags
@@ -172,6 +183,7 @@ SharingEngine::repartitionNow()
 
     const Counter gain = shadowHits_[gainer] * shadowScale_;
 
+    bool moved = false;
     if (params_.adaptationEnabled && loser >= 0 &&
         gain > lruHits_[static_cast<unsigned>(loser)] &&
         quotas_[gainer] < maxQuota_) {
@@ -180,10 +192,20 @@ SharingEngine::repartitionNow()
         ++repartitions_;
         ++quotaIncreases_[gainer];
         ++quotaDecreases_[static_cast<unsigned>(loser)];
+        moved = true;
     }
 
     std::fill(shadowHits_.begin(), shadowHits_.end(), 0);
     std::fill(lruHits_.begin(), lruHits_.end(), 0);
+
+    if (observer_) {
+        event.quotaAfter = quotas_;
+        event.gainer = static_cast<int>(gainer);
+        event.loser = loser;
+        event.scaledGain = gain;
+        event.moved = moved;
+        observer_(event);
+    }
 }
 
 std::uint64_t

@@ -13,12 +13,40 @@
 #ifndef NUCA_NUCA_SHARING_ENGINE_HH
 #define NUCA_NUCA_SHARING_ENGINE_HH
 
+#include <functional>
 #include <vector>
 
 #include "base/stats.hh"
 #include "base/types.hh"
 
 namespace nuca {
+
+/**
+ * Everything one epoch-end re-evaluation decided, captured for
+ * telemetry before the epoch counters are cleared. Delivered to the
+ * observer registered with SharingEngine::setRepartitionObserver on
+ * every evaluation — also when no quota moved, so traces show the
+ * epochs where the estimators vetoed a move.
+ */
+struct RepartitionEvent
+{
+    /** 1-based index of the completed evaluation period. */
+    std::uint64_t epoch = 0;
+    std::vector<unsigned> quotaBefore;
+    std::vector<unsigned> quotaAfter;
+    /** Per-core hits in the shadow tags this epoch (unscaled). */
+    std::vector<Counter> shadowHits;
+    /** Per-core hits in the LRU blocks this epoch. */
+    std::vector<Counter> lruHits;
+    /** Core selected by the gain scan. */
+    int gainer = -1;
+    /** Core selected by the loss scan; -1 when no core could donate. */
+    int loser = -1;
+    /** Scaled gain of the gainer (shadow hits * sampling factor). */
+    Counter scaledGain = 0;
+    /** True when a block of quota actually moved. */
+    bool moved = false;
+};
 
 /** Configuration of the sharing engine. */
 struct SharingEngineParams
@@ -137,6 +165,19 @@ class SharingEngine
      */
     void repartitionNow();
 
+    /**
+     * Register a callback invoked at the end of every repartitionNow
+     * with the epoch's decision. Purely observational: the engine's
+     * behaviour is identical with or without an observer, and with
+     * none registered the hook costs one branch per epoch. Pass an
+     * empty function to detach.
+     */
+    void setRepartitionObserver(
+        std::function<void(const RepartitionEvent &)> observer)
+    {
+        observer_ = std::move(observer);
+    }
+
   private:
     SharingEngineParams params_;
     unsigned maxQuota_;
@@ -163,6 +204,9 @@ class SharingEngine
      * toward core 0).
      */
     unsigned scanStart_ = 0;
+
+    /** Telemetry hook; empty (and free) by default. */
+    std::function<void(const RepartitionEvent &)> observer_;
 
     stats::Group statsGroup_;
     stats::Scalar repartitions_;

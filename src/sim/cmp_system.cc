@@ -140,7 +140,167 @@ CmpSystem::run(Cycle cycles)
         for (auto &core : cores_)
             core->tick(now_);
         ++now_;
+        if (trace_ && now_ >= nextSample_) {
+            emitSample();
+            nextSample_ += tracePeriod_;
+        }
     }
+}
+
+void
+CmpSystem::attachTelemetry(TraceSink *sink, Cycle period)
+{
+    if (adaptive_) {
+        adaptive_->engine().setRepartitionObserver(
+            sink == nullptr
+                ? std::function<void(const RepartitionEvent &)>{}
+                : [this](const RepartitionEvent &event) {
+                      emitRepartition(event);
+                  });
+    }
+    trace_ = sink;
+    if (sink == nullptr)
+        return;
+    fatal_if(period == 0, "telemetry sample period must be positive");
+    tracePeriod_ = period;
+    nextSample_ = now_ + period;
+
+    samplePrevCycle_ = now_;
+    samplePrevCommitted_.assign(config_.numCores, 0);
+    samplePrevL3Access_.assign(config_.numCores, 0);
+    samplePrevL3Miss_.assign(config_.numCores, 0);
+    samplePrevL3Local_.assign(config_.numCores, 0);
+    samplePrevL3Remote_.assign(config_.numCores, 0);
+    for (unsigned c = 0; c < config_.numCores; ++c) {
+        const auto core = static_cast<CoreId>(c);
+        samplePrevCommitted_[c] = cores_[c]->committed();
+        samplePrevL3Access_[c] = memSystems_[c]->l3DataAccesses();
+        samplePrevL3Miss_[c] = memSystems_[c]->l3DataMisses();
+        if (adaptive_) {
+            samplePrevL3Local_[c] = adaptive_->localHitsOf(core);
+            samplePrevL3Remote_[c] = adaptive_->remoteHitsOf(core);
+            samplePrevL3Miss_[c] = adaptive_->missesOf(core);
+        }
+    }
+    samplePrevFetches_ = memory_.fetches();
+    samplePrevWritebacks_ = memory_.writebacks();
+    samplePrevQueueCycles_ = memory_.queueCycles();
+
+    json::Value meta = json::Value::object();
+    meta.set("type", "meta");
+    meta.set("cycle", now_);
+    meta.set("scheme", l3_->schemeName());
+    meta.set("cores", static_cast<std::uint64_t>(config_.numCores));
+    meta.set("period", period);
+    trace_->write(meta);
+}
+
+void
+CmpSystem::emitSample()
+{
+    const Cycle span = now_ - samplePrevCycle_;
+    json::Value record = json::Value::object();
+    record.set("type", "sample");
+    record.set("cycle", now_);
+
+    json::Value cores = json::Value::array();
+    for (unsigned c = 0; c < config_.numCores; ++c) {
+        const auto core = static_cast<CoreId>(c);
+        json::Value entry = json::Value::object();
+
+        const Counter committed = cores_[c]->committed();
+        entry.set("ipc",
+                  span == 0 ? 0.0
+                            : static_cast<double>(
+                                  committed - samplePrevCommitted_[c]) /
+                                  static_cast<double>(span));
+        samplePrevCommitted_[c] = committed;
+
+        const Counter accesses = memSystems_[c]->l3DataAccesses();
+        entry.set("l3_access", accesses - samplePrevL3Access_[c]);
+        samplePrevL3Access_[c] = accesses;
+
+        if (adaptive_) {
+            const Counter local = adaptive_->localHitsOf(core);
+            const Counter remote = adaptive_->remoteHitsOf(core);
+            const Counter miss = adaptive_->missesOf(core);
+            entry.set("l3_local", local - samplePrevL3Local_[c]);
+            entry.set("l3_remote", remote - samplePrevL3Remote_[c]);
+            entry.set("l3_miss", miss - samplePrevL3Miss_[c]);
+            samplePrevL3Local_[c] = local;
+            samplePrevL3Remote_[c] = remote;
+            samplePrevL3Miss_[c] = miss;
+            entry.set("quota", static_cast<std::uint64_t>(
+                                   adaptive_->engine().quota(core)));
+        } else {
+            const Counter miss = memSystems_[c]->l3DataMisses();
+            entry.set("l3_miss", miss - samplePrevL3Miss_[c]);
+            samplePrevL3Miss_[c] = miss;
+        }
+
+        // Occupancy snapshot of the L2D MSHR file (the bound on this
+        // core's outstanding L3 traffic). inFlight only prunes
+        // entries the next access would prune anyway.
+        entry.set("mshr",
+                  static_cast<std::uint64_t>(
+                      memSystems_[c]->l2d().mshrs().inFlight(now_)));
+        cores.append(std::move(entry));
+    }
+    record.set("cores", std::move(cores));
+
+    json::Value mem = json::Value::object();
+    const Counter fetches = memory_.fetches();
+    const Counter writebacks = memory_.writebacks();
+    const Counter queued = memory_.queueCycles();
+    mem.set("fetches", fetches - samplePrevFetches_);
+    mem.set("writebacks", writebacks - samplePrevWritebacks_);
+    mem.set("queue_cycles", queued - samplePrevQueueCycles_);
+    // Fraction of the interval the channel spent transferring
+    // blocks: fetches * slot length over the interval, capped at 1.
+    const double busy =
+        span == 0 ? 0.0
+                  : static_cast<double>(fetches - samplePrevFetches_) *
+                        static_cast<double>(memory_.transferSlot()) /
+                        static_cast<double>(span);
+    mem.set("busy_frac", busy > 1.0 ? 1.0 : busy);
+    samplePrevFetches_ = fetches;
+    samplePrevWritebacks_ = writebacks;
+    samplePrevQueueCycles_ = queued;
+    record.set("mem", std::move(mem));
+
+    samplePrevCycle_ = now_;
+    trace_->write(record);
+}
+
+void
+CmpSystem::emitRepartition(const RepartitionEvent &event)
+{
+    json::Value record = json::Value::object();
+    record.set("type", "repartition");
+    record.set("cycle", now_);
+    record.set("epoch", event.epoch);
+    record.set("gainer", event.gainer);
+    record.set("loser", event.loser);
+    record.set("moved", event.moved);
+    record.set("scaled_gain", event.scaledGain);
+
+    const auto unsignedArray = [](const std::vector<unsigned> &vals) {
+        json::Value arr = json::Value::array();
+        for (const unsigned v : vals)
+            arr.append(static_cast<std::uint64_t>(v));
+        return arr;
+    };
+    const auto counterArray = [](const std::vector<Counter> &vals) {
+        json::Value arr = json::Value::array();
+        for (const Counter v : vals)
+            arr.append(v);
+        return arr;
+    };
+    record.set("quota_before", unsignedArray(event.quotaBefore));
+    record.set("quota_after", unsignedArray(event.quotaAfter));
+    record.set("shadow_hits", counterArray(event.shadowHits));
+    record.set("lru_hits", counterArray(event.lruHits));
+    trace_->write(record);
 }
 
 void

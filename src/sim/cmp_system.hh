@@ -21,6 +21,7 @@
 #include "nuca/adaptive_nuca.hh"
 #include "nuca/l3_organization.hh"
 #include "sim/system_config.hh"
+#include "sim/telemetry.hh"
 #include "workload/profile.hh"
 #include "workload/synth_workload.hh"
 
@@ -49,6 +50,16 @@ class CmpSystem
 
     /** Advance every core by @p cycles cycles. */
     void run(Cycle cycles);
+
+    /**
+     * Attach a telemetry sink: a "sample" record every @p period
+     * cycles, plus one "repartition" record per sharing-engine epoch
+     * when the scheme is adaptive. Tracing only reads counters the
+     * simulation maintains anyway — simulated behaviour is
+     * bit-identical with or without a sink. The sink must outlive
+     * this system's remaining run() calls; pass nullptr to detach.
+     */
+    void attachTelemetry(TraceSink *sink, Cycle period);
 
     /**
      * Zero all statistics (the warm-up boundary). Cache contents
@@ -102,6 +113,25 @@ class CmpSystem
     /** Committed/accesses baselines captured at resetStats(). */
     std::vector<Counter> committedZero_;
     std::vector<Counter> l3AccessZero_;
+
+    /** Emit one telemetry sample and advance the interval baseline. */
+    void emitSample();
+    /** Forward one sharing-engine epoch event to the sink. */
+    void emitRepartition(const RepartitionEvent &event);
+
+    TraceSink *trace_ = nullptr;
+    Cycle tracePeriod_ = 0;
+    Cycle nextSample_ = 0;
+    /** Previous-sample baselines the interval deltas are taken from. */
+    Cycle samplePrevCycle_ = 0;
+    std::vector<Counter> samplePrevCommitted_;
+    std::vector<Counter> samplePrevL3Access_;
+    std::vector<Counter> samplePrevL3Miss_;
+    std::vector<Counter> samplePrevL3Local_;
+    std::vector<Counter> samplePrevL3Remote_;
+    Counter samplePrevFetches_ = 0;
+    Counter samplePrevWritebacks_ = 0;
+    Counter samplePrevQueueCycles_ = 0;
 };
 
 } // namespace nuca

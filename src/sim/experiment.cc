@@ -7,6 +7,7 @@
 #include "base/logging.hh"
 #include "base/random.hh"
 #include "sim/cmp_system.hh"
+#include "sim/telemetry.hh"
 #include "workload/spec_profiles.hh"
 
 namespace nuca {
@@ -70,12 +71,20 @@ MixResult
 runMix(const SystemConfig &config, const ExperimentSpec &spec,
        const SimWindow &window)
 {
+    return runMix(config, spec, window, std::string());
+}
+
+MixResult
+runMix(const SystemConfig &config, const ExperimentSpec &spec,
+       const SimWindow &window, const std::string &trace_label)
+{
     std::vector<WorkloadProfile> apps;
     apps.reserve(spec.apps.size());
     for (const auto &name : spec.apps)
         apps.push_back(specProfile(name));
 
     CmpSystem system(config, apps, spec.seed);
+    const auto trace = attachTelemetryFromEnv(system, trace_label);
     system.run(window.warmupCycles);
     system.resetStats();
     system.run(window.measureCycles);

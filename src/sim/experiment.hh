@@ -63,6 +63,17 @@ makeMixes(const std::vector<std::string> &pool, unsigned count,
 MixResult runMix(const SystemConfig &config,
                  const ExperimentSpec &spec, const SimWindow &window);
 
+/**
+ * As above, but when REPRO_TRACE is set the run is traced to the
+ * label-derived file tracePathFor(REPRO_TRACE, trace_label) — one
+ * file per experiment, so parallel sweeps never share a writer. An
+ * empty label traces to the REPRO_TRACE path itself. Tracing never
+ * changes the simulated results.
+ */
+MixResult runMix(const SystemConfig &config,
+                 const ExperimentSpec &spec, const SimWindow &window,
+                 const std::string &trace_label);
+
 } // namespace nuca
 
 #endif // NUCA_SIM_EXPERIMENT_HH

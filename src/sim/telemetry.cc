@@ -1,0 +1,112 @@
+#include "sim/telemetry.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "base/logging.hh"
+#include "sim/cmp_system.hh"
+#include "sim/experiment.hh"
+
+namespace nuca {
+
+JsonlTraceSink::JsonlTraceSink(std::string path,
+                               std::size_t buffer_bytes)
+    : path_(std::move(path)), bufferBytes_(buffer_bytes)
+{
+    file_ = std::fopen(path_.c_str(), "w");
+    fatal_if(file_ == nullptr, "telemetry: cannot open '", path_,
+             "' for writing");
+    buffer_.reserve(bufferBytes_);
+}
+
+JsonlTraceSink::~JsonlTraceSink()
+{
+    flush();
+    std::fclose(file_);
+}
+
+void
+JsonlTraceSink::write(const json::Value &record)
+{
+    buffer_ += record.dump();
+    buffer_ += '\n';
+    ++records_;
+    if (buffer_.size() >= bufferBytes_)
+        flush();
+}
+
+void
+JsonlTraceSink::flush()
+{
+    if (buffer_.empty())
+        return;
+    const std::size_t written =
+        std::fwrite(buffer_.data(), 1, buffer_.size(), file_);
+    fatal_if(written != buffer_.size(),
+             "telemetry: short write to '", path_, "'");
+    std::fflush(file_);
+    buffer_.clear();
+}
+
+TelemetryConfig
+TelemetryConfig::fromEnv()
+{
+    TelemetryConfig config;
+    if (const char *path = std::getenv("REPRO_TRACE");
+        path != nullptr && *path != '\0')
+        config.tracePath = path;
+    config.samplePeriod =
+        envOr("REPRO_TRACE_PERIOD", config.samplePeriod);
+    fatal_if(config.samplePeriod == 0,
+             "REPRO_TRACE_PERIOD must be positive");
+    return config;
+}
+
+std::string
+tracePathFor(const std::string &base, const std::string &label)
+{
+    if (label.empty())
+        return base;
+
+    std::string safe;
+    safe.reserve(label.size());
+    for (const char c : label) {
+        const auto u = static_cast<unsigned char>(c);
+        safe += (std::isalnum(u) || c == '.' || c == '-' || c == '_')
+                    ? c
+                    : '_';
+    }
+
+    // Insert the label before the filename's extension so the files
+    // keep sorting (and opening) as traces of the base name.
+    const std::size_t slash = base.find_last_of('/');
+    const std::size_t dot = base.find_last_of('.');
+    if (dot != std::string::npos &&
+        (slash == std::string::npos || dot > slash)) {
+        return base.substr(0, dot) + "." + safe + base.substr(dot);
+    }
+    return base + "." + safe;
+}
+
+std::unique_ptr<TraceSink>
+sinkFromEnv(const std::string &label)
+{
+    const TelemetryConfig config = TelemetryConfig::fromEnv();
+    if (!config.enabled())
+        return nullptr;
+    return std::make_unique<JsonlTraceSink>(
+        tracePathFor(config.tracePath, label));
+}
+
+std::unique_ptr<TraceSink>
+attachTelemetryFromEnv(CmpSystem &system, const std::string &label)
+{
+    auto sink = sinkFromEnv(label);
+    if (sink) {
+        system.attachTelemetry(sink.get(),
+                               TelemetryConfig::fromEnv().samplePeriod);
+    }
+    return sink;
+}
+
+} // namespace nuca

@@ -114,5 +114,129 @@ TEST(StatsGroup, FindLocatesOwnStats)
     EXPECT_EQ(root.find("missing"), nullptr);
 }
 
+TEST(StatsGroup, FindDescendsDottedPaths)
+{
+    stats::Group root("root");
+    stats::Group child(root, "child");
+    stats::Group grandchild(child, "deep");
+    stats::Scalar a(child, "a", "");
+    stats::Scalar b(grandchild, "b", "");
+    EXPECT_EQ(root.find("child.a"), &a);
+    EXPECT_EQ(root.find("child.deep.b"), &b);
+    EXPECT_EQ(root.find("child.missing"), nullptr);
+    EXPECT_EQ(root.find("child.deep"), nullptr); // a group, not a stat
+    EXPECT_EQ(root.findGroup("child"), &child);
+    EXPECT_EQ(root.findGroup("child.deep"), &grandchild);
+    EXPECT_EQ(root.findGroup("child.a"), nullptr);
+}
+
+TEST(StatsGroup, FindHandlesDottedGroupNames)
+{
+    // CmpSystem names per-core groups "core0.mem": the descent must
+    // match whole child names, not split at the first dot.
+    stats::Group root("root");
+    stats::Group dotted(root, "core0.mem");
+    stats::Scalar fetches(dotted, "fetches", "");
+    EXPECT_EQ(root.find("core0.mem.fetches"), &fetches);
+    EXPECT_EQ(root.findGroup("core0.mem"), &dotted);
+    EXPECT_EQ(root.find("core0.fetches"), nullptr);
+}
+
+TEST(StatsDistribution, DumpEmitsMinMaxOnlyWhenSampled)
+{
+    stats::Group group("g");
+    stats::Distribution d(group, "d", "lat", 0, 100, 10);
+
+    std::ostringstream empty;
+    group.dump(empty);
+    EXPECT_EQ(empty.str().find(".min"), std::string::npos);
+    EXPECT_EQ(empty.str().find(".max"), std::string::npos);
+
+    d.sample(7);
+    d.sample(42);
+    std::ostringstream os;
+    group.dump(os);
+    EXPECT_NE(os.str().find("g.d.min 7 # lat"), std::string::npos);
+    EXPECT_NE(os.str().find("g.d.max 42 # lat"), std::string::npos);
+}
+
+TEST(StatsVector, ZeroLengthVectorDumpsNothing)
+{
+    stats::Group group("g");
+    stats::Vector v(group, "v", "empty", 0);
+    EXPECT_EQ(v.total(), 0u);
+
+    std::ostringstream os;
+    group.dump(os);
+    // No elements -> no lines at all, in particular no dangling
+    // "v.total 0" aggregate of nothing.
+    EXPECT_EQ(os.str().find("v"), std::string::npos);
+
+    stats::Snapshot snap;
+    snap.take(group);
+    EXPECT_TRUE(snap.empty());
+}
+
+TEST(StatsDump, DoubleFormattingDoesNotStickToStream)
+{
+    stats::Group group("g");
+    stats::Formula f(group, "f", "", [] { return 1.0 / 3.0; });
+
+    std::ostringstream os;
+    os.precision(3);
+    const auto before = os.precision();
+    group.dump(os);
+    EXPECT_EQ(os.precision(), before);
+    EXPECT_NE(os.str().find("0.333333"), std::string::npos);
+
+    // Dumping must be reproducible independent of prior stream state.
+    std::ostringstream again;
+    again.precision(12);
+    group.dump(again);
+    EXPECT_EQ(os.str(), again.str());
+}
+
+TEST(StatsVisitor, YieldsDottedNamesForWholeTree)
+{
+    stats::Group root("root");
+    stats::Group child(root, "child");
+    stats::Scalar a(root, "a", "");
+    stats::Vector v(child, "v", "", 2);
+    stats::Distribution d(child, "d", "", 0, 10, 1);
+    a += 3;
+    v[1] = 5;
+    d.sample(4);
+
+    stats::Snapshot snap;
+    snap.take(root);
+    EXPECT_EQ(snap.value("root.a"), 3.0);
+    EXPECT_EQ(snap.value("root.child.v[0]"), 0.0);
+    EXPECT_EQ(snap.value("root.child.v[1]"), 5.0);
+    EXPECT_EQ(snap.value("root.child.v.total"), 5.0);
+    EXPECT_EQ(snap.value("root.child.d.count"), 1.0);
+    EXPECT_EQ(snap.value("root.child.d.min"), 4.0);
+    EXPECT_EQ(snap.value("root.child.d.max"), 4.0);
+    EXPECT_FALSE(snap.value("root.nope").has_value());
+}
+
+TEST(StatsSnapshot, DeltaSubtractsOlderSnapshot)
+{
+    stats::Group root("root");
+    stats::Scalar a(root, "a", "");
+    a += 10;
+
+    stats::Snapshot before;
+    before.take(root);
+    a += 32;
+    stats::Snapshot after;
+    after.take(root);
+
+    const stats::Snapshot d = after.delta(before);
+    EXPECT_EQ(d.value("root.a"), 32.0);
+    // Names absent from the older snapshot count from zero.
+    stats::Snapshot blank;
+    EXPECT_EQ(after.delta(blank).value("root.a"), 42.0);
+}
+
 } // namespace
 } // namespace nuca

@@ -11,11 +11,48 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <string>
+
 #include "sim/cmp_system.hh"
+#include "sim/experiment.hh"
 #include "sim/metrics.hh"
+#include "sim/parallel_runner.hh"
+#include "sim/telemetry.hh"
 
 namespace nuca {
 namespace {
+
+/** Sets an environment variable for one scope, restoring on exit. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const std::string &value) : name_(name)
+    {
+        const char *old = std::getenv(name);
+        if (old)
+            saved_ = old;
+        ::setenv(name, value.c_str(), 1);
+    }
+
+    ~ScopedEnv()
+    {
+        if (saved_.has_value())
+            ::setenv(name_, saved_->c_str(), 1);
+        else
+            ::unsetenv(name_);
+    }
+
+    ScopedEnv(const ScopedEnv &) = delete;
+    ScopedEnv &operator=(const ScopedEnv &) = delete;
+
+  private:
+    const char *name_;
+    std::optional<std::string> saved_;
+};
 
 /** Scaled-down system: converges within a few 100K cycles. */
 SystemConfig
@@ -196,6 +233,100 @@ TEST(SchemeBehaviour, LargeCacheErasesAdaptiveAdvantage)
     const double adaptive = run(big_adaptive);
     // Within a few percent of each other: nothing left to win.
     EXPECT_NEAR(adaptive / priv, 1.0, 0.06);
+}
+
+TEST(Telemetry, TracedRunIsBitIdenticalToUntraced)
+{
+    // Tracing is observation only: the per-core IPCs and the entire
+    // final stats dump must match bit for bit with REPRO_TRACE on
+    // and off.
+    const std::vector<WorkloadProfile> mix = {
+        sizedWorkload("hog", 10), computeOnly("idle1"),
+        computeOnly("idle2"), computeOnly("idle3")};
+
+    const auto run = [&](bool traced, std::vector<double> &ipcs) {
+        CmpSystem system(smallSystem(L3Scheme::Adaptive), mix, 42);
+        std::unique_ptr<TraceSink> sink;
+        if (traced) {
+            ScopedEnv trace("REPRO_TRACE", "behaviour_trace.jsonl");
+            ScopedEnv period("REPRO_TRACE_PERIOD", "20000");
+            sink = attachTelemetryFromEnv(system, "");
+            EXPECT_NE(sink, nullptr);
+        }
+        system.run(150000);
+        system.resetStats();
+        system.run(300000);
+        ipcs = system.ipcs();
+        std::ostringstream os;
+        system.statsRoot().dump(os);
+        return os.str();
+    };
+
+    std::vector<double> ipc_on, ipc_off;
+    const std::string stats_on = run(true, ipc_on);
+    const std::string stats_off = run(false, ipc_off);
+
+    ASSERT_EQ(ipc_on.size(), ipc_off.size());
+    for (std::size_t c = 0; c < ipc_on.size(); ++c)
+        EXPECT_EQ(ipc_on[c], ipc_off[c]) << "core " << c;
+    EXPECT_EQ(stats_on, stats_off);
+    std::remove("behaviour_trace.jsonl");
+}
+
+TEST(Telemetry, ParallelExperimentsWriteCompleteSeparateTraces)
+{
+    // Four labeled experiments fanned out over a 4-worker pool, like
+    // a REPRO_JOBS=4 bench sweep: each must get its own complete,
+    // well-formed JSONL trace file.
+    ScopedEnv trace("REPRO_TRACE", "par_trace.jsonl");
+    ScopedEnv period("REPRO_TRACE_PERIOD", "25000");
+
+    const std::vector<std::string> pool = {"mcf", "gzip", "ammp",
+                                           "art"};
+    const auto mixes = makeMixes(pool, 4, 4, 20070202);
+    const SimWindow window{100000, 200000};
+
+    std::vector<unsigned> idx = {0, 1, 2, 3};
+    runParallel(
+        idx,
+        [&](unsigned m) {
+            return runMix(SystemConfig::baseline(L3Scheme::Adaptive),
+                          mixes[m], window,
+                          "adaptive.mix" + std::to_string(m));
+        },
+        /*jobs=*/4);
+
+    for (unsigned m = 0; m < 4; ++m) {
+        const std::string path = tracePathFor(
+            "par_trace.jsonl", "adaptive.mix" + std::to_string(m));
+        const std::string text = json::readFile(path);
+        ASSERT_FALSE(text.empty()) << path;
+
+        std::size_t metas = 0, samples = 0, lines = 0;
+        std::size_t pos = 0;
+        while (pos < text.size()) {
+            std::size_t end = text.find('\n', pos);
+            if (end == std::string::npos)
+                end = text.size();
+            const std::string line = text.substr(pos, end - pos);
+            pos = end + 1;
+            if (line.empty())
+                continue;
+            ++lines;
+            const auto record = json::Value::tryParse(line);
+            ASSERT_TRUE(record.has_value())
+                << path << ": bad line: " << line;
+            const std::string &type = record->at("type").asString();
+            metas += type == "meta";
+            samples += type == "sample";
+        }
+        // One meta per file and all samples present: the full
+        // warmup+measure window divided by the period.
+        EXPECT_EQ(metas, 1u) << path;
+        EXPECT_EQ(samples, (100000u + 200000u) / 25000u) << path;
+        EXPECT_GE(lines, 1 + samples) << path;
+        std::remove(path.c_str());
+    }
 }
 
 } // namespace

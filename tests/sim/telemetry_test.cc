@@ -1,0 +1,190 @@
+/** @file Unit tests for the epoch telemetry subsystem. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/cmp_system.hh"
+#include "sim/telemetry.hh"
+#include "workload/spec_profiles.hh"
+
+namespace nuca {
+namespace {
+
+/** Unique-ish scratch path inside the test working directory. */
+std::string
+scratchPath(const std::string &stem)
+{
+    return "telemetry_test." + stem + ".jsonl";
+}
+
+std::vector<json::Value>
+readRecords(const std::string &path)
+{
+    const std::string text = json::readFile(path);
+    std::vector<json::Value> records;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t end = text.find('\n', pos);
+        if (end == std::string::npos)
+            end = text.size();
+        const std::string line = text.substr(pos, end - pos);
+        pos = end + 1;
+        if (line.empty())
+            continue;
+        auto parsed = json::Value::tryParse(line);
+        EXPECT_TRUE(parsed.has_value()) << "bad line: " << line;
+        if (parsed)
+            records.push_back(std::move(*parsed));
+    }
+    return records;
+}
+
+CmpSystem
+smallAdaptiveSystem()
+{
+    SystemConfig config = SystemConfig::baseline(L3Scheme::Adaptive);
+    std::vector<WorkloadProfile> apps = {
+        specProfile("mcf"), specProfile("ammp"), specProfile("gzip"),
+        specProfile("art")};
+    return CmpSystem(config, apps, /*seed=*/7);
+}
+
+TEST(TracePathFor, DerivesPerExperimentFiles)
+{
+    EXPECT_EQ(tracePathFor("trace.jsonl", "adaptive.mix3"),
+              "trace.adaptive.mix3.jsonl");
+    EXPECT_EQ(tracePathFor("out/t.jsonl", "shared.mix0"),
+              "out/t.shared.mix0.jsonl");
+    // No extension: the label is appended.
+    EXPECT_EQ(tracePathFor("trace", "x"), "trace.x");
+    // Empty label: the user's path, verbatim.
+    EXPECT_EQ(tracePathFor("trace.jsonl", ""), "trace.jsonl");
+    // Labels are sanitized to filename-safe characters.
+    EXPECT_EQ(tracePathFor("t.jsonl", "a/b c"), "t.a_b_c.jsonl");
+    // A dot in the directory must not be mistaken for an extension.
+    EXPECT_EQ(tracePathFor("out.d/trace", "x"), "out.d/trace.x");
+}
+
+TEST(JsonlTraceSink, WritesOneParseableObjectPerLine)
+{
+    const std::string path = scratchPath("sink");
+    {
+        JsonlTraceSink sink(path, /*buffer_bytes=*/16);
+        for (int i = 0; i < 10; ++i) {
+            json::Value record = json::Value::object();
+            record.set("type", "sample");
+            record.set("i", i);
+            sink.write(record);
+        }
+        EXPECT_EQ(sink.records(), 10u);
+    } // destructor flushes
+
+    const auto records = readRecords(path);
+    ASSERT_EQ(records.size(), 10u);
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(records[static_cast<std::size_t>(i)]
+                      .at("i").asNumber(), i);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Telemetry, AttachedSystemEmitsMetaSamplesAndRepartitions)
+{
+    const std::string path = scratchPath("attached");
+    {
+        CmpSystem system = smallAdaptiveSystem();
+        JsonlTraceSink sink(path);
+        system.attachTelemetry(&sink, /*period=*/25000);
+        system.run(400000);
+    }
+
+    const auto records = readRecords(path);
+    ASSERT_FALSE(records.empty());
+
+    std::size_t metas = 0, samples = 0, repartitions = 0;
+    for (const auto &record : records) {
+        const std::string &type = record.at("type").asString();
+        if (type == "meta") {
+            ++metas;
+            EXPECT_EQ(record.at("scheme").asString(), "adaptive");
+            EXPECT_EQ(record.at("cores").asNumber(), 4.0);
+            EXPECT_EQ(record.at("period").asNumber(), 25000.0);
+        } else if (type == "sample") {
+            ++samples;
+            EXPECT_EQ(record.at("cores").size(), 4u);
+            const auto &core0 = record.at("cores").at(0);
+            EXPECT_GE(core0.at("ipc").asNumber(), 0.0);
+            EXPECT_TRUE(core0.contains("l3_miss"));
+            EXPECT_TRUE(core0.contains("quota"));
+            EXPECT_TRUE(record.at("mem").contains("busy_frac"));
+        } else if (type == "repartition") {
+            ++repartitions;
+            EXPECT_EQ(record.at("quota_before").size(), 4u);
+            EXPECT_EQ(record.at("quota_after").size(), 4u);
+            EXPECT_EQ(record.at("shadow_hits").size(), 4u);
+            EXPECT_EQ(record.at("lru_hits").size(), 4u);
+        }
+    }
+    EXPECT_EQ(metas, 1u);
+    EXPECT_EQ(samples, 400000u / 25000u);
+    EXPECT_GE(repartitions, 1u) << "no epoch completed in 400k "
+                                   "cycles; workload too light";
+    std::remove(path.c_str());
+}
+
+TEST(Telemetry, SamplesAreIntervalDeltasNotRunningTotals)
+{
+    const std::string path = scratchPath("deltas");
+    {
+        CmpSystem system = smallAdaptiveSystem();
+        JsonlTraceSink sink(path);
+        system.attachTelemetry(&sink, 50000);
+        system.run(200000);
+    }
+
+    const auto records = readRecords(path);
+    double total = 0.0, last = 0.0;
+    for (const auto &record : records) {
+        if (record.at("type").asString() != "sample")
+            continue;
+        double interval = 0.0;
+        for (std::size_t c = 0; c < 4; ++c)
+            interval +=
+                record.at("cores").at(c).at("l3_access").asNumber();
+        total += interval;
+        last = interval;
+    }
+    // Deltas: the last interval must be far below the sum of all
+    // intervals (a running total would equal it).
+    EXPECT_GT(total, 0.0);
+    EXPECT_LT(last, total);
+    std::remove(path.c_str());
+}
+
+TEST(Telemetry, TracingDoesNotPerturbSimulation)
+{
+    const std::string path = scratchPath("identical");
+    std::vector<double> traced, untraced;
+    {
+        CmpSystem system = smallAdaptiveSystem();
+        JsonlTraceSink sink(path);
+        system.attachTelemetry(&sink, 10000);
+        system.run(300000);
+        traced = system.ipcs();
+    }
+    {
+        CmpSystem system = smallAdaptiveSystem();
+        system.run(300000);
+        untraced = system.ipcs();
+    }
+    ASSERT_EQ(traced.size(), untraced.size());
+    for (std::size_t c = 0; c < traced.size(); ++c)
+        EXPECT_EQ(traced[c], untraced[c]) << "core " << c;
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace nuca

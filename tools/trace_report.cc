@@ -1,0 +1,360 @@
+/**
+ * @file
+ * trace_report: render a REPRO_TRACE telemetry trace (JSON lines; see
+ * docs/TELEMETRY.md) as the paper's dynamic-behaviour views —
+ * quota-vs-time and IPC-vs-time ASCII plots plus an epoch summary
+ * table of the sharing engine's repartitioning decisions.
+ *
+ * Usage: trace_report <trace.jsonl> [plot-width]
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sim/json_writer.hh"
+
+namespace {
+
+using nuca::json::Value;
+
+/** One per-core time series point. */
+struct SamplePoint
+{
+    std::uint64_t cycle = 0;
+    std::vector<double> ipc;
+    std::vector<double> quota; // empty for non-adaptive schemes
+};
+
+/** One sharing-engine epoch record. */
+struct EpochPoint
+{
+    std::uint64_t cycle = 0;
+    std::uint64_t epoch = 0;
+    int gainer = -1;
+    int loser = -1;
+    bool moved = false;
+    std::vector<double> quotaAfter;
+    std::vector<double> shadowHits;
+    std::vector<double> lruHits;
+};
+
+/** Everything parsed out of one trace file. */
+struct Trace
+{
+    std::string scheme;
+    unsigned cores = 0;
+    std::uint64_t period = 0;
+    std::vector<SamplePoint> samples;
+    std::vector<EpochPoint> epochs;
+};
+
+std::vector<double>
+numberArray(const Value &object, const char *key)
+{
+    std::vector<double> out;
+    if (!object.contains(key))
+        return out;
+    const Value &arr = object.at(key);
+    out.reserve(arr.size());
+    for (std::size_t i = 0; i < arr.size(); ++i)
+        out.push_back(arr.at(i).asNumber());
+    return out;
+}
+
+bool
+parseTrace(const std::string &text, Trace &trace)
+{
+    std::size_t pos = 0;
+    std::size_t lineno = 0;
+    bool ok = true;
+    while (pos < text.size()) {
+        std::size_t end = text.find('\n', pos);
+        if (end == std::string::npos)
+            end = text.size();
+        const std::string line = text.substr(pos, end - pos);
+        pos = end + 1;
+        ++lineno;
+        if (line.empty())
+            continue;
+
+        const auto record = Value::tryParse(line);
+        if (!record || record->type() != Value::Type::Object ||
+            !record->contains("type")) {
+            std::fprintf(stderr,
+                         "trace_report: line %zu is not a trace "
+                         "record\n",
+                         lineno);
+            ok = false;
+            continue;
+        }
+        const std::string &type = record->at("type").asString();
+        if (type == "meta") {
+            if (record->contains("scheme"))
+                trace.scheme = record->at("scheme").asString();
+            if (record->contains("cores"))
+                trace.cores = static_cast<unsigned>(
+                    record->at("cores").asNumber());
+            if (record->contains("period"))
+                trace.period = static_cast<std::uint64_t>(
+                    record->at("period").asNumber());
+        } else if (type == "sample") {
+            // Functional traces (fig3) sample by instruction count
+            // and carry no per-core series; skip what is absent.
+            if (!record->contains("cycle") ||
+                !record->contains("cores"))
+                continue;
+            SamplePoint point;
+            point.cycle = static_cast<std::uint64_t>(
+                record->at("cycle").asNumber());
+            const Value &cores = record->at("cores");
+            for (std::size_t c = 0; c < cores.size(); ++c) {
+                const Value &entry = cores.at(c);
+                point.ipc.push_back(entry.at("ipc").asNumber());
+                if (entry.contains("quota"))
+                    point.quota.push_back(
+                        entry.at("quota").asNumber());
+            }
+            trace.samples.push_back(std::move(point));
+        } else if (type == "repartition") {
+            EpochPoint point;
+            point.cycle = static_cast<std::uint64_t>(
+                record->at("cycle").asNumber());
+            point.epoch = static_cast<std::uint64_t>(
+                record->at("epoch").asNumber());
+            point.gainer =
+                static_cast<int>(record->at("gainer").asNumber());
+            point.loser =
+                static_cast<int>(record->at("loser").asNumber());
+            point.moved = record->at("moved").asBool();
+            point.quotaAfter = numberArray(*record, "quota_after");
+            point.shadowHits = numberArray(*record, "shadow_hits");
+            point.lruHits = numberArray(*record, "lru_hits");
+            trace.epochs.push_back(std::move(point));
+        }
+        // Unknown record types are ignored: traces are forward
+        // compatible.
+    }
+    return ok;
+}
+
+char
+coreMarker(std::size_t core)
+{
+    if (core < 10)
+        return static_cast<char>('0' + core);
+    return static_cast<char>('a' + (core - 10));
+}
+
+/**
+ * Render per-core series as a grid plot: x = time bins over
+ * [t0, t1], y = value, each core drawn with its digit marker,
+ * collisions as '*'. @p series is per-core {cycle, value} points;
+ * values are carried forward within a bin.
+ */
+void
+plotSeries(const char *title,
+           const std::vector<std::vector<
+               std::pair<std::uint64_t, double>>> &series,
+           unsigned width, unsigned height, bool integerAxis)
+{
+    std::uint64_t t0 = UINT64_MAX, t1 = 0;
+    double lo = 0.0, hi = 0.0;
+    bool any = false;
+    for (const auto &s : series) {
+        for (const auto &[t, v] : s) {
+            t0 = std::min(t0, t);
+            t1 = std::max(t1, t);
+            if (!any) {
+                lo = hi = v;
+                any = true;
+            } else {
+                lo = std::min(lo, v);
+                hi = std::max(hi, v);
+            }
+        }
+    }
+    if (!any) {
+        std::printf("%s: no data\n\n", title);
+        return;
+    }
+    if (integerAxis) {
+        // Quota axes: one row per integral value.
+        lo = std::floor(lo);
+        hi = std::max(std::ceil(hi), lo + 1.0);
+        height = static_cast<unsigned>(hi - lo) + 1;
+    } else if (hi <= lo) {
+        hi = lo + 1.0;
+    }
+    if (t1 == t0)
+        t1 = t0 + 1;
+
+    std::vector<std::string> grid(
+        height, std::string(width, ' '));
+    const auto rowOf = [&](double v) {
+        const double frac = (v - lo) / (hi - lo);
+        const int row = static_cast<int>(
+            (static_cast<double>(height) - 1.0) * frac + 0.5);
+        return std::clamp(row, 0, static_cast<int>(height) - 1);
+    };
+
+    for (std::size_t c = 0; c < series.size(); ++c) {
+        const auto &points = series[c];
+        if (points.empty())
+            continue;
+        std::size_t next = 0;
+        double value = points[0].second;
+        for (unsigned x = 0; x < width; ++x) {
+            const std::uint64_t bin_end =
+                t0 + (t1 - t0) * (x + 1) / width;
+            while (next < points.size() &&
+                   points[next].first <= bin_end)
+                value = points[next++].second;
+            char &cell = grid[rowOf(value)][x];
+            cell = cell == ' ' ? coreMarker(c)
+                   : cell == coreMarker(c) ? cell
+                                           : '*';
+        }
+    }
+
+    std::printf("%s\n", title);
+    for (unsigned r = 0; r < height; ++r) {
+        const unsigned row = height - 1 - r; // top = max
+        const double label =
+            lo + (hi - lo) * row /
+                     (height > 1 ? static_cast<double>(height - 1)
+                                 : 1.0);
+        if (integerAxis)
+            std::printf(" %4.0f |%s|\n", label, grid[row].c_str());
+        else
+            std::printf(" %7.3f |%s|\n", label, grid[row].c_str());
+    }
+    const int pad = integerAxis ? 6 : 9;
+    std::printf("%*s+%s+\n", pad, "",
+                std::string(width, '-').c_str());
+    std::printf("%*scycle %llu .. %llu  (markers: one digit per "
+                "core, '*' = overlap)\n\n",
+                pad + 1, "", static_cast<unsigned long long>(t0),
+                static_cast<unsigned long long>(t1));
+}
+
+double
+sum(const std::vector<double> &values)
+{
+    double s = 0.0;
+    for (const double v : values)
+        s += v;
+    return s;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2 || argc > 3) {
+        std::fprintf(stderr,
+                     "usage: trace_report <trace.jsonl> "
+                     "[plot-width]\n");
+        return 1;
+    }
+    const std::string path = argv[1];
+    const unsigned width =
+        argc == 3
+            ? std::max(16u, static_cast<unsigned>(
+                                std::atoi(argv[2])))
+            : 72;
+
+    Trace trace;
+    if (!parseTrace(nuca::json::readFile(path), trace))
+        return 1;
+
+    std::printf("trace: %s\n", path.c_str());
+    std::printf("scheme: %s, %u cores, sample period %llu\n",
+                trace.scheme.empty() ? "?" : trace.scheme.c_str(),
+                trace.cores,
+                static_cast<unsigned long long>(trace.period));
+    std::printf("%zu samples, %zu repartition events\n\n",
+                trace.samples.size(), trace.epochs.size());
+
+    const std::size_t cores = [&] {
+        std::size_t n = trace.cores;
+        for (const auto &s : trace.samples)
+            n = std::max(n, s.ipc.size());
+        for (const auto &e : trace.epochs)
+            n = std::max(n, e.quotaAfter.size());
+        return n;
+    }();
+
+    // ---- quota vs time ------------------------------------------
+    // Prefer the dense per-sample quota series; fall back to the
+    // step function of the repartition events.
+    std::vector<std::vector<std::pair<std::uint64_t, double>>>
+        quotaSeries(cores);
+    for (const auto &s : trace.samples) {
+        for (std::size_t c = 0; c < s.quota.size(); ++c)
+            quotaSeries[c].emplace_back(s.cycle, s.quota[c]);
+    }
+    if (quotaSeries.empty() ||
+        quotaSeries[0].empty()) {
+        for (const auto &e : trace.epochs) {
+            for (std::size_t c = 0; c < e.quotaAfter.size(); ++c)
+                quotaSeries[c].emplace_back(e.cycle,
+                                            e.quotaAfter[c]);
+        }
+    }
+    plotSeries("quota (blocks/set) vs time", quotaSeries, width, 0,
+               /*integerAxis=*/true);
+
+    // ---- IPC vs time --------------------------------------------
+    std::vector<std::vector<std::pair<std::uint64_t, double>>>
+        ipcSeries(cores);
+    for (const auto &s : trace.samples) {
+        for (std::size_t c = 0; c < s.ipc.size(); ++c)
+            ipcSeries[c].emplace_back(s.cycle, s.ipc[c]);
+    }
+    plotSeries("IPC (per sample interval) vs time", ipcSeries, width,
+               12, /*integerAxis=*/false);
+
+    // ---- epoch summary ------------------------------------------
+    if (trace.epochs.empty()) {
+        std::printf("no repartition events in this trace.\n");
+        return 0;
+    }
+    std::printf("epoch summary (%zu epochs", trace.epochs.size());
+    std::size_t moves = 0;
+    for (const auto &e : trace.epochs)
+        moves += e.moved ? 1 : 0;
+    std::printf(", %zu moves):\n", moves);
+    std::printf("%8s %12s %6s %6s %6s %12s %10s  %s\n", "epoch",
+                "cycle", "gain", "lose", "moved", "shadow_hits",
+                "lru_hits", "quotas after");
+
+    // Long runs are thinned to ~40 evenly spaced rows; the table is
+    // a summary, the full data stays in the trace.
+    const std::size_t step =
+        std::max<std::size_t>(1, trace.epochs.size() / 40);
+    for (std::size_t i = 0; i < trace.epochs.size(); i += step) {
+        const auto &e = trace.epochs[i];
+        std::string quotas;
+        for (const double q : e.quotaAfter) {
+            if (!quotas.empty())
+                quotas += ' ';
+            char buf[16];
+            std::snprintf(buf, sizeof(buf), "%.0f", q);
+            quotas += buf;
+        }
+        std::printf("%8llu %12llu %6d %6d %6s %12.0f %10.0f  [%s]\n",
+                    static_cast<unsigned long long>(e.epoch),
+                    static_cast<unsigned long long>(e.cycle),
+                    e.gainer, e.loser, e.moved ? "yes" : "-",
+                    sum(e.shadowHits), sum(e.lruHits),
+                    quotas.c_str());
+    }
+    if (step > 1)
+        std::printf("(every %zuth epoch shown)\n", step);
+    return 0;
+}
