@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
+#include <memory>
 
 #include "base/logging.hh"
-#include "sim/parallel_runner.hh"
+#include "sim/sweep_store.hh"
 
 namespace nuca {
 namespace bench {
@@ -29,27 +31,114 @@ runAll(const std::vector<std::pair<std::string, SystemConfig>> &configs,
     // Flatten the sweep scheme-major — the same order the serial
     // loop used — so results land in identical submission slots.
     std::vector<SweepJob> sweep;
+    std::vector<std::string> labels;
     sweep.reserve(configs.size() * mixes.size());
+    labels.reserve(configs.size() * mixes.size());
     for (std::size_t s = 0; s < configs.size(); ++s) {
-        for (std::size_t m = 0; m < mixes.size(); ++m)
+        for (std::size_t m = 0; m < mixes.size(); ++m) {
             sweep.push_back({s, m});
+            labels.push_back(configs[s].first + ".mix" +
+                             std::to_string(m));
+        }
+    }
+
+    const SweepPolicy policy = SweepPolicy::fromEnv();
+    const FaultSpec fault = FaultSpec::fromEnv();
+
+    std::string jsonPath;
+    if (const char *path = std::getenv("REPRO_JSON");
+        path != nullptr && *path != '\0')
+        jsonPath = path;
+
+    // Resume: reuse the sidecar's ok results; everything else
+    // (failed, torn, or absent records) is re-simulated.
+    std::vector<JobOutcome<MixResult>> outcomes(sweep.size());
+    std::vector<bool> resumed(sweep.size(), false);
+    if (!jsonPath.empty() && resumeFromEnv()) {
+        std::map<std::string, SweepRecord> completed;
+        for (auto &record :
+             SweepStore::load(SweepStore::sidecarPathFor(jsonPath))) {
+            if (record.status == JobStatus::Ok)
+                completed[record.label] = std::move(record);
+        }
+        std::size_t reused = 0;
+        for (std::size_t i = 0; i < sweep.size(); ++i) {
+            const auto it = completed.find(labels[i]);
+            if (it == completed.end())
+                continue;
+            outcomes[i].status = JobStatus::Ok;
+            outcomes[i].value = it->second.result;
+            resumed[i] = true;
+            ++reused;
+        }
+        if (reused > 0) {
+            std::fprintf(stderr,
+                         "  resume: reusing %zu of %zu results "
+                         "from %s\n",
+                         reused, sweep.size(),
+                         SweepStore::sidecarPathFor(jsonPath).c_str());
+        }
+    }
+
+    std::vector<std::size_t> pending;
+    pending.reserve(sweep.size());
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        if (!resumed[i])
+            pending.push_back(i);
+    }
+
+    std::unique_ptr<SweepStore> store;
+    if (!jsonPath.empty() && !pending.empty()) {
+        store = std::make_unique<SweepStore>(
+            SweepStore::sidecarPathFor(jsonPath));
     }
 
     const unsigned pool = jobs == 0 ? jobsFromEnv() : jobs;
-    ProgressReporter progress("sweep", sweep.size());
-    auto cells = runParallel(
-        sweep,
-        [&](const SweepJob &job) {
+    ProgressReporter progress("sweep", pending.size());
+    auto settled = runParallelOutcomes(
+        pending,
+        [&](std::size_t i) {
+            if (fault.kind == FaultKind::ThrowJob && fault.arg == i) {
+                throw SimulationError(
+                    "fault injection: sweep job " +
+                    std::to_string(i) + " (" + labels[i] +
+                    ") threw");
+            }
             // The label makes REPRO_TRACE write one file per
             // (scheme, mix) experiment, so concurrent workers never
             // share a trace writer.
+            const SweepJob &job = sweep[i];
             return runMix(configs[job.scheme].second, mixes[job.mix],
-                          window,
-                          configs[job.scheme].first + ".mix" +
-                              std::to_string(job.mix));
+                          window, labels[i]);
         },
-        pool, &progress);
+        pool, &progress, policy,
+        [&](std::size_t k, const JobOutcome<MixResult> &outcome) {
+            if (store) {
+                store->append({labels[pending[k]], outcome.status,
+                               outcome.error, outcome.value});
+            }
+        });
     progress.finish();
+
+    bool allOk = true;
+    for (std::size_t k = 0; k < pending.size(); ++k) {
+        if (!settled[k].ok())
+            allOk = false;
+        outcomes[pending[k]] = std::move(settled[k]);
+    }
+
+    // Under the abort policy a failed sweep is still an error — but
+    // only after the drained pool's completed results reached the
+    // sidecar above; a rerun with REPRO_RESUME=1 picks them up.
+    if (policy.onFail == FailPolicy::Abort) {
+        for (const auto &outcome : outcomes) {
+            if (outcome.ok())
+                continue;
+            if (outcome.exception)
+                std::rethrow_exception(outcome.exception);
+            throw SimulationError(outcome.error);
+        }
+    }
 
     std::vector<SchemeResults> out;
     out.reserve(configs.size());
@@ -57,15 +146,27 @@ runAll(const std::vector<std::pair<std::string, SystemConfig>> &configs,
         SchemeResults results;
         results.label = configs[s].first;
         results.mixes.reserve(mixes.size());
-        for (std::size_t m = 0; m < mixes.size(); ++m)
-            results.mixes.push_back(
-                std::move(cells[s * mixes.size() + m]));
+        for (std::size_t m = 0; m < mixes.size(); ++m) {
+            auto &outcome = outcomes[s * mixes.size() + m];
+            results.mixes.push_back(std::move(outcome.value));
+            if (!allOk) {
+                results.statuses.push_back(outcome.status);
+                results.errors.push_back(outcome.error);
+            }
+        }
         out.push_back(std::move(results));
     }
 
-    if (const char *path = std::getenv("REPRO_JSON");
-        path != nullptr && *path != '\0')
-        writeResultsJson(path, mixes, out, window);
+    if (!jsonPath.empty()) {
+        writeResultsJson(jsonPath, mixes, out, window);
+        // A fully ok sweep no longer needs its sidecar (and a stale
+        // one must not feed a later resume of a different sweep);
+        // keep it when any job failed so the failure is inspectable
+        // and a rerun can resume.
+        if (allOk)
+            std::remove(
+                SweepStore::sidecarPathFor(jsonPath).c_str());
+    }
     return out;
 }
 
@@ -120,6 +221,14 @@ resultsToJson(const std::vector<ExperimentSpec> &mixes,
                 ipc.append(v);
             record.set("ipc", std::move(ipc));
             record.set("harmonic", mixHarmonic(scheme.mixes[m]));
+            // Only non-ok cells carry a status, so a fault-free
+            // sweep's document is byte-identical to the
+            // pre-supervisor format.
+            if (!scheme.okAt(m)) {
+                record.set("status",
+                           to_string(scheme.statuses[m]));
+                record.set("error", scheme.errors[m]);
+            }
             records.append(std::move(record));
         }
     }
@@ -133,7 +242,7 @@ writeResultsJson(const std::string &path,
                  const std::vector<SchemeResults> &results,
                  const SimWindow &window)
 {
-    json::writeFile(path, resultsToJson(mixes, results, window));
+    json::writeFileAtomic(path, resultsToJson(mixes, results, window));
     std::fprintf(stderr, "  results written to %s\n", path.c_str());
 }
 
@@ -154,8 +263,15 @@ perAppSpeedup(const std::vector<ExperimentSpec> &mixes,
     std::map<std::string, double> sums;
     std::map<std::string, unsigned> counts;
     for (std::size_t m = 0; m < mixes.size(); ++m) {
+        // A mix that failed under REPRO_FAIL=skip left a default
+        // (empty) result in either scheme; it contributes nothing.
+        if (!scheme.okAt(m) || !baseline.okAt(m))
+            continue;
         const auto &apps = mixes[m].apps;
         for (std::size_t c = 0; c < apps.size(); ++c) {
+            if (c >= scheme.mixes[m].ipc.size() ||
+                c >= baseline.mixes[m].ipc.size())
+                continue;
             const double base = baseline.mixes[m].ipc[c];
             if (base <= 0.0)
                 continue;

@@ -23,6 +23,7 @@
 #include "sim/experiment.hh"
 #include "sim/json_writer.hh"
 #include "sim/metrics.hh"
+#include "sim/parallel_runner.hh"
 
 namespace nuca {
 namespace bench {
@@ -32,6 +33,19 @@ struct SchemeResults
 {
     std::string label;
     std::vector<MixResult> mixes;
+    /**
+     * Per-mix job status, parallel to `mixes`; empty means every job
+     * was ok (the serial paths never populate it). A non-ok cell
+     * keeps a default MixResult and its error text in `errors`.
+     */
+    std::vector<JobStatus> statuses;
+    std::vector<std::string> errors;
+
+    /** True when mix @p m produced a usable result. */
+    bool okAt(std::size_t m) const
+    {
+        return statuses.empty() || statuses[m] == JobStatus::Ok;
+    }
 };
 
 /**
@@ -40,6 +54,15 @@ struct SchemeResults
  * full sweeps take minutes). @p jobs selects the pool size; the
  * default 0 reads REPRO_JOBS / the hardware. When REPRO_JSON is set,
  * the results are also written there via writeResultsJson.
+ *
+ * The sweep runs under the REPRO_FAIL supervisor policy: "abort"
+ * (default) rethrows the first failure after in-flight jobs drain,
+ * "skip" records the failure and keeps sweeping, "retry:N" re-runs a
+ * failing job N times before skipping it. With REPRO_JSON set, every
+ * settled job is additionally appended to the "<path>.partial" JSONL
+ * sidecar as it completes, and REPRO_RESUME=1 reuses the sidecar's
+ * ok results instead of re-simulating them. REPRO_FAULT=throw_job:K
+ * makes sweep job K throw (fault injection for the supervisor).
  */
 std::vector<SchemeResults>
 runAll(const std::vector<std::pair<std::string, SystemConfig>> &configs,

@@ -123,4 +123,36 @@ CacheSet::waysByLruOrder() const
     return ways;
 }
 
+void
+CacheSet::checkLruInvariant() const
+{
+    const auto ways = waysByLruOrder();
+    panic_if(ways.size() != countValid(),
+             "LRU stack is not a permutation of the valid ways");
+    for (std::size_t i = 1; i < ways.size(); ++i) {
+        panic_if(blocks_[ways[i - 1]].lastUse ==
+                     blocks_[ways[i]].lastUse,
+                 "LRU stack corrupted: two valid blocks share use "
+                 "stamp ", blocks_[ways[i]].lastUse);
+    }
+}
+
+bool
+CacheSet::corruptLru()
+{
+    int first = -1;
+    for (unsigned w = 0; w < blocks_.size(); ++w) {
+        if (!blocks_[w].valid)
+            continue;
+        if (first < 0) {
+            first = static_cast<int>(w);
+            continue;
+        }
+        blocks_[w].lastUse =
+            blocks_[static_cast<unsigned>(first)].lastUse;
+        return true;
+    }
+    return false;
+}
+
 } // namespace nuca

@@ -64,6 +64,26 @@ class CacheSet
      */
     std::vector<unsigned> waysByLruOrder() const;
 
+    /**
+     * Validate the LRU stack: waysByLruOrder() must be a permutation
+     * of exactly the valid ways, which requires the valid blocks'
+     * use stamps to be pairwise distinct (stamps come from a
+     * monotonically increasing counter, so a duplicate can only mean
+     * corruption — ties would make victim selection ambiguous and
+     * the partitioning estimators' LRU ranks wrong). Panics on
+     * violation.
+     */
+    void checkLruInvariant() const;
+
+    /**
+     * Fault injection: duplicate one valid block's use stamp onto
+     * another, breaking the strict LRU order so checkLruInvariant()
+     * has something real to catch.
+     *
+     * @return true if the set held two valid blocks to corrupt.
+     */
+    bool corruptLru();
+
   private:
     std::vector<CacheBlock> blocks_;
 };

@@ -73,7 +73,7 @@ MshrFile::reserve(Addr block_addr, Cycle now)
         ++fullStalls_;
     }
     ++allocations_;
-    entries_.push_back(Entry{block_addr, 0, true});
+    entries_.push_back(Entry{block_addr, 0, now, true});
     return start;
 }
 
@@ -95,6 +95,45 @@ MshrFile::inFlight(Cycle now)
 {
     prune(now);
     return static_cast<unsigned>(entries_.size());
+}
+
+Cycle
+MshrFile::oldestAge(Cycle now)
+{
+    prune(now);
+    Cycle oldest = now;
+    for (const auto &e : entries_)
+        oldest = std::min(oldest, e.issued);
+    return now - oldest;
+}
+
+void
+MshrFile::checkInvariants() const
+{
+    panic_if(entries_.size() > capacity_,
+             "MSHR occupancy ", entries_.size(),
+             " exceeds the file's ", capacity_, " entries");
+    for (std::size_t a = 0; a < entries_.size(); ++a) {
+        panic_if(entries_[a].reserved && entries_[a].ready != 0,
+                 "reserved MSHR entry already carries a ready cycle");
+        panic_if(!entries_[a].reserved && entries_[a].ready == 0,
+                 "completed MSHR entry without a ready cycle");
+        for (std::size_t b = a + 1; b < entries_.size(); ++b) {
+            panic_if(entries_[a].blockAddr == entries_[b].blockAddr,
+                     "duplicate MSHR entries for one block: "
+                     "secondary misses must merge, not allocate");
+        }
+    }
+}
+
+void
+MshrFile::injectLeak(Cycle now)
+{
+    // The sentinel block address sits far above any address the
+    // synthetic workloads generate, so the leak never merges with
+    // (or blocks) a real miss — it only occupies an entry forever.
+    entries_.push_back(Entry{~static_cast<Addr>(0), 0, now, true});
+    warn("fault injection: leaked one MSHR entry at cycle ", now);
 }
 
 } // namespace nuca

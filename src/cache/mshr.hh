@@ -59,6 +59,32 @@ class MshrFile
     /** Entries still in flight at @p now (after pruning). */
     unsigned inFlight(Cycle now);
 
+    /**
+     * Age in cycles of the oldest entry still present at @p now
+     * (after pruning), or 0 when the file is empty. The
+     * forward-progress watchdog bounds this: a healthy entry retires
+     * within one memory round trip plus queueing, so an entry whose
+     * age keeps growing is leaked (reserved and never completed) or
+     * wedged behind a stalled channel.
+     */
+    Cycle oldestAge(Cycle now);
+
+    /**
+     * Validate structural invariants: occupancy within capacity, no
+     * duplicate block address (duplicates must merge, never
+     * re-allocate), and reserved entries carrying no ready cycle.
+     * Panics on violation.
+     */
+    void checkInvariants() const;
+
+    /**
+     * Fault injection: plant a reserved entry (for a sentinel
+     * address no real access uses) that will never complete — the
+     * "leaked MSHR" defect the watchdog's age bound must catch.
+     * Reduces the usable capacity by one until the end of the run.
+     */
+    void injectLeak(Cycle now);
+
     unsigned capacity() const { return capacity_; }
 
     Counter merges() const { return merges_.value(); }
@@ -69,6 +95,7 @@ class MshrFile
     {
         Addr blockAddr;
         Cycle ready;    // 0 while reserved but not yet completed
+        Cycle issued;   // cycle reserve() admitted the miss
         bool reserved;
     };
 

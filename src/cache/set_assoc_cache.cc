@@ -195,6 +195,32 @@ SetAssocCache::addrOf(const CacheBlock &blk) const
     return blk.tag << blockShift;
 }
 
+void
+SetAssocCache::checkInvariants() const
+{
+    for (unsigned s = 0; s < numSets_; ++s) {
+        sets_[s].checkLruInvariant();
+        for (unsigned w = 0; w < assoc_; ++w) {
+            const auto &blk = sets_[s].block(w);
+            if (!blk.valid)
+                continue;
+            panic_if((static_cast<unsigned>(blk.tag) & indexMask_) !=
+                         s,
+                     "block stored in the wrong set");
+        }
+    }
+}
+
+bool
+SetAssocCache::injectLruCorruption()
+{
+    for (auto &set : sets_) {
+        if (set.corruptLru())
+            return true;
+    }
+    return false;
+}
+
 double
 SetAssocCache::missRatio() const
 {

@@ -106,6 +106,21 @@ class SetAssocCache
     /** Reconstruct a block-aligned address from set + tag. */
     Addr addrOf(const CacheBlock &blk) const;
 
+    /**
+     * Validate structural invariants over every set: each LRU stack
+     * is a permutation of its valid ways (strict, duplicate-free use
+     * stamps) and every stored tag maps back to the set holding it.
+     * Panics on violation.
+     */
+    void checkInvariants() const;
+
+    /**
+     * Fault injection: corrupt the LRU order of the first set that
+     * holds at least two valid blocks. @return true if a set was
+     * corrupted.
+     */
+    bool injectLruCorruption();
+
     /** Accesses observed (reads + writes). */
     Counter accesses() const { return accesses_.value(); }
     /** Misses observed. */

@@ -19,6 +19,9 @@ MainMemory::MainMemory(stats::Group &parent, const std::string &name,
     fatal_if(params_.chunkBytes == 0 ||
                  blockBytes % params_.chunkBytes != 0,
              "chunk size must divide the block size");
+    fatal_if(params_.firstChunkLatency == 0 ||
+                 params_.interChunkLatency == 0,
+             "memory chunk latencies must be nonzero");
     const Cycle chunks = blockBytes / params_.chunkBytes;
     transferSlot_ = chunks * params_.interChunkLatency;
 }
@@ -39,6 +42,14 @@ MainMemory::fetchBlock(Addr addr, Cycle now)
     ++fetches_;
     const Cycle start = claimChannel(now);
     return start + params_.firstChunkLatency;
+}
+
+void
+MainMemory::injectChannelStall(Cycle until)
+{
+    warn("fault injection: memory channel stalled until cycle ",
+         until);
+    busyUntil_ = std::max(busyUntil_, until);
 }
 
 void

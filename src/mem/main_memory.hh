@@ -67,6 +67,13 @@ class MainMemory
     /** Cycle until which the channel is busy (for tests). */
     Cycle busyUntil() const { return busyUntil_; }
 
+    /**
+     * Fault injection: hold the channel busy until @p until, so every
+     * fetch queues behind a transfer that never finishes. Exercises
+     * the forward-progress watchdog.
+     */
+    void injectChannelStall(Cycle until);
+
     Counter fetches() const { return fetches_.value(); }
     Counter writebacks() const { return writebacks_.value(); }
 

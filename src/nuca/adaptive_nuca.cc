@@ -56,6 +56,9 @@ AdaptiveNuca::AdaptiveNuca(stats::Group &parent,
                           "over-quota core")
 {
     fatal_if(params_.numCores == 0, "adaptive NUCA with no cores");
+    fatal_if(params_.localHitLatency == 0 ||
+                 params_.remoteHitLatency == 0,
+             "adaptive NUCA hit latencies must be nonzero");
     fatal_if(!isPowerOf2(numSets_),
              "adaptive NUCA needs a power-of-two set count, got ",
              numSets_);
@@ -503,6 +506,23 @@ AdaptiveNuca::checkInvariants() const
              "quotas no longer sum to the total ways per set");
 
     for (unsigned set = 0; set < numSets_; ++set) {
+        // The per-core block counts must account for exactly the
+        // valid slots of the set (never more than the global
+        // associativity): Algorithm 1's over-quota victim choice
+        // reads these counts, so a corrupt owner tally silently
+        // redirects evictions.
+        unsigned owned_sum = 0;
+        for (unsigned c = 0; c < params_.numCores; ++c)
+            owned_sum += ownedCount(set, static_cast<CoreId>(c));
+        unsigned valid_count = 0;
+        for (unsigned s = 0; s < totalWays_; ++s) {
+            if (slotAtConst(set, s).blk.valid)
+                ++valid_count;
+        }
+        panic_if(owned_sum != valid_count || valid_count > totalWays_,
+                 "per-core block counts do not sum to the set's "
+                 "valid blocks");
+
         for (unsigned s = 0; s < totalWays_; ++s) {
             const auto &slot = slotAtConst(set, s);
             if (!slot.blk.valid)
@@ -519,6 +539,23 @@ AdaptiveNuca::checkInvariants() const
             panic_if((static_cast<unsigned>(slot.blk.tag) &
                       indexMask_) != set,
                      "block stored in the wrong set");
+        }
+        // The set's LRU stack must be a strict permutation: use
+        // stamps come from one monotonically increasing counter, so
+        // two valid blocks sharing a stamp can only be corruption —
+        // and ambiguous recency breaks Algorithm 1's victim walk and
+        // the LRU-hit loss estimator.
+        for (unsigned a = 0; a < totalWays_; ++a) {
+            const auto &sa = slotAtConst(set, a);
+            if (!sa.blk.valid)
+                continue;
+            for (unsigned b = a + 1; b < totalWays_; ++b) {
+                const auto &sb = slotAtConst(set, b);
+                panic_if(sb.blk.valid &&
+                             sb.blk.lastUse == sa.blk.lastUse,
+                         "LRU stack corrupted: two valid blocks "
+                         "share use stamp ", sa.blk.lastUse);
+            }
         }
         // No core may see two copies of one tag. Two *private*
         // copies in different cores' partitions are tolerated: they
@@ -543,6 +580,29 @@ AdaptiveNuca::checkInvariants() const
             }
         }
     }
+}
+
+bool
+AdaptiveNuca::injectLruCorruption()
+{
+    // Duplicate one valid block's use stamp onto another in the
+    // first set holding two valid blocks — the exact defect the
+    // checkInvariants LRU-permutation pass exists to catch.
+    for (unsigned set = 0; set < numSets_; ++set) {
+        int first = -1;
+        for (unsigned s = 0; s < totalWays_; ++s) {
+            if (!slotAt(set, s).blk.valid)
+                continue;
+            if (first < 0) {
+                first = static_cast<int>(s);
+                continue;
+            }
+            slotAt(set, s).blk.lastUse =
+                slotAt(set, static_cast<unsigned>(first)).blk.lastUse;
+            return true;
+        }
+    }
+    return false;
 }
 
 } // namespace nuca

@@ -70,6 +70,8 @@ class AdaptiveNuca : public L3Organization
     L3Result access(const MemRequest &req, Cycle now) override;
     void writebackFromL2(CoreId core, Addr addr, Cycle now) override;
     std::string schemeName() const override { return "adaptive"; }
+    void checkStructure() const override { checkInvariants(); }
+    bool injectLruCorruption() override;
 
     /** The sharing engine (quotas, estimators). */
     SharingEngine &engine() { return engine_; }

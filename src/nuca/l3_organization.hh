@@ -66,6 +66,24 @@ class L3Organization
 
     /** Human-readable scheme name for reports. */
     virtual std::string schemeName() const = 0;
+
+    /**
+     * Validate the organization's structural invariants (LRU stacks
+     * are strict permutations, tags map to their sets, ownership
+     * bookkeeping consistent); panics on violation. Driven
+     * periodically by CmpSystem when REPRO_CHECK=1. The base
+     * implementation checks nothing so stateless organizations stay
+     * valid by definition.
+     */
+    virtual void checkStructure() const {}
+
+    /**
+     * Fault injection: plant a deliberate LRU corruption so the
+     * REPRO_CHECK pass has a real defect to catch. @return true if a
+     * defect was planted (false: nothing valid to corrupt yet, or
+     * the organization does not support injection).
+     */
+    virtual bool injectLruCorruption() { return false; }
 };
 
 } // namespace nuca

@@ -14,6 +14,8 @@ PrivateL3::PrivateL3(stats::Group &parent,
               params.numCores)
 {
     fatal_if(params_.numCores == 0, "private L3 with no cores");
+    fatal_if(params_.hitLatency == 0,
+             "private L3 hit latency must be nonzero");
     caches_.reserve(params_.numCores);
     for (unsigned c = 0; c < params_.numCores; ++c) {
         caches_.push_back(std::make_unique<SetAssocCache>(
@@ -65,6 +67,23 @@ PrivateL3::writebackFromL2(CoreId core, Addr addr, Cycle now)
         // block through to memory.
         memory_.writebackBlock(addr, now);
     }
+}
+
+void
+PrivateL3::checkStructure() const
+{
+    for (const auto &cache : caches_)
+        cache->checkInvariants();
+}
+
+bool
+PrivateL3::injectLruCorruption()
+{
+    for (auto &cache : caches_) {
+        if (cache->injectLruCorruption())
+            return true;
+    }
+    return false;
 }
 
 } // namespace nuca

@@ -42,6 +42,8 @@ class PrivateL3 : public L3Organization
     L3Result access(const MemRequest &req, Cycle now) override;
     void writebackFromL2(CoreId core, Addr addr, Cycle now) override;
     std::string schemeName() const override { return "private"; }
+    void checkStructure() const override;
+    bool injectLruCorruption() override;
 
     /** The tag array of one core's cache (tests/inspection). */
     SetAssocCache &cacheOf(CoreId core);

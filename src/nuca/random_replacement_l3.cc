@@ -26,6 +26,9 @@ RandomReplacementL3::RandomReplacementL3(
 {
     fatal_if(params_.numCores < 2,
              "random replacement needs >= 2 cores to spill between");
+    fatal_if(params_.localHitLatency == 0 ||
+                 params_.remoteHitLatency == 0,
+             "random replacement hit latencies must be nonzero");
     caches_.reserve(params_.numCores);
     for (unsigned c = 0; c < params_.numCores; ++c) {
         caches_.push_back(std::make_unique<SetAssocCache>(
@@ -149,6 +152,23 @@ RandomReplacementL3::writebackFromL2(CoreId core, Addr addr, Cycle now)
     }
     (void)core;
     memory_.writebackBlock(addr, now);
+}
+
+void
+RandomReplacementL3::checkStructure() const
+{
+    for (const auto &cache : caches_)
+        cache->checkInvariants();
+}
+
+bool
+RandomReplacementL3::injectLruCorruption()
+{
+    for (auto &cache : caches_) {
+        if (cache->injectLruCorruption())
+            return true;
+    }
+    return false;
 }
 
 } // namespace nuca

@@ -60,6 +60,8 @@ class RandomReplacementL3 : public L3Organization
     {
         return "random-replacement";
     }
+    void checkStructure() const override;
+    bool injectLruCorruption() override;
 
     SetAssocCache &cacheOf(CoreId core);
 

@@ -16,6 +16,8 @@ SharedL3::SharedL3(stats::Group &parent, const SharedL3Params &params,
               params.numCores)
 {
     fatal_if(params_.numCores == 0, "shared L3 with no cores");
+    fatal_if(params_.hitLatency == 0,
+             "shared L3 hit latency must be nonzero");
 }
 
 Counter

@@ -37,6 +37,11 @@ class SharedL3 : public L3Organization
     L3Result access(const MemRequest &req, Cycle now) override;
     void writebackFromL2(CoreId core, Addr addr, Cycle now) override;
     std::string schemeName() const override { return "shared"; }
+    void checkStructure() const override { cache_.checkInvariants(); }
+    bool injectLruCorruption() override
+    {
+        return cache_.injectLruCorruption();
+    }
 
     SetAssocCache &cache() { return cache_; }
 

@@ -27,11 +27,20 @@ SharingEngine::SharingEngine(stats::Group &parent,
                       params.numCores)
 {
     fatal_if(params_.numCores < 2, "sharing engine needs >= 2 cores");
+    fatal_if(params_.localAssoc == 0,
+             "local associativity must be nonzero");
+    fatal_if(params_.numSets == 0, "set count must be nonzero");
     fatal_if(params_.totalWays != params_.numCores * params_.localAssoc,
              "totalWays must equal numCores * localAssoc");
     fatal_if(params_.minQuota < 2,
              "minQuota below 2 violates the guaranteed private+shared "
              "block per set");
+    fatal_if((params_.numCores - 1) * params_.minQuota >=
+                 params_.totalWays,
+             "minQuota leaves no quota headroom: (numCores-1)*minQuota "
+             "must stay below totalWays");
+    fatal_if(params_.initialQuota < params_.minQuota,
+             "initial quota below the minimum quota");
     fatal_if(params_.initialQuota * params_.numCores !=
                  params_.totalWays,
              "initial quotas must sum to the total ways per set");

@@ -1,5 +1,9 @@
 #include "sim/cmp_system.hh"
 
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
 #include "base/logging.hh"
 #include "nuca/private_l3.hh"
 #include "nuca/random_replacement_l3.hh"
@@ -130,6 +134,43 @@ CmpSystem::buildSystem()
 
     committedZero_.assign(config_.numCores, 0);
     l3AccessZero_.assign(config_.numCores, 0);
+
+    setRobustness(RobustnessConfig::fromEnv());
+}
+
+void
+CmpSystem::setRobustness(const RobustnessConfig &config)
+{
+    robust_ = config;
+    faultPlanted_ = false;
+    nextCheck_ = now_ + robust_.checkPeriod;
+    // Probe a few times per bound (whichever is tighter) so a stall
+    // is reported within ~1.25 windows of its onset and an overaged
+    // MSHR entry soon after it crosses the age bound.
+    watchdogPeriod_ = std::max<Cycle>(
+        1, std::min(robust_.watchdogWindow, robust_.mshrAgeBound) / 4);
+    nextWatchdog_ = now_ + watchdogPeriod_;
+    watchdogLastProgress_ = now_;
+    watchdogLastCommitted_ = 0;
+    for (const auto &core : cores_)
+        watchdogLastCommitted_ += core->committed();
+    scheduleRobustness();
+}
+
+void
+CmpSystem::scheduleRobustness()
+{
+    Cycle next = std::numeric_limits<Cycle>::max();
+    if (robust_.checkEnabled)
+        next = std::min(next, nextCheck_);
+    if (robust_.watchdogEnabled)
+        next = std::min(next, nextWatchdog_);
+    if (robust_.maxCycles != 0)
+        next = std::min(next, robust_.maxCycles);
+    if (robust_.fault.isSimFault() && !faultPlanted_)
+        next = std::min(next, static_cast<Cycle>(robust_.fault.arg));
+    robustActive_ = next != std::numeric_limits<Cycle>::max();
+    nextRobustEvent_ = next;
 }
 
 void
@@ -144,7 +185,119 @@ CmpSystem::run(Cycle cycles)
             emitSample();
             nextSample_ += tracePeriod_;
         }
+        if (robustActive_ && now_ >= nextRobustEvent_)
+            robustnessTick();
     }
+}
+
+void
+CmpSystem::robustnessTick()
+{
+    if (robust_.fault.isSimFault() && !faultPlanted_ &&
+        now_ >= robust_.fault.arg) {
+        plantFault();
+    }
+    if (robust_.checkEnabled && now_ >= nextCheck_) {
+        checkStructuralInvariants();
+        nextCheck_ += robust_.checkPeriod;
+    }
+    if (robust_.watchdogEnabled && now_ >= nextWatchdog_) {
+        watchdogCheck();
+        nextWatchdog_ += watchdogPeriod_;
+    }
+    if (robust_.maxCycles != 0 && now_ >= robust_.maxCycles) {
+        throw CycleBudgetExceeded(
+            "cycle budget of " + std::to_string(robust_.maxCycles) +
+            " exhausted at cycle " + std::to_string(now_) + "\n" +
+            progressSnapshot());
+    }
+    scheduleRobustness();
+}
+
+void
+CmpSystem::plantFault()
+{
+    switch (robust_.fault.kind) {
+      case FaultKind::LruCorrupt:
+          // The L3 needs two valid blocks in one set to duplicate a
+          // stamp; keep retrying until the workload has filled that
+          // much.
+          if (!l3_->injectLruCorruption())
+              return;
+          warn("fault injection: corrupted L3 LRU state at cycle ",
+               now_);
+          break;
+      case FaultKind::MshrLeak:
+          memSystems_[0]->l2d().mshrs().injectLeak(now_);
+          break;
+      case FaultKind::ChannelStall:
+          memory_.injectChannelStall(
+              std::numeric_limits<Cycle>::max() / 2);
+          break;
+      default:
+          panic("fault kind is not a simulator fault");
+    }
+    faultPlanted_ = true;
+}
+
+void
+CmpSystem::checkStructuralInvariants() const
+{
+    l3_->checkStructure();
+    for (const auto &mem : memSystems_) {
+        mem->l1d().mshrs().checkInvariants();
+        mem->l2d().mshrs().checkInvariants();
+    }
+}
+
+void
+CmpSystem::watchdogCheck()
+{
+    Counter committed = 0;
+    for (const auto &core : cores_)
+        committed += core->committed();
+    if (committed != watchdogLastCommitted_) {
+        watchdogLastCommitted_ = committed;
+        watchdogLastProgress_ = now_;
+    } else if (now_ - watchdogLastProgress_ >= robust_.watchdogWindow) {
+        throw SimulationStalled(
+            "no instruction retired in " +
+            std::to_string(now_ - watchdogLastProgress_) +
+            " cycles (window " +
+            std::to_string(robust_.watchdogWindow) + ")\n" +
+            progressSnapshot());
+    }
+
+    for (unsigned c = 0; c < config_.numCores; ++c) {
+        const Cycle age =
+            memSystems_[c]->l2d().mshrs().oldestAge(now_);
+        if (age > robust_.mshrAgeBound) {
+            throw SimulationStalled(
+                "core " + std::to_string(c) +
+                " has an L2D MSHR entry outstanding for " +
+                std::to_string(age) + " cycles (bound " +
+                std::to_string(robust_.mshrAgeBound) + ")\n" +
+                progressSnapshot());
+        }
+    }
+}
+
+std::string
+CmpSystem::progressSnapshot() const
+{
+    std::ostringstream out;
+    out << "progress snapshot at cycle " << now_ << ":";
+    for (unsigned c = 0; c < config_.numCores; ++c) {
+        auto &mshrs = memSystems_[c]->l2d().mshrs();
+        out << "\n  core" << c << ": committed="
+            << cores_[c]->committed()
+            << " l2d_mshr_in_flight=" << mshrs.inFlight(now_)
+            << " l2d_mshr_oldest_age=" << mshrs.oldestAge(now_);
+    }
+    out << "\n  memory: busy_until=" << memory_.busyUntil()
+        << " fetches=" << memory_.fetches()
+        << " queue_cycles=" << memory_.queueCycles();
+    return out.str();
 }
 
 void

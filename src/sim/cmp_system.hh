@@ -20,6 +20,7 @@
 #include "mem/main_memory.hh"
 #include "nuca/adaptive_nuca.hh"
 #include "nuca/l3_organization.hh"
+#include "sim/robustness.hh"
 #include "sim/system_config.hh"
 #include "sim/telemetry.hh"
 #include "workload/profile.hh"
@@ -48,8 +49,32 @@ class CmpSystem
     CmpSystem(const SystemConfig &config,
               std::vector<std::unique_ptr<InstSource>> sources);
 
-    /** Advance every core by @p cycles cycles. */
+    /**
+     * Advance every core by @p cycles cycles.
+     *
+     * @throws SimulationStalled when the forward-progress watchdog
+     *         sees no retired instruction across all cores for its
+     *         window, or an L2D MSHR entry older than its age bound
+     * @throws CycleBudgetExceeded when REPRO_MAX_CYCLES is exhausted
+     */
     void run(Cycle cycles);
+
+    /**
+     * Replace the robustness configuration (the constructors install
+     * RobustnessConfig::fromEnv()). Resets the watchdog baseline and
+     * the periodic-check schedule to the current cycle.
+     */
+    void setRobustness(const RobustnessConfig &config);
+
+    /** The active robustness configuration (tests/inspection). */
+    const RobustnessConfig &robustness() const { return robust_; }
+
+    /**
+     * Run one structural-invariant pass immediately: L3 structure
+     * (LRU permutation, set placement, quota accounting) plus every
+     * core's L2D MSHR file. Panics on violation.
+     */
+    void checkStructuralInvariants() const;
 
     /**
      * Attach a telemetry sink: a "sample" record every @p period
@@ -118,6 +143,28 @@ class CmpSystem
     void emitSample();
     /** Forward one sharing-engine epoch event to the sink. */
     void emitRepartition(const RepartitionEvent &event);
+
+    /** Dispatch whichever robustness events are due at now_. */
+    void robustnessTick();
+    /** Recompute nextRobustEvent_ from the pending event cycles. */
+    void scheduleRobustness();
+    /** Plant the configured REPRO_FAULT defect (simulator kinds). */
+    void plantFault();
+    /** Zero-retirement window and MSHR age bound checks. */
+    void watchdogCheck();
+    /** Per-core pipeline/MSHR/channel state for stall messages. */
+    std::string progressSnapshot() const;
+
+    RobustnessConfig robust_;
+    /** True when any robustness event is scheduled at all. */
+    bool robustActive_ = false;
+    Cycle nextRobustEvent_ = 0;
+    Cycle nextCheck_ = 0;
+    Cycle watchdogPeriod_ = 0;
+    Cycle nextWatchdog_ = 0;
+    Counter watchdogLastCommitted_ = 0;
+    Cycle watchdogLastProgress_ = 0;
+    bool faultPlanted_ = false;
 
     TraceSink *trace_ = nullptr;
     Cycle tracePeriod_ = 0;

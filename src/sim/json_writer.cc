@@ -484,6 +484,18 @@ writeFile(const std::string &path, const Value &value)
     fatal_if(!ok, "json: short write to '", path, "'");
 }
 
+void
+writeFileAtomic(const std::string &path, const Value &value)
+{
+    // Write the full document beside the target and rename it into
+    // place, so readers (and a resumed sweep) never observe a
+    // truncated file even if this process dies mid-write.
+    const std::string tmp = path + ".tmp";
+    writeFile(tmp, value);
+    fatal_if(std::rename(tmp.c_str(), path.c_str()) != 0,
+             "json: cannot rename '", tmp, "' to '", path, "'");
+}
+
 std::string
 readFile(const std::string &path)
 {

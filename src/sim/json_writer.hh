@@ -100,6 +100,10 @@ std::string escape(const std::string &raw);
  *  errors so a misspelled REPRO_JSON directory fails loudly. */
 void writeFile(const std::string &path, const Value &value);
 
+/** writeFile via a sibling ".tmp" file renamed into place, so a
+ *  crash mid-write never leaves a truncated document at @p path. */
+void writeFileAtomic(const std::string &path, const Value &value);
+
 /** Read an entire file; fatal when it cannot be opened. */
 std::string readFile(const std::string &path);
 

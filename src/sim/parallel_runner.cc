@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "base/logging.hh"
 #include "sim/experiment.hh"
 
 namespace nuca {
@@ -16,6 +17,22 @@ jobsFromEnv()
     return hw == 0 ? 1 : hw;
 }
 
+const char *
+to_string(JobStatus status)
+{
+    switch (status) {
+      case JobStatus::Ok:
+        return "ok";
+      case JobStatus::Failed:
+        return "failed";
+      case JobStatus::Stalled:
+        return "stalled";
+      case JobStatus::OverBudget:
+        return "over_budget";
+    }
+    panic("unknown job status");
+}
+
 ProgressReporter::ProgressReporter(std::string label,
                                    std::size_t total, bool quiet)
     : label_(std::move(label)), total_(total),
@@ -24,15 +41,35 @@ ProgressReporter::ProgressReporter(std::string label,
 }
 
 void
+ProgressReporter::redraw()
+{
+    if (quiet_)
+        return;
+    if (failed_ == 0) {
+        std::fprintf(stderr, "  [%s] %zu/%zu\r", label_.c_str(),
+                     done_, total_);
+    } else {
+        std::fprintf(stderr, "  [%s] %zu/%zu (%zu failed)\r",
+                     label_.c_str(), done_ + failed_, total_,
+                     failed_);
+    }
+    std::fflush(stderr);
+}
+
+void
 ProgressReporter::completed()
 {
     std::lock_guard<std::mutex> guard(mutex_);
     ++done_;
-    if (quiet_)
-        return;
-    std::fprintf(stderr, "  [%s] %zu/%zu\r", label_.c_str(), done_,
-                 total_);
-    std::fflush(stderr);
+    redraw();
+}
+
+void
+ProgressReporter::failed()
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    ++failed_;
+    redraw();
 }
 
 void
@@ -42,8 +79,14 @@ ProgressReporter::finish()
     if (quiet_ || finished_)
         return;
     finished_ = true;
-    std::fprintf(stderr, "  [%s] done (%zu jobs)      \n",
-                 label_.c_str(), done_);
+    if (failed_ == 0) {
+        std::fprintf(stderr, "  [%s] done (%zu jobs)      \n",
+                     label_.c_str(), done_);
+    } else {
+        std::fprintf(stderr,
+                     "  [%s] done %zu/%zu (%zu failed)      \n",
+                     label_.c_str(), done_, total_, failed_);
+    }
     std::fflush(stderr);
 }
 
@@ -52,6 +95,13 @@ ProgressReporter::done() const
 {
     std::lock_guard<std::mutex> guard(mutex_);
     return done_;
+}
+
+std::size_t
+ProgressReporter::failures() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return failed_;
 }
 
 } // namespace nuca

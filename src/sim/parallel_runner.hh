@@ -11,19 +11,30 @@
  * The pool size comes from the REPRO_JOBS environment variable and
  * defaults to std::thread::hardware_concurrency(); REPRO_JOBS=1
  * degenerates to an inline serial loop with no threads spawned.
+ *
+ * Failure handling is the sweep supervisor's job: every job settles
+ * into a JobOutcome (ok / failed / stalled / over_budget) instead of
+ * an exception unwinding the pool and discarding completed siblings.
+ * The SweepPolicy (REPRO_FAIL) decides whether a failure stops the
+ * sweep (abort — workers stop claiming jobs at the next boundary),
+ * leaves a recorded hole (skip), or re-runs the job (retry:N).
  */
 
 #ifndef NUCA_SIM_PARALLEL_RUNNER_HH
 #define NUCA_SIM_PARALLEL_RUNNER_HH
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <exception>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "sim/robustness.hh"
 
 namespace nuca {
 
@@ -33,12 +44,45 @@ namespace nuca {
  */
 unsigned jobsFromEnv();
 
+/** How one sweep job settled. */
+enum class JobStatus
+{
+    Ok,         ///< the job returned a result
+    Failed,     ///< the job threw (result slot holds a default value)
+    Stalled,    ///< the watchdog raised SimulationStalled
+    OverBudget, ///< the REPRO_MAX_CYCLES budget ran out
+};
+
+/** Printable status name ("ok", "failed", "stalled", "over_budget"). */
+const char *to_string(JobStatus status);
+
+/**
+ * One job's settled outcome. Non-ok outcomes keep the error text (the
+ * exception message, which for watchdog failures carries the per-core
+ * diagnostic snapshot) and the exception itself so an aborting sweep
+ * can rethrow with full fidelity.
+ */
+template <typename T>
+struct JobOutcome
+{
+    JobStatus status = JobStatus::Ok;
+    T value{};
+    /** what() of the failure; empty when ok. */
+    std::string error;
+    /** The captured exception; null when ok. */
+    std::exception_ptr exception;
+
+    bool ok() const { return status == JobStatus::Ok; }
+};
+
 /**
  * Thread-safe completed/total progress line on stderr. Workers call
- * completed() as jobs finish (in any order, from any thread); the
- * reporter redraws a single `\r`-terminated line under a mutex and
- * finish() settles it with a newline. Construction with total == 0
- * or quiet == true suppresses all output.
+ * completed() or failed() as jobs settle (in any order, from any
+ * thread); the reporter redraws a single `\r`-terminated line under
+ * a mutex and finish() settles it with a newline — reporting
+ * "done/total (k failed)" when any job failed, so an abandoned
+ * progress line can never masquerade as a clean sweep. Construction
+ * with total == 0 or quiet == true suppresses all output.
  */
 class ProgressReporter
 {
@@ -46,28 +90,187 @@ class ProgressReporter
     ProgressReporter(std::string label, std::size_t total,
                      bool quiet = false);
 
-    /** Count one finished job and redraw the progress line. */
+    /** Count one successfully finished job and redraw. */
     void completed();
+
+    /** Count one failed job and redraw (the line still advances:
+     * failures are settled jobs, not missing ones). */
+    void failed();
 
     /** Print the closing "done" line (idempotent). */
     void finish();
 
-    /** Jobs reported finished so far. */
+    /** Jobs reported successfully finished so far. */
     std::size_t done() const;
 
+    /** Jobs reported failed so far. */
+    std::size_t failures() const;
+
   private:
+    void redraw();
+
     mutable std::mutex mutex_;
     std::string label_;
     std::size_t total_;
     std::size_t done_ = 0;
+    std::size_t failed_ = 0;
     bool quiet_;
     bool finished_ = false;
 };
 
+namespace parallel_detail {
+
+/** Run one job, classify any failure, honor the retry budget. */
+template <typename Result, typename Job, typename Fn>
+JobOutcome<Result>
+settleJob(const Job &job, Fn &fn, const SweepPolicy &policy)
+{
+    JobOutcome<Result> outcome;
+    const unsigned attempts =
+        policy.onFail == FailPolicy::Retry ? policy.retries + 1 : 1;
+    for (unsigned attempt = 0; attempt < attempts; ++attempt) {
+        try {
+            outcome.value = fn(job);
+            outcome.status = JobStatus::Ok;
+            outcome.error.clear();
+            outcome.exception = nullptr;
+            return outcome;
+        } catch (const SimulationStalled &e) {
+            outcome.status = JobStatus::Stalled;
+            outcome.error = e.what();
+            outcome.exception = std::current_exception();
+        } catch (const CycleBudgetExceeded &e) {
+            outcome.status = JobStatus::OverBudget;
+            outcome.error = e.what();
+            outcome.exception = std::current_exception();
+        } catch (const std::exception &e) {
+            outcome.status = JobStatus::Failed;
+            outcome.error = e.what();
+            outcome.exception = std::current_exception();
+        } catch (...) {
+            outcome.status = JobStatus::Failed;
+            outcome.error = "unknown exception";
+            outcome.exception = std::current_exception();
+        }
+    }
+    return outcome;
+}
+
+} // namespace parallel_detail
+
 /**
  * Run fn(jobs[i]) for every job on a pool of @p num_threads workers
- * and return the results in submission order: results[i] always
- * corresponds to jobs[i] regardless of which worker ran it or when.
+ * and settle every job into a JobOutcome in submission order:
+ * outcomes[i] always corresponds to jobs[i] regardless of which
+ * worker ran it or when.
+ *
+ * Failures never unwind the pool. Under FailPolicy::Abort the first
+ * failure raises a stop flag checked at claim time, so in-flight
+ * jobs finish but no new work starts (their completed results are
+ * still returned). Under Skip the failure is recorded and the sweep
+ * continues; under Retry the job is re-run up to policy.retries
+ * extra times first.
+ *
+ * @p on_outcome, when provided, is invoked once per settled job
+ * (serialized under a mutex, from worker threads) with the job's
+ * submission index — the hook the crash-safe results sidecar hangs
+ * off.
+ *
+ * @return the outcomes, resized to jobs.size(). Jobs skipped because
+ * an abort stopped the sweep early are left with status Failed and
+ * error "not attempted (sweep aborted)".
+ */
+template <typename Job, typename Fn>
+auto
+runParallelOutcomes(
+    const std::vector<Job> &jobs, Fn fn, unsigned num_threads,
+    ProgressReporter *progress = nullptr,
+    const SweepPolicy &policy = SweepPolicy{},
+    const std::function<void(
+        std::size_t,
+        const JobOutcome<std::invoke_result_t<Fn &, const Job &>> &)>
+        &on_outcome = {})
+    -> std::vector<JobOutcome<std::invoke_result_t<Fn &, const Job &>>>
+{
+    using Result = std::invoke_result_t<Fn &, const Job &>;
+    std::vector<JobOutcome<Result>> outcomes(jobs.size());
+    std::vector<bool> attempted(jobs.size(), false);
+
+    const std::size_t workers =
+        std::min<std::size_t>(num_threads == 0 ? 1 : num_threads,
+                              jobs.size());
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> stop{false};
+    std::mutex outcome_mutex;
+
+    auto settleInto = [&](std::size_t i) {
+        attempted[i] = true;
+        outcomes[i] = parallel_detail::settleJob<Result>(
+            jobs[i], fn, policy);
+        if (!outcomes[i].ok() && policy.onFail == FailPolicy::Abort)
+            stop.store(true, std::memory_order_relaxed);
+        if (progress) {
+            if (outcomes[i].ok())
+                progress->completed();
+            else
+                progress->failed();
+        }
+        if (on_outcome) {
+            std::lock_guard<std::mutex> guard(outcome_mutex);
+            on_outcome(i, outcomes[i]);
+        }
+    };
+
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            if (stop.load(std::memory_order_relaxed))
+                break;
+            settleInto(i);
+        }
+    } else {
+        // The job queue: a shared cursor over the submission-ordered
+        // job vector. Workers claim the next unclaimed index and
+        // write only their own outcome slot, so no two threads ever
+        // touch the same element. The stop flag is checked at claim
+        // time: once a failure aborts the sweep, the leftover jobs
+        // are not burned through just to be discarded.
+        auto worker = [&]() {
+            for (;;) {
+                if (stop.load(std::memory_order_relaxed))
+                    return;
+                const std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= jobs.size())
+                    return;
+                settleInto(i);
+            }
+        };
+
+        std::vector<std::thread> threads;
+        threads.reserve(workers);
+        for (std::size_t t = 0; t < workers; ++t)
+            threads.emplace_back(worker);
+        for (auto &thread : threads)
+            thread.join();
+    }
+
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (!attempted[i]) {
+            outcomes[i].status = JobStatus::Failed;
+            outcomes[i].error = "not attempted (sweep aborted)";
+        }
+    }
+    return outcomes;
+}
+
+/**
+ * Run fn(jobs[i]) for every job and return the bare results in
+ * submission order; the first failure (after the pool drains — the
+ * stop flag keeps the leftover jobs unclaimed) is rethrown. This is
+ * the pre-supervisor contract, kept for callers whose jobs cannot
+ * fail in normal operation; sweeps that must survive bad points go
+ * through runParallelOutcomes.
  *
  * @p fn must be safe to invoke concurrently from multiple threads
  * (the experiment harness guarantees this: runMix touches only its
@@ -83,56 +286,14 @@ runParallel(const std::vector<Job> &jobs, Fn fn, unsigned num_threads,
     -> std::vector<std::invoke_result_t<Fn &, const Job &>>
 {
     using Result = std::invoke_result_t<Fn &, const Job &>;
+    auto outcomes = runParallelOutcomes(jobs, std::move(fn),
+                                        num_threads, progress);
     std::vector<Result> results(jobs.size());
-
-    const std::size_t workers =
-        std::min<std::size_t>(num_threads == 0 ? 1 : num_threads,
-                              jobs.size());
-    if (workers <= 1) {
-        for (std::size_t i = 0; i < jobs.size(); ++i) {
-            results[i] = fn(jobs[i]);
-            if (progress)
-                progress->completed();
-        }
-        return results;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (outcomes[i].exception)
+            std::rethrow_exception(outcomes[i].exception);
+        results[i] = std::move(outcomes[i].value);
     }
-
-    // The job queue: a shared cursor over the submission-ordered job
-    // vector. Workers claim the next unclaimed index and write only
-    // their own results slot, so no two threads ever touch the same
-    // element.
-    std::atomic<std::size_t> next{0};
-    std::mutex error_mutex;
-    std::exception_ptr error;
-
-    auto worker = [&]() {
-        for (;;) {
-            const std::size_t i =
-                next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= jobs.size())
-                return;
-            try {
-                results[i] = fn(jobs[i]);
-            } catch (...) {
-                std::lock_guard<std::mutex> guard(error_mutex);
-                if (!error)
-                    error = std::current_exception();
-                return;
-            }
-            if (progress)
-                progress->completed();
-        }
-    };
-
-    std::vector<std::thread> threads;
-    threads.reserve(workers);
-    for (std::size_t t = 0; t < workers; ++t)
-        threads.emplace_back(worker);
-    for (auto &thread : threads)
-        thread.join();
-
-    if (error)
-        std::rethrow_exception(error);
     return results;
 }
 

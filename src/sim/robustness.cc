@@ -1,0 +1,143 @@
+#include "sim/robustness.hh"
+
+#include <cstdlib>
+#include <string>
+
+#include "base/logging.hh"
+#include "sim/experiment.hh"
+
+namespace nuca {
+
+namespace {
+
+/** Raw environment string, or empty when unset. */
+std::string
+envString(const char *name)
+{
+    const char *value = std::getenv(name);
+    return value == nullptr ? std::string() : std::string(value);
+}
+
+/** Parse the decimal suffix of "<kind>:<number>" specs. */
+std::uint64_t
+parseArg(const char *what, const std::string &spec, std::size_t colon)
+{
+    const std::string digits = spec.substr(colon + 1);
+    fatal_if(digits.empty(), what, " '", spec,
+             "' is missing its numeric argument");
+    std::uint64_t value = 0;
+    for (const char c : digits) {
+        fatal_if(c < '0' || c > '9', what, " '", spec,
+                 "' has a non-numeric argument");
+        fatal_if(value > (~0ull - 9) / 10, what, " '", spec,
+                 "' argument overflows 64 bits");
+        value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return value;
+}
+
+} // namespace
+
+SweepPolicy
+SweepPolicy::fromEnv()
+{
+    SweepPolicy policy;
+    const std::string spec = envString("REPRO_FAIL");
+    if (spec.empty() || spec == "abort")
+        return policy;
+    if (spec == "skip") {
+        policy.onFail = FailPolicy::Skip;
+        return policy;
+    }
+    if (spec.rfind("retry:", 0) == 0) {
+        policy.onFail = FailPolicy::Retry;
+        policy.retries = static_cast<unsigned>(
+            parseArg("REPRO_FAIL", spec, spec.find(':')));
+        fatal_if(policy.retries == 0,
+                 "REPRO_FAIL=retry:N needs N >= 1, got '", spec, "'");
+        return policy;
+    }
+    fatal("REPRO_FAIL must be abort, skip, or retry:N, got '", spec,
+          "'");
+}
+
+const char *
+to_string(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::None:
+        return "none";
+      case FaultKind::LruCorrupt:
+        return "lru_corrupt";
+      case FaultKind::MshrLeak:
+        return "mshr_leak";
+      case FaultKind::ChannelStall:
+        return "channel_stall";
+      case FaultKind::ThrowJob:
+        return "throw_job";
+    }
+    panic("unknown fault kind");
+}
+
+FaultSpec
+FaultSpec::fromEnv()
+{
+    FaultSpec fault;
+    const std::string spec = envString("REPRO_FAULT");
+    if (spec.empty())
+        return fault;
+
+    const std::size_t colon = spec.find(':');
+    const std::string kind = spec.substr(0, colon);
+    if (kind == "lru_corrupt") {
+        fault.kind = FaultKind::LruCorrupt;
+    } else if (kind == "mshr_leak") {
+        fault.kind = FaultKind::MshrLeak;
+    } else if (kind == "channel_stall") {
+        fault.kind = FaultKind::ChannelStall;
+    } else if (kind == "throw_job") {
+        fault.kind = FaultKind::ThrowJob;
+        fatal_if(colon == std::string::npos,
+                 "REPRO_FAULT=throw_job needs a job index "
+                 "(throw_job:K)");
+    } else {
+        fatal("REPRO_FAULT kind must be lru_corrupt, mshr_leak, "
+              "channel_stall, or throw_job, got '", spec, "'");
+    }
+    if (colon != std::string::npos)
+        fault.arg = parseArg("REPRO_FAULT", spec, colon);
+    return fault;
+}
+
+RobustnessConfig
+RobustnessConfig::fromEnv()
+{
+    RobustnessConfig config;
+    config.checkEnabled = envOr("REPRO_CHECK", 0) != 0;
+    config.checkPeriod =
+        envOr("REPRO_CHECK_PERIOD", config.checkPeriod);
+    fatal_if(config.checkEnabled && config.checkPeriod == 0,
+             "REPRO_CHECK_PERIOD must be positive");
+
+    config.watchdogEnabled = envOr("REPRO_WATCHDOG", 1) != 0;
+    config.watchdogWindow =
+        envOr("REPRO_WATCHDOG_WINDOW", config.watchdogWindow);
+    fatal_if(config.watchdogEnabled && config.watchdogWindow == 0,
+             "REPRO_WATCHDOG_WINDOW must be positive");
+    config.mshrAgeBound =
+        envOr("REPRO_WATCHDOG_MSHR_AGE", config.watchdogWindow);
+    fatal_if(config.watchdogEnabled && config.mshrAgeBound == 0,
+             "REPRO_WATCHDOG_MSHR_AGE must be positive");
+
+    config.maxCycles = envOr("REPRO_MAX_CYCLES", 0);
+    config.fault = FaultSpec::fromEnv();
+    return config;
+}
+
+bool
+resumeFromEnv()
+{
+    return envOr("REPRO_RESUME", 0) != 0;
+}
+
+} // namespace nuca

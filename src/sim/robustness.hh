@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Robustness layer configuration: failure taxonomy, recovery policy,
+ * forward-progress watchdog bounds, periodic invariant checking, and
+ * deliberate fault injection.
+ *
+ * A long sweep dies in one of three ways: a job throws (bad config,
+ * simulator bug), a job wedges (leaked MSHR, stalled memory channel —
+ * the simulation loop spins forever), or a job silently corrupts
+ * state and reports wrong numbers. The pieces here give each failure
+ * mode a detector and a recovery path:
+ *
+ *  - SimulationStalled / CycleBudgetExceeded turn "hangs forever"
+ *    into a catchable error carrying a diagnostic snapshot;
+ *  - SweepPolicy (REPRO_FAIL=abort|skip|retry:N) decides what the
+ *    sweep supervisor does with a failed job;
+ *  - RobustnessConfig wires the CmpSystem watchdog (zero-retirement
+ *    window, MSHR age bound, cycle budget) and the REPRO_CHECK
+ *    periodic invariant pass;
+ *  - FaultSpec (REPRO_FAULT=<kind>[:arg]) injects one deliberate
+ *    defect so tests can prove end-to-end that the checker, the
+ *    watchdog, and the supervisor each catch what they claim to.
+ *
+ * Everything here is observational when idle: with no environment
+ * knobs set, simulated results are bit-identical to a build without
+ * the robustness layer.
+ */
+
+#ifndef NUCA_SIM_ROBUSTNESS_HH
+#define NUCA_SIM_ROBUSTNESS_HH
+
+#include <stdexcept>
+#include <string>
+
+#include "base/types.hh"
+
+namespace nuca {
+
+/** Base of all recoverable simulation failures the sweep supervisor
+ *  classifies (a plain std::exception still counts as "failed"). */
+class SimulationError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * The forward-progress watchdog found a wedged simulation: a window
+ * of cycles with zero retired instructions across all cores, or an
+ * MSHR entry older than the age bound. The message carries the
+ * per-core pipeline/MSHR/channel snapshot taken at detection time.
+ */
+class SimulationStalled : public SimulationError
+{
+  public:
+    using SimulationError::SimulationError;
+};
+
+/** The REPRO_MAX_CYCLES budget was exhausted before run() finished. */
+class CycleBudgetExceeded : public SimulationError
+{
+  public:
+    using SimulationError::SimulationError;
+};
+
+/** What the sweep supervisor does with a job that fails. */
+enum class FailPolicy
+{
+    Abort, ///< stop claiming jobs, rethrow after the pool drains
+    Skip,  ///< record a "failed" result and keep sweeping
+    Retry, ///< re-run the job up to `retries` times, then skip
+};
+
+/** The REPRO_FAIL recovery policy. */
+struct SweepPolicy
+{
+    FailPolicy onFail = FailPolicy::Abort;
+    /** Re-runs granted per job under FailPolicy::Retry. */
+    unsigned retries = 0;
+
+    /**
+     * Parse REPRO_FAIL: "abort" (default), "skip", or "retry:N" with
+     * N >= 1. Anything else is fatal.
+     */
+    static SweepPolicy fromEnv();
+};
+
+/** Kinds of deliberate defects the injector can plant. */
+enum class FaultKind
+{
+    None,         ///< REPRO_FAULT unset
+    LruCorrupt,   ///< scramble an L3 set's LRU stamps (checker's prey)
+    MshrLeak,     ///< reserve an L2D MSHR entry that never completes
+    ChannelStall, ///< wedge the memory channel (watchdog's prey)
+    ThrowJob,     ///< throw from sweep job `arg` (supervisor's prey)
+};
+
+/**
+ * One parsed REPRO_FAULT specification. The simulator-level kinds
+ * (lru_corrupt, mshr_leak, channel_stall) take an optional ":cycle"
+ * at which the defect is planted (default 0: the first robustness
+ * check after run() starts); throw_job takes a mandatory ":K" job
+ * index and is interpreted by the bench sweep, not the simulator.
+ */
+struct FaultSpec
+{
+    FaultKind kind = FaultKind::None;
+    /** Injection cycle, or the target job index for ThrowJob. */
+    std::uint64_t arg = 0;
+
+    bool enabled() const { return kind != FaultKind::None; }
+    /** True for the kinds CmpSystem plants inside the simulator. */
+    bool isSimFault() const
+    {
+        return kind == FaultKind::LruCorrupt ||
+               kind == FaultKind::MshrLeak ||
+               kind == FaultKind::ChannelStall;
+    }
+
+    /** Parse REPRO_FAULT; unknown kinds are fatal. */
+    static FaultSpec fromEnv();
+};
+
+/** Printable fault-kind name (for messages and records). */
+const char *to_string(FaultKind kind);
+
+/** The CmpSystem-level robustness knobs. */
+struct RobustnessConfig
+{
+    /** Periodic structural-invariant pass (REPRO_CHECK=1). */
+    bool checkEnabled = false;
+    /** Cycles between invariant passes (REPRO_CHECK_PERIOD). */
+    Cycle checkPeriod = 100000;
+
+    /** Watchdog master switch (REPRO_WATCHDOG=0 disables). */
+    bool watchdogEnabled = true;
+    /**
+     * Cycles with zero retired instructions across all cores before
+     * the run is declared stalled (REPRO_WATCHDOG_WINDOW).
+     */
+    Cycle watchdogWindow = 1000000;
+    /**
+     * Maximum age of an L2D MSHR entry before the run is declared
+     * stalled (REPRO_WATCHDOG_MSHR_AGE; default: the window).
+     */
+    Cycle mshrAgeBound = 1000000;
+
+    /** Total-cycle budget per system; 0 = unlimited
+     *  (REPRO_MAX_CYCLES). */
+    Cycle maxCycles = 0;
+
+    /** The deliberate defect to plant, if any (REPRO_FAULT). */
+    FaultSpec fault;
+
+    /** True when any periodic work is scheduled at all. */
+    bool anyPeriodic() const
+    {
+        return checkEnabled || watchdogEnabled || maxCycles != 0 ||
+               fault.isSimFault();
+    }
+
+    static RobustnessConfig fromEnv();
+};
+
+/** True when REPRO_RESUME=1: sweeps skip sidecar-completed labels. */
+bool resumeFromEnv();
+
+} // namespace nuca
+
+#endif // NUCA_SIM_ROBUSTNESS_HH

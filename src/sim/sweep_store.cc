@@ -1,0 +1,119 @@
+#include "sim/sweep_store.hh"
+
+#include "base/logging.hh"
+#include "sim/json_writer.hh"
+
+namespace nuca {
+
+namespace {
+
+json::Value
+doubleArray(const std::vector<double> &values)
+{
+    json::Value arr = json::Value::array();
+    for (const double v : values)
+        arr.append(v);
+    return arr;
+}
+
+std::vector<double>
+numberVector(const json::Value &arr)
+{
+    std::vector<double> out;
+    out.reserve(arr.size());
+    for (std::size_t i = 0; i < arr.size(); ++i)
+        out.push_back(arr.at(i).asNumber());
+    return out;
+}
+
+} // namespace
+
+SweepStore::SweepStore(std::string path) : path_(std::move(path))
+{
+    file_ = std::fopen(path_.c_str(), "a");
+    fatal_if(file_ == nullptr, "sweep store: cannot open '", path_,
+             "' for appending");
+}
+
+SweepStore::~SweepStore()
+{
+    std::fclose(file_);
+}
+
+void
+SweepStore::append(const SweepRecord &record)
+{
+    json::Value line = json::Value::object();
+    line.set("label", record.label);
+    line.set("status", to_string(record.status));
+    if (!record.error.empty())
+        line.set("error", record.error);
+    line.set("ipc", doubleArray(record.result.ipc));
+    line.set("l3apk",
+             doubleArray(record.result.l3AccessesPerKilocycle));
+    const std::string text = line.dump() + "\n";
+
+    std::lock_guard<std::mutex> guard(mutex_);
+    const std::size_t written =
+        std::fwrite(text.data(), 1, text.size(), file_);
+    // The sidecar IS the crash-safety mechanism; losing it silently
+    // would defeat its purpose, so short writes are fatal.
+    fatal_if(written != text.size() || std::fflush(file_) != 0,
+             "sweep store: short write to '", path_, "'");
+}
+
+std::vector<SweepRecord>
+SweepStore::load(const std::string &path)
+{
+    std::vector<SweepRecord> out;
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return out;
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t end = text.find('\n', pos);
+        if (end == std::string::npos)
+            end = text.size();
+        const std::string line = text.substr(pos, end - pos);
+        pos = end + 1;
+        if (line.empty())
+            continue;
+        const auto parsed = json::Value::tryParse(line);
+        // A torn trailing line is the expected signature of a killed
+        // run; skip it (and anything else unparsable) rather than die.
+        if (!parsed || parsed->type() != json::Value::Type::Object ||
+            !parsed->contains("label") || !parsed->contains("status"))
+            continue;
+
+        SweepRecord record;
+        record.label = parsed->at("label").asString();
+        const std::string &status = parsed->at("status").asString();
+        if (status == "ok")
+            record.status = JobStatus::Ok;
+        else if (status == "stalled")
+            record.status = JobStatus::Stalled;
+        else if (status == "over_budget")
+            record.status = JobStatus::OverBudget;
+        else
+            record.status = JobStatus::Failed;
+        if (parsed->contains("error"))
+            record.error = parsed->at("error").asString();
+        if (parsed->contains("ipc"))
+            record.result.ipc = numberVector(parsed->at("ipc"));
+        if (parsed->contains("l3apk")) {
+            record.result.l3AccessesPerKilocycle =
+                numberVector(parsed->at("l3apk"));
+        }
+        out.push_back(std::move(record));
+    }
+    return out;
+}
+
+} // namespace nuca

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Crash-safe persistence for sweep results: a JSON-lines sidecar that
+ * accumulates one record per settled job while the sweep runs. Every
+ * append is one fwrite + fflush under a mutex, so a killed sweep
+ * leaves at worst one torn final line — which the loader skips — and
+ * every earlier result is intact. REPRO_RESUME=1 replays the sidecar
+ * to skip (and reuse) the jobs that already completed ok; jobs that
+ * previously failed are re-run.
+ *
+ * The sidecar lives next to the final REPRO_JSON document as
+ * "<path>.partial". The final document itself is written atomically
+ * (writeFileAtomic), so the two files cover both failure windows: the
+ * sidecar covers death mid-sweep, the rename covers death mid-write.
+ */
+
+#ifndef NUCA_SIM_SWEEP_STORE_HH
+#define NUCA_SIM_SWEEP_STORE_HH
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "sim/parallel_runner.hh"
+
+namespace nuca {
+
+/** One settled sweep job as persisted in the sidecar. */
+struct SweepRecord
+{
+    /** Unique job label ("<scheme>.mix<m>"). */
+    std::string label;
+    JobStatus status = JobStatus::Ok;
+    /** Failure text; empty when ok. */
+    std::string error;
+    /** The job's result; default-valued when not ok. */
+    MixResult result;
+};
+
+/** Append-only JSONL sidecar writer (thread-safe). */
+class SweepStore
+{
+  public:
+    /** Open @p path for appending; fatal when it cannot be opened. */
+    explicit SweepStore(std::string path);
+    ~SweepStore();
+
+    SweepStore(const SweepStore &) = delete;
+    SweepStore &operator=(const SweepStore &) = delete;
+
+    /** Persist one record: serialize, append, flush. */
+    void append(const SweepRecord &record);
+
+    const std::string &path() const { return path_; }
+
+    /**
+     * Parse an existing sidecar into records, in file order. A
+     * missing file yields no records; unparsable lines (the torn
+     * tail of a killed run) are skipped.
+     */
+    static std::vector<SweepRecord> load(const std::string &path);
+
+    /** Sidecar path belonging to a REPRO_JSON path. */
+    static std::string sidecarPathFor(const std::string &json_path)
+    {
+        return json_path + ".partial";
+    }
+
+  private:
+    std::string path_;
+    std::FILE *file_;
+    std::mutex mutex_;
+};
+
+} // namespace nuca
+
+#endif // NUCA_SIM_SWEEP_STORE_HH

@@ -28,6 +28,8 @@ JsonlTraceSink::~JsonlTraceSink()
 void
 JsonlTraceSink::write(const json::Value &record)
 {
+    if (failed_)
+        return;
     buffer_ += record.dump();
     buffer_ += '\n';
     ++records_;
@@ -38,13 +40,17 @@ JsonlTraceSink::write(const json::Value &record)
 void
 JsonlTraceSink::flush()
 {
-    if (buffer_.empty())
+    if (failed_ || buffer_.empty())
         return;
     const std::size_t written =
         std::fwrite(buffer_.data(), 1, buffer_.size(), file_);
-    fatal_if(written != buffer_.size(),
-             "telemetry: short write to '", path_, "'");
-    std::fflush(file_);
+    if (written != buffer_.size() || std::fflush(file_) != 0) {
+        // Losing telemetry must not kill the simulation that produces
+        // it; warn once and drop the remainder of this trace.
+        failed_ = true;
+        warn("telemetry: write to '", path_,
+             "' failed; dropping the rest of this trace");
+    }
     buffer_.clear();
 }
 

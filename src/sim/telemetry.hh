@@ -62,7 +62,10 @@ class NullTraceSink final : public TraceSink
 /**
  * Buffered JSON-lines file sink: one compact JSON object per line,
  * flushed when the buffer fills and on destruction. Opening fails
- * fatally so a misspelled REPRO_TRACE directory is loud.
+ * fatally so a misspelled REPRO_TRACE directory is loud. A write
+ * error after opening (disk full, quota) is not worth killing a
+ * multi-hour sweep over telemetry: the sink warns once, drops the
+ * rest of the trace, and lets the simulation finish.
  */
 class JsonlTraceSink final : public TraceSink
 {
@@ -80,6 +83,8 @@ class JsonlTraceSink final : public TraceSink
     const std::string &path() const { return path_; }
     /** Records written so far (buffered or flushed). */
     std::uint64_t records() const { return records_; }
+    /** True once a write error made the sink stop writing. */
+    bool failed() const { return failed_; }
 
   private:
     std::string path_;
@@ -87,6 +92,7 @@ class JsonlTraceSink final : public TraceSink
     std::string buffer_;
     std::size_t bufferBytes_;
     std::uint64_t records_ = 0;
+    bool failed_ = false;
 };
 
 /** The environment-selected telemetry configuration. */

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Sweep-supervisor coverage at the bench-harness level: the
+ * throw_job fault injection, the REPRO_FAIL policies, the crash-safe
+ * results sidecar, and resume-after-kill. Every test restores the
+ * environment it touches — the knobs are process-global.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common.hh"
+#include "sim/robustness.hh"
+#include "sim/sweep_store.hh"
+
+namespace nuca {
+namespace bench {
+namespace {
+
+std::vector<std::pair<std::string, SystemConfig>>
+smallConfigs()
+{
+    return {{"private", SystemConfig::baseline(L3Scheme::Private)},
+            {"adaptive", SystemConfig::baseline(L3Scheme::Adaptive)}};
+}
+
+const SimWindow kWindow{2000, 8000};
+
+std::vector<ExperimentSpec>
+smallMixes()
+{
+    return makeMixes({"mcf", "gzip", "ammp", "art"}, 3, 4, 20070202);
+}
+
+void
+clearKnobs()
+{
+    ::unsetenv("REPRO_JSON");
+    ::unsetenv("REPRO_FAIL");
+    ::unsetenv("REPRO_FAULT");
+    ::unsetenv("REPRO_RESUME");
+}
+
+class SweepSupervisor : public ::testing::Test
+{
+  protected:
+    void SetUp() override { clearKnobs(); }
+    void TearDown() override { clearKnobs(); }
+};
+
+TEST_F(SweepSupervisor, SkipPolicyCompletesWithBitIdenticalSiblings)
+{
+    const auto configs = smallConfigs();
+    const auto mixes = smallMixes();
+    const auto reference = runAllSerial(configs, mixes, kWindow);
+
+    // Sweep job 2 = (scheme 0, mix 2) throws; under skip the sweep
+    // still completes and every other cell matches the fault-free
+    // serial reference bit for bit.
+    ::setenv("REPRO_FAIL", "skip", 1);
+    ::setenv("REPRO_FAULT", "throw_job:2", 1);
+    const auto results = runAll(configs, mixes, kWindow, 2);
+
+    ASSERT_EQ(results.size(), reference.size());
+    for (std::size_t s = 0; s < results.size(); ++s) {
+        ASSERT_EQ(results[s].mixes.size(),
+                  reference[s].mixes.size());
+        for (std::size_t m = 0; m < results[s].mixes.size(); ++m) {
+            if (s == 0 && m == 2) {
+                EXPECT_FALSE(results[s].okAt(m));
+                EXPECT_EQ(results[s].statuses[m], JobStatus::Failed);
+                EXPECT_NE(results[s].errors[m].find(
+                              "fault injection"),
+                          std::string::npos);
+                EXPECT_TRUE(results[s].mixes[m].ipc.empty());
+            } else {
+                EXPECT_TRUE(results[s].okAt(m));
+                EXPECT_EQ(results[s].mixes[m].ipc,
+                          reference[s].mixes[m].ipc)
+                    << results[s].label << " mix " << m;
+            }
+        }
+    }
+}
+
+TEST_F(SweepSupervisor, AbortPolicyThrowsButKeepsSidecar)
+{
+    const std::string path =
+        testing::TempDir() + "sweep_abort_results.json";
+    const std::string sidecar = SweepStore::sidecarPathFor(path);
+    std::remove(path.c_str());
+    std::remove(sidecar.c_str());
+
+    ::setenv("REPRO_JSON", path.c_str(), 1);
+    ::setenv("REPRO_FAULT", "throw_job:0", 1);
+    EXPECT_THROW(
+        runAll(smallConfigs(), smallMixes(), kWindow, 1),
+        SimulationError);
+
+    // The failed job reached the sidecar before the rethrow, so a
+    // post-mortem (or a resume) can see what happened.
+    const auto records = SweepStore::load(sidecar);
+    ASSERT_GE(records.size(), 1u);
+    EXPECT_EQ(records[0].label, "private.mix0");
+    EXPECT_EQ(records[0].status, JobStatus::Failed);
+    std::remove(path.c_str());
+    std::remove(sidecar.c_str());
+}
+
+TEST_F(SweepSupervisor, FailedRecordsCarryStatusInFinalJson)
+{
+    const std::string path =
+        testing::TempDir() + "sweep_skip_results.json";
+    ::setenv("REPRO_JSON", path.c_str(), 1);
+    ::setenv("REPRO_FAIL", "skip", 1);
+    ::setenv("REPRO_FAULT", "throw_job:1", 1);
+    runAll(smallConfigs(), smallMixes(), kWindow, 2);
+
+    const auto doc = json::Value::parse(json::readFile(path));
+    const auto &records = doc.at("results");
+    ASSERT_EQ(records.size(), 6u); // 2 schemes x 3 mixes
+    for (std::size_t r = 0; r < records.size(); ++r) {
+        if (r == 1) {
+            EXPECT_EQ(records.at(r).at("status").asString(),
+                      "failed");
+            EXPECT_NE(records.at(r)
+                          .at("error")
+                          .asString()
+                          .find("fault injection"),
+                      std::string::npos);
+        } else {
+            // Healthy records carry no status key at all, keeping
+            // the fault-free document format unchanged.
+            EXPECT_FALSE(records.at(r).contains("status"));
+        }
+    }
+    // A partially failed sweep keeps its sidecar for resume.
+    const std::string sidecar = SweepStore::sidecarPathFor(path);
+    EXPECT_FALSE(SweepStore::load(sidecar).empty());
+    std::remove(path.c_str());
+    std::remove(sidecar.c_str());
+}
+
+TEST_F(SweepSupervisor, CleanSweepRemovesSidecar)
+{
+    const std::string path =
+        testing::TempDir() + "sweep_clean_results.json";
+    ::setenv("REPRO_JSON", path.c_str(), 1);
+    runAll(smallConfigs(), smallMixes(), kWindow, 2);
+    std::FILE *f = std::fopen(
+        SweepStore::sidecarPathFor(path).c_str(), "rb");
+    EXPECT_EQ(f, nullptr);
+    if (f)
+        std::fclose(f);
+    std::remove(path.c_str());
+}
+
+TEST_F(SweepSupervisor, KillAndResumeReproducesTheCleanSweep)
+{
+    const auto configs = smallConfigs();
+    const auto mixes = smallMixes();
+
+    // Reference: one uninterrupted sweep.
+    const std::string cleanPath =
+        testing::TempDir() + "sweep_resume_clean.json";
+    ::setenv("REPRO_JSON", cleanPath.c_str(), 1);
+    runAll(configs, mixes, kWindow, 2);
+
+    // "Killed" run: job 4 fails under skip, leaving a sidecar with
+    // five ok records and one failure.
+    const std::string path =
+        testing::TempDir() + "sweep_resume_results.json";
+    const std::string sidecar = SweepStore::sidecarPathFor(path);
+    std::remove(path.c_str());
+    std::remove(sidecar.c_str());
+    ::setenv("REPRO_JSON", path.c_str(), 1);
+    ::setenv("REPRO_FAIL", "skip", 1);
+    ::setenv("REPRO_FAULT", "throw_job:4", 1);
+    runAll(configs, mixes, kWindow, 2);
+    const auto beforeResume = SweepStore::load(sidecar);
+    ASSERT_EQ(beforeResume.size(), 6u);
+
+    // Resume without the fault: only the failed job re-runs, and the
+    // final document is byte-identical to the uninterrupted sweep's.
+    ::unsetenv("REPRO_FAULT");
+    ::setenv("REPRO_RESUME", "1", 1);
+    runAll(configs, mixes, kWindow, 2);
+
+    EXPECT_EQ(json::readFile(path), json::readFile(cleanPath));
+
+    // The resumed run appended exactly the one re-run job before the
+    // clean finish removed the sidecar — no completed job was
+    // re-simulated (the sidecar would show its label twice).
+    std::FILE *f = std::fopen(sidecar.c_str(), "rb");
+    EXPECT_EQ(f, nullptr);
+    if (f)
+        std::fclose(f);
+
+    std::remove(path.c_str());
+    std::remove(cleanPath.c_str());
+}
+
+TEST_F(SweepSupervisor, ResumeReusesSidecarResultsVerbatim)
+{
+    const auto configs = smallConfigs();
+    const auto mixes = smallMixes();
+    const std::string path =
+        testing::TempDir() + "sweep_reuse_results.json";
+    const std::string sidecar = SweepStore::sidecarPathFor(path);
+    std::remove(path.c_str());
+    std::remove(sidecar.c_str());
+
+    // Plant a sidecar record with sentinel values no simulation
+    // would produce. If the resumed sweep reports them, it provably
+    // reused the sidecar instead of re-simulating the job.
+    {
+        SweepStore store(sidecar);
+        SweepRecord fake;
+        fake.label = "private.mix0";
+        fake.result.ipc = {123.0, 456.0, 789.0, 1011.0};
+        fake.result.l3AccessesPerKilocycle = {1.0, 2.0, 3.0, 4.0};
+        store.append(fake);
+    }
+    ::setenv("REPRO_JSON", path.c_str(), 1);
+    ::setenv("REPRO_RESUME", "1", 1);
+    const auto results = runAll(configs, mixes, kWindow, 2);
+
+    EXPECT_EQ(results[0].mixes[0].ipc,
+              (std::vector<double>{123.0, 456.0, 789.0, 1011.0}));
+    std::remove(path.c_str());
+    std::remove(sidecar.c_str());
+}
+
+TEST_F(SweepSupervisor, RetryPolicySurvivesNothingButStillRuns)
+{
+    // retry with no faults behaves exactly like a clean sweep.
+    ::setenv("REPRO_FAIL", "retry:2", 1);
+    const auto results =
+        runAll(smallConfigs(), smallMixes(), kWindow, 2);
+    const auto reference =
+        runAllSerial(smallConfigs(), smallMixes(), kWindow);
+    ASSERT_EQ(results.size(), reference.size());
+    for (std::size_t s = 0; s < results.size(); ++s) {
+        for (std::size_t m = 0; m < results[s].mixes.size(); ++m) {
+            EXPECT_EQ(results[s].mixes[m].ipc,
+                      reference[s].mixes[m].ipc);
+        }
+    }
+}
+
+} // namespace
+} // namespace bench
+} // namespace nuca

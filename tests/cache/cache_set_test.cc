@@ -103,5 +103,38 @@ TEST(CacheSet, WaysByLruOrderSkipsInvalid)
     EXPECT_EQ(order[0], 2u);
 }
 
+TEST(CacheSet, CheckLruInvariantPassesOnHealthySets)
+{
+    CacheSet empty(4);
+    empty.checkLruInvariant();
+
+    CacheSet set(4);
+    put(set, 0, 1, 0, 40);
+    put(set, 1, 2, 1, 10);
+    put(set, 3, 4, 0, 25);
+    set.checkLruInvariant();
+}
+
+TEST(CacheSet, CorruptLruNeedsTwoValidBlocks)
+{
+    CacheSet empty(4);
+    EXPECT_FALSE(empty.corruptLru());
+
+    CacheSet single(4);
+    put(single, 1, 7, 0, 5);
+    EXPECT_FALSE(single.corruptLru());
+    // With nothing to corrupt the set stays healthy.
+    single.checkLruInvariant();
+}
+
+TEST(CacheSetDeathTest, CorruptedStampsTripTheInvariant)
+{
+    CacheSet set(4);
+    put(set, 0, 1, 0, 10);
+    put(set, 2, 9, 1, 20);
+    ASSERT_TRUE(set.corruptLru());
+    EXPECT_DEATH(set.checkLruInvariant(), "share use stamp");
+}
+
 } // namespace
 } // namespace nuca

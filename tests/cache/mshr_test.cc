@@ -85,5 +85,62 @@ TEST(Mshr, CapacityReported)
     EXPECT_EQ(mshrs.capacity(), 16u);
 }
 
+TEST(Mshr, OldestAgeTracksTheEarliestLiveEntry)
+{
+    stats::Group g("g");
+    MshrFile mshrs(g, "m", 4);
+    EXPECT_EQ(mshrs.oldestAge(100), 0u);
+
+    mshrs.reserve(0x1000, 100);
+    mshrs.complete(0x1000, 400);
+    mshrs.reserve(0x2000, 150);
+    mshrs.complete(0x2000, 300);
+    // Both entries are still in flight at 200; the oldest was
+    // issued at 100.
+    EXPECT_EQ(mshrs.oldestAge(200), 100u);
+    // At 350 the 0x2000 entry has retired and 0x1000 (issued at
+    // 100) is still the oldest.
+    EXPECT_EQ(mshrs.oldestAge(350), 250u);
+    // At 450 everything has retired.
+    EXPECT_EQ(mshrs.oldestAge(450), 0u);
+}
+
+TEST(Mshr, CheckInvariantsPassesOnHealthyFile)
+{
+    stats::Group g("g");
+    MshrFile mshrs(g, "m", 4);
+    mshrs.reserve(0x1000, 0);
+    mshrs.checkInvariants(); // reserved, no ready cycle: fine
+    mshrs.complete(0x1000, 100);
+    mshrs.reserve(0x2000, 10);
+    mshrs.complete(0x2000, 120);
+    mshrs.checkInvariants();
+}
+
+TEST(MshrDeathTest, CheckInvariantsCatchesLeakOverflow)
+{
+    stats::Group g("g");
+    MshrFile mshrs(g, "m", 2);
+    mshrs.reserve(0x1000, 0);
+    mshrs.complete(0x1000, 1u << 20);
+    mshrs.reserve(0x2000, 0);
+    mshrs.complete(0x2000, 1u << 20);
+    // Leaking into a full file pushes occupancy past capacity —
+    // exactly what the periodic invariant pass must flag.
+    mshrs.injectLeak(5);
+    EXPECT_DEATH(mshrs.checkInvariants(), "exceeds the file's");
+}
+
+TEST(Mshr, InjectedLeakNeverRetires)
+{
+    stats::Group g("g");
+    MshrFile mshrs(g, "m", 4);
+    mshrs.injectLeak(10);
+    // The leaked reservation survives arbitrary pruning horizons and
+    // keeps aging — the signature the watchdog's age bound detects.
+    EXPECT_EQ(mshrs.inFlight(1u << 30), 1u);
+    EXPECT_EQ(mshrs.oldestAge(1000010), 1000000u);
+}
+
 } // namespace
 } // namespace nuca

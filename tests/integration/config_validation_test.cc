@@ -11,6 +11,10 @@
 #include "cache/tlb.hh"
 #include "cpu/branch_predictor.hh"
 #include "mem/main_memory.hh"
+#include "nuca/adaptive_nuca.hh"
+#include "nuca/private_l3.hh"
+#include "nuca/random_replacement_l3.hh"
+#include "nuca/shared_l3.hh"
 #include "nuca/sharing_engine.hh"
 #include "workload/reuse_model.hh"
 #include "workload/synth_workload.hh"
@@ -67,6 +71,45 @@ TEST(ConfigValidation, MemoryChunksMustDivideBlocks)
                 "divide the block size");
 }
 
+TEST(ConfigValidation, MemoryLatenciesMustBeNonzero)
+{
+    stats::Group g("g");
+    MainMemoryParams p;
+    p.firstChunkLatency = 0;
+    EXPECT_EXIT(MainMemory(g, "m", p), ExitedWithCode(1),
+                "latencies must be nonzero");
+    MainMemoryParams q;
+    q.interChunkLatency = 0;
+    EXPECT_EXIT(MainMemory(g, "m", q), ExitedWithCode(1),
+                "latencies must be nonzero");
+}
+
+TEST(ConfigValidation, L3HitLatenciesMustBeNonzero)
+{
+    stats::Group g("g");
+    MainMemory memory(g, "mem", MainMemoryParams{});
+
+    PrivateL3Params priv;
+    priv.hitLatency = 0;
+    EXPECT_EXIT(PrivateL3(g, priv, memory), ExitedWithCode(1),
+                "hit latency must be nonzero");
+
+    SharedL3Params shared;
+    shared.hitLatency = 0;
+    EXPECT_EXIT(SharedL3(g, shared, memory), ExitedWithCode(1),
+                "hit latency must be nonzero");
+
+    AdaptiveNucaParams adaptive;
+    adaptive.localHitLatency = 0;
+    EXPECT_EXIT(AdaptiveNuca(g, adaptive, memory),
+                ExitedWithCode(1), "latencies must be nonzero");
+
+    RandomReplacementL3Params random;
+    random.remoteHitLatency = 0;
+    EXPECT_EXIT(RandomReplacementL3(g, random, memory),
+                ExitedWithCode(1), "latencies must be nonzero");
+}
+
 TEST(ConfigValidation, SharingEngineGuards)
 {
     stats::Group g("g");
@@ -99,6 +142,28 @@ TEST(ConfigValidation, SharingEngineGuards)
     p = base;
     p.epochMisses = 0;
     EXPECT_EXIT(SharingEngine(g, p), ExitedWithCode(1), "epoch");
+
+    // minQuota so large that (numCores-1)*minQuota >= totalWays:
+    // maxQuota would underflow, so the constructor must reject it.
+    p = base;
+    p.minQuota = 6;
+    EXPECT_EXIT(SharingEngine(g, p), ExitedWithCode(1), "headroom");
+
+    p = base;
+    p.minQuota = 5;
+    EXPECT_EXIT(SharingEngine(g, p), ExitedWithCode(1),
+                "below the minimum");
+
+    p = base;
+    p.localAssoc = 0;
+    p.totalWays = 0;
+    EXPECT_EXIT(SharingEngine(g, p), ExitedWithCode(1),
+                "local associativity");
+
+    p = base;
+    p.numSets = 0;
+    EXPECT_EXIT(SharingEngine(g, p), ExitedWithCode(1),
+                "set count");
 }
 
 TEST(ConfigValidation, ReuseModelGuards)

@@ -110,6 +110,183 @@ TEST(ParallelRunner, JobsFromEnvReadsOverride)
     ::unsetenv("REPRO_JOBS");
 }
 
+TEST(ParallelRunnerOutcomes, SkipPolicyRecordsFailureAndContinues)
+{
+    std::vector<int> jobs(20);
+    std::iota(jobs.begin(), jobs.end(), 0);
+    SweepPolicy policy;
+    policy.onFail = FailPolicy::Skip;
+    const auto outcomes = runParallelOutcomes(
+        jobs,
+        [](int i) {
+            if (i == 7)
+                throw std::runtime_error("job 7 failed");
+            return i * 10;
+        },
+        4, nullptr, policy);
+    ASSERT_EQ(outcomes.size(), 20u);
+    for (int i = 0; i < 20; ++i) {
+        const auto &outcome =
+            outcomes[static_cast<std::size_t>(i)];
+        if (i == 7) {
+            EXPECT_EQ(outcome.status, JobStatus::Failed);
+            EXPECT_EQ(outcome.error, "job 7 failed");
+            EXPECT_NE(outcome.exception, nullptr);
+        } else {
+            EXPECT_TRUE(outcome.ok()) << "job " << i;
+            EXPECT_EQ(outcome.value, i * 10);
+            EXPECT_TRUE(outcome.error.empty());
+        }
+    }
+}
+
+TEST(ParallelRunnerOutcomes, ClassifiesSimulationFailureKinds)
+{
+    const std::vector<int> jobs = {0, 1, 2, 3};
+    SweepPolicy policy;
+    policy.onFail = FailPolicy::Skip;
+    const auto outcomes = runParallelOutcomes(
+        jobs,
+        [](int i) -> int {
+            switch (i) {
+              case 1:
+                throw SimulationStalled("wedged");
+              case 2:
+                throw CycleBudgetExceeded("budget");
+              case 3:
+                throw std::logic_error("plain");
+              default:
+                return i;
+            }
+        },
+        1, nullptr, policy);
+    EXPECT_EQ(outcomes[0].status, JobStatus::Ok);
+    EXPECT_EQ(outcomes[1].status, JobStatus::Stalled);
+    EXPECT_EQ(outcomes[2].status, JobStatus::OverBudget);
+    EXPECT_EQ(outcomes[3].status, JobStatus::Failed);
+    EXPECT_STREQ(to_string(outcomes[1].status), "stalled");
+    EXPECT_STREQ(to_string(outcomes[2].status), "over_budget");
+}
+
+TEST(ParallelRunnerOutcomes, RetryPolicyRerunsUntilSuccess)
+{
+    const std::vector<int> jobs = {0};
+    SweepPolicy policy;
+    policy.onFail = FailPolicy::Retry;
+    policy.retries = 3;
+    std::atomic<int> attempts{0};
+    const auto outcomes = runParallelOutcomes(
+        jobs,
+        [&](int) {
+            // Fails twice, then succeeds: a flaky job a retry
+            // budget of 3 must absorb.
+            if (attempts.fetch_add(1) < 2)
+                throw std::runtime_error("transient");
+            return 99;
+        },
+        1, nullptr, policy);
+    EXPECT_EQ(attempts.load(), 3);
+    EXPECT_TRUE(outcomes[0].ok());
+    EXPECT_EQ(outcomes[0].value, 99);
+}
+
+TEST(ParallelRunnerOutcomes, RetryBudgetExhaustionSettlesFailed)
+{
+    const std::vector<int> jobs = {0};
+    SweepPolicy policy;
+    policy.onFail = FailPolicy::Retry;
+    policy.retries = 2;
+    std::atomic<int> attempts{0};
+    const auto outcomes = runParallelOutcomes(
+        jobs,
+        [&](int) -> int {
+            attempts.fetch_add(1);
+            throw std::runtime_error("permanent");
+        },
+        1, nullptr, policy);
+    // 1 initial attempt + 2 retries.
+    EXPECT_EQ(attempts.load(), 3);
+    EXPECT_EQ(outcomes[0].status, JobStatus::Failed);
+    EXPECT_EQ(outcomes[0].error, "permanent");
+}
+
+TEST(ParallelRunnerOutcomes, AbortStopsClaimingAfterFailure)
+{
+    // Serial pool: job 3 fails, so jobs 4..9 must never be claimed.
+    std::vector<int> jobs(10);
+    std::iota(jobs.begin(), jobs.end(), 0);
+    std::atomic<int> ran{0};
+    const auto outcomes = runParallelOutcomes(
+        jobs,
+        [&](int i) {
+            ran.fetch_add(1);
+            if (i == 3)
+                throw std::runtime_error("abort here");
+            return i;
+        },
+        1);
+    EXPECT_EQ(ran.load(), 4);
+    EXPECT_EQ(outcomes[3].status, JobStatus::Failed);
+    EXPECT_EQ(outcomes[3].error, "abort here");
+    for (std::size_t i = 4; i < 10; ++i) {
+        EXPECT_EQ(outcomes[i].status, JobStatus::Failed);
+        EXPECT_EQ(outcomes[i].error,
+                  "not attempted (sweep aborted)");
+        EXPECT_EQ(outcomes[i].exception, nullptr);
+    }
+}
+
+TEST(ParallelRunnerOutcomes, OnOutcomeSeesEverySettledJob)
+{
+    std::vector<int> jobs(30);
+    std::iota(jobs.begin(), jobs.end(), 0);
+    SweepPolicy policy;
+    policy.onFail = FailPolicy::Skip;
+    std::vector<bool> seen(jobs.size(), false);
+    std::size_t failures = 0;
+    const auto outcomes = runParallelOutcomes(
+        jobs,
+        [](int i) {
+            if (i % 7 == 0)
+                throw std::runtime_error("multiple of seven");
+            return i;
+        },
+        4, nullptr, policy,
+        [&](std::size_t i, const JobOutcome<int> &outcome) {
+            // Serialized under the runner's mutex, so plain writes
+            // are safe here.
+            seen[i] = true;
+            if (!outcome.ok())
+                ++failures;
+        });
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        EXPECT_TRUE(seen[i]) << "job " << i;
+    EXPECT_EQ(failures, 5u); // 0, 7, 14, 21, 28
+    EXPECT_EQ(outcomes.size(), 30u);
+}
+
+TEST(ParallelRunnerProgress, FailuresAreCountedSeparately)
+{
+    std::vector<int> jobs(12);
+    std::iota(jobs.begin(), jobs.end(), 0);
+    SweepPolicy policy;
+    policy.onFail = FailPolicy::Skip;
+    ProgressReporter progress("test", jobs.size(), /*quiet=*/true);
+    runParallelOutcomes(
+        jobs,
+        [](int i) {
+            if (i % 2 == 0)
+                throw std::runtime_error("even");
+            return i;
+        },
+        4, &progress, policy);
+    // A failed job advances the failure count, not the done count:
+    // the final line must read 12/12 (6 failed), never 6/12.
+    EXPECT_EQ(progress.done(), 6u);
+    EXPECT_EQ(progress.failures(), 6u);
+    progress.finish();
+}
+
 // The core determinism guarantee at the experiment level: the same
 // (config, mix) jobs produce bit-identical MixResults regardless of
 // the pool size, because every job owns its CmpSystem and its seed.

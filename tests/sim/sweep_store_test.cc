@@ -1,0 +1,162 @@
+/** @file Tests for the crash-safe JSONL results sidecar. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/json_writer.hh"
+#include "sim/sweep_store.hh"
+
+namespace nuca {
+namespace {
+
+std::string
+tempPath(const std::string &name)
+{
+    return testing::TempDir() + name;
+}
+
+SweepRecord
+okRecord(const std::string &label, double ipc0)
+{
+    SweepRecord record;
+    record.label = label;
+    record.result.ipc = {ipc0, ipc0 * 2};
+    record.result.l3AccessesPerKilocycle = {7.5, 8.25};
+    return record;
+}
+
+TEST(SweepStore, AppendLoadRoundTripsEveryField)
+{
+    const std::string path = tempPath("sweep_store_roundtrip.jsonl");
+    std::remove(path.c_str());
+    {
+        SweepStore store(path);
+        store.append(okRecord("adaptive.mix0", 1.25));
+        SweepRecord failed;
+        failed.label = "adaptive.mix1";
+        failed.status = JobStatus::Stalled;
+        failed.error = "no instruction retired in 5000 cycles";
+        store.append(failed);
+    }
+
+    const auto records = SweepStore::load(path);
+    std::remove(path.c_str());
+    ASSERT_EQ(records.size(), 2u);
+
+    EXPECT_EQ(records[0].label, "adaptive.mix0");
+    EXPECT_EQ(records[0].status, JobStatus::Ok);
+    EXPECT_TRUE(records[0].error.empty());
+    EXPECT_EQ(records[0].result.ipc,
+              (std::vector<double>{1.25, 2.5}));
+    EXPECT_EQ(records[0].result.l3AccessesPerKilocycle,
+              (std::vector<double>{7.5, 8.25}));
+
+    EXPECT_EQ(records[1].label, "adaptive.mix1");
+    EXPECT_EQ(records[1].status, JobStatus::Stalled);
+    EXPECT_EQ(records[1].error,
+              "no instruction retired in 5000 cycles");
+    EXPECT_TRUE(records[1].result.ipc.empty());
+}
+
+TEST(SweepStore, LoadSkipsTornTrailingLine)
+{
+    const std::string path = tempPath("sweep_store_torn.jsonl");
+    std::remove(path.c_str());
+    {
+        SweepStore store(path);
+        store.append(okRecord("private.mix0", 0.5));
+    }
+    // Simulate a kill mid-append: a final line cut off mid-object.
+    std::FILE *f = std::fopen(path.c_str(), "a");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"label\":\"private.mix1\",\"status\":\"o", f);
+    std::fclose(f);
+
+    const auto records = SweepStore::load(path);
+    std::remove(path.c_str());
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].label, "private.mix0");
+}
+
+TEST(SweepStore, LoadOfMissingFileIsEmpty)
+{
+    EXPECT_TRUE(
+        SweepStore::load(tempPath("sweep_store_absent.jsonl"))
+            .empty());
+}
+
+TEST(SweepStore, AppendIsOpenedForAppendAcrossRuns)
+{
+    const std::string path = tempPath("sweep_store_append.jsonl");
+    std::remove(path.c_str());
+    {
+        SweepStore first(path);
+        first.append(okRecord("a.mix0", 1.0));
+    }
+    {
+        // A resumed run opens the same sidecar and must not clobber
+        // the records of the killed run.
+        SweepStore second(path);
+        second.append(okRecord("a.mix1", 2.0));
+    }
+    const auto records = SweepStore::load(path);
+    std::remove(path.c_str());
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].label, "a.mix0");
+    EXPECT_EQ(records[1].label, "a.mix1");
+}
+
+TEST(SweepStore, ConcurrentAppendsAllSurviveIntact)
+{
+    const std::string path = tempPath("sweep_store_threads.jsonl");
+    std::remove(path.c_str());
+    constexpr unsigned perThread = 25;
+    {
+        SweepStore store(path);
+        std::vector<std::thread> threads;
+        for (unsigned t = 0; t < 4; ++t) {
+            threads.emplace_back([&store, t]() {
+                for (unsigned i = 0; i < perThread; ++i) {
+                    store.append(okRecord(
+                        "t" + std::to_string(t) + ".mix" +
+                            std::to_string(i),
+                        1.0));
+                }
+            });
+        }
+        for (auto &thread : threads)
+            thread.join();
+    }
+    const auto records = SweepStore::load(path);
+    std::remove(path.c_str());
+    // Every record parses (no interleaved lines) and none is lost.
+    EXPECT_EQ(records.size(), 4u * perThread);
+    for (const auto &record : records)
+        EXPECT_EQ(record.status, JobStatus::Ok);
+}
+
+TEST(WriteFileAtomic, ReplacesTargetAndLeavesNoTemp)
+{
+    const std::string path = tempPath("atomic_write.json");
+    json::Value doc = json::Value::object();
+    doc.set("v", 1);
+    json::writeFileAtomic(path, doc);
+    doc.set("v", 2);
+    json::writeFileAtomic(path, doc);
+
+    const auto parsed = json::Value::parse(json::readFile(path));
+    EXPECT_EQ(parsed.at("v").asNumber(), 2.0);
+    // The temporary staging file was renamed away.
+    std::FILE *tmp = std::fopen((path + ".tmp").c_str(), "rb");
+    EXPECT_EQ(tmp, nullptr);
+    if (tmp)
+        std::fclose(tmp);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace nuca
