@@ -28,7 +28,8 @@ main()
     frozen.adaptationEnabled = false;
 
     const auto mixes =
-        makeMixes(llcIntensiveNames(), num_mixes, 4, 20070201);
+        makeMixes(llcIntensiveNames(), num_mixes, 4,
+                  bench::paperMixSeed);
     const auto results = runAll(
         {{"private", SystemConfig::baseline(L3Scheme::Private)},
          {"frozen-75/25", frozen},

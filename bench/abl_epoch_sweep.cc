@@ -24,7 +24,8 @@ main()
                 window, num_mixes);
 
     const auto mixes =
-        makeMixes(llcIntensiveNames(), num_mixes, 4, 20070201);
+        makeMixes(llcIntensiveNames(), num_mixes, 4,
+                  bench::paperMixSeed);
 
     std::vector<std::pair<std::string, SystemConfig>> configs;
     configs.emplace_back(

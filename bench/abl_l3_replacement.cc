@@ -28,7 +28,8 @@ main()
                 num_mixes);
 
     const auto mixes =
-        makeMixes(llcIntensiveNames(), num_mixes, 4, 20070201);
+        makeMixes(llcIntensiveNames(), num_mixes, 4,
+                  bench::paperMixSeed);
 
     std::vector<std::pair<std::string, SystemConfig>> configs;
     for (const auto policy :

@@ -27,7 +27,8 @@ main()
                 window, num_mixes);
 
     const auto mixes =
-        makeMixes(llcIntensiveNames(), num_mixes, 4, 20070201);
+        makeMixes(llcIntensiveNames(), num_mixes, 4,
+                  bench::paperMixSeed);
 
     const auto base = runAll(
         {{"private", SystemConfig::baseline(L3Scheme::Private)},

@@ -29,7 +29,8 @@ main()
                 window, num_mixes);
 
     const auto mixes =
-        makeMixes(llcIntensiveNames(), num_mixes, 4, 20070201);
+        makeMixes(llcIntensiveNames(), num_mixes, 4,
+                  bench::paperMixSeed);
     const auto results = runAll(
         {{"random-repl",
           SystemConfig::baseline(L3Scheme::RandomReplacement)},
@@ -38,15 +39,28 @@ main()
     const auto &random = results[0];
     const auto &adaptive = results[1];
 
-    std::vector<std::size_t> order(mixes.size());
-    std::iota(order.begin(), order.end(), 0);
+    // Exclude mixes a REPRO_FAIL=skip sweep dropped under either
+    // scheme: a 0/0 ratio is NaN, and NaN comparators are undefined
+    // behaviour for std::sort.
+    const auto ratioOf = [&](std::size_t m) {
+        const double hr = mixHarmonic(random.mixes[m]);
+        return hr == 0.0 ? 0.0
+                         : mixHarmonic(adaptive.mixes[m]) / hr;
+    };
+    std::vector<std::size_t> order;
+    for (std::size_t m = 0; m < mixes.size(); ++m) {
+        if (random.okAt(m) && adaptive.okAt(m))
+            order.push_back(m);
+    }
     std::sort(order.begin(), order.end(),
               [&](std::size_t a, std::size_t b) {
-                  return mixHarmonic(adaptive.mixes[a]) /
-                             mixHarmonic(random.mixes[a]) <
-                         mixHarmonic(adaptive.mixes[b]) /
-                             mixHarmonic(random.mixes[b]);
+                  return ratioOf(a) < ratioOf(b);
               });
+    if (order.size() != mixes.size()) {
+        std::printf("note: %zu of %zu experiments skipped by the "
+                    "failure policy and excluded below\n",
+                    mixes.size() - order.size(), mixes.size());
+    }
 
     std::printf("%-4s %-38s %12s %9s %10s\n", "exp", "mix",
                 "random-repl", "adaptive", "ratio");
@@ -63,12 +77,13 @@ main()
         den += hr;
         wins += ha >= hr;
         std::printf("%-4zu %-38s %12.4f %9.4f %9.3fx\n", rank + 1,
-                    mixname.c_str(), hr, ha, ha / hr);
+                    mixname.c_str(), hr, ha, ratioOf(m));
     }
     std::printf("\nadaptive vs random replacement: harmonic "
                 "%+0.1f%%, wins %u/%zu experiments (paper: the "
                 "proposed scheme in general works better when all "
                 "cores compete)\n",
-                100.0 * (num / den - 1.0), wins, mixes.size());
+                den == 0.0 ? 0.0 : 100.0 * (num / den - 1.0), wins,
+                order.size());
     return 0;
 }

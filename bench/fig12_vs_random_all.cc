@@ -37,7 +37,12 @@ main()
     std::printf("%-4s %-38s %12s %9s %10s\n", "exp", "mix",
                 "random-repl", "adaptive", "ratio");
     double num = 0, den = 0;
+    std::size_t skipped = 0;
     for (std::size_t m = 0; m < mixes.size(); ++m) {
+        if (!results[0].okAt(m) || !results[1].okAt(m)) {
+            ++skipped;
+            continue;
+        }
         std::string mixname;
         for (const auto &app : mixes[m].apps)
             mixname += (mixname.empty() ? "" : "+") + app;
@@ -46,11 +51,17 @@ main()
         num += ha;
         den += hr;
         std::printf("%-4zu %-38s %12.4f %9.4f %9.3fx\n", m + 1,
-                    mixname.c_str(), hr, ha, ha / hr);
+                    mixname.c_str(), hr, ha,
+                    hr == 0.0 ? 0.0 : ha / hr);
+    }
+    if (skipped != 0) {
+        std::printf("note: %zu of %zu experiments skipped by the "
+                    "failure policy and excluded above\n",
+                    skipped, mixes.size());
     }
     std::printf("\nadaptive vs random replacement (all apps): "
                 "harmonic %+0.1f%% (paper: \"not that superior\" "
                 "here, unlike the intensive-only Figure 11)\n",
-                100.0 * (num / den - 1.0));
+                den == 0.0 ? 0.0 : 100.0 * (num / den - 1.0));
     return 0;
 }

@@ -30,7 +30,8 @@ main()
     sampled_cfg.shadowSampleShift = 4; // 1/16 of the sets
 
     const auto mixes =
-        makeMixes(llcIntensiveNames(), num_mixes, 4, 20070201);
+        makeMixes(llcIntensiveNames(), num_mixes, 4,
+                  bench::paperMixSeed);
     const auto results = runAll(
         {{"full", SystemConfig::baseline(L3Scheme::Adaptive)},
          {"sampled-1/16", sampled_cfg}},

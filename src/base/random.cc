@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "serialize/serializer.hh"
+
 namespace nuca {
 
 namespace {
@@ -52,6 +54,22 @@ Rng::next()
     s_[3] = rotl(s_[3], 45);
 
     return result;
+}
+
+void
+Rng::checkpoint(Serializer &s) const
+{
+    for (const auto word : s_)
+        s.putU64(word);
+}
+
+void
+Rng::restore(Deserializer &d)
+{
+    for (auto &word : s_)
+        word = d.getU64();
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0)
+        throw CheckpointError("Rng restore: all-zero state");
 }
 
 std::uint64_t

@@ -21,6 +21,9 @@
 
 namespace nuca {
 
+class Serializer;
+class Deserializer;
+
 /**
  * xoshiro256** generator with a splitmix64-based seeding routine.
  * Fast, high quality, and fully portable.
@@ -76,6 +79,11 @@ class Rng
 
     /** Derive an independent child stream (for per-core generators). */
     Rng split();
+
+    /** Checkpoint the generator state (four 64-bit words). */
+    void checkpoint(Serializer &s) const;
+    /** Restore a state written by checkpoint(). */
+    void restore(Deserializer &d);
 
   private:
     std::uint64_t s_[4];

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "serialize/serializer.hh"
+
 namespace nuca {
 namespace stats {
 
@@ -181,6 +183,54 @@ Distribution::reset()
 }
 
 void
+Scalar::serializeValue(Serializer &s) const
+{
+    s.putU64(value_);
+}
+
+void
+Scalar::deserializeValue(Deserializer &d)
+{
+    value_ = d.getU64();
+}
+
+void
+Vector::serializeValue(Serializer &s) const
+{
+    s.putVecU64(values_);
+}
+
+void
+Vector::deserializeValue(Deserializer &d)
+{
+    values_ = d.getVecU64(values_.size(), name().c_str());
+}
+
+void
+Distribution::serializeValue(Serializer &s) const
+{
+    s.putVecU64(counts_);
+    s.putU64(underflow_);
+    s.putU64(overflow_);
+    s.putU64(count_);
+    s.putDouble(sum_);
+    s.putU64(minSeen_);
+    s.putU64(maxSeen_);
+}
+
+void
+Distribution::deserializeValue(Deserializer &d)
+{
+    counts_ = d.getVecU64(counts_.size(), name().c_str());
+    underflow_ = d.getU64();
+    overflow_ = d.getU64();
+    count_ = d.getU64();
+    sum_ = d.getDouble();
+    minSeen_ = d.getU64();
+    maxSeen_ = d.getU64();
+}
+
+void
 Formula::dump(std::ostream &os, const std::string &prefix) const
 {
     os << prefix << name() << " " << formatDouble(value()) << " # "
@@ -227,6 +277,34 @@ Group::reset()
         stat->reset();
     for (auto *child : children_)
         child->reset();
+}
+
+void
+Group::serialize(Serializer &s) const
+{
+    s.putTag(fourcc("STAT"));
+    s.putU64(stats_.size());
+    for (const auto *stat : stats_)
+        stat->serializeValue(s);
+    s.putU64(children_.size());
+    for (const auto *child : children_)
+        child->serialize(s);
+}
+
+void
+Group::deserialize(Deserializer &d)
+{
+    d.expectTag(fourcc("STAT"), name_.c_str());
+    if (d.getU64() != stats_.size())
+        throw CheckpointError("stat count mismatch in group " +
+                              name_);
+    for (auto *stat : stats_)
+        stat->deserializeValue(d);
+    if (d.getU64() != children_.size())
+        throw CheckpointError("child group count mismatch in " +
+                              name_);
+    for (auto *child : children_)
+        child->deserialize(d);
 }
 
 namespace {

@@ -22,6 +22,10 @@
 #include "base/logging.hh"
 
 namespace nuca {
+
+class Serializer;
+class Deserializer;
+
 namespace stats {
 
 class Group;
@@ -65,6 +69,15 @@ class Stat
     /** Reset the value(s) to zero. */
     virtual void reset() = 0;
 
+    /**
+     * Append this stat's value(s) to a checkpoint. Derived values
+     * (Formula) carry no state and keep the empty default.
+     */
+    virtual void serializeValue(Serializer &s) const { (void)s; }
+
+    /** Restore the value(s) written by serializeValue. */
+    virtual void deserializeValue(Deserializer &d) { (void)d; }
+
   private:
     std::string name_;
     std::string desc_;
@@ -88,6 +101,8 @@ class Scalar : public Stat
         const override;
     void visit(Visitor &v, const std::string &prefix) const override;
     void reset() override { value_ = 0; }
+    void serializeValue(Serializer &s) const override;
+    void deserializeValue(Deserializer &d) override;
 
   private:
     std::uint64_t value_ = 0;
@@ -124,6 +139,8 @@ class Vector : public Stat
         const override;
     void visit(Visitor &v, const std::string &prefix) const override;
     void reset() override;
+    void serializeValue(Serializer &s) const override;
+    void deserializeValue(Deserializer &d) override;
 
   private:
     std::vector<std::uint64_t> values_;
@@ -153,6 +170,8 @@ class Distribution : public Stat
         const override;
     void visit(Visitor &v, const std::string &prefix) const override;
     void reset() override;
+    void serializeValue(Serializer &s) const override;
+    void deserializeValue(Deserializer &d) override;
 
   private:
     std::uint64_t min_;
@@ -227,6 +246,16 @@ class Group
 
     /** Find a child group by (possibly dotted) relative path. */
     const Group *findGroup(const std::string &path) const;
+
+    /**
+     * Checkpoint every stat of this group and its children in
+     * registration order. Restoring requires an identically shaped
+     * group tree (same construction sequence), which the checkpoint
+     * configuration hash guarantees; a shape mismatch throws
+     * CheckpointError.
+     */
+    void serialize(Serializer &s) const;
+    void deserialize(Deserializer &d);
 
   private:
     friend class Stat;

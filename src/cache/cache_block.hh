@@ -9,6 +9,7 @@
 #define NUCA_CACHE_CACHE_BLOCK_HH
 
 #include "base/types.hh"
+#include "serialize/serializer.hh"
 
 namespace nuca {
 
@@ -43,6 +44,32 @@ struct CacheBlock
     /** Reference bit for the NRU policy. */
     bool referenced = false;
 };
+
+/** Checkpoint one tag-array entry. */
+inline void
+checkpointBlock(Serializer &s, const CacheBlock &blk)
+{
+    s.putU64(blk.tag);
+    s.putBool(blk.valid);
+    s.putBool(blk.dirty);
+    s.putI64(blk.owner);
+    s.putU64(blk.lastUse);
+    s.putU64(blk.insertedAt);
+    s.putBool(blk.referenced);
+}
+
+/** Restore one tag-array entry written by checkpointBlock. */
+inline void
+restoreBlock(Deserializer &d, CacheBlock &blk)
+{
+    blk.tag = d.getU64();
+    blk.valid = d.getBool();
+    blk.dirty = d.getBool();
+    blk.owner = static_cast<CoreId>(d.getI64());
+    blk.lastUse = d.getU64();
+    blk.insertedAt = d.getU64();
+    blk.referenced = d.getBool();
+}
 
 } // namespace nuca
 

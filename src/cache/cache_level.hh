@@ -73,6 +73,22 @@ class CacheLevel
 
     MshrFile &mshrs() { return mshrs_; }
 
+    /** Checkpoint the tag array and MSHR file. */
+    void
+    checkpoint(Serializer &s) const
+    {
+        cache_.checkpoint(s);
+        mshrs_.checkpoint(s);
+    }
+
+    /** Restore a checkpoint of an identically configured level. */
+    void
+    restore(Deserializer &d)
+    {
+        cache_.restore(d);
+        mshrs_.restore(d);
+    }
+
   private:
     stats::Group statsGroup_;
     SetAssocCache cache_;

@@ -155,4 +155,21 @@ CacheSet::corruptLru()
     return false;
 }
 
+void
+CacheSet::checkpoint(Serializer &s) const
+{
+    s.putU64(blocks_.size());
+    for (const auto &blk : blocks_)
+        checkpointBlock(s, blk);
+}
+
+void
+CacheSet::restore(Deserializer &d)
+{
+    if (d.getU64() != blocks_.size())
+        throw CheckpointError("cache set associativity mismatch");
+    for (auto &blk : blocks_)
+        restoreBlock(d, blk);
+}
+
 } // namespace nuca

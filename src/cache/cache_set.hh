@@ -84,6 +84,11 @@ class CacheSet
      */
     bool corruptLru();
 
+    /** Checkpoint every block of the set. */
+    void checkpoint(Serializer &s) const;
+    /** Restore a set with the same associativity. */
+    void restore(Deserializer &d);
+
   private:
     std::vector<CacheBlock> blocks_;
 };

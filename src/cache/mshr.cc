@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "serialize/serializer.hh"
 
 namespace nuca {
 
@@ -134,6 +135,36 @@ MshrFile::injectLeak(Cycle now)
     // (or blocks) a real miss — it only occupies an entry forever.
     entries_.push_back(Entry{~static_cast<Addr>(0), 0, now, true});
     warn("fault injection: leaked one MSHR entry at cycle ", now);
+}
+
+void
+MshrFile::checkpoint(Serializer &s) const
+{
+    s.putTag(fourcc("MSHR"));
+    s.putU64(entries_.size());
+    for (const auto &e : entries_) {
+        s.putU64(e.blockAddr);
+        s.putU64(e.ready);
+        s.putU64(e.issued);
+        s.putBool(e.reserved);
+    }
+}
+
+void
+MshrFile::restore(Deserializer &d)
+{
+    d.expectTag(fourcc("MSHR"), "MSHR file");
+    const auto n = d.getU64();
+    entries_.clear();
+    entries_.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        Entry e;
+        e.blockAddr = d.getU64();
+        e.ready = d.getU64();
+        e.issued = d.getU64();
+        e.reserved = d.getBool();
+        entries_.push_back(e);
+    }
 }
 
 } // namespace nuca

@@ -85,6 +85,11 @@ class MshrFile
      */
     void injectLeak(Cycle now);
 
+    /** Checkpoint the in-flight entries. */
+    void checkpoint(Serializer &s) const;
+    /** Restore a checkpoint of a same-capacity file. */
+    void restore(Deserializer &d);
+
     unsigned capacity() const { return capacity_; }
 
     Counter merges() const { return merges_.value(); }

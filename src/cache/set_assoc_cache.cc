@@ -221,6 +221,29 @@ SetAssocCache::injectLruCorruption()
     return false;
 }
 
+void
+SetAssocCache::checkpoint(Serializer &s) const
+{
+    s.putTag(fourcc("SACC"));
+    s.putU64(stampCounter_);
+    rng_.checkpoint(s);
+    s.putU64(sets_.size());
+    for (const auto &set : sets_)
+        set.checkpoint(s);
+}
+
+void
+SetAssocCache::restore(Deserializer &d)
+{
+    d.expectTag(fourcc("SACC"), "set-associative cache");
+    stampCounter_ = d.getU64();
+    rng_.restore(d);
+    if (d.getU64() != sets_.size())
+        throw CheckpointError("cache set count mismatch");
+    for (auto &set : sets_)
+        set.restore(d);
+}
+
 double
 SetAssocCache::missRatio() const
 {

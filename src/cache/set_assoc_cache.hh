@@ -121,6 +121,15 @@ class SetAssocCache
      */
     bool injectLruCorruption();
 
+    /**
+     * Checkpoint the behavioural state: every set, the use-stamp
+     * counter, and the replacement RNG. Statistics are checkpointed
+     * separately through the stats group tree.
+     */
+    void checkpoint(Serializer &s) const;
+    /** Restore a checkpoint of an identically configured cache. */
+    void restore(Deserializer &d);
+
     /** Accesses observed (reads + writes). */
     Counter accesses() const { return accesses_.value(); }
     /** Misses observed. */

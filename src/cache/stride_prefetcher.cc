@@ -4,6 +4,7 @@
 
 #include "base/intmath.hh"
 #include "base/logging.hh"
+#include "serialize/serializer.hh"
 
 namespace nuca {
 
@@ -124,6 +125,52 @@ StridePrefetcher::observe(Addr pc, Addr addr)
         }
     }
     return out;
+}
+
+void
+StridePrefetcher::checkpoint(Serializer &s) const
+{
+    s.putTag(fourcc("PREF"));
+    s.putU64(table_.size());
+    for (const auto &e : table_) {
+        s.putU64(e.pc);
+        s.putU64(e.lastAddr);
+        s.putI64(e.stride);
+        s.putU32(e.confidence);
+        s.putBool(e.valid);
+    }
+    s.putU64(zones_.size());
+    for (const auto &z : zones_) {
+        s.putU64(z.zone);
+        s.putU64(z.lastBlock);
+        s.putU32(z.runLength);
+        s.putBool(z.valid);
+    }
+    s.putU64(lastBlockSeen_);
+}
+
+void
+StridePrefetcher::restore(Deserializer &d)
+{
+    d.expectTag(fourcc("PREF"), "stride prefetcher");
+    if (d.getU64() != table_.size())
+        throw CheckpointError("prefetcher table size mismatch");
+    for (auto &e : table_) {
+        e.pc = d.getU64();
+        e.lastAddr = d.getU64();
+        e.stride = d.getI64();
+        e.confidence = d.getU32();
+        e.valid = d.getBool();
+    }
+    if (d.getU64() != zones_.size())
+        throw CheckpointError("prefetcher zone table size mismatch");
+    for (auto &z : zones_) {
+        z.zone = d.getU64();
+        z.lastBlock = d.getU64();
+        z.runLength = d.getU32();
+        z.valid = d.getBool();
+    }
+    lastBlockSeen_ = d.getU64();
 }
 
 } // namespace nuca

@@ -59,6 +59,11 @@ class StridePrefetcher
     Counter trainings() const { return trainings_.value(); }
     Counter predictions() const { return predictions_.value(); }
 
+    /** Checkpoint the PC table, zone table, and allocation filter. */
+    void checkpoint(Serializer &s) const;
+    /** Restore a checkpoint of an identically sized prefetcher. */
+    void restore(Deserializer &d);
+
   private:
     struct Entry
     {

@@ -1,8 +1,11 @@
 #include "cache/tlb.hh"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
 #include "base/logging.hh"
+#include "serialize/serializer.hh"
 
 namespace nuca {
 
@@ -43,6 +46,39 @@ Tlb::translate(Addr addr)
     }
     entries_.emplace(page, ++stampCounter_);
     return missPenalty_;
+}
+
+void
+Tlb::checkpoint(Serializer &s) const
+{
+    s.putTag(fourcc("TLB "));
+    s.putU64(stampCounter_);
+    // The map is unordered; emit entries sorted by page number so the
+    // encoded bytes are a deterministic function of the TLB contents.
+    std::vector<std::pair<Addr, std::uint64_t>> sorted(
+        entries_.begin(), entries_.end());
+    std::sort(sorted.begin(), sorted.end());
+    s.putU64(sorted.size());
+    for (const auto &[page, stamp] : sorted) {
+        s.putU64(page);
+        s.putU64(stamp);
+    }
+}
+
+void
+Tlb::restore(Deserializer &d)
+{
+    d.expectTag(fourcc("TLB "), "TLB");
+    stampCounter_ = d.getU64();
+    const auto n = d.getU64();
+    if (n > capacity_)
+        throw CheckpointError("TLB checkpoint exceeds capacity");
+    entries_.clear();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const Addr page = d.getU64();
+        const auto stamp = d.getU64();
+        entries_.emplace(page, stamp);
+    }
 }
 
 } // namespace nuca

@@ -38,6 +38,11 @@ class Tlb
     Counter accesses() const { return accesses_.value(); }
     Counter misses() const { return misses_.value(); }
 
+    /** Checkpoint the translations and the use-stamp counter. */
+    void checkpoint(Serializer &s) const;
+    /** Restore a checkpoint of a same-capacity TLB. */
+    void restore(Deserializer &d);
+
   private:
     unsigned capacity_;
     Cycle missPenalty_;

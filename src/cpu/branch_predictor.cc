@@ -2,6 +2,7 @@
 
 #include "base/intmath.hh"
 #include "base/logging.hh"
+#include "serialize/serializer.hh"
 
 namespace nuca {
 
@@ -187,6 +188,72 @@ BranchPredictor::mispredictRate() const
     return static_cast<double>(directionMispredicts() +
                                targetMispredicts()) /
            static_cast<double>(n);
+}
+
+namespace {
+
+void
+putCounterTable(Serializer &s, const std::vector<std::uint8_t> &t)
+{
+    s.putU64(t.size());
+    for (const auto c : t)
+        s.putU8(c);
+}
+
+void
+getCounterTable(Deserializer &d, std::vector<std::uint8_t> &t,
+                const char *what)
+{
+    if (d.getU64() != t.size())
+        throw CheckpointError(std::string("predictor table size "
+                                          "mismatch: ") + what);
+    for (auto &c : t)
+        c = d.getU8();
+}
+
+} // namespace
+
+void
+BranchPredictor::checkpoint(Serializer &s) const
+{
+    s.putTag(fourcc("BPRD"));
+    putCounterTable(s, bimodal_);
+    s.putU64(histories_.size());
+    for (const auto h : histories_)
+        s.putU16(h);
+    putCounterTable(s, pattern_);
+    putCounterTable(s, chooser_);
+    s.putU64(btb_.size());
+    for (const auto &e : btb_) {
+        s.putU64(e.pc);
+        s.putU64(e.target);
+        s.putBool(e.valid);
+        s.putU64(e.lastUse);
+    }
+    s.putU64(btbStamp_);
+}
+
+void
+BranchPredictor::restore(Deserializer &d)
+{
+    d.expectTag(fourcc("BPRD"), "branch predictor");
+    getCounterTable(d, bimodal_, "bimodal");
+    if (d.getU64() != histories_.size())
+        throw CheckpointError("predictor history table size "
+                              "mismatch");
+    for (auto &h : histories_)
+        h = d.getU16();
+    getCounterTable(d, pattern_, "pattern");
+    getCounterTable(d, chooser_, "chooser");
+    if (d.getU64() != btb_.size())
+        throw CheckpointError("BTB size mismatch");
+    for (auto &e : btb_) {
+        e.pc = d.getU64();
+        e.target = d.getU64();
+        e.valid = d.getBool();
+        e.lastUse = d.getU64();
+    }
+    btbStamp_ = d.getU64();
 }
 
 } // namespace nuca

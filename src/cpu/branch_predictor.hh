@@ -68,6 +68,11 @@ class BranchPredictor
     /** Fraction of lookups that followed the wrong path. */
     double mispredictRate() const;
 
+    /** Checkpoint every table, history register, and the BTB. */
+    void checkpoint(Serializer &s) const;
+    /** Restore a checkpoint of an identically sized predictor. */
+    void restore(Deserializer &d);
+
   private:
     struct BtbEntry
     {

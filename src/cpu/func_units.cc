@@ -1,6 +1,7 @@
 #include "cpu/func_units.hh"
 
 #include "base/logging.hh"
+#include "serialize/serializer.hh"
 
 namespace nuca {
 
@@ -62,6 +63,25 @@ FuncUnits::tryIssue(OpClass op, Cycle now)
         return true;
     ++stalls_;
     return false;
+}
+
+void
+FuncUnits::checkpoint(Serializer &s) const
+{
+    s.putTag(fourcc("FUNC"));
+    for (const auto *pool :
+         {&intAlu_, &fpAlu_, &intMultDiv_, &fpMultDiv_, &memPort_})
+        s.putVecU64(pool->busyUntil);
+}
+
+void
+FuncUnits::restore(Deserializer &d)
+{
+    d.expectTag(fourcc("FUNC"), "functional units");
+    for (auto *pool :
+         {&intAlu_, &fpAlu_, &intMultDiv_, &fpMultDiv_, &memPort_})
+        pool->busyUntil =
+            d.getVecU64(pool->busyUntil.size(), "unit pool");
 }
 
 } // namespace nuca

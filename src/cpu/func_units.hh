@@ -46,6 +46,11 @@ class FuncUnits
 
     Counter structuralStalls() const { return stalls_.value(); }
 
+    /** Checkpoint every pool's busy-until cycles. */
+    void checkpoint(Serializer &s) const;
+    /** Restore a checkpoint of identically sized pools. */
+    void restore(Deserializer &d);
+
   private:
     /** One pool of identical units tracked by busy-until cycles. */
     struct Pool

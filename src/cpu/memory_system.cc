@@ -157,4 +157,36 @@ MemorySystem::instFetch(Addr addr, Cycle now)
     return accessPath(l1i_, l2i_, MemOp::InstFetch, addr, start);
 }
 
+void
+MemorySystem::checkpoint(Serializer &s) const
+{
+    s.putTag(fourcc("MEMS"));
+    l1i_.checkpoint(s);
+    l1d_.checkpoint(s);
+    l2i_.checkpoint(s);
+    l2d_.checkpoint(s);
+    itlb_.checkpoint(s);
+    dtlb_.checkpoint(s);
+    s.putBool(prefetcher_ != nullptr);
+    if (prefetcher_)
+        prefetcher_->checkpoint(s);
+}
+
+void
+MemorySystem::restore(Deserializer &d)
+{
+    d.expectTag(fourcc("MEMS"), "memory system");
+    l1i_.restore(d);
+    l1d_.restore(d);
+    l2i_.restore(d);
+    l2d_.restore(d);
+    itlb_.restore(d);
+    dtlb_.restore(d);
+    const bool has_prefetcher = d.getBool();
+    if (has_prefetcher != (prefetcher_ != nullptr))
+        throw CheckpointError("prefetcher presence mismatch");
+    if (prefetcher_)
+        prefetcher_->restore(d);
+}
+
 } // namespace nuca

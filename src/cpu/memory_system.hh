@@ -102,6 +102,12 @@ class MemorySystem
     Tlb &dtlb() { return dtlb_; }
     Tlb &itlb() { return itlb_; }
 
+    /** Checkpoint all four cache levels, both TLBs, and the
+     * prefetcher when present. */
+    void checkpoint(Serializer &s) const;
+    /** Restore a checkpoint of an identically configured hierarchy. */
+    void restore(Deserializer &d);
+
   private:
     /**
      * Walk one L1/L2 pair and the shared L3.

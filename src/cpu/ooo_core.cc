@@ -275,4 +275,94 @@ OooCore::fetchStage(Cycle now)
     }
 }
 
+void
+OooCore::checkpoint(Serializer &s) const
+{
+    s.putTag(fourcc("CORE"));
+    s.putU64(fetchQueue_.size());
+    for (const auto &f : fetchQueue_) {
+        checkpointInst(s, f.inst);
+        s.putU64(f.seq);
+        s.putU64(f.fetchedAt);
+    }
+    s.putU64(ruu_.size());
+    for (const auto &e : ruu_) {
+        checkpointInst(s, e.inst);
+        s.putU64(e.seq);
+        s.putBool(e.issued);
+        s.putU64(e.doneAt);
+    }
+    s.putVecU64(doneRing_);
+    s.putU64(nextSeq_);
+    s.putU32(lsqInUse_);
+    // priority_queue has no iteration; drain a copy. The pops come
+    // out sorted, so the encoding is deterministic.
+    auto releases = lsqReleases_;
+    s.putU64(releases.size());
+    while (!releases.empty()) {
+        s.putU64(releases.top());
+        releases.pop();
+    }
+    s.putU64(issueIdleUntil_);
+    s.putBool(fetchStallSeq_.has_value());
+    s.putU64(fetchStallSeq_.value_or(0));
+    s.putU64(icacheReadyAt_);
+    s.putBool(pendingFetch_.has_value());
+    checkpointInst(s, pendingFetch_.value_or(SynthInst{}));
+    s.putU64(lastFetchLine_);
+    predictor_.checkpoint(s);
+    funcUnits_.checkpoint(s);
+}
+
+void
+OooCore::restore(Deserializer &d)
+{
+    d.expectTag(fourcc("CORE"), "out-of-order core");
+    const auto fq = d.getU64();
+    if (fq > params_.fetchQueueSize)
+        throw CheckpointError("fetch queue overflows its capacity");
+    fetchQueue_.clear();
+    for (std::uint64_t i = 0; i < fq; ++i) {
+        FetchedInst f;
+        restoreInst(d, f.inst);
+        f.seq = d.getU64();
+        f.fetchedAt = d.getU64();
+        fetchQueue_.push_back(f);
+    }
+    const auto nruu = d.getU64();
+    if (nruu > params_.ruuSize)
+        throw CheckpointError("RUU overflows its capacity");
+    ruu_.clear();
+    for (std::uint64_t i = 0; i < nruu; ++i) {
+        RuuEntry e;
+        restoreInst(d, e.inst);
+        e.seq = d.getU64();
+        e.issued = d.getBool();
+        e.doneAt = d.getU64();
+        ruu_.push_back(e);
+    }
+    doneRing_ = d.getVecU64(doneRingSize, "completion ring");
+    nextSeq_ = d.getU64();
+    lsqInUse_ = d.getU32();
+    const auto nrel = d.getU64();
+    lsqReleases_ = {};
+    for (std::uint64_t i = 0; i < nrel; ++i)
+        lsqReleases_.push(d.getU64());
+    issueIdleUntil_ = d.getU64();
+    const bool has_stall = d.getBool();
+    const auto stall_seq = d.getU64();
+    fetchStallSeq_ = has_stall
+                         ? std::optional<std::uint64_t>(stall_seq)
+                         : std::nullopt;
+    icacheReadyAt_ = d.getU64();
+    const bool has_pending = d.getBool();
+    SynthInst pending;
+    restoreInst(d, pending);
+    pendingFetch_ = has_pending ? std::optional<SynthInst>(pending)
+                                : std::nullopt;
+    lastFetchLine_ = d.getU64();
+    predictor_.restore(d);
+    funcUnits_.restore(d);
+}
+
 } // namespace nuca

@@ -76,6 +76,16 @@ class OooCore
     /** Occupancy of the LSQ right now. */
     unsigned lsqOccupancy() const { return lsqInUse_; }
 
+    /**
+     * Checkpoint the pipeline: fetch queue, RUU, completion ring,
+     * LSQ accounting, fetch-stall state, and the predictor and
+     * functional-unit pools. The instruction source is checkpointed
+     * separately by its owner.
+     */
+    void checkpoint(Serializer &s) const;
+    /** Restore a checkpoint of an identically configured core. */
+    void restore(Deserializer &d);
+
   private:
     struct RuuEntry
     {

@@ -16,6 +16,7 @@
 
 #include "base/types.hh"
 #include "cpu/op_class.hh"
+#include "serialize/serializer.hh"
 
 namespace nuca {
 
@@ -49,6 +50,35 @@ struct SynthInst
     bool isMem() const { return isMemOp(op); }
 };
 
+/** Checkpoint one dynamic instruction record. */
+inline void
+checkpointInst(Serializer &s, const SynthInst &inst)
+{
+    s.putU8(static_cast<std::uint8_t>(inst.op));
+    s.putU64(inst.pc);
+    s.putU64(inst.effAddr);
+    s.putU32(inst.depDist[0]);
+    s.putU32(inst.depDist[1]);
+    s.putBool(inst.taken);
+    s.putU64(inst.target);
+}
+
+/** Restore an instruction written by checkpointInst. */
+inline void
+restoreInst(Deserializer &d, SynthInst &inst)
+{
+    const auto op = d.getU8();
+    if (op > static_cast<std::uint8_t>(OpClass::Branch))
+        throw CheckpointError("checkpoint holds an invalid op class");
+    inst.op = static_cast<OpClass>(op);
+    inst.pc = d.getU64();
+    inst.effAddr = d.getU64();
+    inst.depDist[0] = d.getU32();
+    inst.depDist[1] = d.getU32();
+    inst.taken = d.getBool();
+    inst.target = d.getU64();
+}
+
 /** Pull-interface the core fetches its committed path from. */
 class InstSource
 {
@@ -57,6 +87,28 @@ class InstSource
 
     /** Produce the next dynamic instruction. Never ends. */
     virtual SynthInst next() = 0;
+
+    /**
+     * Checkpoint the source's position/state. Sources that opt out
+     * (bespoke test doubles) inherit these defaults, which refuse
+     * with CheckpointError instead of silently dropping state.
+     */
+    virtual void
+    checkpoint(Serializer &s) const
+    {
+        (void)s;
+        throw CheckpointError("instruction source does not support "
+                              "checkpointing");
+    }
+
+    /** Restore state written by checkpoint(). */
+    virtual void
+    restore(Deserializer &d)
+    {
+        (void)d;
+        throw CheckpointError("instruction source does not support "
+                              "checkpointing");
+    }
 };
 
 } // namespace nuca

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "serialize/serializer.hh"
 
 namespace nuca {
 
@@ -58,6 +59,20 @@ MainMemory::writebackBlock(Addr addr, Cycle now)
     (void)addr;
     (void)now;
     ++writebacks_;
+}
+
+void
+MainMemory::checkpoint(Serializer &s) const
+{
+    s.putTag(fourcc("MMEM"));
+    s.putU64(busyUntil_);
+}
+
+void
+MainMemory::restore(Deserializer &d)
+{
+    d.expectTag(fourcc("MMEM"), "main memory");
+    busyUntil_ = d.getU64();
 }
 
 } // namespace nuca

@@ -80,6 +80,11 @@ class MainMemory
     /** Total cycles requests spent queued behind the channel. */
     Counter queueCycles() const { return queueCycles_.value(); }
 
+    /** Checkpoint the channel occupancy. */
+    void checkpoint(Serializer &s) const;
+    /** Restore a checkpoint written by checkpoint(). */
+    void restore(Deserializer &d);
+
   private:
     /** Claim the channel; @return the slot start cycle. */
     Cycle claimChannel(Cycle now);

@@ -605,4 +605,31 @@ AdaptiveNuca::injectLruCorruption()
     return false;
 }
 
+void
+AdaptiveNuca::checkpoint(Serializer &s) const
+{
+    s.putTag(fourcc("NUCA"));
+    s.putU64(stampCounter_);
+    s.putU64(slots_.size());
+    for (const auto &slot : slots_) {
+        checkpointBlock(s, slot.blk);
+        s.putBool(slot.isShared);
+    }
+    engine_.checkpoint(s);
+}
+
+void
+AdaptiveNuca::restore(Deserializer &d)
+{
+    d.expectTag(fourcc("NUCA"), "adaptive NUCA");
+    stampCounter_ = d.getU64();
+    if (d.getU64() != slots_.size())
+        throw CheckpointError("NUCA slot count mismatch");
+    for (auto &slot : slots_) {
+        restoreBlock(d, slot.blk);
+        slot.isShared = d.getBool();
+    }
+    engine_.restore(d);
+}
+
 } // namespace nuca

@@ -72,6 +72,8 @@ class AdaptiveNuca : public L3Organization
     std::string schemeName() const override { return "adaptive"; }
     void checkStructure() const override { checkInvariants(); }
     bool injectLruCorruption() override;
+    void checkpoint(Serializer &s) const override;
+    void restore(Deserializer &d) override;
 
     /** The sharing engine (quotas, estimators). */
     SharingEngine &engine() { return engine_; }

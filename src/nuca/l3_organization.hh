@@ -23,6 +23,7 @@
 
 #include "base/types.hh"
 #include "mem/mem_request.hh"
+#include "serialize/serializer.hh"
 
 namespace nuca {
 
@@ -84,6 +85,29 @@ class L3Organization
      * the organization does not support injection).
      */
     virtual bool injectLruCorruption() { return false; }
+
+    /**
+     * Checkpoint the organization's behavioural state (tag arrays,
+     * replacement state, partitioning bookkeeping). All four shipped
+     * organizations implement the pair; bespoke test organizations
+     * inherit defaults that refuse with CheckpointError.
+     */
+    virtual void
+    checkpoint(Serializer &s) const
+    {
+        (void)s;
+        throw CheckpointError("L3 organization does not support "
+                              "checkpointing");
+    }
+
+    /** Restore state written by checkpoint(). */
+    virtual void
+    restore(Deserializer &d)
+    {
+        (void)d;
+        throw CheckpointError("L3 organization does not support "
+                              "checkpointing");
+    }
 };
 
 } // namespace nuca

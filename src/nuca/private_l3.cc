@@ -86,4 +86,18 @@ PrivateL3::injectLruCorruption()
     return false;
 }
 
+void
+PrivateL3::checkpoint(Serializer &s) const
+{
+    for (const auto &cache : caches_)
+        cache->checkpoint(s);
+}
+
+void
+PrivateL3::restore(Deserializer &d)
+{
+    for (auto &cache : caches_)
+        cache->restore(d);
+}
+
 } // namespace nuca

@@ -44,6 +44,8 @@ class PrivateL3 : public L3Organization
     std::string schemeName() const override { return "private"; }
     void checkStructure() const override;
     bool injectLruCorruption() override;
+    void checkpoint(Serializer &s) const override;
+    void restore(Deserializer &d) override;
 
     /** The tag array of one core's cache (tests/inspection). */
     SetAssocCache &cacheOf(CoreId core);

@@ -171,4 +171,20 @@ RandomReplacementL3::injectLruCorruption()
     return false;
 }
 
+void
+RandomReplacementL3::checkpoint(Serializer &s) const
+{
+    rng_.checkpoint(s);
+    for (const auto &cache : caches_)
+        cache->checkpoint(s);
+}
+
+void
+RandomReplacementL3::restore(Deserializer &d)
+{
+    rng_.restore(d);
+    for (auto &cache : caches_)
+        cache->restore(d);
+}
+
 } // namespace nuca

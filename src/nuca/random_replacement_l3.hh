@@ -62,6 +62,8 @@ class RandomReplacementL3 : public L3Organization
     }
     void checkStructure() const override;
     bool injectLruCorruption() override;
+    void checkpoint(Serializer &s) const override;
+    void restore(Deserializer &d) override;
 
     SetAssocCache &cacheOf(CoreId core);
 

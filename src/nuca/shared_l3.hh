@@ -42,6 +42,12 @@ class SharedL3 : public L3Organization
     {
         return cache_.injectLruCorruption();
     }
+    void
+    checkpoint(Serializer &s) const override
+    {
+        cache_.checkpoint(s);
+    }
+    void restore(Deserializer &d) override { cache_.restore(d); }
 
     SetAssocCache &cache() { return cache_; }
 

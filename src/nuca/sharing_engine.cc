@@ -4,6 +4,7 @@
 
 #include "base/intmath.hh"
 #include "base/logging.hh"
+#include "serialize/serializer.hh"
 
 namespace nuca {
 
@@ -242,6 +243,44 @@ SharingEngine::storageCostBits() const
         static_cast<std::uint64_t>(params_.numCores) * 3 *
         params_.counterBits;
     return shadowTagBits() + coreIdBits() + counter_bits;
+}
+
+void
+SharingEngine::checkpoint(Serializer &s) const
+{
+    s.putTag(fourcc("SENG"));
+    s.putU64(shadow_.size());
+    for (const auto &e : shadow_) {
+        s.putU64(e.tag);
+        s.putBool(e.valid);
+    }
+    s.putU64(quotas_.size());
+    for (const auto q : quotas_)
+        s.putU32(q);
+    s.putVecU64(shadowHits_);
+    s.putVecU64(lruHits_);
+    s.putU64(epochMissCount_);
+    s.putU32(scanStart_);
+}
+
+void
+SharingEngine::restore(Deserializer &d)
+{
+    d.expectTag(fourcc("SENG"), "sharing engine");
+    if (d.getU64() != shadow_.size())
+        throw CheckpointError("shadow tag array size mismatch");
+    for (auto &e : shadow_) {
+        e.tag = d.getU64();
+        e.valid = d.getBool();
+    }
+    if (d.getU64() != quotas_.size())
+        throw CheckpointError("quota vector size mismatch");
+    for (auto &q : quotas_)
+        q = d.getU32();
+    shadowHits_ = d.getVecU64(shadowHits_.size(), "shadow hits");
+    lruHits_ = d.getVecU64(lruHits_.size(), "LRU hits");
+    epochMissCount_ = d.getU64();
+    scanStart_ = d.getU32();
 }
 
 } // namespace nuca

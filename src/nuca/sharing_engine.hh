@@ -178,6 +178,15 @@ class SharingEngine
         observer_ = std::move(observer);
     }
 
+    /**
+     * Checkpoint the partitioning state: quotas, shadow tags, epoch
+     * counters, and the tie-break scan position. The observer is a
+     * wiring concern and is not part of the snapshot.
+     */
+    void checkpoint(Serializer &s) const;
+    /** Restore a checkpoint of an identically configured engine. */
+    void restore(Deserializer &d);
+
   private:
     SharingEngineParams params_;
     unsigned maxQuota_;

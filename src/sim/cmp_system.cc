@@ -8,6 +8,7 @@
 #include "nuca/private_l3.hh"
 #include "nuca/random_replacement_l3.hh"
 #include "nuca/shared_l3.hh"
+#include "serialize/serializer.hh"
 
 namespace nuca {
 
@@ -454,6 +455,49 @@ CmpSystem::emitRepartition(const RepartitionEvent &event)
     record.set("shadow_hits", counterArray(event.shadowHits));
     record.set("lru_hits", counterArray(event.lruHits));
     trace_->write(record);
+}
+
+void
+CmpSystem::checkpoint(Serializer &s) const
+{
+    s.putTag(fourcc("SYST"));
+    s.putU64(now_);
+    s.putU64(statsZero_);
+    s.putVecU64(committedZero_);
+    s.putVecU64(l3AccessZero_);
+    for (const auto &workload : workloads_)
+        workload->checkpoint(s);
+    l3_->checkpoint(s);
+    memory_.checkpoint(s);
+    for (unsigned c = 0; c < config_.numCores; ++c) {
+        memSystems_[c]->checkpoint(s);
+        cores_[c]->checkpoint(s);
+    }
+    root_.serialize(s);
+}
+
+void
+CmpSystem::restore(Deserializer &d)
+{
+    d.expectTag(fourcc("SYST"), "cmp system");
+    now_ = d.getU64();
+    statsZero_ = d.getU64();
+    committedZero_ =
+        d.getVecU64(config_.numCores, "committed baselines");
+    l3AccessZero_ =
+        d.getVecU64(config_.numCores, "L3 access baselines");
+    for (auto &workload : workloads_)
+        workload->restore(d);
+    l3_->restore(d);
+    memory_.restore(d);
+    for (unsigned c = 0; c < config_.numCores; ++c) {
+        memSystems_[c]->restore(d);
+        cores_[c]->restore(d);
+    }
+    root_.deserialize(d);
+    // The watchdog and periodic checks were baselined at cycle 0 in
+    // the constructor; re-anchor them at the restored cycle.
+    setRobustness(robust_);
 }
 
 void

@@ -92,6 +92,25 @@ class CmpSystem
      */
     void resetStats();
 
+    /**
+     * Serialize the whole machine — cycle count, workload state,
+     * every cache/predictor/queue, and all statistics — such that
+     * restore() into an identically configured system resumes
+     * bit-identically.
+     */
+    void checkpoint(Serializer &s) const;
+
+    /**
+     * Restore state written by checkpoint(). The receiving system
+     * must have been constructed with the same SystemConfig and
+     * workload setup (enforced structurally via size checks; callers
+     * should additionally key checkpoint files by a config hash).
+     * Re-baselines the robustness watchdog at the restored cycle.
+     *
+     * @throws CheckpointError on any structural mismatch
+     */
+    void restore(Deserializer &d);
+
     /** Cycles simulated since the last resetStats(). */
     Cycle measuredCycles() const { return now_ - statsZero_; }
 

@@ -13,7 +13,11 @@ harmonicMean(const std::vector<double> &values)
         return 0.0;
     double denom = 0.0;
     for (double v : values) {
-        if (v <= 0.0)
+        // NaN fails every comparison, so test finiteness explicitly:
+        // a NaN IPC (e.g. from a skipped sweep job) must yield the
+        // same "no meaningful mean" 0.0 as a zero, not poison sort
+        // comparators downstream.
+        if (!std::isfinite(v) || v <= 0.0)
             return 0.0;
         denom += 1.0 / v;
     }
@@ -38,7 +42,7 @@ geometricMean(const std::vector<double> &values)
         return 0.0;
     double log_sum = 0.0;
     for (double v : values) {
-        if (v <= 0.0)
+        if (!std::isfinite(v) || v <= 0.0)
             return 0.0;
         log_sum += std::log(v);
     }

@@ -1,6 +1,7 @@
 #include "workload/branch_model.hh"
 
 #include "base/logging.hh"
+#include "serialize/serializer.hh"
 
 namespace nuca {
 
@@ -57,6 +58,23 @@ BranchModel::next(Rng &rng)
         break;
     }
     return Outcome{idx, taken};
+}
+
+void
+BranchModel::checkpoint(Serializer &s) const
+{
+    s.putU64(sites_.size());
+    for (const auto &site : sites_)
+        s.putU32(site.loopPos);
+}
+
+void
+BranchModel::restore(Deserializer &d)
+{
+    if (d.getU64() != sites_.size())
+        throw CheckpointError("branch model site count mismatch");
+    for (auto &site : sites_)
+        site.loopPos = d.getU32();
 }
 
 } // namespace nuca

@@ -61,6 +61,12 @@ class BranchModel
         return static_cast<unsigned>(sites_.size());
     }
 
+    /** Checkpoint the per-site loop positions (the only mutable
+     * state; site layout is fixed at construction). */
+    void checkpoint(Serializer &s) const;
+    /** Restore loop positions written by checkpoint(). */
+    void restore(Deserializer &d);
+
   private:
     enum class SiteKind
     {

@@ -2,6 +2,7 @@
 
 #include "base/intmath.hh"
 #include "base/logging.hh"
+#include "serialize/serializer.hh"
 
 namespace nuca {
 
@@ -73,6 +74,23 @@ ReuseModel::residentFootprintBytes() const
             total += region.blocks * blockBytes;
     }
     return total;
+}
+
+void
+ReuseModel::checkpoint(Serializer &s) const
+{
+    s.putU64(regions_.size());
+    for (const auto &region : regions_)
+        s.putU64(region.cursor);
+}
+
+void
+ReuseModel::restore(Deserializer &d)
+{
+    if (d.getU64() != regions_.size())
+        throw CheckpointError("reuse model region count mismatch");
+    for (auto &region : regions_)
+        region.cursor = d.getU64();
 }
 
 } // namespace nuca

@@ -69,6 +69,11 @@ class ReuseModel
     /** Total footprint of the non-stream regions, in bytes. */
     std::uint64_t residentFootprintBytes() const;
 
+    /** Checkpoint the per-region cursors (the only mutable state). */
+    void checkpoint(Serializer &s) const;
+    /** Restore cursors written by checkpoint(). */
+    void restore(Deserializer &d);
+
   private:
     struct RegionState
     {

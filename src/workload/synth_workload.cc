@@ -150,4 +150,35 @@ SynthWorkload::next()
     return inst;
 }
 
+void
+SynthWorkload::checkpoint(Serializer &s) const
+{
+    s.putTag(fourcc("WORK"));
+    rng_.checkpoint(s);
+    data_.checkpoint(s);
+    s.putBool(sharedData_ != nullptr);
+    if (sharedData_)
+        sharedData_->checkpoint(s);
+    branches_.checkpoint(s);
+    s.putU64(pc_);
+    s.putU32(sinceLastLoad_);
+}
+
+void
+SynthWorkload::restore(Deserializer &d)
+{
+    d.expectTag(fourcc("WORK"), "synthetic workload");
+    rng_.restore(d);
+    data_.restore(d);
+    const bool has_shared = d.getBool();
+    if (has_shared != (sharedData_ != nullptr))
+        throw CheckpointError("shared data region presence "
+                              "mismatch");
+    if (sharedData_)
+        sharedData_->restore(d);
+    branches_.restore(d);
+    pc_ = d.getU64();
+    sinceLastLoad_ = d.getU32();
+}
+
 } // namespace nuca

@@ -37,6 +37,14 @@ class SynthWorkload : public InstSource
 
     SynthInst next() override;
 
+    /**
+     * Checkpoint the stream position: the RNG, the reuse-model
+     * cursors, the branch-site loop positions, and the PC walk. The
+     * profile-derived layout is reconstructed by the constructor.
+     */
+    void checkpoint(Serializer &s) const override;
+    void restore(Deserializer &d) override;
+
     const WorkloadProfile &profile() const { return profile_; }
 
     /** Lowest data address this stream can generate. */

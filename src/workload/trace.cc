@@ -176,4 +176,23 @@ TraceReplaySource::next()
     return inst;
 }
 
+void
+TraceReplaySource::checkpoint(Serializer &s) const
+{
+    s.putTag(fourcc("TRCE"));
+    s.putU64(pos_);
+    s.putU64(loops_);
+}
+
+void
+TraceReplaySource::restore(Deserializer &d)
+{
+    d.expectTag(fourcc("TRCE"), "trace replay source");
+    const auto pos = d.getU64();
+    if (pos >= insts_.size())
+        throw CheckpointError("trace position beyond trace length");
+    pos_ = pos;
+    loops_ = d.getU64();
+}
+
 } // namespace nuca

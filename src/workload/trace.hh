@@ -62,6 +62,10 @@ class TraceReplaySource : public InstSource
 
     SynthInst next() override;
 
+    /** Checkpoint the replay position (the trace itself is input). */
+    void checkpoint(Serializer &s) const override;
+    void restore(Deserializer &d) override;
+
     std::size_t size() const { return insts_.size(); }
     /** Times the trace has wrapped around. */
     std::uint64_t loops() const { return loops_; }
