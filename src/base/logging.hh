@@ -65,6 +65,29 @@ void informImpl(const std::string &msg);
         }                                                                 \
     } while (0)
 
+/**
+ * Debug-only invariant check for per-access hot paths (cache way
+ * lookups, completion-ring indexing) where an always-on panic_if
+ * costs a measurable fraction of the simulation loop. Compiled to
+ * nothing in Release/RelWithDebInfo (NDEBUG) builds; active in Debug
+ * builds and in any build that defines NUCA_DEBUG_CHECKS — the CMake
+ * sanitizer configurations (REPRO_SANITIZE=thread|address) define it
+ * so CI's TSan/ASan jobs keep every check. Reserve panic_if for
+ * per-epoch / per-event checks; see docs/ROBUSTNESS.md.
+ */
+#if defined(NUCA_DEBUG_CHECKS) || !defined(NDEBUG)
+#define debug_panic_if(cond, ...)                                         \
+    do {                                                                  \
+        if (cond) {                                                       \
+            panic("condition '" #cond "' failed: ", __VA_ARGS__);         \
+        }                                                                 \
+    } while (0)
+#else
+#define debug_panic_if(cond, ...)                                         \
+    do {                                                                  \
+    } while (0)
+#endif
+
 /** Non-fatal warning to stderr. */
 #define warn(...)                                                         \
     ::nuca::logging_detail::warnImpl(                                     \

@@ -87,6 +87,9 @@ class Rng
 
   private:
     std::uint64_t s_[4];
+    /** geometric() denominator memo — derived, not checkpointed. */
+    double cachedP_ = -1.0;
+    double cachedLogDenom_ = 0.0;
 };
 
 /**

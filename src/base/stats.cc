@@ -120,6 +120,29 @@ Distribution::sample(std::uint64_t v)
     }
 }
 
+void
+Distribution::sample(std::uint64_t v, std::uint64_t count)
+{
+    if (count == 0)
+        return;
+    if (count_ == 0) {
+        minSeen_ = maxSeen_ = v;
+    } else {
+        minSeen_ = std::min(minSeen_, v);
+        maxSeen_ = std::max(maxSeen_, v);
+    }
+    count_ += count;
+    sum_ += static_cast<double>(v) * static_cast<double>(count);
+
+    if (v < min_) {
+        underflow_ += count;
+    } else if (v >= max_) {
+        overflow_ += count;
+    } else {
+        counts_[(v - min_) / bucketSize_] += count;
+    }
+}
+
 double
 Distribution::mean() const
 {

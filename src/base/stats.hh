@@ -159,6 +159,18 @@ class Distribution : public Stat
 
     void sample(std::uint64_t v);
 
+    /**
+     * Record @p v as if sample(v) had been called @p count times.
+     * Bit-identical to the repeated unit calls (bucket counts and
+     * min/max trivially; the running sum because every partial sum
+     * is an exactly representable integer while it stays below 2^53
+     * — at most max * count here, far below that for any simulated
+     * cycle count). This is what lets the fast-forwarding run loop
+     * fold skipped stalled cycles into per-cycle distributions
+     * without perturbing a single statistic.
+     */
+    void sample(std::uint64_t v, std::uint64_t count);
+
     std::uint64_t count() const { return count_; }
     double mean() const;
     std::uint64_t minSeen() const { return minSeen_; }

@@ -6,17 +6,20 @@
 
 namespace nuca {
 
+// block() runs on every tag probe and LRU update; its bounds check
+// is debug-only (Debug/sanitizer builds) — way indices come from
+// this set's own scan results, never from user input.
 CacheBlock &
 CacheSet::block(unsigned way)
 {
-    panic_if(way >= blocks_.size(), "way out of range");
+    debug_panic_if(way >= blocks_.size(), "way out of range");
     return blocks_[way];
 }
 
 const CacheBlock &
 CacheSet::block(unsigned way) const
 {
-    panic_if(way >= blocks_.size(), "way out of range");
+    debug_panic_if(way >= blocks_.size(), "way out of range");
     return blocks_[way];
 }
 

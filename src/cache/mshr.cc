@@ -99,6 +99,17 @@ MshrFile::inFlight(Cycle now)
 }
 
 Cycle
+MshrFile::nextEventCycle(Cycle now) const
+{
+    Cycle next = ~static_cast<Cycle>(0);
+    for (const auto &e : entries_) {
+        if (!e.reserved && e.ready > now)
+            next = std::min(next, e.ready);
+    }
+    return next;
+}
+
+Cycle
 MshrFile::oldestAge(Cycle now)
 {
     prune(now);

@@ -60,6 +60,18 @@ class MshrFile
     unsigned inFlight(Cycle now);
 
     /**
+     * Earliest cycle after @p now at which an in-flight miss
+     * completes, or ~0 when none is pending. Purely observational
+     * (no pruning — the fast-forward path must not perturb the
+     * lazily pruned entry list the checkpoint serializes): the run
+     * loop uses it to bound how far it may fast-forward while every
+     * core is stalled. Reserved entries (completion still being
+     * computed inside the current access walk) carry no time and
+     * contribute nothing.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /**
      * Age in cycles of the oldest entry still present at @p now
      * (after pruning), or 0 when the file is empty. The
      * forward-progress watchdog bounds this: a healthy entry retires

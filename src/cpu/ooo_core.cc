@@ -39,6 +39,8 @@ OooCore::OooCore(stats::Group &parent, const std::string &name,
     fatal_if(params_.ruuSize == 0 || params_.lsqSize == 0 ||
                  params_.fetchQueueSize == 0,
              "core structures must be non-empty");
+    ruu_.init(params_.ruuSize);
+    fetchQueue_.init(params_.fetchQueueSize);
     (void)id_;
 }
 
@@ -55,6 +57,98 @@ OooCore::tick(Cycle now)
     fetchStage(now);
 }
 
+Cycle
+OooCore::nextWakeCycle(Cycle now) const
+{
+    const Cycle soonest = now + 1;
+
+    // Fast paths first: every wake source below is clamped to at
+    // least `soonest`, so a stage that can make progress next cycle
+    // makes computing the others pointless. A busy core leaves
+    // through one of these two checks, which keeps the per-tick cost
+    // of the fast-forward probe negligible.
+    //
+    // Dispatch: a non-empty fetch queue either dispatches next
+    // cycle (the head was fetched at `now` at the latest) or is
+    // blocked on a full RUU/LSQ, which only commits can drain.
+    if (!fetchQueue_.empty()) {
+        const bool ruu_blocked = ruu_.size() >= params_.ruuSize;
+        const bool lsq_blocked = fetchQueue_.front().inst.isMem() &&
+                                 lsqInUse_ >= params_.lsqSize;
+        if (!ruu_blocked && !lsq_blocked)
+            return soonest;
+    }
+    // Fetch with a ready I-cache, no pending redirect, and queue
+    // space makes progress next cycle.
+    if (!fetchStallSeq_ && icacheReadyAt_ <= now &&
+        fetchQueue_.size() < params_.fetchQueueSize) {
+        return soonest;
+    }
+
+    Cycle wake = neverWakes;
+
+    // An LSQ slot release may unblock dispatch.
+    if (!lsqReleases_.empty())
+        wake = std::min(wake, std::max(lsqReleases_.top(), soonest));
+
+    // Commit: the RUU head retires at its completion cycle. An
+    // unissued head only starts moving when the issue scheduler
+    // wakes, which the issueIdleUntil_ constraint below covers.
+    if (!ruu_.empty() && ruu_.front().issued)
+        wake = std::min(wake, std::max(ruu_.front().doneAt, soonest));
+
+    // Issue: the scheduler sleeps until issueIdleUntil_ (notDone
+    // means "until a commit or dispatch invalidates the sleep" —
+    // and those have wake-ups of their own or cannot happen).
+    wake = std::min(wake, std::max(issueIdleUntil_, soonest));
+
+    // Fetch, mirroring fetchStage's stall chain.
+    if (fetchStallSeq_) {
+        const Cycle done = doneCycleOf(*fetchStallSeq_);
+        // An unresolved branch (done == notDone) resolves only via
+        // issue, already bounded above.
+        if (done != notDone) {
+            wake = std::min(
+                wake,
+                std::max(done + params_.mispredictPenalty, soonest));
+        }
+    } else if (icacheReadyAt_ > now) {
+        wake = std::min(wake, icacheReadyAt_);
+    }
+    // A ready I-cache with no redirect pending implies a full fetch
+    // queue here (the fast path above returned otherwise); that
+    // drains via dispatch, covered by the wake-ups already taken.
+
+    return wake;
+}
+
+void
+OooCore::skipStalledCycles(Cycle first, std::uint64_t count)
+{
+    if (count == 0)
+        return;
+    // Exactly what `count` fully-stalled ticks would have recorded:
+    // zero commits and an unchanged RUU occupancy each cycle...
+    commitWidthDist_.sample(0, count);
+    ruuOccupancyDist_.sample(ruu_.size(), count);
+    // ...one dispatch structural stall per cycle while the fetch
+    // queue head is blocked (RUU checked before LSQ, as in
+    // dispatchStage)...
+    if (!fetchQueue_.empty()) {
+        if (ruu_.size() >= params_.ruuSize) {
+            ruuFullStalls_ += count;
+        } else if (fetchQueue_.front().inst.isMem() &&
+                   lsqInUse_ >= params_.lsqSize) {
+            lsqFullStalls_ += count;
+        }
+    }
+    // ...and one fetch stall per cycle while redirect- or
+    // I-cache-stalled (fetchStage's chain; a ready I-cache with a
+    // full fetch queue stalls nothing).
+    if (fetchStallSeq_ || icacheReadyAt_ > first)
+        fetchStallCycles_ += count;
+}
+
 void
 OooCore::releaseLsqSlots(Cycle now)
 {
@@ -66,7 +160,7 @@ OooCore::releaseLsqSlots(Cycle now)
 }
 
 std::optional<Cycle>
-OooCore::readyTime(const RuuEntry &entry) const
+OooCore::readyTime(const RuuEntry &entry, std::uint64_t &blocker) const
 {
     Cycle ready = 0;
     for (const auto dist : entry.inst.depDist) {
@@ -75,8 +169,10 @@ OooCore::readyTime(const RuuEntry &entry) const
         if (dist > entry.seq)
             continue; // producer predates the simulation
         const Cycle done = doneCycleOf(entry.seq - dist);
-        if (done == notDone)
-            return std::nullopt; // producer not issued yet
+        if (done == notDone) {
+            blocker = entry.seq - dist; // producer not issued yet
+            return std::nullopt;
+        }
         ready = std::max(ready, done);
     }
     return ready;
@@ -146,7 +242,20 @@ OooCore::issueStage(Cycle now)
             // issue will wake the scheduler again.
             continue;
         }
-        const auto ready = readyTime(e);
+        std::optional<Cycle> ready;
+        if (e.readyKnown) {
+            ready = e.readyMemo;
+        } else if (e.hasBlocker &&
+                   doneCycleOf(e.waitingOn) == notDone) {
+            // The remembered producer still has not issued; the
+            // entry cannot have become ready since the last walk.
+        } else if ((ready = readyTime(e, e.waitingOn))) {
+            e.readyMemo = *ready;
+            e.readyKnown = true;
+            e.hasBlocker = false;
+        } else {
+            e.hasBlocker = true;
+        }
         if (!ready || *ready > now) {
             if (ready)
                 next_ready = std::min(next_ready, *ready);
@@ -280,13 +389,15 @@ OooCore::checkpoint(Serializer &s) const
 {
     s.putTag(fourcc("CORE"));
     s.putU64(fetchQueue_.size());
-    for (const auto &f : fetchQueue_) {
+    for (std::size_t i = 0; i < fetchQueue_.size(); ++i) {
+        const auto &f = fetchQueue_[i];
         checkpointInst(s, f.inst);
         s.putU64(f.seq);
         s.putU64(f.fetchedAt);
     }
     s.putU64(ruu_.size());
-    for (const auto &e : ruu_) {
+    for (std::size_t i = 0; i < ruu_.size(); ++i) {
+        const auto &e = ruu_[i];
         checkpointInst(s, e.inst);
         s.putU64(e.seq);
         s.putBool(e.issued);

@@ -15,7 +15,7 @@
 #ifndef NUCA_CPU_OOO_CORE_HH
 #define NUCA_CPU_OOO_CORE_HH
 
-#include <deque>
+#include <bit>
 #include <optional>
 #include <queue>
 #include <string>
@@ -56,6 +56,45 @@ class OooCore
     /** Advance the core by one clock cycle. */
     void tick(Cycle now);
 
+    /**
+     * Sentinel wake-up cycle meaning "no self-scheduled event": the
+     * core only becomes runnable again through an external change
+     * (or never — a deadlock the watchdog reports).
+     */
+    static constexpr Cycle neverWakes = ~static_cast<Cycle>(0);
+
+    /**
+     * Event horizon of the idle-cycle fast-forward: given tick(now)
+     * has just run, the earliest cycle at which another tick could
+     * do anything beyond the exactly predictable per-cycle
+     * bookkeeping that skipStalledCycles() folds in. Every tick at a
+     * cycle in (now, nextWakeCycle(now)) is guaranteed to commit,
+     * issue, dispatch and fetch nothing, touch no cache or memory
+     * state, and mutate only the per-cycle statistics — so the run
+     * loop may jump straight to the wake-up and stay bit-identical
+     * to the cycle-by-cycle reference. Returns now + 1 when the core
+     * is runnable next cycle and neverWakes when only an external
+     * event could restart it.
+     *
+     * The constraints mirror tick()'s stages one for one: the LSQ
+     * release queue head, the RUU head's completion (commit), the
+     * issue scheduler's sleep (issueIdleUntil_), dispatch progress
+     * or its RUU/LSQ structural stalls, and fetch progress or its
+     * branch-redirect / I-cache stalls.
+     */
+    Cycle nextWakeCycle(Cycle now) const;
+
+    /**
+     * Fold @p count skipped ticks (cycles [first, first + count))
+     * into the statistics the reference loop would have recorded
+     * cycle by cycle: commit width 0, the (constant) RUU occupancy,
+     * and the fetch/dispatch stall counters that apply. @pre the
+     * window lies strictly inside (t, nextWakeCycle(t)) of the last
+     * ticked cycle t, which makes each skipped tick's effect exactly
+     * this fold.
+     */
+    void skipStalledCycles(Cycle first, std::uint64_t count);
+
     /** Instructions committed so far. */
     Counter committed() const { return committed_.value(); }
 
@@ -93,6 +132,22 @@ class OooCore
         std::uint64_t seq;
         bool issued = false;
         Cycle doneAt = 0; // valid once issued
+        /**
+         * Scheduler memos. Once every producer has issued, the max
+         * of their completion cycles is final (done cycles never
+         * change after setDoneCycle), so readyMemo caches it and the
+         * dependence list is never walked again. While some producer
+         * is still unissued, waitingOn remembers the first one found:
+         * the entry cannot possibly become ready before that producer
+         * issues, so rescans probe one done-ring slot instead of
+         * walking the whole list. Derived state — deliberately not
+         * checkpointed; restore leaves both invalid and the next
+         * scheduler scan recomputes identical values.
+         */
+        Cycle readyMemo = 0;
+        std::uint64_t waitingOn = 0;
+        bool readyKnown = false;
+        bool hasBlocker = false;
     };
 
     struct FetchedInst
@@ -102,11 +157,67 @@ class OooCore
         Cycle fetchedAt;
     };
 
+    /**
+     * Fixed-capacity circular buffer backing the in-order pipeline
+     * queues (RUU, fetch queue). The scheduler walks every live RUU
+     * entry on each active cycle, so the entries sit in one
+     * contiguous power-of-two array (index masking, no deque chunk
+     * indirection) small enough to stay cache-resident.
+     */
+    template <typename Entry>
+    class StageRing
+    {
+      public:
+        void init(std::size_t capacity)
+        {
+            mask_ = std::bit_ceil(capacity) - 1;
+            slots_.assign(mask_ + 1, Entry{});
+            head_ = count_ = 0;
+        }
+        bool empty() const { return count_ == 0; }
+        std::size_t size() const { return count_; }
+        Entry &operator[](std::size_t i)
+        {
+            return slots_[(head_ + i) & mask_];
+        }
+        const Entry &operator[](std::size_t i) const
+        {
+            return slots_[(head_ + i) & mask_];
+        }
+        Entry &front() { return slots_[head_]; }
+        const Entry &front() const { return slots_[head_]; }
+        void push_back(const Entry &e)
+        {
+            slots_[(head_ + count_) & mask_] = e;
+            ++count_;
+        }
+        void pop_front()
+        {
+            head_ = (head_ + 1) & mask_;
+            --count_;
+        }
+        void clear() { head_ = count_ = 0; }
+
+      private:
+        std::vector<Entry> slots_;
+        std::size_t head_ = 0;
+        std::size_t count_ = 0;
+        std::size_t mask_ = 0;
+    };
+
     static constexpr unsigned doneRingSize = 1u << 16;
     static constexpr Cycle notDone = ~static_cast<Cycle>(0);
 
     Cycle doneCycleOf(std::uint64_t seq) const
     {
+        // Ring indexing is masked (never out of bounds); the
+        // debug-only check guards against reading a slot a younger
+        // instruction has already reclaimed, which would silently
+        // return the wrong completion cycle.
+        debug_panic_if(seq >= nextSeq_ ||
+                           nextSeq_ - seq > doneRingSize,
+                       "completion-ring lookup outside the live "
+                       "window");
         return doneRing_[seq & (doneRingSize - 1)];
     }
     void
@@ -124,9 +235,11 @@ class OooCore
     /**
      * Earliest cycle the entry's register dependences are all
      * resolved, or nullopt while a producer has not issued yet (its
-     * completion time is unknown).
+     * completion time is unknown); in that case @p blocker is set to
+     * the unissued producer's sequence number.
      */
-    std::optional<Cycle> readyTime(const RuuEntry &entry) const;
+    std::optional<Cycle> readyTime(const RuuEntry &entry,
+                                   std::uint64_t &blocker) const;
 
     /**
      * Find an older in-flight store writing the same 8-byte word as
@@ -140,8 +253,8 @@ class OooCore
     MemorySystem &mem_;
     InstSource &source_;
 
-    std::deque<FetchedInst> fetchQueue_;
-    std::deque<RuuEntry> ruu_;
+    StageRing<FetchedInst> fetchQueue_;
+    StageRing<RuuEntry> ruu_;
     std::vector<Cycle> doneRing_;
 
     std::uint64_t nextSeq_ = 0;

@@ -9,6 +9,7 @@
 #include "nuca/random_replacement_l3.hh"
 #include "nuca/shared_l3.hh"
 #include "serialize/serializer.hh"
+#include "sim/experiment.hh"
 
 namespace nuca {
 
@@ -136,6 +137,7 @@ CmpSystem::buildSystem()
     committedZero_.assign(config_.numCores, 0);
     l3AccessZero_.assign(config_.numCores, 0);
 
+    fastForward_ = envOr("REPRO_FASTFWD", 1) != 0;
     setRobustness(RobustnessConfig::fromEnv());
 }
 
@@ -182,6 +184,8 @@ CmpSystem::run(Cycle cycles)
         for (auto &core : cores_)
             core->tick(now_);
         ++now_;
+        if (fastForward_)
+            fastForwardNow(end);
         if (trace_ && now_ >= nextSample_) {
             emitSample();
             nextSample_ += tracePeriod_;
@@ -189,6 +193,48 @@ CmpSystem::run(Cycle cycles)
         if (robustActive_ && now_ >= nextRobustEvent_)
             robustnessTick();
     }
+}
+
+Cycle
+CmpSystem::nextWakeCycle(Cycle last) const
+{
+    Cycle wake = OooCore::neverWakes;
+    for (const auto &core : cores_) {
+        wake = std::min(wake, core->nextWakeCycle(last));
+        if (wake <= last + 1)
+            return wake; // this core runs next cycle; stop probing
+    }
+    // Memory-side completions (in-flight demand and prefetch misses,
+    // the channel freeing) do not by themselves change core state —
+    // every consequence is precomputed into the cores' own wake-ups
+    // — but bounding jumps by them keeps the horizon conservative
+    // against components gaining autonomous behaviour later.
+    for (const auto &mem : memSystems_)
+        wake = std::min(wake, mem->nextEventCycle(last));
+    wake = std::min(wake, memory_.nextEventCycle(last));
+    return wake;
+}
+
+void
+CmpSystem::fastForwardNow(Cycle end)
+{
+    // The tick at now_ - 1 just ran. Ticks strictly before the event
+    // horizon are provable no-ops; a pending sample or robustness
+    // event caps the jump so both fire at exactly the cycle the
+    // reference loop fires them.
+    Cycle target = std::min(end, nextWakeCycle(now_ - 1));
+    if (trace_)
+        target = std::min(target, nextSample_);
+    if (robustActive_)
+        target = std::min(target, nextRobustEvent_);
+    if (target <= now_)
+        return;
+    const Cycle skipped = target - now_;
+    for (auto &core : cores_)
+        core->skipStalledCycles(now_, skipped);
+    now_ = target;
+    ffSkipped_ += skipped;
+    ++ffJumps_;
 }
 
 void

@@ -70,6 +70,31 @@ class CmpSystem
     const RobustnessConfig &robustness() const { return robust_; }
 
     /**
+     * Enable or disable event-horizon fast-forwarding (constructors
+     * install REPRO_FASTFWD, default on). When enabled, run() jumps
+     * over windows in which every core is provably stalled instead
+     * of ticking them cycle by cycle; skipped cycles are folded into
+     * the per-cycle statistics, so every counter, distribution,
+     * telemetry record and checkpoint stays bit-identical to the
+     * reference loop (asserted by the differential tests). See
+     * docs/PERFORMANCE.md.
+     */
+    void setFastForward(bool enabled) { fastForward_ = enabled; }
+
+    /** True when run() may skip fully-stalled windows. */
+    bool fastForwardEnabled() const { return fastForward_; }
+
+    /**
+     * Host-side fast-forward diagnostics: cycles run() skipped and
+     * jumps it took. Deliberately *not* statistics and *not*
+     * checkpointed — they describe how the simulation was executed,
+     * not what it simulated, and folding them into either would
+     * break the bit-identity contract between the two loop modes.
+     */
+    Counter fastForwardedCycles() const { return ffSkipped_; }
+    Counter fastForwardJumps() const { return ffJumps_; }
+
+    /**
      * Run one structural-invariant pass immediately: L3 structure
      * (LRU permutation, set placement, quota accounting) plus every
      * core's L2D MSHR file. Panics on violation.
@@ -158,6 +183,25 @@ class CmpSystem
     std::vector<Counter> committedZero_;
     std::vector<Counter> l3AccessZero_;
 
+    /**
+     * Event horizon across the whole machine: the earliest cycle
+     * after @p last (the cycle just ticked) at which any core can
+     * make progress or any memory-side component (MSHR files, the
+     * stride prefetchers, the memory channel) has a completion
+     * pending. Only consulted when every core reports a wake-up
+     * beyond last + 1.
+     */
+    Cycle nextWakeCycle(Cycle last) const;
+
+    /**
+     * Jump now_ forward to the event horizon, capped by the run
+     * window end, the next telemetry sample, and the next robustness
+     * event, folding the skipped ticks into per-cycle statistics.
+     * Called with the tick at now_ - 1 just executed; a no-op unless
+     * every core is quiescent past now_.
+     */
+    void fastForwardNow(Cycle end);
+
     /** Emit one telemetry sample and advance the interval baseline. */
     void emitSample();
     /** Forward one sharing-engine epoch event to the sink. */
@@ -184,6 +228,11 @@ class CmpSystem
     Counter watchdogLastCommitted_ = 0;
     Cycle watchdogLastProgress_ = 0;
     bool faultPlanted_ = false;
+
+    /** REPRO_FASTFWD: skip provably stalled windows in run(). */
+    bool fastForward_ = true;
+    Counter ffSkipped_ = 0;
+    Counter ffJumps_ = 0;
 
     TraceSink *trace_ = nullptr;
     Cycle tracePeriod_ = 0;

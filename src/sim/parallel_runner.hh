@@ -194,7 +194,11 @@ runParallelOutcomes(
 {
     using Result = std::invoke_result_t<Fn &, const Job &>;
     std::vector<JobOutcome<Result>> outcomes(jobs.size());
-    std::vector<bool> attempted(jobs.size(), false);
+    // char, not bool: vector<bool> packs eight flags per byte, so
+    // two workers settling neighbouring jobs would race on the
+    // shared word. One byte per flag keeps the slots disjoint; the
+    // joins below order the writes before the fix-up read loop.
+    std::vector<char> attempted(jobs.size(), 0);
 
     const std::size_t workers =
         std::min<std::size_t>(num_threads == 0 ? 1 : num_threads,
@@ -205,7 +209,7 @@ runParallelOutcomes(
     std::mutex outcome_mutex;
 
     auto settleInto = [&](std::size_t i) {
-        attempted[i] = true;
+        attempted[i] = 1;
         outcomes[i] = parallel_detail::settleJob<Result>(
             jobs[i], fn, policy);
         if (!outcomes[i].ok() && policy.onFail == FailPolicy::Abort)

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "base/stats.hh"
+#include "serialize/serializer.hh"
 
 namespace nuca {
 namespace {
@@ -236,6 +237,108 @@ TEST(StatsSnapshot, DeltaSubtractsOlderSnapshot)
     // Names absent from the older snapshot count from zero.
     stats::Snapshot blank;
     EXPECT_EQ(after.delta(blank).value("root.a"), 42.0);
+}
+
+TEST(StatsDistribution, WeightedSampleBucketsAndMoments)
+{
+    stats::Group group("g");
+    stats::Distribution d(group, "d", "test dist", 0, 100, 10);
+    d.sample(5, 3);
+    d.sample(15, 2);
+    d.sample(99, 1);
+    EXPECT_EQ(d.count(), 6u);
+    EXPECT_EQ(d.bucketCount(0), 3u);
+    EXPECT_EQ(d.bucketCount(1), 2u);
+    EXPECT_EQ(d.bucketCount(9), 1u);
+    EXPECT_EQ(d.minSeen(), 5u);
+    EXPECT_EQ(d.maxSeen(), 99u);
+    EXPECT_DOUBLE_EQ(d.mean(), (5 * 3 + 15 * 2 + 99) / 6.0);
+}
+
+TEST(StatsDistribution, WeightedSampleUnderflowAndOverflow)
+{
+    stats::Group group("g");
+    stats::Distribution d(group, "d", "lat", 10, 50, 4);
+    d.sample(2, 7);   // below min -> underflow
+    d.sample(50, 4);  // at max -> overflow
+    d.sample(999, 1); // far above -> overflow
+    EXPECT_EQ(d.count(), 12u);
+    EXPECT_EQ(d.minSeen(), 2u);
+    EXPECT_EQ(d.maxSeen(), 999u);
+    for (std::size_t i = 0; i < d.buckets(); ++i)
+        EXPECT_EQ(d.bucketCount(i), 0u);
+
+    // underflow_/overflow_ have no accessors; assert via the dump.
+    std::ostringstream os;
+    group.dump(os);
+    EXPECT_NE(os.str().find("g.d.underflow 7"), std::string::npos);
+    EXPECT_NE(os.str().find("g.d.overflow 5"), std::string::npos);
+}
+
+TEST(StatsDistribution, WeightedSampleZeroCountIsANoOp)
+{
+    stats::Group group("g");
+    stats::Distribution d(group, "d", "lat", 0, 10, 1);
+    d.sample(4, 0);
+    EXPECT_EQ(d.count(), 0u);
+    // min/max must not have been primed by the discarded value.
+    std::ostringstream os;
+    group.dump(os);
+    EXPECT_EQ(os.str().find(".min"), std::string::npos);
+    EXPECT_EQ(os.str().find(".max"), std::string::npos);
+
+    d.sample(7);
+    EXPECT_EQ(d.minSeen(), 7u);
+    EXPECT_EQ(d.maxSeen(), 7u);
+}
+
+TEST(StatsDistribution, WeightedSampleMatchesRepeatedUnitSamples)
+{
+    stats::Group weighted("g");
+    stats::Group unit("g");
+    stats::Distribution dw(weighted, "d", "lat", 0, 64, 8);
+    stats::Distribution du(unit, "d", "lat", 0, 64, 8);
+
+    const std::uint64_t values[] = {0, 3, 12, 63, 64, 200, 7};
+    const std::uint64_t counts[] = {1, 5, 1000, 2, 4, 3, 17};
+    for (std::size_t i = 0; i < std::size(values); ++i) {
+        dw.sample(values[i], counts[i]);
+        for (std::uint64_t k = 0; k < counts[i]; ++k)
+            du.sample(values[i]);
+    }
+
+    EXPECT_EQ(dw.count(), du.count());
+    EXPECT_DOUBLE_EQ(dw.mean(), du.mean());
+    std::ostringstream osw, osu;
+    weighted.dump(osw);
+    unit.dump(osu);
+    EXPECT_EQ(osw.str(), osu.str());
+}
+
+TEST(StatsDistribution, WeightedSampleSerializeRoundTrip)
+{
+    stats::Group group("g");
+    stats::Distribution d(group, "d", "lat", 0, 100, 10);
+    d.sample(1, 2);
+    d.sample(55, 9);
+    d.sample(500, 3); // overflow travels through the round trip too
+
+    Serializer s;
+    d.serializeValue(s);
+
+    stats::Group twinGroup("g");
+    stats::Distribution twin(twinGroup, "d", "lat", 0, 100, 10);
+    Deserializer rd(s.bytes());
+    twin.deserializeValue(rd);
+
+    EXPECT_EQ(twin.count(), d.count());
+    EXPECT_EQ(twin.minSeen(), d.minSeen());
+    EXPECT_EQ(twin.maxSeen(), d.maxSeen());
+    EXPECT_DOUBLE_EQ(twin.mean(), d.mean());
+    std::ostringstream before, after;
+    group.dump(before);
+    twinGroup.dump(after);
+    EXPECT_EQ(before.str(), after.str());
 }
 
 } // namespace

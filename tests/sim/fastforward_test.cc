@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Differential tests for event-horizon fast-forwarding: running with
+ * REPRO_FASTFWD on must be bit-identical to the cycle-by-cycle
+ * reference loop — same statistics, same telemetry records, same
+ * checkpoint bytes — for every L3 scheme, with tracing and the
+ * robustness machinery active, and across a checkpoint/restore
+ * boundary (including restoring into a system running in the
+ * opposite mode).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serialize/serializer.hh"
+#include "sim/cmp_system.hh"
+#include "sim/robustness.hh"
+#include "sim/telemetry.hh"
+#include "workload/spec_profiles.hh"
+
+namespace nuca {
+namespace {
+
+/** Keeps every record as its compact JSON text for comparison. */
+class RecordingSink final : public TraceSink
+{
+  public:
+    void
+    write(const json::Value &record) override
+    {
+        lines.push_back(record.dump());
+    }
+    std::vector<std::string> lines;
+};
+
+/** The memory-intensive mix the fast-forward path is aimed at. */
+std::vector<WorkloadProfile>
+memoryMix()
+{
+    return {specProfile("mcf"), specProfile("art"),
+            specProfile("swim"), specProfile("equake")};
+}
+
+/** Robustness setup that actually interleaves with the jumps. */
+RobustnessConfig
+activeRobustness()
+{
+    RobustnessConfig rc;
+    rc.checkEnabled = true;
+    rc.checkPeriod = 7000; // deliberately no common factor with the
+                           // telemetry period below
+    rc.watchdogEnabled = true;
+    return rc;
+}
+
+constexpr Cycle kTracePeriod = 5000;
+constexpr std::uint64_t kSeed = 321;
+
+struct RunArtifacts
+{
+    std::string stats;
+    std::vector<std::uint8_t> machine;
+    std::vector<std::string> trace;
+    Counter skipped = 0;
+};
+
+RunArtifacts
+runOnce(L3Scheme scheme, bool fastForward, Cycle cycles)
+{
+    CmpSystem system(SystemConfig::baseline(scheme), memoryMix(),
+                     kSeed);
+    system.setFastForward(fastForward);
+    system.setRobustness(activeRobustness());
+    RecordingSink sink;
+    system.attachTelemetry(&sink, kTracePeriod);
+    system.run(cycles);
+
+    RunArtifacts out;
+    std::ostringstream os;
+    system.statsRoot().dump(os);
+    out.stats = os.str();
+    Serializer s;
+    system.checkpoint(s);
+    out.machine = s.bytes();
+    out.trace = sink.lines;
+    out.skipped = system.fastForwardedCycles();
+    return out;
+}
+
+TEST(FastForward, BitIdenticalToReferenceForEveryScheme)
+{
+    for (const auto scheme :
+         {L3Scheme::Private, L3Scheme::Shared, L3Scheme::Adaptive,
+          L3Scheme::RandomReplacement}) {
+        const RunArtifacts ff = runOnce(scheme, true, 60000);
+        const RunArtifacts ref = runOnce(scheme, false, 60000);
+
+        // The point of the test: a skipping and a non-skipping run
+        // are indistinguishable from every observable surface.
+        EXPECT_EQ(ff.stats, ref.stats)
+            << "scheme " << to_string(scheme);
+        EXPECT_EQ(ff.machine, ref.machine)
+            << "scheme " << to_string(scheme);
+        EXPECT_EQ(ff.trace, ref.trace)
+            << "scheme " << to_string(scheme);
+        EXPECT_FALSE(ff.trace.empty());
+
+        // ...and the fast path genuinely exercised itself.
+        EXPECT_GT(ff.skipped, 0u) << "scheme " << to_string(scheme);
+        EXPECT_EQ(ref.skipped, 0u);
+    }
+}
+
+TEST(FastForward, SurvivesCheckpointRestoreCrossover)
+{
+    const SystemConfig config =
+        SystemConfig::baseline(L3Scheme::Adaptive);
+    constexpr Cycle before = 30000, after = 30000;
+
+    // Phase 1 in both modes; the snapshots must already agree.
+    auto firstHalf = [&](bool fastForward) {
+        CmpSystem system(config, memoryMix(), kSeed);
+        system.setFastForward(fastForward);
+        system.setRobustness(activeRobustness());
+        system.run(before);
+        Serializer s;
+        system.checkpoint(s);
+        return s.bytes();
+    };
+    const auto ffBytes = firstHalf(true);
+    const auto refBytes = firstHalf(false);
+    ASSERT_EQ(ffBytes, refBytes);
+
+    // Phase 2: restore each snapshot into a system running the
+    // *opposite* loop mode. Both resume from identical state, so any
+    // divergence is the fast-forward path's fault alone.
+    auto secondHalf = [&](const std::vector<std::uint8_t> &bytes,
+                          bool fastForward) {
+        CmpSystem system(config, memoryMix(), kSeed);
+        Deserializer d(bytes.data(), bytes.size());
+        system.restore(d);
+        system.setFastForward(fastForward);
+        system.setRobustness(activeRobustness());
+        EXPECT_EQ(system.now(), before);
+        system.run(after);
+        Serializer s;
+        system.checkpoint(s);
+        std::ostringstream os;
+        system.statsRoot().dump(os);
+        return std::make_pair(s.bytes(), os.str());
+    };
+    const auto [ffFinal, ffStats] = secondHalf(refBytes, true);
+    const auto [refFinal, refStats] = secondHalf(ffBytes, false);
+    EXPECT_EQ(ffFinal, refFinal);
+    EXPECT_EQ(ffStats, refStats);
+}
+
+} // namespace
+} // namespace nuca

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * perf_bench: the host-performance trajectory for the event-horizon
+ * fast-forward (docs/PERFORMANCE.md). Runs two fixed
+ * memory-intensive mixes under every L3 scheme, once with the
+ * cycle-by-cycle reference loop and once with fast-forwarding, and
+ * writes BENCH_perf.json with wall seconds, simulated kilocycles per
+ * second, committed MIPS and the measured speedups. CI uploads the
+ * file and warns when throughput regresses >20% against the
+ * committed baseline.
+ *
+ * Mixes:
+ *  - "pchase_latency": four pointer-chasing cores with ~1 MSHR of
+ *    memory-level parallelism each under the Figure 10 scaled-tech
+ *    configuration (330-cycle memory). Serialized misses put the
+ *    whole machine to sleep for full memory round trips — the
+ *    workload class the fast-forward exists for, and the mix the
+ *    >=1.3x acceptance criterion is measured on.
+ *  - "spec_memory": mcf/art/swim/equake under the baseline
+ *    configuration. Memory-bound by SPEC standards but with enough
+ *    overlap that some core almost always has work; reported so the
+ *    modest speedup on realistic mixes is on record next to the
+ *    latency-bound headline.
+ *
+ * Environment: REPRO_BENCH_CYCLES (per pchase run, default 8M),
+ * REPRO_BENCH_SPEC_CYCLES (per spec run, default 2M),
+ * REPRO_BENCH_OUT (output path, default BENCH_perf.json).
+ */
+
+#include <sys/utsname.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/cmp_system.hh"
+#include "sim/experiment.hh"
+#include "sim/json_writer.hh"
+#include "workload/spec_profiles.hh"
+
+namespace {
+
+using namespace nuca;
+
+/** Pointer-chase latency mix: every load depends on the previous. */
+WorkloadProfile
+pchaseProfile()
+{
+    WorkloadProfile p;
+    p.name = "pchase";
+    p.loadFrac = 0.40;
+    p.storeFrac = 0.02;
+    p.branchFrac = 0.08;
+    p.meanDepDist = 3.0;
+    p.loadChainFrac = 0.95;
+    p.codeFootprintBytes = 8ull << 10;
+    p.regions = {MemRegion{64ull << 20, 1.0, RegionPattern::Random}};
+    p.llcIntensive = true;
+    return p;
+}
+
+struct RunResult
+{
+    double wallSeconds = 0.0;
+    double kcyclesPerSec = 0.0;
+    double mips = 0.0;
+    double skippedFrac = 0.0;
+    std::uint64_t jumps = 0;
+};
+
+RunResult
+timeRun(const SystemConfig &config,
+        const std::vector<WorkloadProfile> &apps, bool fastForward,
+        Cycle cycles)
+{
+    CmpSystem system(config, apps, /*seed=*/20070201);
+    system.setFastForward(fastForward);
+
+    const auto start = std::chrono::steady_clock::now();
+    system.run(cycles);
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - start;
+
+    Counter committed = 0;
+    for (unsigned c = 0; c < system.numCores(); ++c)
+        committed += system.coreAt(static_cast<CoreId>(c)).committed();
+
+    RunResult r;
+    r.wallSeconds = wall.count();
+    r.kcyclesPerSec =
+        static_cast<double>(cycles) / 1000.0 / r.wallSeconds;
+    r.mips = static_cast<double>(committed) / 1e6 / r.wallSeconds;
+    r.skippedFrac = static_cast<double>(system.fastForwardedCycles()) /
+                    static_cast<double>(cycles);
+    r.jumps = system.fastForwardJumps();
+    return r;
+}
+
+json::Value
+runJson(const RunResult &r, bool fastForward)
+{
+    json::Value v = json::Value::object();
+    v.set("wall_seconds", r.wallSeconds);
+    v.set("kcycles_per_sec", r.kcyclesPerSec);
+    v.set("mips", r.mips);
+    if (fastForward) {
+        v.set("skipped_frac", r.skippedFrac);
+        v.set("jumps", r.jumps);
+    }
+    return v;
+}
+
+} // namespace
+
+int
+main()
+{
+    const Cycle pchaseCycles = envOr("REPRO_BENCH_CYCLES", 8000000);
+    const Cycle specCycles =
+        envOr("REPRO_BENCH_SPEC_CYCLES", 2000000);
+    const char *outEnv = std::getenv("REPRO_BENCH_OUT");
+    const std::string outPath =
+        outEnv && *outEnv ? outEnv : "BENCH_perf.json";
+
+    const std::vector<WorkloadProfile> pchaseMix(4, pchaseProfile());
+    const std::vector<WorkloadProfile> specMix = {
+        specProfile("mcf"), specProfile("art"), specProfile("swim"),
+        specProfile("equake")};
+
+    struct MixSpec
+    {
+        const char *name;
+        const char *configName;
+        const std::vector<WorkloadProfile> *apps;
+        Cycle cycles;
+        bool criterion; // counts toward the headline min speedup
+    };
+    const MixSpec mixSpecs[] = {
+        {"pchase_latency", "scaledTech", &pchaseMix, pchaseCycles,
+         true},
+        {"spec_memory", "baseline", &specMix, specCycles, false},
+    };
+    const L3Scheme schemes[] = {L3Scheme::Private, L3Scheme::Shared,
+                                L3Scheme::Adaptive,
+                                L3Scheme::RandomReplacement};
+
+    json::Value mixes = json::Value::array();
+    double minCriterionSpeedup = 0.0;
+    bool first = true;
+    for (const auto &spec : mixSpecs) {
+        for (const auto scheme : schemes) {
+            const SystemConfig config =
+                std::string(spec.configName) == "scaledTech"
+                    ? SystemConfig::scaledTech(scheme)
+                    : SystemConfig::baseline(scheme);
+            const RunResult ref =
+                timeRun(config, *spec.apps, false, spec.cycles);
+            const RunResult ff =
+                timeRun(config, *spec.apps, true, spec.cycles);
+            const double speedup = ref.wallSeconds / ff.wallSeconds;
+
+            json::Value row = json::Value::object();
+            row.set("mix", spec.name);
+            row.set("scheme", to_string(scheme));
+            row.set("config", spec.configName);
+            row.set("cycles", spec.cycles);
+            row.set("reference", runJson(ref, false));
+            row.set("fastforward", runJson(ff, true));
+            row.set("speedup", speedup);
+            mixes.append(std::move(row));
+
+            std::printf("%-15s %-18s ref %6.2fs  ff %6.2fs  "
+                        "speedup %.2fx  skipped %.1f%%\n",
+                        spec.name, to_string(scheme).c_str(),
+                        ref.wallSeconds, ff.wallSeconds, speedup,
+                        100.0 * ff.skippedFrac);
+            std::fflush(stdout);
+
+            if (spec.criterion) {
+                minCriterionSpeedup =
+                    first ? speedup
+                          : std::min(minCriterionSpeedup, speedup);
+                first = false;
+            }
+        }
+    }
+
+    struct utsname uts = {};
+    ::uname(&uts);
+    json::Value host = json::Value::object();
+    host.set("sysname", uts.sysname);
+    host.set("release", uts.release);
+    host.set("machine", uts.machine);
+    host.set("cpus",
+             static_cast<std::uint64_t>(
+                 std::thread::hardware_concurrency()));
+    host.set("compiler", __VERSION__);
+
+    json::Value doc = json::Value::object();
+    doc.set("version", 1);
+    doc.set("host", std::move(host));
+    doc.set("mixes", std::move(mixes));
+    doc.set("min_speedup_pchase", minCriterionSpeedup);
+    json::writeFileAtomic(outPath, doc);
+    std::printf("wrote %s (min pchase speedup %.2fx)\n",
+                outPath.c_str(), minCriterionSpeedup);
+    return 0;
+}
