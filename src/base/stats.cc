@@ -97,6 +97,20 @@ Distribution::Distribution(Group &parent, std::string name,
     panic_if(max_ <= min_, "Distribution with max <= min");
     panic_if(bucketSize_ == 0, "Distribution with zero bucket size");
     counts_.assign((max_ - min_ + bucketSize_ - 1) / bucketSize_, 0);
+
+    // Prove the division-free bucket index exact for this domain:
+    // the multiply-shift is monotone in the dividend, so checking
+    // both edges of every bucket pins all interior values.
+    const std::uint64_t recip =
+        ((std::uint64_t{1} << 32) + bucketSize_ - 1) / bucketSize_;
+    bool exact = max_ - min_ <= (std::uint64_t{1} << 31);
+    for (std::size_t b = 0; exact && b < counts_.size(); ++b) {
+        const std::uint64_t lo = b * bucketSize_;
+        const std::uint64_t hi =
+            std::min(lo + bucketSize_ - 1, max_ - min_ - 1);
+        exact = ((lo * recip) >> 32) == b && ((hi * recip) >> 32) == b;
+    }
+    bucketRecip_ = exact ? recip : 0;
 }
 
 void
@@ -109,14 +123,14 @@ Distribution::sample(std::uint64_t v)
         maxSeen_ = std::max(maxSeen_, v);
     }
     ++count_;
-    sum_ += static_cast<double>(v);
+    sum_ += v;
 
     if (v < min_) {
         ++underflow_;
     } else if (v >= max_) {
         ++overflow_;
     } else {
-        ++counts_[(v - min_) / bucketSize_];
+        ++counts_[bucketIndex(v)];
     }
 }
 
@@ -132,21 +146,23 @@ Distribution::sample(std::uint64_t v, std::uint64_t count)
         maxSeen_ = std::max(maxSeen_, v);
     }
     count_ += count;
-    sum_ += static_cast<double>(v) * static_cast<double>(count);
+    sum_ += static_cast<unsigned __int128>(v) * count;
 
     if (v < min_) {
         underflow_ += count;
     } else if (v >= max_) {
         overflow_ += count;
     } else {
-        counts_[(v - min_) / bucketSize_] += count;
+        counts_[bucketIndex(v)] += count;
     }
 }
 
 double
 Distribution::mean() const
 {
-    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) /
+                             static_cast<double>(count_);
 }
 
 std::uint64_t
@@ -201,7 +217,7 @@ Distribution::reset()
 {
     std::fill(counts_.begin(), counts_.end(), 0);
     underflow_ = overflow_ = count_ = 0;
-    sum_ = 0.0;
+    sum_ = 0;
     minSeen_ = maxSeen_ = 0;
 }
 
@@ -236,7 +252,9 @@ Distribution::serializeValue(Serializer &s) const
     s.putU64(underflow_);
     s.putU64(overflow_);
     s.putU64(count_);
-    s.putDouble(sum_);
+    // 128-bit sum as a lo/hi pair (checkpoint format v2).
+    s.putU64(static_cast<std::uint64_t>(sum_));
+    s.putU64(static_cast<std::uint64_t>(sum_ >> 64));
     s.putU64(minSeen_);
     s.putU64(maxSeen_);
 }
@@ -248,7 +266,9 @@ Distribution::deserializeValue(Deserializer &d)
     underflow_ = d.getU64();
     overflow_ = d.getU64();
     count_ = d.getU64();
-    sum_ = d.getDouble();
+    const std::uint64_t sum_lo = d.getU64();
+    const std::uint64_t sum_hi = d.getU64();
+    sum_ = (static_cast<unsigned __int128>(sum_hi) << 64) | sum_lo;
     minSeen_ = d.getU64();
     maxSeen_ = d.getU64();
 }

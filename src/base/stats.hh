@@ -161,13 +161,16 @@ class Distribution : public Stat
 
     /**
      * Record @p v as if sample(v) had been called @p count times.
-     * Bit-identical to the repeated unit calls (bucket counts and
-     * min/max trivially; the running sum because every partial sum
-     * is an exactly representable integer while it stays below 2^53
-     * — at most max * count here, far below that for any simulated
-     * cycle count). This is what lets the fast-forwarding run loop
-     * fold skipped stalled cycles into per-cycle distributions
-     * without perturbing a single statistic.
+     * Bit-identical to the repeated unit calls: bucket counts and
+     * min/max trivially, and the running sum exactly, because the
+     * accumulator is a 128-bit integer — v * count never exceeds
+     * 2^128 and integer addition is associative, so no weight is
+     * large enough to make the folded and the unit-call sums
+     * diverge. (The old double accumulator silently lost the
+     * guarantee once a sum crossed 2^53, which multi-billion-cycle
+     * fast-forward folds can reach.) This is what lets the
+     * fast-forwarding run loop fold skipped stalled cycles into
+     * per-cycle distributions without perturbing a single statistic.
      */
     void sample(std::uint64_t v, std::uint64_t count);
 
@@ -186,14 +189,42 @@ class Distribution : public Stat
     void deserializeValue(Deserializer &d) override;
 
   private:
+    /** Bucket index of an in-range value, division-free when the
+     * constructor could verify the reciprocal (sample runs once or
+     * twice per simulated cycle; an integer divide there is the
+     * single most expensive instruction in the loop). */
+    std::size_t
+    bucketIndex(std::uint64_t v) const
+    {
+        const std::uint64_t d = v - min_;
+        if (bucketRecip_ != 0)
+            return static_cast<std::size_t>((d * bucketRecip_) >> 32);
+        return static_cast<std::size_t>(d / bucketSize_);
+    }
+
     std::uint64_t min_;
     std::uint64_t max_;
     std::uint64_t bucketSize_;
+    /**
+     * ceil(2^32 / bucketSize_), or 0 to fall back to plain division.
+     * The constructor proves the multiply-shift exact over the whole
+     * [min_, max_) domain (checks every bucket boundary; the mapping
+     * is monotone, so the boundaries pin all interior values) and
+     * zeroes it when the proof fails.
+     */
+    std::uint64_t bucketRecip_ = 0;
     std::vector<std::uint64_t> counts_;
     std::uint64_t underflow_ = 0;
     std::uint64_t overflow_ = 0;
     std::uint64_t count_ = 0;
-    double sum_ = 0.0;
+    /**
+     * Exact integer sum of all sampled values (weighted). 128 bits
+     * so weighted samples at multi-billion-cycle counts stay exact:
+     * u64 values times u64 counts fit, where a double would round
+     * past 2^53 and an u64 could overflow. Serialized as a lo/hi
+     * u64 pair (checkpoint format v2).
+     */
+    unsigned __int128 sum_ = 0;
     std::uint64_t minSeen_ = 0;
     std::uint64_t maxSeen_ = 0;
 };

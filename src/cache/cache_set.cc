@@ -9,25 +9,30 @@ namespace nuca {
 // block() runs on every tag probe and LRU update; its bounds check
 // is debug-only (Debug/sanitizer builds) — way indices come from
 // this set's own scan results, never from user input.
-CacheBlock &
+CacheSet::BlockView
 CacheSet::block(unsigned way)
 {
-    debug_panic_if(way >= blocks_.size(), "way out of range");
-    return blocks_[way];
+    debug_panic_if(way >= assoc_, "way out of range");
+    return BlockView{tags_[way],    valid_[way],      dirty_[way],
+                     owners_[way],  lastUse_[way],    insertedAt_[way],
+                     referenced_[way]};
 }
 
-const CacheBlock &
+CacheSet::ConstBlockView
 CacheSet::block(unsigned way) const
 {
-    debug_panic_if(way >= blocks_.size(), "way out of range");
-    return blocks_[way];
+    debug_panic_if(way >= assoc_, "way out of range");
+    return ConstBlockView{tags_[way],    valid_[way],
+                          dirty_[way],   owners_[way],
+                          lastUse_[way], insertedAt_[way],
+                          referenced_[way]};
 }
 
 int
 CacheSet::findTag(Addr tag) const
 {
-    for (unsigned w = 0; w < blocks_.size(); ++w) {
-        if (blocks_[w].valid && blocks_[w].tag == tag)
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (valid_[w] && tags_[w] == tag)
             return static_cast<int>(w);
     }
     return -1;
@@ -36,8 +41,8 @@ CacheSet::findTag(Addr tag) const
 int
 CacheSet::findInvalid() const
 {
-    for (unsigned w = 0; w < blocks_.size(); ++w) {
-        if (!blocks_[w].valid)
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (!valid_[w])
             return static_cast<int>(w);
     }
     return -1;
@@ -47,11 +52,11 @@ int
 CacheSet::lruWay() const
 {
     int victim = -1;
-    for (unsigned w = 0; w < blocks_.size(); ++w) {
-        if (!blocks_[w].valid)
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (!valid_[w])
             continue;
         if (victim < 0 ||
-            blocks_[w].lastUse < blocks_[victim].lastUse) {
+            lastUse_[w] < lastUse_[static_cast<unsigned>(victim)]) {
             victim = static_cast<int>(w);
         }
     }
@@ -62,23 +67,55 @@ int
 CacheSet::lruWayOf(CoreId core) const
 {
     int victim = -1;
-    for (unsigned w = 0; w < blocks_.size(); ++w) {
-        if (!blocks_[w].valid || blocks_[w].owner != core)
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (!valid_[w] || owners_[w] != core)
             continue;
         if (victim < 0 ||
-            blocks_[w].lastUse < blocks_[victim].lastUse) {
+            lastUse_[w] < lastUse_[static_cast<unsigned>(victim)]) {
             victim = static_cast<int>(w);
         }
     }
     return victim;
 }
 
+int
+CacheSet::fifoWay() const
+{
+    int victim = -1;
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (!valid_[w])
+            continue;
+        if (victim < 0 ||
+            insertedAt_[w] <
+                insertedAt_[static_cast<unsigned>(victim)]) {
+            victim = static_cast<int>(w);
+        }
+    }
+    return victim;
+}
+
+int
+CacheSet::firstUnreferenced() const
+{
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (!referenced_[w])
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+void
+CacheSet::clearReferenced()
+{
+    std::fill(referenced_.begin(), referenced_.end(), 0);
+}
+
 unsigned
 CacheSet::countOwned(CoreId core) const
 {
     unsigned n = 0;
-    for (const auto &b : blocks_) {
-        if (b.valid && b.owner == core)
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (valid_[w] && owners_[w] == core)
             ++n;
     }
     return n;
@@ -88,8 +125,8 @@ unsigned
 CacheSet::countValid() const
 {
     unsigned n = 0;
-    for (const auto &b : blocks_) {
-        if (b.valid)
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (valid_[w])
             ++n;
     }
     return n;
@@ -98,14 +135,15 @@ CacheSet::countValid() const
 unsigned
 CacheSet::ownerLruRank(unsigned way) const
 {
-    panic_if(way >= blocks_.size() || !blocks_[way].valid,
+    panic_if(way >= assoc_ || !valid_[way],
              "ownerLruRank of an invalid way");
-    const auto &ref = blocks_[way];
+    const CoreId owner = owners_[way];
+    const std::uint64_t use = lastUse_[way];
     unsigned rank = 0;
-    for (const auto &b : blocks_) {
-        if (&b == &ref || !b.valid || b.owner != ref.owner)
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (w == way || !valid_[w] || owners_[w] != owner)
             continue;
-        if (b.lastUse < ref.lastUse)
+        if (lastUse_[w] < use)
             ++rank;
     }
     return rank;
@@ -115,13 +153,21 @@ std::vector<unsigned>
 CacheSet::waysByLruOrder() const
 {
     std::vector<unsigned> ways;
-    ways.reserve(blocks_.size());
-    for (unsigned w = 0; w < blocks_.size(); ++w) {
-        if (blocks_[w].valid)
+    ways.reserve(assoc_);
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (valid_[w])
             ways.push_back(w);
     }
+    // Composite key: primary use stamp, tied stamps fall back to the
+    // way index. std::sort on the stamp alone leaves tied elements
+    // in an unspecified (implementation- and build-dependent) order;
+    // stamps only tie when the stack is corrupted, but even then the
+    // victim choice must not depend on which standard library or
+    // optimization level built the binary.
     std::sort(ways.begin(), ways.end(), [this](unsigned a, unsigned b) {
-        return blocks_[a].lastUse < blocks_[b].lastUse;
+        if (lastUse_[a] != lastUse_[b])
+            return lastUse_[a] < lastUse_[b];
+        return a < b;
     });
     return ways;
 }
@@ -133,10 +179,9 @@ CacheSet::checkLruInvariant() const
     panic_if(ways.size() != countValid(),
              "LRU stack is not a permutation of the valid ways");
     for (std::size_t i = 1; i < ways.size(); ++i) {
-        panic_if(blocks_[ways[i - 1]].lastUse ==
-                     blocks_[ways[i]].lastUse,
+        panic_if(lastUse_[ways[i - 1]] == lastUse_[ways[i]],
                  "LRU stack corrupted: two valid blocks share use "
-                 "stamp ", blocks_[ways[i]].lastUse);
+                 "stamp ", lastUse_[ways[i]]);
     }
 }
 
@@ -144,15 +189,14 @@ bool
 CacheSet::corruptLru()
 {
     int first = -1;
-    for (unsigned w = 0; w < blocks_.size(); ++w) {
-        if (!blocks_[w].valid)
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (!valid_[w])
             continue;
         if (first < 0) {
             first = static_cast<int>(w);
             continue;
         }
-        blocks_[w].lastUse =
-            blocks_[static_cast<unsigned>(first)].lastUse;
+        lastUse_[w] = lastUse_[static_cast<unsigned>(first)];
         return true;
     }
     return false;
@@ -161,18 +205,32 @@ CacheSet::corruptLru()
 void
 CacheSet::checkpoint(Serializer &s) const
 {
-    s.putU64(blocks_.size());
-    for (const auto &blk : blocks_)
-        checkpointBlock(s, blk);
+    s.putU64(assoc_);
+    for (unsigned w = 0; w < assoc_; ++w) {
+        s.putU64(tags_[w]);
+        s.putBool(valid_[w] != 0);
+        s.putBool(dirty_[w] != 0);
+        s.putI64(owners_[w]);
+        s.putU64(lastUse_[w]);
+        s.putU64(insertedAt_[w]);
+        s.putBool(referenced_[w] != 0);
+    }
 }
 
 void
 CacheSet::restore(Deserializer &d)
 {
-    if (d.getU64() != blocks_.size())
+    if (d.getU64() != assoc_)
         throw CheckpointError("cache set associativity mismatch");
-    for (auto &blk : blocks_)
-        restoreBlock(d, blk);
+    for (unsigned w = 0; w < assoc_; ++w) {
+        tags_[w] = d.getU64();
+        valid_[w] = d.getBool() ? 1 : 0;
+        dirty_[w] = d.getBool() ? 1 : 0;
+        owners_[w] = static_cast<CoreId>(d.getI64());
+        lastUse_[w] = d.getU64();
+        insertedAt_[w] = d.getU64();
+        referenced_[w] = d.getBool() ? 1 : 0;
+    }
 }
 
 } // namespace nuca

@@ -1,10 +1,15 @@
 /**
  * @file
- * LRU-stack operations over one cache set. The set is a fixed-size
- * array of CacheBlocks; recency comes from use stamps, and all
- * queries are linear scans (sets are at most 16 ways in every
- * configuration the paper uses, so scans beat maintaining explicit
- * stack state).
+ * LRU-stack operations over one cache set, stored struct-of-arrays:
+ * one parallel array per tag field (tags, use stamps, owners, valid
+ * bits, ...) so every query is a contiguous scan over exactly the
+ * fields it needs. The old array-of-CacheBlock layout interleaved a
+ * 48-byte record per way, which made a 16-way tag probe touch a
+ * dozen cache lines; the split arrays keep a probe inside one or two
+ * lines and let the hardware prefetcher stream them. Recency comes
+ * from use stamps, and all queries are linear scans (sets are at
+ * most 16 ways in every configuration the paper uses, so scans beat
+ * maintaining explicit stack state).
  */
 
 #ifndef NUCA_CACHE_CACHE_SET_HH
@@ -25,12 +30,52 @@ namespace nuca {
 class CacheSet
 {
   public:
-    explicit CacheSet(unsigned assoc) : blocks_(assoc) {}
+    explicit CacheSet(unsigned assoc)
+        : assoc_(assoc),
+          tags_(assoc, 0),
+          lastUse_(assoc, 0),
+          insertedAt_(assoc, 0),
+          owners_(assoc, invalidCore),
+          valid_(assoc, 0),
+          dirty_(assoc, 0),
+          referenced_(assoc, 0)
+    {}
 
-    unsigned assoc() const { return static_cast<unsigned>(blocks_.size()); }
+    unsigned assoc() const { return assoc_; }
 
-    CacheBlock &block(unsigned way);
-    const CacheBlock &block(unsigned way) const;
+    /**
+     * Thin compatibility view over one way's fields, mirroring the
+     * old CacheBlock& accessor: reads and writes go straight to the
+     * parallel arrays. Flag fields are std::uint8_t (the array
+     * element type) and convert to/from bool implicitly. Bind the
+     * result by value (`auto blk = set.block(w)`): the view itself
+     * is a bundle of references.
+     */
+    struct BlockView
+    {
+        Addr &tag;
+        std::uint8_t &valid;
+        std::uint8_t &dirty;
+        CoreId &owner;
+        std::uint64_t &lastUse;
+        std::uint64_t &insertedAt;
+        std::uint8_t &referenced;
+    };
+
+    /** Read-only counterpart of BlockView. */
+    struct ConstBlockView
+    {
+        const Addr &tag;
+        const std::uint8_t &valid;
+        const std::uint8_t &dirty;
+        const CoreId &owner;
+        const std::uint64_t &lastUse;
+        const std::uint64_t &insertedAt;
+        const std::uint8_t &referenced;
+    };
+
+    BlockView block(unsigned way);
+    ConstBlockView block(unsigned way) const;
 
     /** @return way holding @p tag, or -1 if absent. */
     int findTag(Addr tag) const;
@@ -46,6 +91,17 @@ class CacheSet
      * @p core, or -1 if the core owns no block in the set. */
     int lruWayOf(CoreId core) const;
 
+    /** @return way of the valid block with the smallest install
+     * stamp (the FIFO victim), or -1 if no block is valid. */
+    int fifoWay() const;
+
+    /** @return lowest way whose reference bit is clear (valid or
+     * not), or -1 when every way is referenced. */
+    int firstUnreferenced() const;
+
+    /** Clear every way's reference bit (the NRU epoch reset). */
+    void clearReferenced();
+
     /** Number of valid blocks owned by @p core. */
     unsigned countOwned(CoreId core) const;
 
@@ -60,7 +116,12 @@ class CacheSet
 
     /**
      * Ways of all valid blocks sorted from least to most recently
-     * used (the "LRU stack" bottom-up walk of Algorithm 1).
+     * used (the "LRU stack" bottom-up walk of Algorithm 1). Ties on
+     * the use stamp — impossible in a healthy set, where stamps come
+     * from one monotonic counter — break deterministically towards
+     * the lower way index, so Release and Debug builds pick the same
+     * victim even from a corrupted stack (Debug additionally panics
+     * via checkLruInvariant()).
      */
     std::vector<unsigned> waysByLruOrder() const;
 
@@ -84,13 +145,24 @@ class CacheSet
      */
     bool corruptLru();
 
-    /** Checkpoint every block of the set. */
+    /**
+     * Checkpoint every block of the set. The wire format is the
+     * legacy per-block field order (checkpointBlock), byte-identical
+     * to the old array-of-structs encoding.
+     */
     void checkpoint(Serializer &s) const;
     /** Restore a set with the same associativity. */
     void restore(Deserializer &d);
 
   private:
-    std::vector<CacheBlock> blocks_;
+    unsigned assoc_;
+    std::vector<Addr> tags_;
+    std::vector<std::uint64_t> lastUse_;
+    std::vector<std::uint64_t> insertedAt_;
+    std::vector<CoreId> owners_;
+    std::vector<std::uint8_t> valid_;
+    std::vector<std::uint8_t> dirty_;
+    std::vector<std::uint8_t> referenced_;
 };
 
 } // namespace nuca

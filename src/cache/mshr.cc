@@ -23,11 +23,28 @@ MshrFile::MshrFile(stats::Group &parent, const std::string &name,
 }
 
 void
+MshrFile::recomputeNextReady()
+{
+    nextReady_ = ~static_cast<Cycle>(0);
+    for (const auto &e : entries_) {
+        if (!e.reserved)
+            nextReady_ = std::min(nextReady_, e.ready);
+    }
+}
+
+void
 MshrFile::prune(Cycle now)
 {
+    // nextReady_ is the exact minimum ready cycle over completed
+    // entries, so nothing is prunable before it: the common case
+    // (an access stream hitting a still-filling miss window) skips
+    // the erase_if scan entirely.
+    if (nextReady_ > now)
+        return;
     std::erase_if(entries_, [now](const Entry &e) {
         return !e.reserved && e.ready <= now;
     });
+    recomputeNextReady();
 }
 
 Cycle
@@ -71,6 +88,7 @@ MshrFile::reserve(Addr block_addr, Cycle now)
         start = std::max(start, earliest);
         entries_.erase(entries_.begin() +
                        static_cast<std::ptrdiff_t>(idx));
+        recomputeNextReady();
         ++fullStalls_;
     }
     ++allocations_;
@@ -85,6 +103,7 @@ MshrFile::complete(Addr block_addr, Cycle ready)
         if (e.reserved && e.blockAddr == block_addr) {
             e.reserved = false;
             e.ready = ready;
+            nextReady_ = std::min(nextReady_, ready);
             return;
         }
     }
@@ -101,6 +120,12 @@ MshrFile::inFlight(Cycle now)
 Cycle
 MshrFile::nextEventCycle(Cycle now) const
 {
+    // The cached minimum answers directly while it lies in the
+    // future; when it is stale (some entry became prunable but no
+    // mutating call has pruned yet) fall back to the scan, which
+    // must skip the already-completed entries the cache counts.
+    if (nextReady_ > now)
+        return nextReady_;
     Cycle next = ~static_cast<Cycle>(0);
     for (const auto &e : entries_) {
         if (!e.reserved && e.ready > now)
@@ -176,6 +201,7 @@ MshrFile::restore(Deserializer &d)
         e.reserved = d.getBool();
         entries_.push_back(e);
     }
+    recomputeNextReady();
 }
 
 } // namespace nuca

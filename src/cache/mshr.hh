@@ -117,9 +117,19 @@ class MshrFile
     };
 
     void prune(Cycle now);
+    /** Rebuild nextReady_ from the entry list after an erase. */
+    void recomputeNextReady();
 
     unsigned capacity_;
     std::vector<Entry> entries_;
+    /**
+     * Exact minimum ready cycle over the completed (non-reserved)
+     * entries, ~0 when there is none. Derived state — kept exact by
+     * every mutation, recomputed on restore, never checkpointed.
+     * Lets prune() skip its scan while no entry is retirable and
+     * nextEventCycle() answer without walking the file.
+     */
+    Cycle nextReady_ = ~static_cast<Cycle>(0);
 
     stats::Group statsGroup_;
     stats::Scalar allocations_;

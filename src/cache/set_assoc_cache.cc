@@ -1,7 +1,10 @@
 #include "cache/set_assoc_cache.hh"
 
+#include <algorithm>
+
 #include "base/intmath.hh"
 #include "base/logging.hh"
+#include "serialize/serializer.hh"
 
 namespace nuca {
 
@@ -43,7 +46,14 @@ SetAssocCache::SetAssocCache(stats::Group &parent,
              "' needs a power-of-two set count, got ", sets);
     numSets_ = static_cast<unsigned>(sets);
     indexMask_ = numSets_ - 1;
-    sets_.assign(numSets_, CacheSet(assoc_));
+    const std::size_t ways = baseOf(numSets_);
+    tags_.assign(ways, 0);
+    lastUse_.assign(ways, 0);
+    insertedAt_.assign(ways, 0);
+    owners_.assign(ways, invalidCore);
+    valid_.assign(ways, 0);
+    dirty_.assign(ways, 0);
+    referenced_.assign(ways, 0);
 }
 
 unsigned
@@ -52,54 +62,79 @@ SetAssocCache::setIndex(Addr addr) const
     return static_cast<unsigned>(blockNumber(addr)) & indexMask_;
 }
 
+int
+SetAssocCache::findTag(std::size_t base, Addr tag) const
+{
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (valid_[base + w] && tags_[base + w] == tag)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+int
+SetAssocCache::findInvalid(std::size_t base) const
+{
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (!valid_[base + w])
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
 bool
 SetAssocCache::probe(Addr addr) const
 {
-    return sets_[setIndex(addr)].findTag(tagOf(addr)) >= 0;
+    return findTag(baseOf(setIndex(addr)), tagOf(addr)) >= 0;
 }
 
 bool
 SetAssocCache::access(Addr addr, bool is_write)
 {
     ++accesses_;
-    auto &set = sets_[setIndex(addr)];
-    const int way = set.findTag(tagOf(addr));
+    const std::size_t base = baseOf(setIndex(addr));
+    const int way = findTag(base, tagOf(addr));
     if (way < 0) {
         ++misses_;
         return false;
     }
-    auto &blk = set.block(static_cast<unsigned>(way));
-    blk.lastUse = nextStamp();
-    blk.referenced = true;
+    const std::size_t i = base + static_cast<unsigned>(way);
+    lastUse_[i] = nextStamp();
+    referenced_[i] = 1;
     if (is_write)
-        blk.dirty = true;
+        dirty_[i] = 1;
     return true;
 }
 
 unsigned
-SetAssocCache::victimWay(CacheSet &set)
+SetAssocCache::victimWay(std::size_t base)
 {
     switch (policy_) {
       case ReplPolicy::Lru: {
-          const int way = set.lruWay();
+          int way = -1;
+          for (unsigned w = 0; w < assoc_; ++w) {
+              if (!valid_[base + w])
+                  continue;
+              if (way < 0 || lastUse_[base + w] <
+                                 lastUse_[base +
+                                          static_cast<unsigned>(way)])
+                  way = static_cast<int>(w);
+          }
           panic_if(way < 0, "full set with no LRU block");
           return static_cast<unsigned>(way);
       }
       case ReplPolicy::Fifo: {
-          int victim = -1;
+          int way = -1;
           for (unsigned w = 0; w < assoc_; ++w) {
-              const auto &blk = set.block(w);
-              if (!blk.valid)
+              if (!valid_[base + w])
                   continue;
-              if (victim < 0 ||
-                  blk.insertedAt <
-                      set.block(static_cast<unsigned>(victim))
-                          .insertedAt) {
-                  victim = static_cast<int>(w);
-              }
+              if (way < 0 ||
+                  insertedAt_[base + w] <
+                      insertedAt_[base + static_cast<unsigned>(way)])
+                  way = static_cast<int>(w);
           }
-          panic_if(victim < 0, "full set with no FIFO victim");
-          return static_cast<unsigned>(victim);
+          panic_if(way < 0, "full set with no FIFO victim");
+          return static_cast<unsigned>(way);
       }
       case ReplPolicy::Random:
           return static_cast<unsigned>(rng_.below(assoc_));
@@ -108,11 +143,12 @@ SetAssocCache::victimWay(CacheSet &set)
           // none, clear all bits and take way 0 (the classic
           // one-bit approximation).
           for (unsigned w = 0; w < assoc_; ++w) {
-              if (!set.block(w).referenced)
+              if (!referenced_[base + w])
                   return w;
           }
-          for (unsigned w = 0; w < assoc_; ++w)
-              set.block(w).referenced = false;
+          std::fill_n(referenced_.begin() +
+                          static_cast<std::ptrdiff_t>(base),
+                      assoc_, std::uint8_t{0});
           return 0;
       }
     }
@@ -122,91 +158,88 @@ SetAssocCache::victimWay(CacheSet &set)
 std::optional<EvictedBlock>
 SetAssocCache::fill(Addr addr, bool dirty, CoreId owner)
 {
-    auto &set = sets_[setIndex(addr)];
+    const std::size_t base = baseOf(setIndex(addr));
     const Addr tag = tagOf(addr);
-    panic_if(set.findTag(tag) >= 0,
+    panic_if(findTag(base, tag) >= 0,
              "fill of a block that is already present");
 
-    int way = set.findInvalid();
+    int way = findInvalid(base);
     std::optional<EvictedBlock> victim;
     if (way < 0) {
-        way = static_cast<int>(victimWay(set));
-        const auto &old = set.block(static_cast<unsigned>(way));
-        victim = EvictedBlock{addrOf(old), old.dirty, old.owner};
-        if (old.dirty)
+        way = static_cast<int>(victimWay(base));
+        const std::size_t i = base + static_cast<unsigned>(way);
+        victim = EvictedBlock{addrOf(tags_[i]), dirty_[i] != 0,
+                              owners_[i]};
+        if (dirty_[i])
             ++writebacksProduced_;
     }
 
-    auto &blk = set.block(static_cast<unsigned>(way));
-    blk.tag = tag;
-    blk.valid = true;
-    blk.dirty = dirty;
-    blk.owner = owner;
-    blk.lastUse = nextStamp();
-    blk.insertedAt = blk.lastUse;
-    blk.referenced = true;
+    const std::size_t i = base + static_cast<unsigned>(way);
+    tags_[i] = tag;
+    valid_[i] = 1;
+    dirty_[i] = dirty ? 1 : 0;
+    owners_[i] = owner;
+    lastUse_[i] = nextStamp();
+    insertedAt_[i] = lastUse_[i];
+    referenced_[i] = 1;
     return victim;
 }
 
 std::optional<EvictedBlock>
 SetAssocCache::invalidate(Addr addr)
 {
-    auto &set = sets_[setIndex(addr)];
-    const int way = set.findTag(tagOf(addr));
+    const std::size_t base = baseOf(setIndex(addr));
+    const int way = findTag(base, tagOf(addr));
     if (way < 0)
         return std::nullopt;
-    auto &blk = set.block(static_cast<unsigned>(way));
-    EvictedBlock out{addrOf(blk), blk.dirty, blk.owner};
-    blk.valid = false;
-    blk.dirty = false;
-    blk.owner = invalidCore;
+    const std::size_t i = base + static_cast<unsigned>(way);
+    EvictedBlock out{addrOf(tags_[i]), dirty_[i] != 0, owners_[i]};
+    valid_[i] = 0;
+    dirty_[i] = 0;
+    owners_[i] = invalidCore;
     return out;
 }
 
 bool
 SetAssocCache::markDirty(Addr addr)
 {
-    auto &set = sets_[setIndex(addr)];
-    const int way = set.findTag(tagOf(addr));
+    const std::size_t base = baseOf(setIndex(addr));
+    const int way = findTag(base, tagOf(addr));
     if (way < 0)
         return false;
-    set.block(static_cast<unsigned>(way)).dirty = true;
+    dirty_[base + static_cast<unsigned>(way)] = 1;
     return true;
 }
 
-CacheSet &
-SetAssocCache::set(unsigned index)
-{
-    panic_if(index >= numSets_, "set index out of range");
-    return sets_[index];
-}
-
-const CacheSet &
-SetAssocCache::set(unsigned index) const
-{
-    panic_if(index >= numSets_, "set index out of range");
-    return sets_[index];
-}
-
 Addr
-SetAssocCache::addrOf(const CacheBlock &blk) const
+SetAssocCache::addrOf(Addr tag) const
 {
     // Tags store the full block number, so the address is direct.
-    return blk.tag << blockShift;
+    return tag << blockShift;
 }
 
 void
 SetAssocCache::checkInvariants() const
 {
     for (unsigned s = 0; s < numSets_; ++s) {
-        sets_[s].checkLruInvariant();
-        for (unsigned w = 0; w < assoc_; ++w) {
-            const auto &blk = sets_[s].block(w);
-            if (!blk.valid)
+        const std::size_t base = baseOf(s);
+        // The LRU stack of a set is a permutation of its valid ways
+        // exactly when the valid blocks' use stamps are pairwise
+        // distinct (stamps come from one monotonic counter, so a
+        // duplicate can only mean corruption — ties would make
+        // victim selection ambiguous).
+        for (unsigned a = 0; a < assoc_; ++a) {
+            if (!valid_[base + a])
                 continue;
-            panic_if((static_cast<unsigned>(blk.tag) & indexMask_) !=
-                         s,
+            panic_if((static_cast<unsigned>(tags_[base + a]) &
+                      indexMask_) != s,
                      "block stored in the wrong set");
+            for (unsigned b = a + 1; b < assoc_; ++b) {
+                panic_if(valid_[base + b] &&
+                             lastUse_[base + a] == lastUse_[base + b],
+                         "LRU stack corrupted: two valid blocks "
+                         "share use stamp ", lastUse_[base + a]);
+            }
         }
     }
 }
@@ -214,9 +247,20 @@ SetAssocCache::checkInvariants() const
 bool
 SetAssocCache::injectLruCorruption()
 {
-    for (auto &set : sets_) {
-        if (set.corruptLru())
+    for (unsigned s = 0; s < numSets_; ++s) {
+        const std::size_t base = baseOf(s);
+        int first = -1;
+        for (unsigned w = 0; w < assoc_; ++w) {
+            if (!valid_[base + w])
+                continue;
+            if (first < 0) {
+                first = static_cast<int>(w);
+                continue;
+            }
+            lastUse_[base + w] =
+                lastUse_[base + static_cast<unsigned>(first)];
             return true;
+        }
     }
     return false;
 }
@@ -227,9 +271,21 @@ SetAssocCache::checkpoint(Serializer &s) const
     s.putTag(fourcc("SACC"));
     s.putU64(stampCounter_);
     rng_.checkpoint(s);
-    s.putU64(sets_.size());
-    for (const auto &set : sets_)
-        set.checkpoint(s);
+    s.putU64(numSets_);
+    for (unsigned set = 0; set < numSets_; ++set) {
+        const std::size_t base = baseOf(set);
+        s.putU64(assoc_);
+        for (unsigned w = 0; w < assoc_; ++w) {
+            const std::size_t i = base + w;
+            s.putU64(tags_[i]);
+            s.putBool(valid_[i] != 0);
+            s.putBool(dirty_[i] != 0);
+            s.putI64(owners_[i]);
+            s.putU64(lastUse_[i]);
+            s.putU64(insertedAt_[i]);
+            s.putBool(referenced_[i] != 0);
+        }
+    }
 }
 
 void
@@ -238,10 +294,23 @@ SetAssocCache::restore(Deserializer &d)
     d.expectTag(fourcc("SACC"), "set-associative cache");
     stampCounter_ = d.getU64();
     rng_.restore(d);
-    if (d.getU64() != sets_.size())
+    if (d.getU64() != numSets_)
         throw CheckpointError("cache set count mismatch");
-    for (auto &set : sets_)
-        set.restore(d);
+    for (unsigned set = 0; set < numSets_; ++set) {
+        const std::size_t base = baseOf(set);
+        if (d.getU64() != assoc_)
+            throw CheckpointError("cache set associativity mismatch");
+        for (unsigned w = 0; w < assoc_; ++w) {
+            const std::size_t i = base + w;
+            tags_[i] = d.getU64();
+            valid_[i] = d.getBool() ? 1 : 0;
+            dirty_[i] = d.getBool() ? 1 : 0;
+            owners_[i] = static_cast<CoreId>(d.getI64());
+            lastUse_[i] = d.getU64();
+            insertedAt_[i] = d.getU64();
+            referenced_[i] = d.getBool() ? 1 : 0;
+        }
+    }
 }
 
 double

@@ -3,7 +3,14 @@
  * A plain set-associative, write-back/write-allocate cache tag model
  * with LRU replacement. Used directly for the L1/L2 levels and the
  * private/shared L3 baselines; the adaptive NUCA L3 builds its own
- * structure from CacheSet because its replacement is non-LRU.
+ * flat structure because its replacement is non-LRU.
+ *
+ * Tag state is stored struct-of-arrays across the whole cache: one
+ * flat parallel array per field (tags, use stamps, owners, valid
+ * bits, ...), indexed set * assoc + way. A probe scans assoc
+ * contiguous elements of exactly the arrays it needs — one or two
+ * cache lines — where a vector of per-set objects scattered every
+ * set's ways across seven separate heap allocations.
  */
 
 #ifndef NUCA_CACHE_SET_ASSOC_CACHE_HH
@@ -16,7 +23,6 @@
 #include "base/random.hh"
 #include "base/stats.hh"
 #include "base/types.hh"
-#include "cache/cache_set.hh"
 
 namespace nuca {
 
@@ -99,12 +105,8 @@ class SetAssocCache
     /** Mark the block dirty if present; @return true if present. */
     bool markDirty(Addr addr);
 
-    /** Direct set access for bespoke policies and tests. */
-    CacheSet &set(unsigned index);
-    const CacheSet &set(unsigned index) const;
-
-    /** Reconstruct a block-aligned address from set + tag. */
-    Addr addrOf(const CacheBlock &blk) const;
+    /** Reconstruct a block-aligned address from a stored tag. */
+    Addr addrOf(Addr tag) const;
 
     /**
      * Validate structural invariants over every set: each LRU stack
@@ -124,7 +126,10 @@ class SetAssocCache
     /**
      * Checkpoint the behavioural state: every set, the use-stamp
      * counter, and the replacement RNG. Statistics are checkpointed
-     * separately through the stats group tree.
+     * separately through the stats group tree. The wire format is
+     * byte-identical to the old vector-of-CacheSet encoding: per
+     * set, the associativity followed by each way's fields in the
+     * legacy order.
      */
     void checkpoint(Serializer &s) const;
     /** Restore a checkpoint of an identically configured cache. */
@@ -142,16 +147,39 @@ class SetAssocCache
   private:
     std::uint64_t nextStamp() { return ++stampCounter_; }
 
+    /** First flat index of a set's ways. */
+    std::size_t baseOf(unsigned set) const
+    {
+        return static_cast<std::size_t>(set) * assoc_;
+    }
+
+    /** Way holding @p tag in the set at @p base, or -1. */
+    int findTag(std::size_t base, Addr tag) const;
+
+    /** Way of an invalid entry in the set at @p base, or -1. */
+    int findInvalid(std::size_t base) const;
+
     /** Pick the victim way in a full set per the policy. */
-    unsigned victimWay(CacheSet &set);
+    unsigned victimWay(std::size_t base);
 
     ReplPolicy policy_;
     Rng rng_;
     unsigned assoc_;
     unsigned numSets_;
     unsigned indexMask_;
-    std::vector<CacheSet> sets_;
     std::uint64_t stampCounter_ = 0;
+
+    /**
+     * Per-way state in flat parallel arrays of numSets_ * assoc_
+     * elements; way w of set s lives at index s * assoc_ + w.
+     */
+    std::vector<Addr> tags_;
+    std::vector<std::uint64_t> lastUse_;
+    std::vector<std::uint64_t> insertedAt_;
+    std::vector<CoreId> owners_;
+    std::vector<std::uint8_t> valid_;
+    std::vector<std::uint8_t> dirty_;
+    std::vector<std::uint8_t> referenced_;
 
     stats::Group statsGroup_;
     stats::Scalar accesses_;

@@ -10,7 +10,7 @@
 #define NUCA_CACHE_TLB_HH
 
 #include <string>
-#include <unordered_map>
+#include <vector>
 
 #include "base/stats.hh"
 #include "base/types.hh"
@@ -32,8 +32,24 @@ class Tlb
      * Translate the page of @p addr.
      * @return extra cycles the access pays (0 on hit, the penalty on
      *         a miss; the missing translation is installed).
+     *
+     * The same-page run is resolved inline: the slot memo is
+     * validated against the table, so stale memos after an eviction
+     * reshuffle fall through to the out-of-line probe. Identical
+     * state evolution to the probing path.
      */
-    Cycle translate(Addr addr);
+    Cycle
+    translate(Addr addr)
+    {
+        ++accesses_;
+        const Addr page = pageNumber(addr);
+        if (page == lastPage_ && pages_[lastSlot_] == page &&
+            stamps_[lastSlot_] != 0) {
+            stamps_[lastSlot_] = ++stampCounter_;
+            return 0;
+        }
+        return translateProbe(page);
+    }
 
     Counter accesses() const { return accesses_.value(); }
     Counter misses() const { return misses_.value(); }
@@ -44,11 +60,58 @@ class Tlb
     void restore(Deserializer &d);
 
   private:
+    /** Probe (and on a miss, install) @p page; the slow half of
+     * translate(). */
+    Cycle translateProbe(Addr page);
+    /** Slot of @p page, or the empty slot where it would go. */
+    std::size_t findSlot(Addr page) const;
+    /** Remove the entry in @p slot, re-placing its probe chain. */
+    void eraseSlot(std::size_t slot);
+    /** Insert without capacity checks, linking the entry most
+     * recently used. @pre page absent, table not full.
+     * @return the slot the entry landed in. */
+    std::size_t insert(Addr page, std::uint64_t stamp);
+
+    /** Detach @p slot from the recency list. */
+    void unlink(std::size_t slot);
+    /** Attach @p slot at the MRU end of the recency list. */
+    void linkHead(std::size_t slot);
+
     unsigned capacity_;
     Cycle missPenalty_;
     std::uint64_t stampCounter_ = 0;
-    /** page number -> last-use stamp */
-    std::unordered_map<Addr, std::uint64_t> entries_;
+    /**
+     * Open-addressed linear-probe table, page number -> last-use
+     * stamp, split into parallel arrays. One translation per
+     * simulated memory access makes this the hottest map in the
+     * simulator; probing two contiguous arrays beats a node-based
+     * unordered_map by an order of magnitude. A zero stamp marks an
+     * empty slot (stamps are pre-incremented, so live stamps are
+     * never 0). Slot count is a power of two at least twice the
+     * capacity, so probe chains stay short.
+     */
+    std::vector<Addr> pages_;
+    std::vector<std::uint64_t> stamps_;
+    /**
+     * Intrusive doubly-linked recency list threaded through the
+     * slots, ordered by descending use stamp (head_ = MRU, tail_ =
+     * LRU): every stamp update writes a fresh global maximum and
+     * relinks its entry at the head, so list order and stamp order
+     * never diverge. Eviction takes tail_ in O(1) — the same victim
+     * the min-stamp scan would pick (stamps are unique) — instead
+     * of scanning every slot on each miss.
+     */
+    std::vector<std::uint32_t> prev_;
+    std::vector<std::uint32_t> next_;
+    static constexpr std::uint32_t npos = ~std::uint32_t{0};
+    std::uint32_t head_ = npos;
+    std::uint32_t tail_ = npos;
+    std::size_t slotMask_;
+    std::size_t size_ = 0;
+    /** Last page hit and its slot: memoizes the common same-page run
+     * so repeated translations skip the probe entirely. */
+    Addr lastPage_ = ~Addr{0};
+    std::size_t lastSlot_ = 0;
 
     stats::Group statsGroup_;
     stats::Scalar accesses_;

@@ -13,7 +13,8 @@ OooCore::OooCore(stats::Group &parent, const std::string &name,
       params_(params),
       mem_(mem),
       source_(source),
-      doneRing_(doneRingSize, 0),
+      doneRingMask_(doneRingSlots(params) - 1),
+      doneRing_(doneRingMask_ + 1, 0),
       statsGroup_(parent, name),
       predictor_(statsGroup_, "bpred", params.predictor),
       funcUnits_(statsGroup_, "fu", params.funcUnits),
@@ -41,6 +42,14 @@ OooCore::OooCore(stats::Group &parent, const std::string &name,
              "core structures must be non-empty");
     ruu_.init(params_.ruuSize);
     fetchQueue_.init(params_.fetchQueueSize);
+    schedMask_ =
+        std::bit_ceil(static_cast<std::size_t>(params_.ruuSize)) - 1;
+    const std::size_t words = (schedMask_ + 64) / 64;
+    readySet_.assign(words, 0);
+    unissuedStores_.assign(words, 0);
+    depHead_.assign(schedMask_ + 1, noSlot);
+    depNext_.assign(schedMask_ + 1, noSlot);
+    storeFilter_.assign(storeFilterSlots, 0);
     (void)id_;
 }
 
@@ -168,6 +177,14 @@ OooCore::readyTime(const RuuEntry &entry, std::uint64_t &blocker) const
             continue;
         if (dist > entry.seq)
             continue; // producer predates the simulation
+        if (dist > params_.ruuSize + params_.fetchQueueSize) {
+            // The producer is older than anything that can still be
+            // in flight (commit is in order), so it retired — and
+            // completed — before this instruction was even fetched.
+            // It imposes no readiness constraint, and its ring slot
+            // may already be reclaimed, so don't read it.
+            continue;
+        }
         const Cycle done = doneCycleOf(entry.seq - dist);
         if (done == notDone) {
             blocker = entry.seq - dist; // producer not issued yet
@@ -182,6 +199,10 @@ bool
 OooCore::forwardingStore(std::size_t idx) const
 {
     const Addr word = ruu_[idx].inst.effAddr >> 3;
+    // No store in the whole window touches this word's filter slot:
+    // the scan cannot find a source.
+    if (storeFilter_[storeFilterSlot(word)] == 0)
+        return false;
     // Walk younger-to-older from the load towards the RUU head; the
     // youngest older store to the word is the forwarding source.
     for (std::size_t i = idx; i-- > 0;) {
@@ -195,9 +216,12 @@ OooCore::forwardingStore(std::size_t idx) const
 void
 OooCore::commitStage(Cycle now)
 {
-    unsigned budget = params_.commitWidth;
-    while (budget > 0 && !ruu_.empty()) {
-        auto &head = ruu_.front();
+    // Batch retirement: count the completed head entries, do their
+    // per-instruction bookkeeping, and drain them with one ring
+    // adjustment and one pass over the counters.
+    unsigned n = 0;
+    while (n < params_.commitWidth && n < ruu_.size()) {
+        const auto &head = ruu_[n];
         if (!head.issued || head.doneAt > now)
             break;
         if (head.inst.isStore()) {
@@ -206,17 +230,116 @@ OooCore::commitStage(Cycle now)
             const Cycle written =
                 mem_.dataAccess(head.inst.effAddr, true, now);
             lsqReleases_.push(written);
+            --storeFilter_[storeFilterSlot(head.inst.effAddr >> 3)];
             ++committedMem_;
         } else if (head.inst.isLoad()) {
             panic_if(lsqInUse_ == 0, "load commit without LSQ slot");
             --lsqInUse_;
             ++committedMem_;
         }
-        ++committed_;
-        ruu_.pop_front();
-        --budget;
+        ++n;
+    }
+    if (n > 0) {
+        committed_ += n;
+        ruu_.pop_front(n);
         issueIdleUntil_ = now; // freed RUU/LSQ space wakes dispatch
     }
+}
+
+void
+OooCore::classifyForIssue(RuuEntry &e, Cycle now)
+{
+    std::optional<Cycle> ready;
+    if (e.readyKnown) {
+        ready = e.readyMemo;
+    } else if (e.hasBlocker && doneCycleOf(e.waitingOn) == notDone) {
+        // The remembered producer still has not issued; the entry
+        // cannot have become ready since it was last classified.
+    } else if ((ready = readyTime(e, e.waitingOn))) {
+        e.readyMemo = *ready;
+        e.readyKnown = true;
+        e.hasBlocker = false;
+    } else {
+        e.hasBlocker = true;
+    }
+
+    const std::size_t slot = slotOf(e.seq);
+    if (!ready) {
+        // Park on the unissued producer; its issue reclassifies us.
+        depNext_[slot] = depHead_[slotOf(e.waitingOn)];
+        depHead_[slotOf(e.waitingOn)] =
+            static_cast<std::uint32_t>(slot);
+    } else if (*ready > now) {
+        wakeHeap_.emplace(*ready, e.seq);
+    } else {
+        setBit(readySet_, slot);
+    }
+}
+
+void
+OooCore::wakeDependents(std::size_t slot, Cycle now)
+{
+    std::uint32_t w = depHead_[slot];
+    if (w == noSlot)
+        return;
+    depHead_[slot] = noSlot;
+    const std::size_t front_slot = slotOf(ruu_.front().seq);
+    while (w != noSlot) {
+        const std::uint32_t next = depNext_[w];
+        depNext_[w] = noSlot;
+        const std::size_t idx = (w - front_slot) & schedMask_;
+        debug_panic_if(idx >= ruu_.size() || ruu_[idx].issued,
+                       "waiter list names a dead scheduler slot");
+        classifyForIssue(ruu_[idx], now);
+        w = next;
+    }
+}
+
+void
+OooCore::rebuildScheduler(Cycle now)
+{
+    std::fill(readySet_.begin(), readySet_.end(), 0);
+    std::fill(unissuedStores_.begin(), unissuedStores_.end(), 0);
+    std::fill(depHead_.begin(), depHead_.end(), noSlot);
+    std::fill(depNext_.begin(), depNext_.end(), noSlot);
+    wakeHeap_ = {};
+    for (std::size_t i = 0; i < ruu_.size(); ++i) {
+        auto &e = ruu_[i];
+        if (e.issued)
+            continue;
+        if (e.inst.isStore())
+            setBit(unissuedStores_, slotOf(e.seq));
+        classifyForIssue(e, now);
+    }
+    schedNeedsRebuild_ = false;
+}
+
+std::uint32_t
+OooCore::olderUnissuedStoreSlot(std::size_t ruu_index) const
+{
+    // The older entries occupy `ruu_index` consecutive slots
+    // (mod the slot count) starting at the RUU head's slot; test
+    // the store mask word by word and return the first (oldest)
+    // match.
+    std::size_t pos = slotOf(ruu_.front().seq);
+    std::size_t remaining = ruu_index;
+    while (remaining > 0) {
+        const unsigned bit = pos & 63;
+        const std::size_t span = std::min(
+            {std::size_t{64} - bit, remaining, schedMask_ + 1 - pos});
+        const std::uint64_t field =
+            span == 64 ? ~std::uint64_t{0}
+                       : ((std::uint64_t{1} << span) - 1) << bit;
+        const std::uint64_t hit = unissuedStores_[pos >> 6] & field;
+        if (hit != 0) {
+            return static_cast<std::uint32_t>(
+                ((pos >> 6) << 6) |
+                static_cast<unsigned>(std::countr_zero(hit)));
+        }
+        pos = (pos + span) & schedMask_;
+        remaining -= span;
+    }
+    return noSlot;
 }
 
 void
@@ -224,76 +347,134 @@ OooCore::issueStage(Cycle now)
 {
     if (now < issueIdleUntil_)
         return;
+    if (schedNeedsRebuild_)
+        rebuildScheduler(now);
+
+    // Drain every entry whose operands resolve at or before `now`
+    // into the ready set. Heap records always name live unissued
+    // entries: an entry cannot issue before its ready cycle arrives,
+    // and cannot commit before issuing.
+    while (!wakeHeap_.empty() && wakeHeap_.top().first <= now) {
+        setBit(readySet_, slotOf(wakeHeap_.top().second));
+        wakeHeap_.pop();
+    }
 
     unsigned budget = params_.issueWidth;
     unsigned issued_count = 0;
     bool fu_blocked = false;
-    bool older_store_unissued = false;
-    Cycle next_ready = notDone;
 
-    for (std::size_t i = 0; i < ruu_.size() && budget > 0; ++i) {
-        auto &e = ruu_[i];
-        if (e.issued) {
-            continue;
-        }
-        if (e.inst.isLoad() && older_store_unissued) {
-            // Loads wait until every older store has computed its
-            // address (conservative disambiguation). The store's
-            // issue will wake the scheduler again.
-            continue;
-        }
-        std::optional<Cycle> ready;
-        if (e.readyKnown) {
-            ready = e.readyMemo;
-        } else if (e.hasBlocker &&
-                   doneCycleOf(e.waitingOn) == notDone) {
-            // The remembered producer still has not issued; the
-            // entry cannot have become ready since the last walk.
-        } else if ((ready = readyTime(e, e.waitingOn))) {
-            e.readyMemo = *ready;
-            e.readyKnown = true;
-            e.hasBlocker = false;
-        } else {
-            e.hasBlocker = true;
-        }
-        if (!ready || *ready > now) {
-            if (ready)
-                next_ready = std::min(next_ready, *ready);
-            if (e.inst.isStore())
-                older_store_unissued = true;
-            continue;
-        }
-        if (!funcUnits_.tryIssue(e.inst.op, now)) {
-            fu_blocked = true;
-            if (e.inst.isStore())
-                older_store_unissued = true;
-            continue;
-        }
+    if (!ruu_.empty()) {
+        // Walk the ready candidates in program order (ascending
+        // circular distance from the RUU head), so the functional-
+        // unit claim sequence matches a full oldest-first window
+        // scan. Walking the bitmap words circularly starting at the
+        // head's slot visits the distances already sorted: first the
+        // head word's bits at or above the head, then the following
+        // words, then the wrapped-around words, then the head word's
+        // bits below the head.
+        //
+        // The walk reads the bitmap live rather than snapshotting
+        // it: issuing a store may move parked loads back into the
+        // ready set, and every such wake lands at a strictly
+        // greater circular distance than the store (dependences
+        // point backward in program order), i.e. at a bit the walk
+        // has not reached yet. Register-dependence wakes never land
+        // in this pass at all — their ready cycles are strictly in
+        // the future (doneAt >= now + 1). `select` masks the bits
+        // of the current word still eligible this pass, so an entry
+        // skipped on a structural hazard is not retried until the
+        // next pass even though its ready bit stays set.
+        const std::size_t front_slot = slotOf(ruu_.front().seq);
+        const std::size_t words = readySet_.size();
+        const std::size_t wf = front_slot >> 6;
+        const unsigned bf = front_slot & 63;
 
-        e.issued = true;
-        ++issued_count;
-        if (e.inst.isLoad()) {
-            if (forwardingStore(i)) {
-                ++forwardedLoads_;
-                e.doneAt = now + 2;
-            } else {
-                // One cycle of address generation, then the cache.
-                e.doneAt = mem_.dataAccess(e.inst.effAddr, false,
-                                           now + 1, e.inst.pc);
+        const auto processWord = [&](std::size_t w,
+                                     std::uint64_t select) {
+            while (budget != 0) {
+                const std::uint64_t bits = readySet_[w] & select;
+                if (bits == 0)
+                    return;
+                const auto b = static_cast<unsigned>(
+                    std::countr_zero(bits));
+                select &= ~(std::uint64_t{1} << b);
+                const std::size_t slot = (w << 6) | b;
+                const std::size_t i =
+                    (slot - front_slot) & schedMask_;
+                debug_panic_if(i >= ruu_.size(),
+                               "ready set names a dead scheduler "
+                               "slot");
+                auto &e = ruu_[i];
+                debug_panic_if(e.issued,
+                               "issued entry still in the ready "
+                               "set");
+                if (e.inst.isLoad()) {
+                    const std::uint32_t blk =
+                        olderUnissuedStoreSlot(i);
+                    if (blk != noSlot) {
+                        // Loads wait until every older store has
+                        // computed its address (conservative
+                        // disambiguation). Park the load on the
+                        // oldest such store: its issue re-examines
+                        // the load, which either becomes ready or
+                        // parks on the next blocking store. Leaving
+                        // it in the ready set would re-scan the
+                        // store mask on every pass until the last
+                        // blocker issued.
+                        clearBit(readySet_, slot);
+                        depNext_[slot] = depHead_[blk];
+                        depHead_[blk] =
+                            static_cast<std::uint32_t>(slot);
+                        continue;
+                    }
+                }
+                if (!funcUnits_.tryIssue(e.inst.op, now)) {
+                    fu_blocked = true;
+                    continue;
+                }
+
+                clearBit(readySet_, slot);
+                if (e.inst.isStore())
+                    clearBit(unissuedStores_, slot);
+                e.issued = true;
+                ++issued_count;
+                if (e.inst.isLoad()) {
+                    if (forwardingStore(i)) {
+                        ++forwardedLoads_;
+                        e.doneAt = now + 2;
+                    } else {
+                        // One cycle of address generation, then
+                        // the cache.
+                        e.doneAt = mem_.dataAccess(e.inst.effAddr,
+                                                   false, now + 1,
+                                                   e.inst.pc);
+                    }
+                } else {
+                    // Stores are "done" once the address is
+                    // computed; the write happens at commit.
+                    e.doneAt = now + opLatency(e.inst.op);
+                }
+                setDoneCycle(e.seq, e.doneAt);
+                wakeDependents(slot, now);
+                --budget;
             }
-        } else {
-            // Stores are "done" once the address is computed; the
-            // write happens at commit.
-            e.doneAt = now + opLatency(e.inst.op);
-        }
-        setDoneCycle(e.seq, e.doneAt);
-        --budget;
+        };
+        processWord(wf, ~std::uint64_t{0} << bf);
+        for (std::size_t w = wf + 1; w < words; ++w)
+            processWord(w, ~std::uint64_t{0});
+        for (std::size_t w = 0; w < wf; ++w)
+            processWord(w, ~std::uint64_t{0});
+        if (bf != 0)
+            processWord(wf, (std::uint64_t{1} << bf) - 1);
     }
 
     if (issued_count == 0 && !fu_blocked) {
-        // Nothing can issue before the earliest known ready time;
-        // commits and dispatches invalidate the sleep.
-        issueIdleUntil_ = next_ready == notDone ? notDone : next_ready;
+        // Nothing can issue before the earliest future ready cycle;
+        // commits and dispatches invalidate the sleep. Store-
+        // blocked loads are parked on their blocking store's waiter
+        // list, so its issue re-examines them.
+        issueIdleUntil_ =
+            wakeHeap_.empty() ? notDone : wakeHeap_.top().first;
     } else {
         issueIdleUntil_ = now;
     }
@@ -319,6 +500,12 @@ OooCore::dispatchStage(Cycle now)
             ++lsqInUse_;
         }
         ruu_.push_back(RuuEntry{front.inst, front.seq, false, 0});
+        auto &entry = ruu_[ruu_.size() - 1];
+        if (entry.inst.isStore()) {
+            setBit(unissuedStores_, slotOf(entry.seq));
+            ++storeFilter_[storeFilterSlot(entry.inst.effAddr >> 3)];
+        }
+        classifyForIssue(entry, now);
         fetchQueue_.pop_front();
         --budget;
         issueIdleUntil_ = now; // the new entry may be ready at once
@@ -452,7 +639,7 @@ OooCore::restore(Deserializer &d)
         e.doneAt = d.getU64();
         ruu_.push_back(e);
     }
-    doneRing_ = d.getVecU64(doneRingSize, "completion ring");
+    doneRing_ = d.getVecU64(doneRingMask_ + 1, "completion ring");
     nextSeq_ = d.getU64();
     lsqInUse_ = d.getU32();
     const auto nrel = d.getU64();
@@ -474,6 +661,15 @@ OooCore::restore(Deserializer &d)
     lastFetchLine_ = d.getU64();
     predictor_.restore(d);
     funcUnits_.restore(d);
+    // The scheduler structures are derived state; rebuild them from
+    // the restored RUU at the next issue walk (which has `now`).
+    schedNeedsRebuild_ = true;
+    // The store-word filter is likewise derived from the RUU.
+    std::fill(storeFilter_.begin(), storeFilter_.end(), 0);
+    for (std::size_t i = 0; i < ruu_.size(); ++i) {
+        if (ruu_[i].inst.isStore())
+            ++storeFilter_[storeFilterSlot(ruu_[i].inst.effAddr >> 3)];
+    }
 }
 
 } // namespace nuca

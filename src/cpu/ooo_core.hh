@@ -19,6 +19,7 @@
 #include <optional>
 #include <queue>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "base/stats.hh"
@@ -196,6 +197,12 @@ class OooCore
             head_ = (head_ + 1) & mask_;
             --count_;
         }
+        /** Drop the @p n oldest entries in one step. */
+        void pop_front(std::size_t n)
+        {
+            head_ = (head_ + n) & mask_;
+            count_ -= n;
+        }
         void clear() { head_ = count_ = 0; }
 
       private:
@@ -205,8 +212,24 @@ class OooCore
         std::size_t mask_ = 0;
     };
 
-    static constexpr unsigned doneRingSize = 1u << 16;
     static constexpr Cycle notDone = ~static_cast<Cycle>(0);
+
+    /**
+     * Completion-ring capacity. Readers only ever ask about seqs in
+     * the in-flight window (RUU + fetch queue) or their direct
+     * producers, and readyTime() skips producers older than that
+     * window (they have provably retired), so the deepest lookup is
+     * 2 * (ruuSize + fetchQueueSize) behind nextSeq_. Doubling that
+     * again keeps the ring far clear of the reclaim edge while small
+     * enough (a few KB) to stay cache-resident — the previous fixed
+     * 64 Ki-entry ring was 512 KB per core and missed on nearly
+     * every lookup.
+     */
+    static std::size_t doneRingSlots(const OooCoreParams &p)
+    {
+        return std::bit_ceil(std::size_t{4} *
+                             (p.ruuSize + p.fetchQueueSize));
+    }
 
     Cycle doneCycleOf(std::uint64_t seq) const
     {
@@ -215,15 +238,15 @@ class OooCore
         // instruction has already reclaimed, which would silently
         // return the wrong completion cycle.
         debug_panic_if(seq >= nextSeq_ ||
-                           nextSeq_ - seq > doneRingSize,
+                           nextSeq_ - seq > doneRing_.size(),
                        "completion-ring lookup outside the live "
                        "window");
-        return doneRing_[seq & (doneRingSize - 1)];
+        return doneRing_[seq & doneRingMask_];
     }
     void
     setDoneCycle(std::uint64_t seq, Cycle c)
     {
-        doneRing_[seq & (doneRingSize - 1)] = c;
+        doneRing_[seq & doneRingMask_] = c;
     }
 
     void releaseLsqSlots(Cycle now);
@@ -231,6 +254,49 @@ class OooCore
     void issueStage(Cycle now);
     void dispatchStage(Cycle now);
     void fetchStage(Cycle now);
+
+    /** Scheduler slot of a sequence number. Live RUU seqs span a
+     * window no wider than the RUU, so slots are collision-free. */
+    std::size_t slotOf(std::uint64_t seq) const
+    {
+        return static_cast<std::size_t>(seq) & schedMask_;
+    }
+    static void
+    setBit(std::vector<std::uint64_t> &m, std::size_t s)
+    {
+        m[s >> 6] |= std::uint64_t{1} << (s & 63);
+    }
+    static void
+    clearBit(std::vector<std::uint64_t> &m, std::size_t s)
+    {
+        m[s >> 6] &= ~(std::uint64_t{1} << (s & 63));
+    }
+
+    /**
+     * Sort an unissued entry into the scheduler: ready set when its
+     * operands resolved at or before @p now, wake heap when they
+     * resolve at a known future cycle, the blocking producer's
+     * waiter list while a producer has not issued (its completion
+     * cycle is unknowable until it does).
+     */
+    void classifyForIssue(RuuEntry &entry, Cycle now);
+
+    /** Reclassify the waiters parked on @p slot's entry after it
+     * issued. Register consumers land in the heap (or on another
+     * blocker) — the issuer completes no earlier than next cycle.
+     * Store-blocked loads re-enter the ready set at once, at a
+     * strictly greater circular distance than the issuing store,
+     * so the current issue walk still visits them. */
+    void wakeDependents(std::size_t slot, Cycle now);
+
+    /** Rebuild every scheduler structure from the RUU (after a
+     * checkpoint restore). */
+    void rebuildScheduler(Cycle now);
+
+    /** Scheduler slot of the oldest unissued store older than the
+     * entry at RUU index @p ruu_index (conservative load
+     * disambiguation), or noSlot if every older store has issued. */
+    std::uint32_t olderUnissuedStoreSlot(std::size_t ruu_index) const;
 
     /**
      * Earliest cycle the entry's register dependences are all
@@ -255,6 +321,7 @@ class OooCore
 
     StageRing<FetchedInst> fetchQueue_;
     StageRing<RuuEntry> ruu_;
+    std::size_t doneRingMask_;
     std::vector<Cycle> doneRing_;
 
     std::uint64_t nextSeq_ = 0;
@@ -265,11 +332,61 @@ class OooCore
 
     /**
      * Scheduler sleep optimization: the issue stage is skipped until
-     * this cycle. Recomputed by a scan that issues nothing (earliest
-     * known future ready time) and invalidated to "now" by commits,
+     * this cycle. Set from the wake heap's minimum when a walk
+     * issues nothing and invalidated to "now" by commits,
      * dispatches, issues, and functional-unit contention.
      */
     Cycle issueIdleUntil_ = 0;
+
+    /**
+     * Event-driven issue scheduler. All four structures are derived
+     * state keyed by slotOf(seq): none is checkpointed, and restore
+     * sets schedNeedsRebuild_ so the next issue walk reconstructs
+     * them from the RUU. The walk therefore touches only entries
+     * that are ready (readySet_) or became ready this cycle
+     * (wakeHeap_ drain) instead of scanning the whole window.
+     */
+    static constexpr std::uint32_t noSlot = ~std::uint32_t{0};
+    std::size_t schedMask_ = 0;
+    /** Bit per slot: operands resolved, not yet issued. */
+    std::vector<std::uint64_t> readySet_;
+    /** Bit per slot: an unissued store (blocks younger loads). */
+    std::vector<std::uint64_t> unissuedStores_;
+    /** Intrusive waiter lists: depHead_[b] chains (via depNext_)
+     * the slots blocked on the unissued producer in slot b — both
+     * register consumers awaiting its completion time and ready
+     * loads parked behind it while it is an unissued store. */
+    std::vector<std::uint32_t> depHead_;
+    std::vector<std::uint32_t> depNext_;
+    /** Min-heap of (ready cycle, seq) for entries whose operands
+     * resolve at a known future cycle. */
+    std::priority_queue<std::pair<Cycle, std::uint64_t>,
+                        std::vector<std::pair<Cycle, std::uint64_t>>,
+                        std::greater<>>
+        wakeHeap_;
+    bool schedNeedsRebuild_ = false;
+
+    /**
+     * Counting filter over the 8-byte words written by stores
+     * currently in the RUU (hashed; counts, so collisions and
+     * duplicates are exact). forwardingStore() only pays its
+     * window scan when the load's word hashes to a non-zero count —
+     * with disjoint per-core heaps, load/store word collisions are
+     * rare, so nearly every load skips the scan. Derived state:
+     * maintained at dispatch/commit, rebuilt on restore, never
+     * checkpointed. A zero count proves no matching store exists;
+     * a non-zero count falls back to the exact scan, so the filter
+     * never changes an outcome.
+     */
+    static constexpr std::size_t storeFilterSlots = 1u << 11;
+    static std::size_t
+    storeFilterSlot(Addr word)
+    {
+        return static_cast<std::size_t>(
+                   (word * 0x9e3779b97f4a7c15ull) >> 32) &
+               (storeFilterSlots - 1);
+    }
+    std::vector<std::uint16_t> storeFilter_;
 
     /** Branch the fetch unit is stalled on, if any. */
     std::optional<std::uint64_t> fetchStallSeq_;

@@ -1,6 +1,8 @@
 #include "nuca/adaptive_nuca.hh"
 
 #include <algorithm>
+#include <bit>
+#include <cstring>
 
 #include "base/intmath.hh"
 #include "base/logging.hh"
@@ -63,20 +65,26 @@ AdaptiveNuca::AdaptiveNuca(stats::Group &parent,
              "adaptive NUCA needs a power-of-two set count, got ",
              numSets_);
     indexMask_ = numSets_ - 1;
-    slots_.assign(static_cast<std::size_t>(numSets_) * totalWays_,
-                  Slot{});
+    const std::size_t slots =
+        static_cast<std::size_t>(numSets_) * totalWays_;
+    tags_.assign(slots, 0);
+    lastUse_.assign(slots, 0);
+    owners_.assign(slots, invalidCore);
+    valid_.assign(slots, 0);
+    dirty_.assign(slots, 0);
+    isShared_.assign(slots, 0);
+    sig_.assign(slots, 0);
+    ownedScratch_.assign(params_.numCores, 0);
 }
 
-AdaptiveNuca::Slot &
-AdaptiveNuca::slotAt(unsigned set, unsigned slot)
+void
+AdaptiveNuca::clearSlot(std::size_t i)
 {
-    return slots_[static_cast<std::size_t>(set) * totalWays_ + slot];
-}
-
-const AdaptiveNuca::Slot &
-AdaptiveNuca::slotAtConst(unsigned set, unsigned slot) const
-{
-    return slots_[static_cast<std::size_t>(set) * totalWays_ + slot];
+    valid_[i] = 0;
+    dirty_[i] = 0;
+    owners_[i] = invalidCore;
+    isShared_[i] = 0;
+    sig_[i] = 0;
 }
 
 unsigned
@@ -92,12 +100,15 @@ AdaptiveNuca::homeOf(unsigned slot) const
     return static_cast<CoreId>(slot / params_.localAssoc);
 }
 
-const CacheBlock &
+CacheBlock
 AdaptiveNuca::blockAt(unsigned set, unsigned slot) const
 {
     panic_if(set >= numSets_ || slot >= totalWays_,
              "set/slot out of range");
-    return slotAtConst(set, slot).blk;
+    const std::size_t i = idx(set, slot);
+    return CacheBlock{tags_[i],       valid_[i] != 0, dirty_[i] != 0,
+                      owners_[i],     lastUse_[i],    0,
+                      false};
 }
 
 bool
@@ -105,20 +116,67 @@ AdaptiveNuca::slotIsShared(unsigned set, unsigned slot) const
 {
     panic_if(set >= numSets_ || slot >= totalWays_,
              "set/slot out of range");
-    return slotAtConst(set, slot).isShared;
+    return isShared_[idx(set, slot)] != 0;
 }
+
+namespace {
+
+/**
+ * Bitmask of bytes in @p word equal to @p pattern's repeated byte:
+ * 0x80 lands in (at least) every matching byte's high bit, in byte
+ * order. Borrow propagation can additionally flag a byte *above* a
+ * true match, so callers must re-verify each candidate — but no
+ * match is ever missed, and candidates surface in ascending slot
+ * order, which is all the probe loops rely on.
+ */
+std::uint64_t
+matchBytes(std::uint64_t word, std::uint64_t pattern)
+{
+    const std::uint64_t x = word ^ pattern;
+    return (x - 0x0101010101010101ull) & ~x & 0x8080808080808080ull;
+}
+
+} // namespace
 
 int
 AdaptiveNuca::findVisible(unsigned set, CoreId core, Addr tag) const
 {
+    const std::size_t base = idx(set, 0);
+    // Signature pre-filter: scan the one-byte signatures eight at a
+    // time and only compare the full tag on candidate slots. The
+    // visibility rule (private blocks are visible only to the core
+    // whose local cache holds them, relaxed in parallel-workload
+    // mode) applies to candidates exactly as the plain scan applied
+    // it to every slot, in the same ascending-slot order.
+    if ((totalWays_ & 7) == 0) {
+        const std::uint64_t pattern =
+            sigOf(tag) * 0x0101010101010101ull;
+        for (unsigned w = 0; w < totalWays_; w += 8) {
+            std::uint64_t word;
+            std::memcpy(&word, sig_.data() + base + w, 8);
+            std::uint64_t m = matchBytes(word, pattern);
+            while (m != 0) {
+                const unsigned s =
+                    w +
+                    (static_cast<unsigned>(std::countr_zero(m)) >> 3);
+                m &= m - 1;
+                const std::size_t i = base + s;
+                if (!valid_[i] || tags_[i] != tag)
+                    continue;
+                if (!isShared_[i] && homeOf(s) != core &&
+                    !params_.allowRemotePrivateHits) {
+                    continue;
+                }
+                return static_cast<int>(s);
+            }
+        }
+        return -1;
+    }
     for (unsigned s = 0; s < totalWays_; ++s) {
-        const auto &slot = slotAtConst(set, s);
-        if (!slot.blk.valid || slot.blk.tag != tag)
+        const std::size_t i = base + s;
+        if (!valid_[i] || tags_[i] != tag)
             continue;
-        // Private blocks are visible only to the core whose local
-        // cache holds them (relaxed in parallel-workload mode so
-        // shared data is never duplicated).
-        if (!slot.isShared && homeOf(s) != core &&
+        if (!isShared_[i] && homeOf(s) != core &&
             !params_.allowRemotePrivateHits) {
             continue;
         }
@@ -130,9 +188,27 @@ AdaptiveNuca::findVisible(unsigned set, CoreId core, Addr tag) const
 int
 AdaptiveNuca::findAny(unsigned set, Addr tag) const
 {
+    const std::size_t base = idx(set, 0);
+    if ((totalWays_ & 7) == 0) {
+        const std::uint64_t pattern =
+            sigOf(tag) * 0x0101010101010101ull;
+        for (unsigned w = 0; w < totalWays_; w += 8) {
+            std::uint64_t word;
+            std::memcpy(&word, sig_.data() + base + w, 8);
+            std::uint64_t m = matchBytes(word, pattern);
+            while (m != 0) {
+                const unsigned s =
+                    w +
+                    (static_cast<unsigned>(std::countr_zero(m)) >> 3);
+                m &= m - 1;
+                if (valid_[base + s] && tags_[base + s] == tag)
+                    return static_cast<int>(s);
+            }
+        }
+        return -1;
+    }
     for (unsigned s = 0; s < totalWays_; ++s) {
-        const auto &slot = slotAtConst(set, s);
-        if (slot.blk.valid && slot.blk.tag == tag)
+        if (valid_[base + s] && tags_[base + s] == tag)
             return static_cast<int>(s);
     }
     return -1;
@@ -144,7 +220,7 @@ AdaptiveNuca::invalidLocalSlot(unsigned set, CoreId core) const
     const unsigned base =
         static_cast<unsigned>(core) * params_.localAssoc;
     for (unsigned s = base; s < base + params_.localAssoc; ++s) {
-        if (!slotAtConst(set, s).blk.valid)
+        if (!valid_[idx(set, s)])
             return static_cast<int>(s);
     }
     return -1;
@@ -153,8 +229,9 @@ AdaptiveNuca::invalidLocalSlot(unsigned set, CoreId core) const
 int
 AdaptiveNuca::invalidAnySlot(unsigned set) const
 {
+    const std::size_t base = idx(set, 0);
     for (unsigned s = 0; s < totalWays_; ++s) {
-        if (!slotAtConst(set, s).blk.valid)
+        if (!valid_[base + s])
             return static_cast<int>(s);
     }
     return -1;
@@ -167,11 +244,12 @@ AdaptiveNuca::privateLruSlot(unsigned set, CoreId core) const
     const unsigned base =
         static_cast<unsigned>(core) * params_.localAssoc;
     for (unsigned s = base; s < base + params_.localAssoc; ++s) {
-        const auto &slot = slotAtConst(set, s);
-        if (!slot.blk.valid || slot.isShared)
+        const std::size_t i = idx(set, s);
+        if (!valid_[i] || isShared_[i])
             continue;
-        if (victim < 0 || slot.blk.lastUse <
-                              slotAtConst(set, victim).blk.lastUse) {
+        if (victim < 0 ||
+            lastUse_[i] <
+                lastUse_[idx(set, static_cast<unsigned>(victim))]) {
             victim = static_cast<int>(s);
         }
     }
@@ -185,11 +263,12 @@ AdaptiveNuca::localSharedLruSlot(unsigned set, CoreId core) const
     const unsigned base =
         static_cast<unsigned>(core) * params_.localAssoc;
     for (unsigned s = base; s < base + params_.localAssoc; ++s) {
-        const auto &slot = slotAtConst(set, s);
-        if (!slot.blk.valid || !slot.isShared)
+        const std::size_t i = idx(set, s);
+        if (!valid_[i] || !isShared_[i])
             continue;
-        if (victim < 0 || slot.blk.lastUse <
-                              slotAtConst(set, victim).blk.lastUse) {
+        if (victim < 0 ||
+            lastUse_[i] <
+                lastUse_[idx(set, static_cast<unsigned>(victim))]) {
             victim = static_cast<int>(s);
         }
     }
@@ -200,9 +279,9 @@ unsigned
 AdaptiveNuca::ownedCount(unsigned set, CoreId core) const
 {
     unsigned n = 0;
+    const std::size_t base = idx(set, 0);
     for (unsigned s = 0; s < totalWays_; ++s) {
-        const auto &slot = slotAtConst(set, s);
-        if (slot.blk.valid && slot.blk.owner == core)
+        if (valid_[base + s] && owners_[base + s] == core)
             ++n;
     }
     return n;
@@ -215,8 +294,8 @@ AdaptiveNuca::privateCount(unsigned set, CoreId core) const
     const unsigned base =
         static_cast<unsigned>(core) * params_.localAssoc;
     for (unsigned s = base; s < base + params_.localAssoc; ++s) {
-        const auto &slot = slotAtConst(set, s);
-        if (slot.blk.valid && !slot.isShared)
+        const std::size_t i = idx(set, s);
+        if (valid_[i] && !isShared_[i])
             ++n;
     }
     return n;
@@ -225,15 +304,16 @@ AdaptiveNuca::privateCount(unsigned set, CoreId core) const
 bool
 AdaptiveNuca::isOwnerLru(unsigned set, unsigned slot) const
 {
-    const auto &ref = slotAtConst(set, slot).blk;
+    const std::size_t ref = idx(set, slot);
+    const CoreId owner = owners_[ref];
+    const std::uint64_t use = lastUse_[ref];
+    const std::size_t base = idx(set, 0);
     for (unsigned s = 0; s < totalWays_; ++s) {
-        if (s == slot)
+        const std::size_t i = base + s;
+        if (i == ref)
             continue;
-        const auto &blk = slotAtConst(set, s).blk;
-        if (blk.valid && blk.owner == ref.owner &&
-            blk.lastUse < ref.lastUse) {
+        if (valid_[i] && owners_[i] == owner && lastUse_[i] < use)
             return false;
-        }
     }
     return true;
 }
@@ -241,48 +321,62 @@ AdaptiveNuca::isOwnerLru(unsigned set, unsigned slot) const
 int
 AdaptiveNuca::findSharedVictim(unsigned set, CoreId extra_owner) const
 {
-    // Collect shared slots in LRU-to-MRU order.
-    std::vector<unsigned> shared;
-    shared.reserve(totalWays_);
+    // Algorithm 1's LRU-to-MRU walk returns the first shared block
+    // whose owner is over quota, falling back to the shared-LRU
+    // block (step 8). "First in LRU order" is just "minimum
+    // (lastUse, slot)", so instead of sorting the shared slots we
+    // take both minima in one scan: the quota test depends only on
+    // the owner, never on the walk position.
+    std::vector<unsigned> &counts = ownedScratch_;
+    std::fill(counts.begin(), counts.end(), 0u);
+    const std::size_t base = idx(set, 0);
     for (unsigned s = 0; s < totalWays_; ++s) {
-        const auto &slot = slotAtConst(set, s);
-        if (slot.blk.valid && slot.isShared)
-            shared.push_back(s);
+        if (valid_[base + s])
+            ++counts[static_cast<std::size_t>(owners_[base + s])];
     }
-    if (shared.empty())
-        return -1;
-    std::sort(shared.begin(), shared.end(),
-              [this, set](unsigned a, unsigned b) {
-                  return slotAtConst(set, a).blk.lastUse <
-                         slotAtConst(set, b).blk.lastUse;
-              });
-
-    for (unsigned s : shared) {
-        const CoreId owner = slotAtConst(set, s).blk.owner;
-        unsigned count = ownedCount(set, owner);
-        if (owner == extra_owner)
-            ++count;
-        if (count > engine_.quota(owner))
-            return static_cast<int>(s);
+    unsigned over_mask = 0;
+    for (CoreId c = 0; c < static_cast<CoreId>(params_.numCores);
+         ++c) {
+        const unsigned count =
+            counts[static_cast<std::size_t>(c)] +
+            (c == extra_owner ? 1u : 0u);
+        if (count > engine_.quota(c))
+            over_mask |= 1u << c;
     }
-    // Nobody over quota: fall back to the LRU block of the shared
-    // partition (Algorithm 1, step 8).
-    return static_cast<int>(shared.front());
+    int best_any = -1, best_over = -1;
+    std::uint64_t any_use = 0, over_use = 0;
+    for (unsigned s = 0; s < totalWays_; ++s) {
+        if (!valid_[base + s] || !isShared_[base + s])
+            continue;
+        // Strict < keeps the lower slot on (corrupted-stack) stamp
+        // ties — the same deterministic order the old sort's
+        // slot-index tie-break produced. Use stamps are unique in a
+        // healthy set.
+        const std::uint64_t use = lastUse_[base + s];
+        if (best_any < 0 || use < any_use) {
+            best_any = static_cast<int>(s);
+            any_use = use;
+        }
+        if ((over_mask >> owners_[base + s]) & 1u) {
+            if (best_over < 0 || use < over_use) {
+                best_over = static_cast<int>(s);
+                over_use = use;
+            }
+        }
+    }
+    return best_over >= 0 ? best_over : best_any;
 }
 
 void
 AdaptiveNuca::evictSlot(unsigned set, unsigned slot, Cycle now)
 {
-    auto &victim = slotAt(set, slot);
-    panic_if(!victim.blk.valid, "evicting an invalid slot");
+    const std::size_t i = idx(set, slot);
+    panic_if(!valid_[i], "evicting an invalid slot");
     ++evictions_;
-    engine_.recordEviction(set, victim.blk.owner, victim.blk.tag);
-    if (victim.blk.dirty)
-        memory_.writebackBlock(victim.blk.tag << blockShift, now);
-    victim.blk.valid = false;
-    victim.blk.dirty = false;
-    victim.blk.owner = invalidCore;
-    victim.isShared = false;
+    engine_.recordEviction(set, owners_[i], tags_[i]);
+    if (dirty_[i])
+        memory_.writebackBlock(tags_[i] << blockShift, now);
+    clearSlot(i);
 }
 
 void
@@ -294,7 +388,7 @@ AdaptiveNuca::enforcePrivateCap(unsigned set, CoreId core)
         panic_if(demote < 0, "private count positive but no LRU");
         // In-place demotion: only the label changes (lazy
         // repartitioning, Section 2.5). The block keeps its age.
-        slotAt(set, static_cast<unsigned>(demote)).isShared = true;
+        isShared_[idx(set, static_cast<unsigned>(demote))] = 1;
         ++demotions_;
     }
 }
@@ -303,16 +397,28 @@ void
 AdaptiveNuca::maybeCountLruHit(unsigned set, unsigned slot,
                                CoreId core)
 {
-    const auto &blk = slotAtConst(set, slot).blk;
-    if (blk.owner != core)
+    const std::size_t ref = idx(set, slot);
+    if (owners_[ref] != core)
         return;
     // The loss estimator: a hit on the requester's own LRU block
     // while it holds at least its quota means this hit would miss
-    // with one block per set less.
-    if (isOwnerLru(set, slot) &&
-        ownedCount(set, core) >= engine_.quota(core)) {
-        engine_.countLruHit(core);
+    // with one block per set less. One fused scan answers both the
+    // is-LRU and the owned-count question isOwnerLru + ownedCount
+    // used to take separate passes over.
+    const std::uint64_t use = lastUse_[ref];
+    const std::size_t base = idx(set, 0);
+    unsigned owned = 0;
+    bool is_lru = true;
+    for (unsigned s = 0; s < totalWays_; ++s) {
+        const std::size_t i = base + s;
+        if (!valid_[i] || owners_[i] != core)
+            continue;
+        ++owned;
+        if (i != ref && lastUse_[i] < use)
+            is_lru = false;
     }
+    if (is_lru && owned >= engine_.quota(core))
+        engine_.countLruHit(core);
 }
 
 L3Result
@@ -327,17 +433,17 @@ AdaptiveNuca::access(const MemRequest &req, Cycle now)
         const auto fslot = static_cast<unsigned>(found);
         maybeCountLruHit(set, fslot, core);
 
-        auto &slot = slotAt(set, fslot);
+        const std::size_t fi = idx(set, fslot);
         if (req.isWrite())
-            slot.blk.dirty = true;
+            dirty_[fi] = 1;
 
         if (homeOf(fslot) == core) {
             // Local hit: fast. A shared-labeled block in the local
             // cache is promoted back into the private partition.
-            slot.blk.lastUse = nextStamp();
-            if (slot.isShared) {
-                slot.isShared = false;
-                slot.blk.owner = core;
+            lastUse_[fi] = nextStamp();
+            if (isShared_[fi]) {
+                isShared_[fi] = 0;
+                owners_[fi] = core;
                 ++promotions_;
                 // The promoted block is MRU, so the cap demotes an
                 // older private block, never the promoted one.
@@ -359,27 +465,32 @@ AdaptiveNuca::access(const MemRequest &req, Cycle now)
             back = localSharedLruSlot(set, core);
         panic_if(back < 0, "local cache has neither an invalid, a "
                            "private, nor a shared slot");
-        const auto bslot = static_cast<unsigned>(back);
+        const std::size_t bi =
+            idx(set, static_cast<unsigned>(back));
 
-        auto &dst = slotAt(set, bslot);
-        const Slot displaced = dst;
+        // Capture the displaced block before overwriting its slot.
+        const bool d_valid = valid_[bi] != 0;
+        const Addr d_tag = tags_[bi];
+        const bool d_dirty = dirty_[bi] != 0;
+        const CoreId d_owner = owners_[bi];
 
-        dst.blk = slot.blk;
-        dst.blk.owner = core;
-        dst.blk.lastUse = nextStamp();
-        dst.isShared = false;
+        writeTag(bi, tags_[fi]);
+        valid_[bi] = 1;
+        dirty_[bi] = dirty_[fi];
+        owners_[bi] = core;
+        lastUse_[bi] = nextStamp();
+        isShared_[bi] = 0;
         enforcePrivateCap(set, core);
 
-        auto &vacated = slotAt(set, fslot);
-        if (displaced.blk.valid) {
-            vacated.blk = displaced.blk;
-            vacated.blk.lastUse = nextStamp();
-            vacated.isShared = true;
+        if (d_valid) {
+            writeTag(fi, d_tag);
+            valid_[fi] = 1;
+            dirty_[fi] = d_dirty ? 1 : 0;
+            owners_[fi] = d_owner;
+            lastUse_[fi] = nextStamp();
+            isShared_[fi] = 1;
         } else {
-            vacated.blk.valid = false;
-            vacated.blk.dirty = false;
-            vacated.blk.owner = invalidCore;
-            vacated.isShared = false;
+            clearSlot(fi);
         }
         ++swaps_;
         ++remoteHits_[static_cast<std::size_t>(core)];
@@ -403,9 +514,13 @@ AdaptiveNuca::insertFromMemory(unsigned set, CoreId core, Addr tag,
     // MRU (Section 2.4).
     int dest = invalidLocalSlot(set, core);
     if (dest >= 0) {
-        auto &slot = slotAt(set, static_cast<unsigned>(dest));
-        slot.blk = CacheBlock{tag, true, dirty, core, nextStamp()};
-        slot.isShared = false;
+        const std::size_t i = idx(set, static_cast<unsigned>(dest));
+        writeTag(i, tag);
+        valid_[i] = 1;
+        dirty_[i] = dirty ? 1 : 0;
+        owners_[i] = core;
+        lastUse_[i] = nextStamp();
+        isShared_[i] = 0;
         enforcePrivateCap(set, core);
         return;
     }
@@ -414,29 +529,34 @@ AdaptiveNuca::insertFromMemory(unsigned set, CoreId core, Addr tag,
     if (dest < 0)
         dest = localSharedLruSlot(set, core);
     panic_if(dest < 0, "full local cache with no victim");
-    const auto dslot = static_cast<unsigned>(dest);
+    const std::size_t di = idx(set, static_cast<unsigned>(dest));
 
-    auto &slot = slotAt(set, dslot);
-    const Slot displaced = slot;
-    slot.blk = CacheBlock{tag, true, dirty, core, nextStamp()};
-    slot.isShared = false;
+    // Capture the displaced block, then overwrite its slot with the
+    // new arrival.
+    const Addr d_tag = tags_[di];
+    const bool d_valid = valid_[di] != 0;
+    const bool d_dirty = dirty_[di] != 0;
+    const CoreId d_owner = owners_[di];
+    writeTag(di, tag);
+    valid_[di] = 1;
+    dirty_[di] = dirty ? 1 : 0;
+    owners_[di] = core;
+    lastUse_[di] = nextStamp();
+    isShared_[di] = 0;
 
     // The displaced block is allocated in the shared partition; the
     // shared partition makes room per Algorithm 1.
-    panic_if(!displaced.blk.valid, "displaced block is invalid");
+    panic_if(!d_valid, "displaced block is invalid");
     int target = invalidAnySlot(set);
     if (target < 0) {
-        target = findSharedVictim(set, displaced.blk.owner);
+        target = findSharedVictim(set, d_owner);
         if (target < 0) {
             // No shared block exists (transient cold state): the
             // displaced block itself is evicted.
             ++evictions_;
-            engine_.recordEviction(set, displaced.blk.owner,
-                                   displaced.blk.tag);
-            if (displaced.blk.dirty) {
-                memory_.writebackBlock(displaced.blk.tag << blockShift,
-                                       now);
-            }
+            engine_.recordEviction(set, d_owner, d_tag);
+            if (d_dirty)
+                memory_.writebackBlock(d_tag << blockShift, now);
             enforcePrivateCap(set, core);
             return;
         }
@@ -446,21 +566,22 @@ AdaptiveNuca::insertFromMemory(unsigned set, CoreId core, Addr tag,
         // (it just left a private partition), so the in-cache block
         // is the right victim either way.
         const auto tslot = static_cast<unsigned>(target);
-        if (ownedCount(set, slotAtConst(set, tslot).blk.owner) +
-                (slotAtConst(set, tslot).blk.owner ==
-                         displaced.blk.owner
-                     ? 1u
-                     : 0u) >
-            engine_.quota(slotAtConst(set, tslot).blk.owner)) {
+        const CoreId t_owner = owners_[idx(set, tslot)];
+        if (ownedCount(set, t_owner) +
+                (t_owner == d_owner ? 1u : 0u) >
+            engine_.quota(t_owner)) {
             ++overQuotaEvictions_;
         }
         evictSlot(set, tslot, now);
     }
 
-    auto &home = slotAt(set, static_cast<unsigned>(target));
-    home.blk = displaced.blk;
-    home.blk.lastUse = nextStamp(); // MRU of the shared partition
-    home.isShared = true;
+    const std::size_t hi = idx(set, static_cast<unsigned>(target));
+    writeTag(hi, d_tag);
+    valid_[hi] = 1;
+    dirty_[hi] = d_dirty ? 1 : 0;
+    owners_[hi] = d_owner;
+    lastUse_[hi] = nextStamp(); // MRU of the shared partition
+    isShared_[hi] = 1;
     ++demotions_;
     enforcePrivateCap(set, core);
 }
@@ -472,7 +593,7 @@ AdaptiveNuca::writebackFromL2(CoreId core, Addr addr, Cycle now)
     const unsigned set = setIndex(addr);
     const int found = findAny(set, blockNumber(addr));
     if (found >= 0) {
-        slotAt(set, static_cast<unsigned>(found)).blk.dirty = true;
+        dirty_[idx(set, static_cast<unsigned>(found))] = 1;
         return;
     }
     memory_.writebackBlock(addr, now);
@@ -506,6 +627,7 @@ AdaptiveNuca::checkInvariants() const
              "quotas no longer sum to the total ways per set");
 
     for (unsigned set = 0; set < numSets_; ++set) {
+        const std::size_t base = idx(set, 0);
         // The per-core block counts must account for exactly the
         // valid slots of the set (never more than the global
         // associativity): Algorithm 1's over-quota victim choice
@@ -516,7 +638,7 @@ AdaptiveNuca::checkInvariants() const
             owned_sum += ownedCount(set, static_cast<CoreId>(c));
         unsigned valid_count = 0;
         for (unsigned s = 0; s < totalWays_; ++s) {
-            if (slotAtConst(set, s).blk.valid)
+            if (valid_[base + s])
                 ++valid_count;
         }
         panic_if(owned_sum != valid_count || valid_count > totalWays_,
@@ -524,21 +646,30 @@ AdaptiveNuca::checkInvariants() const
                  "valid blocks");
 
         for (unsigned s = 0; s < totalWays_; ++s) {
-            const auto &slot = slotAtConst(set, s);
-            if (!slot.blk.valid)
+            const std::size_t i = base + s;
+            if (!valid_[i])
                 continue;
-            panic_if(slot.blk.owner < 0 ||
-                         static_cast<unsigned>(slot.blk.owner) >=
+            panic_if(owners_[i] < 0 ||
+                         static_cast<unsigned>(owners_[i]) >=
                              params_.numCores,
                      "valid block with an invalid owner");
             // A private-labeled block must live in its owner's
             // local cache.
-            panic_if(!slot.isShared && homeOf(s) != slot.blk.owner,
+            panic_if(!isShared_[i] && homeOf(s) != owners_[i],
                      "private block outside its owner's cache");
             // Tags must map back to this set.
-            panic_if((static_cast<unsigned>(slot.blk.tag) &
-                      indexMask_) != set,
+            panic_if((static_cast<unsigned>(tags_[i]) & indexMask_) !=
+                         set,
                      "block stored in the wrong set");
+        }
+        // The signature cache must mirror the tags exactly: a stale
+        // entry would make the probe pre-filter skip a real block.
+        for (unsigned s = 0; s < totalWays_; ++s) {
+            const std::size_t i = base + s;
+            panic_if(sig_[i] !=
+                         (valid_[i] ? sigOf(tags_[i])
+                                    : std::uint8_t{0}),
+                     "tag signature out of sync with its tag");
         }
         // The set's LRU stack must be a strict permutation: use
         // stamps come from one monotonically increasing counter, so
@@ -546,15 +677,13 @@ AdaptiveNuca::checkInvariants() const
         // and ambiguous recency breaks Algorithm 1's victim walk and
         // the LRU-hit loss estimator.
         for (unsigned a = 0; a < totalWays_; ++a) {
-            const auto &sa = slotAtConst(set, a);
-            if (!sa.blk.valid)
+            if (!valid_[base + a])
                 continue;
             for (unsigned b = a + 1; b < totalWays_; ++b) {
-                const auto &sb = slotAtConst(set, b);
-                panic_if(sb.blk.valid &&
-                             sb.blk.lastUse == sa.blk.lastUse,
+                panic_if(valid_[base + b] &&
+                             lastUse_[base + b] == lastUse_[base + a],
                          "LRU stack corrupted: two valid blocks "
-                         "share use stamp ", sa.blk.lastUse);
+                         "share use stamp ", lastUse_[base + a]);
             }
         }
         // No core may see two copies of one tag. Two *private*
@@ -563,16 +692,16 @@ AdaptiveNuca::checkInvariants() const
         // the paper's multiprogrammed workloads never do, and each
         // core's view stays consistent.
         for (unsigned a = 0; a < totalWays_; ++a) {
-            const auto &sa = slotAtConst(set, a);
-            if (!sa.blk.valid)
+            if (!valid_[base + a])
                 continue;
             for (unsigned b = a + 1; b < totalWays_; ++b) {
-                const auto &sb = slotAtConst(set, b);
-                if (!sb.blk.valid || sb.blk.tag != sa.blk.tag)
+                if (!valid_[base + b] ||
+                    tags_[base + b] != tags_[base + a]) {
                     continue;
-                panic_if(sa.isShared && sb.isShared,
+                }
+                panic_if(isShared_[base + a] && isShared_[base + b],
                          "duplicate tag in the shared partition");
-                panic_if(sa.isShared != sb.isShared,
+                panic_if(isShared_[base + a] != isShared_[base + b],
                          "tag duplicated across the shared and a "
                          "private partition");
                 panic_if(homeOf(a) == homeOf(b),
@@ -589,16 +718,17 @@ AdaptiveNuca::injectLruCorruption()
     // first set holding two valid blocks — the exact defect the
     // checkInvariants LRU-permutation pass exists to catch.
     for (unsigned set = 0; set < numSets_; ++set) {
+        const std::size_t base = idx(set, 0);
         int first = -1;
         for (unsigned s = 0; s < totalWays_; ++s) {
-            if (!slotAt(set, s).blk.valid)
+            if (!valid_[base + s])
                 continue;
             if (first < 0) {
                 first = static_cast<int>(s);
                 continue;
             }
-            slotAt(set, s).blk.lastUse =
-                slotAt(set, static_cast<unsigned>(first)).blk.lastUse;
+            lastUse_[base + s] =
+                lastUse_[base + static_cast<unsigned>(first)];
             return true;
         }
     }
@@ -610,10 +740,20 @@ AdaptiveNuca::checkpoint(Serializer &s) const
 {
     s.putTag(fourcc("NUCA"));
     s.putU64(stampCounter_);
-    s.putU64(slots_.size());
-    for (const auto &slot : slots_) {
-        checkpointBlock(s, slot.blk);
-        s.putBool(slot.isShared);
+    s.putU64(tags_.size());
+    // Legacy per-slot order (checkpointBlock + isShared), byte-
+    // identical to the old array-of-structs encoding. The adaptive
+    // scheme never sets insertedAt/referenced, so they are written
+    // as the constants every old checkpoint carried.
+    for (std::size_t i = 0; i < tags_.size(); ++i) {
+        s.putU64(tags_[i]);
+        s.putBool(valid_[i] != 0);
+        s.putBool(dirty_[i] != 0);
+        s.putI64(owners_[i]);
+        s.putU64(lastUse_[i]);
+        s.putU64(0);      // insertedAt: unused by this scheme
+        s.putBool(false); // referenced: unused by this scheme
+        s.putBool(isShared_[i] != 0);
     }
     engine_.checkpoint(s);
 }
@@ -623,11 +763,19 @@ AdaptiveNuca::restore(Deserializer &d)
 {
     d.expectTag(fourcc("NUCA"), "adaptive NUCA");
     stampCounter_ = d.getU64();
-    if (d.getU64() != slots_.size())
+    if (d.getU64() != tags_.size())
         throw CheckpointError("NUCA slot count mismatch");
-    for (auto &slot : slots_) {
-        restoreBlock(d, slot.blk);
-        slot.isShared = d.getBool();
+    for (std::size_t i = 0; i < tags_.size(); ++i) {
+        tags_[i] = d.getU64();
+        valid_[i] = d.getBool() ? 1 : 0;
+        dirty_[i] = d.getBool() ? 1 : 0;
+        owners_[i] = static_cast<CoreId>(d.getI64());
+        lastUse_[i] = d.getU64();
+        (void)d.getU64();  // insertedAt: unused by this scheme
+        (void)d.getBool(); // referenced: unused by this scheme
+        isShared_[i] = d.getBool() ? 1 : 0;
+        // Signatures are derived state, absent from the wire format.
+        sig_[i] = valid_[i] ? sigOf(tags_[i]) : 0;
     }
     engine_.restore(d);
 }

@@ -86,8 +86,9 @@ class AdaptiveNuca : public L3Organization
     /** Home core of a slot index within a set. */
     CoreId homeOf(unsigned slot) const;
 
-    /** A slot's block state (tests/inspection). */
-    const CacheBlock &blockAt(unsigned set, unsigned slot) const;
+    /** A slot's block state, materialized from the tag arrays
+     * (tests/inspection). */
+    CacheBlock blockAt(unsigned set, unsigned slot) const;
     /** A slot's partition label (tests/inspection). */
     bool slotIsShared(unsigned set, unsigned slot) const;
 
@@ -108,14 +109,40 @@ class AdaptiveNuca : public L3Organization
     Counter misses() const { return misses_.total(); }
 
   private:
-    struct Slot
+    /** Flat index of (set, slot) into the parallel slot arrays. */
+    std::size_t
+    idx(unsigned set, unsigned slot) const
     {
-        CacheBlock blk;
-        bool isShared = false;
-    };
+        return static_cast<std::size_t>(set) * totalWays_ + slot;
+    }
 
-    Slot &slotAt(unsigned set, unsigned slot);
-    const Slot &slotAtConst(unsigned set, unsigned slot) const;
+    /**
+     * One-byte tag signature of a valid slot, 0 for invalid slots.
+     * The top bit is always set for valid entries (so 0 can never
+     * collide with a real signature) and the low seven bits mix tag
+     * bits from above the set index, which is constant within a set.
+     * Tag probes scan these bytes eight at a time and only touch the
+     * 8-byte tags_ entries of the rare signature matches — a 64-way
+     * global set's probe reads one cache line instead of nine.
+     */
+    static std::uint8_t
+    sigOf(Addr tag)
+    {
+        return static_cast<std::uint8_t>(
+            0x80u | ((tag ^ (tag >> 7) ^ (tag >> 14)) & 0x7f));
+    }
+
+    /** Store @p tag into slot @p i, keeping its signature in sync.
+     * Every tag write must go through here. */
+    void
+    writeTag(std::size_t i, Addr tag)
+    {
+        tags_[i] = tag;
+        sig_[i] = sigOf(tag);
+    }
+
+    /** Clear slot @p i back to the empty state. */
+    void clearSlot(std::size_t i);
 
     unsigned setIndex(Addr addr) const;
     std::uint64_t nextStamp() { return ++stampCounter_; }
@@ -170,7 +197,31 @@ class AdaptiveNuca : public L3Organization
     unsigned totalWays_;
     unsigned indexMask_;
     std::uint64_t stampCounter_ = 0;
-    std::vector<Slot> slots_;
+
+    /**
+     * Slot state struct-of-arrays, set-major: index idx(set, slot).
+     * The old vector<Slot{CacheBlock, bool}> interleaved ~56 bytes
+     * per slot, so Algorithm 1's scans over a 16-slot global set
+     * streamed a dozen cache lines; the split arrays keep each scan
+     * on the one or two fields it reads. insertedAt/referenced do
+     * not exist here — the adaptive scheme never uses the FIFO/NRU
+     * fields, and the checkpoint writes them as the constants they
+     * always were.
+     */
+    std::vector<Addr> tags_;
+    std::vector<std::uint64_t> lastUse_;
+    std::vector<CoreId> owners_;
+    std::vector<std::uint8_t> valid_;
+    std::vector<std::uint8_t> dirty_;
+    std::vector<std::uint8_t> isShared_;
+    /** Derived per-slot signatures (see sigOf); rebuilt on restore,
+     * never checkpointed. */
+    std::vector<std::uint8_t> sig_;
+
+    /** Scratch per-core owned-block counts for findSharedVictim
+     * (member so the per-miss call allocates nothing; contents are
+     * call-local). */
+    mutable std::vector<unsigned> ownedScratch_;
 
     stats::Group statsGroup_;
     SharingEngine engine_;

@@ -56,9 +56,10 @@ SharingEngine::SharingEngine(stats::Group &parent,
         std::max(1u, params_.numSets >> params_.shadowSampleShift);
     shadowScale_ = params_.numSets / sampledSets_;
 
-    shadow_.assign(static_cast<std::size_t>(sampledSets_) *
-                       params_.numCores,
-                   ShadowEntry{});
+    const std::size_t regs =
+        static_cast<std::size_t>(sampledSets_) * params_.numCores;
+    shadowTags_.assign(regs, 0);
+    shadowValid_.assign(regs, 0);
     quotas_.assign(params_.numCores, params_.initialQuota);
     shadowHits_.assign(params_.numCores, 0);
     lruHits_.assign(params_.numCores, 0);
@@ -87,11 +88,11 @@ SharingEngine::recordEviction(unsigned set, CoreId owner, Addr tag)
     panic_if(set >= params_.numSets, "set index out of range");
     if (!setIsSampled(set) || owner == invalidCore)
         return;
-    auto &entry = shadow_[static_cast<std::size_t>(set) *
+    const std::size_t i = static_cast<std::size_t>(set) *
                               params_.numCores +
-                          static_cast<std::size_t>(owner)];
-    entry.tag = tag;
-    entry.valid = true;
+                          static_cast<std::size_t>(owner);
+    shadowTags_[i] = tag;
+    shadowValid_[i] = 1;
 }
 
 bool
@@ -100,10 +101,10 @@ SharingEngine::observeMiss(unsigned set, CoreId core, Addr tag)
     panic_if(set >= params_.numSets, "set index out of range");
     bool shadow_hit = false;
     if (setIsSampled(set)) {
-        const auto &entry =
-            shadow_[static_cast<std::size_t>(set) * params_.numCores +
-                    static_cast<std::size_t>(core)];
-        if (entry.valid && entry.tag == tag) {
+        const std::size_t i =
+            static_cast<std::size_t>(set) * params_.numCores +
+            static_cast<std::size_t>(core);
+        if (shadowValid_[i] && shadowTags_[i] == tag) {
             shadow_hit = true;
             ++shadowHits_[static_cast<std::size_t>(core)];
             ++shadowHitsTotal_;
@@ -249,10 +250,10 @@ void
 SharingEngine::checkpoint(Serializer &s) const
 {
     s.putTag(fourcc("SENG"));
-    s.putU64(shadow_.size());
-    for (const auto &e : shadow_) {
-        s.putU64(e.tag);
-        s.putBool(e.valid);
+    s.putU64(shadowTags_.size());
+    for (std::size_t i = 0; i < shadowTags_.size(); ++i) {
+        s.putU64(shadowTags_[i]);
+        s.putBool(shadowValid_[i] != 0);
     }
     s.putU64(quotas_.size());
     for (const auto q : quotas_)
@@ -267,11 +268,11 @@ void
 SharingEngine::restore(Deserializer &d)
 {
     d.expectTag(fourcc("SENG"), "sharing engine");
-    if (d.getU64() != shadow_.size())
+    if (d.getU64() != shadowTags_.size())
         throw CheckpointError("shadow tag array size mismatch");
-    for (auto &e : shadow_) {
-        e.tag = d.getU64();
-        e.valid = d.getBool();
+    for (std::size_t i = 0; i < shadowTags_.size(); ++i) {
+        shadowTags_[i] = d.getU64();
+        shadowValid_[i] = d.getBool() ? 1 : 0;
     }
     if (d.getU64() != quotas_.size())
         throw CheckpointError("quota vector size mismatch");

@@ -194,14 +194,14 @@ class SharingEngine
     /** Scale factor applied to shadow hits when sampling. */
     Counter shadowScale_;
 
-    struct ShadowEntry
-    {
-        Addr tag = 0;
-        bool valid = false;
-    };
-
-    /** sampledSets_ x numCores shadow registers. */
-    std::vector<ShadowEntry> shadow_;
+    /**
+     * sampledSets_ x numCores shadow registers, split into parallel
+     * tag/valid arrays so the per-miss probe touches two packed
+     * lines instead of one padded struct per register. The
+     * checkpoint keeps the legacy interleaved (tag, valid) order.
+     */
+    std::vector<Addr> shadowTags_;
+    std::vector<std::uint8_t> shadowValid_;
     std::vector<unsigned> quotas_;
     std::vector<Counter> shadowHits_;
     std::vector<Counter> lruHits_;

@@ -27,7 +27,7 @@ constexpr std::uint32_t checkpointMagic = fourcc("NCKP");
  * version mismatch refuses the load so stale caches re-simulate
  * instead of silently misdecoding.
  */
-constexpr std::uint32_t checkpointFormatVersion = 1;
+constexpr std::uint32_t checkpointFormatVersion = 2;
 
 /**
  * Atomically write @p payload to @p path under the checkpoint

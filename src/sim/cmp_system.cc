@@ -136,6 +136,8 @@ CmpSystem::buildSystem()
 
     committedZero_.assign(config_.numCores, 0);
     l3AccessZero_.assign(config_.numCores, 0);
+    coreWake_.assign(config_.numCores, now_);
+    corePendingStart_.assign(config_.numCores, now_);
 
     fastForward_ = envOr("REPRO_FASTFWD", 1) != 0;
     setRobustness(RobustnessConfig::fromEnv());
@@ -177,33 +179,86 @@ CmpSystem::scheduleRobustness()
 }
 
 void
+CmpSystem::setFastForward(bool enabled)
+{
+    if (fastForward_)
+        settleCores();
+    fastForward_ = enabled;
+    // The cached horizons may be stale (built at cycle 0, or left
+    // behind by an earlier fast-forwarded run); re-anchor so every
+    // core ticks at the current cycle and no phantom span is folded.
+    std::fill(coreWake_.begin(), coreWake_.end(), now_);
+    std::fill(corePendingStart_.begin(), corePendingStart_.end(),
+              now_);
+}
+
+void
+CmpSystem::settleCores()
+{
+    for (unsigned c = 0; c < coreWake_.size(); ++c) {
+        if (corePendingStart_[c] < now_) {
+            cores_[c]->skipStalledCycles(
+                corePendingStart_[c], now_ - corePendingStart_[c]);
+            corePendingStart_[c] = now_;
+        }
+    }
+}
+
+void
 CmpSystem::run(Cycle cycles)
 {
     const Cycle end = now_ + cycles;
     while (now_ < end) {
-        for (auto &core : cores_)
-            core->tick(now_);
-        ++now_;
-        if (fastForward_)
+        if (fastForward_) {
+            for (unsigned c = 0; c < cores_.size(); ++c) {
+                if (now_ < coreWake_[c])
+                    continue; // provably stalled; fold lazily
+                OooCore &core = *cores_[c];
+                if (corePendingStart_[c] < now_) {
+                    core.skipStalledCycles(
+                        corePendingStart_[c],
+                        now_ - corePendingStart_[c]);
+                }
+                core.tick(now_);
+                corePendingStart_[c] = now_ + 1;
+                coreWake_[c] = core.nextWakeCycle(now_);
+            }
+            ++now_;
             fastForwardNow(end);
+        } else {
+            for (auto &core : cores_)
+                core->tick(now_);
+            ++now_;
+        }
         if (trace_ && now_ >= nextSample_) {
+            if (fastForward_)
+                settleCores();
             emitSample();
             nextSample_ += tracePeriod_;
         }
-        if (robustActive_ && now_ >= nextRobustEvent_)
+        if (robustActive_ && now_ >= nextRobustEvent_) {
+            if (fastForward_)
+                settleCores();
             robustnessTick();
+        }
     }
+    // Nothing may stay pending across the return: the caller is free
+    // to dump stats, checkpoint, or emit telemetry next.
+    if (fastForward_)
+        settleCores();
 }
 
 Cycle
 CmpSystem::nextWakeCycle(Cycle last) const
 {
+    // The cached horizons are exact: each was computed by the core's
+    // last real tick, and a stalled core's state cannot change, so
+    // re-probing nextWakeCycle on it would return the same cycle.
     Cycle wake = OooCore::neverWakes;
-    for (const auto &core : cores_) {
-        wake = std::min(wake, core->nextWakeCycle(last));
-        if (wake <= last + 1)
-            return wake; // this core runs next cycle; stop probing
-    }
+    for (const Cycle w : coreWake_)
+        wake = std::min(wake, w);
+    if (wake <= last + 1)
+        return wake; // some core runs next cycle; stop probing
     // Memory-side completions (in-flight demand and prefetch misses,
     // the channel freeing) do not by themselves change core state —
     // every consequence is precomputed into the cores' own wake-ups
@@ -221,7 +276,8 @@ CmpSystem::fastForwardNow(Cycle end)
     // The tick at now_ - 1 just ran. Ticks strictly before the event
     // horizon are provable no-ops; a pending sample or robustness
     // event caps the jump so both fire at exactly the cycle the
-    // reference loop fires them.
+    // reference loop fires them. The cores' skipped bookkeeping is
+    // folded lazily by settleCores / their next real tick.
     Cycle target = std::min(end, nextWakeCycle(now_ - 1));
     if (trace_)
         target = std::min(target, nextSample_);
@@ -229,11 +285,8 @@ CmpSystem::fastForwardNow(Cycle end)
         target = std::min(target, nextRobustEvent_);
     if (target <= now_)
         return;
-    const Cycle skipped = target - now_;
-    for (auto &core : cores_)
-        core->skipStalledCycles(now_, skipped);
+    ffSkipped_ += target - now_;
     now_ = target;
-    ffSkipped_ += skipped;
     ++ffJumps_;
 }
 
@@ -542,8 +595,14 @@ CmpSystem::restore(Deserializer &d)
     }
     root_.deserialize(d);
     // The watchdog and periodic checks were baselined at cycle 0 in
-    // the constructor; re-anchor them at the restored cycle.
+    // the constructor; re-anchor them at the restored cycle. Same
+    // for the per-core skip horizons: force a real tick at now_
+    // (harmless if the core is still stalled — a stalled tick
+    // records exactly what the fold would) and clear pending spans.
     setRobustness(robust_);
+    std::fill(coreWake_.begin(), coreWake_.end(), now_);
+    std::fill(corePendingStart_.begin(), corePendingStart_.end(),
+              now_);
 }
 
 void

@@ -71,15 +71,16 @@ class CmpSystem
 
     /**
      * Enable or disable event-horizon fast-forwarding (constructors
-     * install REPRO_FASTFWD, default on). When enabled, run() jumps
-     * over windows in which every core is provably stalled instead
-     * of ticking them cycle by cycle; skipped cycles are folded into
-     * the per-cycle statistics, so every counter, distribution,
+     * install REPRO_FASTFWD, default on). When enabled, run() skips
+     * each core's ticks individually while that core is provably
+     * stalled (and jumps now_ over windows in which every core is),
+     * folding the skipped ticks into the per-cycle statistics before
+     * anything observes them, so every counter, distribution,
      * telemetry record and checkpoint stays bit-identical to the
      * reference loop (asserted by the differential tests). See
      * docs/PERFORMANCE.md.
      */
-    void setFastForward(bool enabled) { fastForward_ = enabled; }
+    void setFastForward(bool enabled);
 
     /** True when run() may skip fully-stalled windows. */
     bool fastForwardEnabled() const { return fastForward_; }
@@ -196,11 +197,24 @@ class CmpSystem
     /**
      * Jump now_ forward to the event horizon, capped by the run
      * window end, the next telemetry sample, and the next robustness
-     * event, folding the skipped ticks into per-cycle statistics.
-     * Called with the tick at now_ - 1 just executed; a no-op unless
-     * every core is quiescent past now_.
+     * event. Called with the tick at now_ - 1 just executed; a no-op
+     * unless every core is quiescent past now_ (read off the cached
+     * coreWake_ horizons, which stay exact while a core sleeps
+     * because a stalled core's state cannot change). The skipped
+     * ticks' bookkeeping is not folded here — each core's pending
+     * span settles lazily (settleCores / its next real tick).
      */
     void fastForwardNow(Cycle end);
+
+    /**
+     * Fold every core's pending skipped-tick span into its per-cycle
+     * statistics, up to (excluding) the current cycle. Must run
+     * before anything outside the skip machinery observes core state
+     * — a telemetry sample, a robustness event, or run() returning —
+     * so the externally visible trajectory is indistinguishable from
+     * the tick-every-cycle reference loop.
+     */
+    void settleCores();
 
     /** Emit one telemetry sample and advance the interval baseline. */
     void emitSample();
@@ -233,6 +247,19 @@ class CmpSystem
     bool fastForward_ = true;
     Counter ffSkipped_ = 0;
     Counter ffJumps_ = 0;
+    /**
+     * Per-core skip state, meaningful only while fastForward_ is on.
+     * coreWake_[c] is the horizon the core's last real tick computed
+     * (nextWakeCycle): ticks at cycles strictly before it are
+     * provable no-ops and are skipped. corePendingStart_[c] is the
+     * first skipped cycle not yet folded into the core's statistics;
+     * == the next tick cycle when nothing is pending. Derived state:
+     * reset to now_ on restore and on setFastForward, never
+     * checkpointed (run() settles before returning, so no span is
+     * ever pending at a checkpoint).
+     */
+    std::vector<Cycle> coreWake_;
+    std::vector<Cycle> corePendingStart_;
 
     TraceSink *trace_ = nullptr;
     Cycle tracePeriod_ = 0;

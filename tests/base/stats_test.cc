@@ -341,5 +341,52 @@ TEST(StatsDistribution, WeightedSampleSerializeRoundTrip)
     EXPECT_EQ(before.str(), after.str());
 }
 
+TEST(StatsDistribution, ExtremeWeightedSumStaysExact)
+{
+    stats::Group group("g");
+    stats::Distribution d(group, "d", "lat", 0, 100, 10);
+
+    // A sum far beyond both 2^53 (where a double accumulator starts
+    // dropping increments) and 2^64 (where a u64 wraps): the old
+    // double-based sum made mean() drift after folds this large, and
+    // small follow-up samples vanished entirely. Exactly this shape
+    // comes out of fast-forward folding billions of stalled cycles
+    // into one weighted sample.
+    const std::uint64_t big_v = 4;
+    const std::uint64_t big_n = 3'000'000'000'000'000'000ull; // 3e18
+    d.sample(big_v, big_n);
+    // sum = 1.2e19 > 2^63; each +2 is far below a double's ulp here.
+    for (int i = 0; i < 1000; ++i)
+        d.sample(2);
+
+    const std::uint64_t n = big_n + 1000;
+    EXPECT_EQ(d.count(), n);
+    // Exact expected mean: (4 * 3e18 + 2 * 1000) / n, computed the
+    // same way the implementation must — integer sum first.
+    const unsigned __int128 sum =
+        static_cast<unsigned __int128>(big_v) * big_n + 2 * 1000;
+    EXPECT_DOUBLE_EQ(d.mean(),
+                     static_cast<double>(sum) / static_cast<double>(n));
+    // The follow-up samples must be visible in the mean: with a
+    // double accumulator the mean would still be exactly 4.
+    EXPECT_LT(d.mean(), 4.0);
+    EXPECT_EQ(d.minSeen(), 2u);
+    EXPECT_EQ(d.maxSeen(), 4u);
+
+    // The 128-bit sum survives a serialize round trip (lo/hi pair).
+    Serializer s;
+    d.serializeValue(s);
+    stats::Group twinGroup("g");
+    stats::Distribution twin(twinGroup, "d", "lat", 0, 100, 10);
+    Deserializer rd(s.bytes());
+    twin.deserializeValue(rd);
+    EXPECT_EQ(twin.count(), d.count());
+    EXPECT_DOUBLE_EQ(twin.mean(), d.mean());
+    std::ostringstream before, after;
+    group.dump(before);
+    twinGroup.dump(after);
+    EXPECT_EQ(before.str(), after.str());
+}
+
 } // namespace
 } // namespace nuca

@@ -12,7 +12,7 @@ void
 put(CacheSet &set, unsigned way, Addr tag, CoreId owner,
     std::uint64_t stamp)
 {
-    auto &blk = set.block(way);
+    auto blk = set.block(way);
     blk.tag = tag;
     blk.valid = true;
     blk.owner = owner;

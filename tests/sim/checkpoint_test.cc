@@ -57,7 +57,7 @@ TEST(ComponentCheckpoint, RngRejectsAllZeroState)
 TEST(ComponentCheckpoint, CacheSetRoundTripsLruStamps)
 {
     CacheSet a(4);
-    auto &blk = a.block(1);
+    auto blk = a.block(1);
     blk.tag = 0xabc;
     blk.valid = true;
     blk.dirty = true;

@@ -44,6 +44,32 @@ memoryMix()
             specProfile("swim"), specProfile("equake")};
 }
 
+/**
+ * A cache-resident ALU-heavy mix (perf_bench's "compute_bound"
+ * shape): almost no cycle is skippable, so the differential runs
+ * almost entirely through the busy-core tick path — the issue
+ * scheduler's ready-set walk, parked store-blocked loads, and the
+ * completion ring — instead of the stall-skipping machinery the
+ * memory mix exercises.
+ */
+std::vector<WorkloadProfile>
+computeMix()
+{
+    WorkloadProfile p;
+    p.name = "compute";
+    p.loadFrac = 0.20;
+    p.storeFrac = 0.08;
+    p.branchFrac = 0.15;
+    p.fpFrac = 0.30;
+    p.mulDivFrac = 0.05;
+    p.meanDepDist = 16.0;
+    p.loadChainFrac = 0.0;
+    p.codeFootprintBytes = 16ull << 10;
+    p.regions = {MemRegion{48ull << 10, 1.0, RegionPattern::Cyclic}};
+    p.llcIntensive = false;
+    return {p, p, p, p};
+}
+
 /** Robustness setup that actually interleaves with the jumps. */
 RobustnessConfig
 activeRobustness()
@@ -68,10 +94,10 @@ struct RunArtifacts
 };
 
 RunArtifacts
-runOnce(L3Scheme scheme, bool fastForward, Cycle cycles)
+runOnce(L3Scheme scheme, bool fastForward, Cycle cycles,
+        const std::vector<WorkloadProfile> &mix = memoryMix())
 {
-    CmpSystem system(SystemConfig::baseline(scheme), memoryMix(),
-                     kSeed);
+    CmpSystem system(SystemConfig::baseline(scheme), mix, kSeed);
     system.setFastForward(fastForward);
     system.setRobustness(activeRobustness());
     RecordingSink sink;
@@ -111,6 +137,28 @@ TEST(FastForward, BitIdenticalToReferenceForEveryScheme)
         // ...and the fast path genuinely exercised itself.
         EXPECT_GT(ff.skipped, 0u) << "scheme " << to_string(scheme);
         EXPECT_EQ(ref.skipped, 0u);
+    }
+}
+
+TEST(FastForward, BitIdenticalOnComputeBoundMix)
+{
+    // The busy-core counterpart of the scheme sweep above: with
+    // nearly every cycle active, any divergence here points at the
+    // issue/commit hot path itself (ready-set walk order, parked
+    // load wakeup, completion-ring reuse) rather than at the jump
+    // logic.
+    for (const auto scheme : {L3Scheme::Adaptive, L3Scheme::Shared}) {
+        const RunArtifacts ff =
+            runOnce(scheme, true, 60000, computeMix());
+        const RunArtifacts ref =
+            runOnce(scheme, false, 60000, computeMix());
+        EXPECT_EQ(ff.stats, ref.stats)
+            << "scheme " << to_string(scheme);
+        EXPECT_EQ(ff.machine, ref.machine)
+            << "scheme " << to_string(scheme);
+        EXPECT_EQ(ff.trace, ref.trace)
+            << "scheme " << to_string(scheme);
+        EXPECT_FALSE(ff.trace.empty());
     }
 }
 

@@ -21,9 +21,15 @@
  *    overlap that some core almost always has work; reported so the
  *    modest speedup on realistic mixes is on record next to the
  *    latency-bound headline.
+ *  - "compute_bound": four cache-resident ALU-heavy cores under the
+ *    baseline configuration. Almost no cycle is skippable, so this
+ *    mix times the busy-core tick path itself — the issue/commit/
+ *    cache hot loops — and catches regressions the stall-dominated
+ *    mixes hide behind fast-forward jumps.
  *
  * Environment: REPRO_BENCH_CYCLES (per pchase run, default 8M),
  * REPRO_BENCH_SPEC_CYCLES (per spec run, default 2M),
+ * REPRO_BENCH_COMPUTE_CYCLES (per compute run, default 2M),
  * REPRO_BENCH_OUT (output path, default BENCH_perf.json).
  */
 
@@ -35,6 +41,7 @@
 #include <thread>
 #include <vector>
 
+#include "base/logging.hh"
 #include "sim/cmp_system.hh"
 #include "sim/experiment.hh"
 #include "sim/json_writer.hh"
@@ -61,6 +68,32 @@ pchaseProfile()
     return p;
 }
 
+/**
+ * Compute-bound mix: a small, cache-resident working set and a
+ * mostly-ALU instruction stream. The cores stay busy nearly every
+ * cycle, so the benchmark measures the per-tick cost of the core
+ * and cache fast paths rather than the fast-forward machinery.
+ */
+WorkloadProfile
+computeProfile()
+{
+    WorkloadProfile p;
+    p.name = "compute";
+    p.loadFrac = 0.20;
+    p.storeFrac = 0.08;
+    p.branchFrac = 0.15;
+    p.fpFrac = 0.30;
+    p.mulDivFrac = 0.05;
+    p.meanDepDist = 16.0;
+    p.loadChainFrac = 0.0;
+    p.codeFootprintBytes = 16ull << 10;
+    // 48 KB of high-locality data: lives in the 64 KB L1D, so the
+    // memory system resolves almost everything at hit latency.
+    p.regions = {MemRegion{48ull << 10, 1.0, RegionPattern::Cyclic}};
+    p.llcIntensive = false;
+    return p;
+}
+
 struct RunResult
 {
     double wallSeconds = 0.0;
@@ -75,6 +108,10 @@ timeRun(const SystemConfig &config,
         const std::vector<WorkloadProfile> &apps, bool fastForward,
         Cycle cycles)
 {
+    // A zero-cycle window would divide by zero below and report NaN
+    // throughput, which JSON cannot even represent; it can only come
+    // from a bad REPRO_BENCH_*_CYCLES override, so refuse loudly.
+    panic_if(cycles == 0, "perf_bench run with a zero-cycle window");
     CmpSystem system(config, apps, /*seed=*/20070201);
     system.setFastForward(fastForward);
 
@@ -120,6 +157,8 @@ main()
     const Cycle pchaseCycles = envOr("REPRO_BENCH_CYCLES", 8000000);
     const Cycle specCycles =
         envOr("REPRO_BENCH_SPEC_CYCLES", 2000000);
+    const Cycle computeCycles =
+        envOr("REPRO_BENCH_COMPUTE_CYCLES", 2000000);
     const char *outEnv = std::getenv("REPRO_BENCH_OUT");
     const std::string outPath =
         outEnv && *outEnv ? outEnv : "BENCH_perf.json";
@@ -128,6 +167,8 @@ main()
     const std::vector<WorkloadProfile> specMix = {
         specProfile("mcf"), specProfile("art"), specProfile("swim"),
         specProfile("equake")};
+    const std::vector<WorkloadProfile> computeMix(4,
+                                                  computeProfile());
 
     struct MixSpec
     {
@@ -141,6 +182,8 @@ main()
         {"pchase_latency", "scaledTech", &pchaseMix, pchaseCycles,
          true},
         {"spec_memory", "baseline", &specMix, specCycles, false},
+        {"compute_bound", "baseline", &computeMix, computeCycles,
+         false},
     };
     const L3Scheme schemes[] = {L3Scheme::Private, L3Scheme::Shared,
                                 L3Scheme::Adaptive,
