@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "base/profiler.hh"
 #include "sim/cmp_system.hh"
 #include "sim/metrics.hh"
 #include "sim/parallel_runner.hh"
@@ -70,6 +71,7 @@ int
 main(int argc, char **argv)
 {
     using namespace nuca;
+    prof::initFromEnv();
 
     std::vector<std::string> names = {"mcf", "gzip", "ammp", "art"};
     Cycle cycles = 2000000;

@@ -313,6 +313,26 @@ SetAssocCache::restore(Deserializer &d)
     }
 }
 
+unsigned
+SetAssocCache::validInSet(unsigned set) const
+{
+    const std::size_t base = baseOf(set);
+    unsigned n = 0;
+    for (unsigned w = 0; w < assoc_; ++w)
+        n += valid_[base + w] ? 1 : 0;
+    return n;
+}
+
+unsigned
+SetAssocCache::ownedInSet(unsigned set, CoreId core) const
+{
+    const std::size_t base = baseOf(set);
+    unsigned n = 0;
+    for (unsigned w = 0; w < assoc_; ++w)
+        n += (valid_[base + w] && owners_[base + w] == core) ? 1 : 0;
+    return n;
+}
+
 double
 SetAssocCache::missRatio() const
 {

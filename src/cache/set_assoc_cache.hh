@@ -135,6 +135,11 @@ class SetAssocCache
     /** Restore a checkpoint of an identically configured cache. */
     void restore(Deserializer &d);
 
+    /** Valid blocks in @p set (heatmap/occupancy inspection). */
+    unsigned validInSet(unsigned set) const;
+    /** Valid blocks in @p set owned by @p core. */
+    unsigned ownedInSet(unsigned set, CoreId core) const;
+
     /** Accesses observed (reads + writes). */
     Counter accesses() const { return accesses_.value(); }
     /** Misses observed. */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "base/profiler.hh"
 #include "cpu/coherence.hh"
 
 namespace nuca {
@@ -87,6 +88,11 @@ MemorySystem::accessPath(CacheLevel &l1, CacheLevel &l2, MemOp op,
         return std::max(merged, now + l1.hitLatency());
     }
 
+    // Profile only the L1-miss walk: the L1-hit fast path above is
+    // most of the simulator's cache work and a scope there would
+    // cost more than it measures (see docs/OBSERVABILITY.md).
+    prof::Scope profWalk(prof::Phase::CacheMissWalk);
+
     const Cycle miss_start = l1.beginMiss(addr, now);
     const Cycle l2_start = miss_start + l1.hitLatency();
     Cycle ready;
@@ -103,7 +109,11 @@ MemorySystem::accessPath(CacheLevel &l1, CacheLevel &l2, MemOp op,
 
         const MemRequest req{core_, addr,
                              op == MemOp::Write ? MemOp::Read : op};
-        const L3Result res = l3_.access(req, l3_start);
+        L3Result res;
+        {
+            prof::Scope profL3(prof::Phase::L3Access);
+            res = l3_.access(req, l3_start);
+        }
         ready = res.ready;
         if (op == MemOp::InstFetch) {
             ++l3InstAccesses_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "base/profiler.hh"
 
 namespace nuca {
 
@@ -56,14 +57,32 @@ OooCore::OooCore(stats::Group &parent, const std::string &name,
 void
 OooCore::tick(Cycle now)
 {
+    // One sampling decision per tick, hoisted over the stage scopes
+    // so the profiler costs one branch per tick when off and five
+    // clock reads per 2^shift ticks when on.
+    const bool profTick = prof::samplePoint(prof::Phase::CoreTick);
+    prof::MaybeScope profWhole(profTick, prof::Phase::CoreTick);
+
     releaseLsqSlots(now);
     const Counter committed_before = committed_.value();
-    commitStage(now);
+    {
+        prof::MaybeScope s(profTick, prof::Phase::CommitStage);
+        commitStage(now);
+    }
     commitWidthDist_.sample(committed_.value() - committed_before);
     ruuOccupancyDist_.sample(ruu_.size());
-    issueStage(now);
-    dispatchStage(now);
-    fetchStage(now);
+    {
+        prof::MaybeScope s(profTick, prof::Phase::IssueStage);
+        issueStage(now);
+    }
+    {
+        prof::MaybeScope s(profTick, prof::Phase::DispatchStage);
+        dispatchStage(now);
+    }
+    {
+        prof::MaybeScope s(profTick, prof::Phase::FetchStage);
+        fetchStage(now);
+    }
 }
 
 Cycle

@@ -421,6 +421,26 @@ AdaptiveNuca::maybeCountLruHit(unsigned set, unsigned slot,
         engine_.countLruHit(core);
 }
 
+bool
+AdaptiveNuca::enableHeatmap()
+{
+    heat_.init(params_.numCores, numSets_);
+    return true;
+}
+
+std::vector<std::vector<std::uint64_t>>
+AdaptiveNuca::occupancyHistograms() const
+{
+    std::vector<std::vector<std::uint64_t>> out(params_.numCores);
+    for (auto &hist : out)
+        hist.assign(totalWays_ + 1, 0);
+    for (unsigned set = 0; set < numSets_; ++set) {
+        for (unsigned c = 0; c < params_.numCores; ++c)
+            ++out[c][ownedCount(set, static_cast<CoreId>(c))];
+    }
+    return out;
+}
+
 L3Result
 AdaptiveNuca::access(const MemRequest &req, Cycle now)
 {
@@ -437,6 +457,9 @@ AdaptiveNuca::access(const MemRequest &req, Cycle now)
         if (req.isWrite())
             dirty_[fi] = 1;
 
+        if (heat_.enabled())
+            heat_.record(static_cast<unsigned>(homeOf(fslot)), set,
+                         false);
         if (homeOf(fslot) == core) {
             // Local hit: fast. A shared-labeled block in the local
             // cache is promoted back into the private partition.
@@ -499,6 +522,10 @@ AdaptiveNuca::access(const MemRequest &req, Cycle now)
     }
 
     // Miss: estimator + epoch bookkeeping, then fetch and install.
+    // The miss lands in the requester's bank: that is where
+    // insertFromMemory installs the block.
+    if (heat_.enabled())
+        heat_.record(static_cast<unsigned>(core), set, true);
     engine_.observeMiss(set, core, tag);
     ++misses_[static_cast<std::size_t>(core)];
     const Cycle ready = memory_.fetchBlock(req.addr, now);

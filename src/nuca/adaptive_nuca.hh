@@ -74,6 +74,14 @@ class AdaptiveNuca : public L3Organization
     bool injectLruCorruption() override;
     void checkpoint(Serializer &s) const override;
     void restore(Deserializer &d) override;
+    /** Banks are the per-core local caches; a remote hit counts
+     * against the bank physically holding the block. */
+    bool enableHeatmap() override;
+    const L3Heatmap *heatmap() const override { return &heat_; }
+    /** Per-core histogram of owned blocks per global set — each
+     * core's actual footprint against its quota. */
+    std::vector<std::vector<std::uint64_t>>
+    occupancyHistograms() const override;
 
     /** The sharing engine (quotas, estimators). */
     SharingEngine &engine() { return engine_; }
@@ -222,6 +230,8 @@ class AdaptiveNuca : public L3Organization
      * (member so the per-miss call allocates nothing; contents are
      * call-local). */
     mutable std::vector<unsigned> ownedScratch_;
+
+    L3Heatmap heat_;
 
     stats::Group statsGroup_;
     SharingEngine engine_;

@@ -19,13 +19,64 @@
 #ifndef NUCA_NUCA_L3_ORGANIZATION_HH
 #define NUCA_NUCA_L3_ORGANIZATION_HH
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "base/types.hh"
 #include "mem/mem_request.hh"
 #include "serialize/serializer.hh"
 
 namespace nuca {
+
+/**
+ * Spatial access/miss counters over an organization's (bank, set)
+ * grid, for the telemetry heatmap records (docs/OBSERVABILITY.md).
+ * Host-session observability only: the counters are not statistics,
+ * are never checkpointed, and recording them cannot perturb
+ * simulated behaviour — which is exactly why they live outside the
+ * stats tree. Disabled (and free apart from one predictable branch
+ * per access) until init() is called.
+ */
+class L3Heatmap
+{
+  public:
+    /** Start counting over a banks x sets grid. */
+    void
+    init(unsigned banks, unsigned sets)
+    {
+        banks_ = banks;
+        sets_ = sets;
+        access_.assign(std::size_t(banks) * sets, 0);
+        miss_.assign(std::size_t(banks) * sets, 0);
+    }
+
+    bool enabled() const { return banks_ != 0; }
+    unsigned banks() const { return banks_; }
+    unsigned sets() const { return sets_; }
+
+    /** Count one access to (bank, set); misses count in both maps. */
+    void
+    record(unsigned bank, unsigned set, bool is_miss)
+    {
+        const std::size_t i = std::size_t(bank) * sets_ + set;
+        ++access_[i];
+        miss_[i] += is_miss ? 1 : 0;
+    }
+
+    /** Bank-major counters: index bank * sets() + set. */
+    const std::vector<std::uint64_t> &accesses() const
+    {
+        return access_;
+    }
+    const std::vector<std::uint64_t> &misses() const { return miss_; }
+
+  private:
+    unsigned banks_ = 0;
+    unsigned sets_ = 0;
+    std::vector<std::uint64_t> access_;
+    std::vector<std::uint64_t> miss_;
+};
 
 /** Outcome of a last-level cache access. */
 struct L3Result
@@ -107,6 +158,29 @@ class L3Organization
         (void)d;
         throw CheckpointError("L3 organization does not support "
                               "checkpointing");
+    }
+
+    /**
+     * Start collecting per-bank/per-set heatmap counters. @return
+     * false when the organization has no spatial structure to map
+     * (the default); the shipped organizations all support it.
+     */
+    virtual bool enableHeatmap() { return false; }
+
+    /** The heatmap counters, or nullptr when not enabled. */
+    virtual const L3Heatmap *heatmap() const { return nullptr; }
+
+    /**
+     * Partition-occupancy histograms: result[core][k] counts the
+     * sets in which @p core currently owns exactly k blocks. Shows
+     * how the capacity split between cores actually landed (for the
+     * adaptive scheme, how close each core sits to its quota).
+     * Empty when the organization does not track ownership.
+     */
+    virtual std::vector<std::vector<std::uint64_t>>
+    occupancyHistograms() const
+    {
+        return {};
     }
 };
 

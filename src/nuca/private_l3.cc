@@ -44,7 +44,12 @@ L3Result
 PrivateL3::access(const MemRequest &req, Cycle now)
 {
     auto &cache = cacheOf(req.core);
-    if (cache.access(req.addr, req.isWrite())) {
+    const bool hit = cache.access(req.addr, req.isWrite());
+    if (heat_.enabled()) {
+        heat_.record(static_cast<unsigned>(req.core),
+                     cache.setIndex(req.addr), !hit);
+    }
+    if (hit) {
         ++hits_;
         return {L3Result::Where::LocalHit, now + params_.hitLatency};
     }
@@ -67,6 +72,28 @@ PrivateL3::writebackFromL2(CoreId core, Addr addr, Cycle now)
         // block through to memory.
         memory_.writebackBlock(addr, now);
     }
+}
+
+bool
+PrivateL3::enableHeatmap()
+{
+    heat_.init(params_.numCores, caches_.front()->numSets());
+    return true;
+}
+
+std::vector<std::vector<std::uint64_t>>
+PrivateL3::occupancyHistograms() const
+{
+    // Each core owns exactly its private cache, so the histogram is
+    // the cache's per-set fill level.
+    std::vector<std::vector<std::uint64_t>> out(params_.numCores);
+    for (unsigned c = 0; c < params_.numCores; ++c) {
+        const auto &cache = *caches_[c];
+        out[c].assign(cache.assoc() + 1, 0);
+        for (unsigned set = 0; set < cache.numSets(); ++set)
+            ++out[c][cache.validInSet(set)];
+    }
+    return out;
 }
 
 void

@@ -46,6 +46,11 @@ class PrivateL3 : public L3Organization
     bool injectLruCorruption() override;
     void checkpoint(Serializer &s) const override;
     void restore(Deserializer &d) override;
+    /** Banks are the per-core caches; sets are each cache's sets. */
+    bool enableHeatmap() override;
+    const L3Heatmap *heatmap() const override { return &heat_; }
+    std::vector<std::vector<std::uint64_t>>
+    occupancyHistograms() const override;
 
     /** The tag array of one core's cache (tests/inspection). */
     SetAssocCache &cacheOf(CoreId core);
@@ -60,6 +65,7 @@ class PrivateL3 : public L3Organization
 
     stats::Group statsGroup_;
     std::vector<std::unique_ptr<SetAssocCache>> caches_;
+    L3Heatmap heat_;
     stats::Scalar hits_;
     stats::Vector misses_;
 };

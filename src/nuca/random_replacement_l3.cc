@@ -104,6 +104,9 @@ RandomReplacementL3::access(const MemRequest &req, Cycle now)
 {
     auto &local = cacheOf(req.core);
     if (local.access(req.addr, req.isWrite())) {
+        if (heat_.enabled())
+            heat_.record(static_cast<unsigned>(req.core),
+                         local.setIndex(req.addr), false);
         ++localHits_[static_cast<std::size_t>(req.core)];
         return {L3Result::Where::LocalHit,
                 now + params_.localHitLatency};
@@ -120,6 +123,8 @@ RandomReplacementL3::access(const MemRequest &req, Cycle now)
         // Remote hit: migrate the block back to the requester. The
         // migration is an access by the requesting core, so the
         // local victim follows the spill rules.
+        if (heat_.enabled())
+            heat_.record(c, remote.setIndex(req.addr), false);
         const auto taken = remote.invalidate(req.addr);
         panic_if(!taken, "probe hit but invalidate missed");
         ++migrations_;
@@ -132,6 +137,9 @@ RandomReplacementL3::access(const MemRequest &req, Cycle now)
                 now + params_.remoteHitLatency};
     }
 
+    if (heat_.enabled())
+        heat_.record(static_cast<unsigned>(req.core),
+                     local.setIndex(req.addr), true);
     ++misses_[static_cast<std::size_t>(req.core)];
     const Cycle ready = memory_.fetchBlock(req.addr, now);
     const auto victim =
@@ -152,6 +160,37 @@ RandomReplacementL3::writebackFromL2(CoreId core, Addr addr, Cycle now)
     }
     (void)core;
     memory_.writebackBlock(addr, now);
+}
+
+bool
+RandomReplacementL3::enableHeatmap()
+{
+    heat_.init(params_.numCores, caches_.front()->numSets());
+    return true;
+}
+
+std::vector<std::vector<std::uint64_t>>
+RandomReplacementL3::occupancyHistograms() const
+{
+    // Blocks keep their owner when spilled or migrated, so a core's
+    // footprint is its owned blocks summed across every bank at the
+    // same set index. The per-set count can exceed one bank's
+    // associativity; size the histogram for the worst case.
+    const unsigned sets = caches_.front()->numSets();
+    const unsigned maxPerSet = params_.assoc * params_.numCores;
+    std::vector<std::vector<std::uint64_t>> out(params_.numCores);
+    for (auto &hist : out)
+        hist.assign(maxPerSet + 1, 0);
+    for (unsigned set = 0; set < sets; ++set) {
+        for (unsigned c = 0; c < params_.numCores; ++c) {
+            unsigned owned = 0;
+            for (const auto &cache : caches_)
+                owned += cache->ownedInSet(set,
+                                           static_cast<CoreId>(c));
+            ++out[c][owned];
+        }
+    }
+    return out;
 }
 
 void

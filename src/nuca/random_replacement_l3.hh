@@ -64,6 +64,14 @@ class RandomReplacementL3 : public L3Organization
     bool injectLruCorruption() override;
     void checkpoint(Serializer &s) const override;
     void restore(Deserializer &d) override;
+    /** Banks are the per-core caches; a remote hit counts against
+     * the bank that actually held the block. */
+    bool enableHeatmap() override;
+    const L3Heatmap *heatmap() const override { return &heat_; }
+    /** Histogram of blocks owned by each core across all banks
+     * (spilled/migrated blocks keep their owner). */
+    std::vector<std::vector<std::uint64_t>>
+    occupancyHistograms() const override;
 
     SetAssocCache &cacheOf(CoreId core);
 
@@ -90,6 +98,7 @@ class RandomReplacementL3 : public L3Organization
 
     stats::Group statsGroup_;
     std::vector<std::unique_ptr<SetAssocCache>> caches_;
+    L3Heatmap heat_;
     stats::Vector localHits_;
     stats::Vector remoteHits_;
     stats::Vector misses_;

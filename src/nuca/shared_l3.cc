@@ -26,9 +26,44 @@ SharedL3::missesOf(CoreId core) const
     return misses_.value(static_cast<std::size_t>(core));
 }
 
+bool
+SharedL3::enableHeatmap()
+{
+    // Largest power-of-two bank count not exceeding the core count,
+    // so the bank index is a mask of the low set bits.
+    unsigned banks = 1;
+    while (banks * 2 <= params_.numCores)
+        banks *= 2;
+    heatBankMask_ = banks - 1;
+    heatBankShift_ = 0;
+    for (unsigned b = banks; b > 1; b >>= 1)
+        ++heatBankShift_;
+    heat_.init(banks, cache_.numSets() / banks);
+    return true;
+}
+
+std::vector<std::vector<std::uint64_t>>
+SharedL3::occupancyHistograms() const
+{
+    std::vector<std::vector<std::uint64_t>> out(params_.numCores);
+    for (unsigned c = 0; c < params_.numCores; ++c)
+        out[c].assign(cache_.assoc() + 1, 0);
+    for (unsigned set = 0; set < cache_.numSets(); ++set) {
+        for (unsigned c = 0; c < params_.numCores; ++c)
+            ++out[c][cache_.ownedInSet(set,
+                                       static_cast<CoreId>(c))];
+    }
+    return out;
+}
+
 L3Result
 SharedL3::access(const MemRequest &req, Cycle now)
 {
+    if (heat_.enabled()) {
+        const unsigned set = cache_.setIndex(req.addr);
+        heat_.record(set & heatBankMask_, set >> heatBankShift_,
+                     !cache_.probe(req.addr));
+    }
     if (cache_.access(req.addr, req.isWrite())) {
         ++hits_;
         // The shared cache has one uniform latency; every hit is

@@ -48,6 +48,16 @@ class SharedL3 : public L3Organization
         cache_.checkpoint(s);
     }
     void restore(Deserializer &d) override { cache_.restore(d); }
+    /**
+     * The monolithic cache is presented as numCores interleaved
+     * virtual banks (bank = set index mod banks), mirroring how a
+     * banked implementation would stripe sets — so the heatmap is
+     * comparable across organizations.
+     */
+    bool enableHeatmap() override;
+    const L3Heatmap *heatmap() const override { return &heat_; }
+    std::vector<std::vector<std::uint64_t>>
+    occupancyHistograms() const override;
 
     SetAssocCache &cache() { return cache_; }
 
@@ -61,6 +71,9 @@ class SharedL3 : public L3Organization
 
     stats::Group statsGroup_;
     SetAssocCache cache_;
+    L3Heatmap heat_;
+    unsigned heatBankMask_ = 0;
+    unsigned heatBankShift_ = 0;
     stats::Scalar hits_;
     stats::Vector misses_;
 };

@@ -5,6 +5,7 @@
 #include <system_error>
 
 #include "base/logging.hh"
+#include "base/profiler.hh"
 #include "serialize/checkpoint_io.hh"
 #include "serialize/serializer.hh"
 #include "sim/cmp_system.hh"
@@ -181,7 +182,9 @@ tryRestoreCheckpoint(CmpSystem &system, const std::string &path,
     if (!checkpointFileExists(path))
         return false;
     try {
+        prof::Scope profRestore(prof::Phase::CheckpointRestore);
         const auto payload = readCheckpointFile(path, configHash);
+        prof::add(prof::Counter::CheckpointBytesIn, payload.size());
         Deserializer d(payload);
         system.restore(d);
         d.expectEnd("checkpoint payload");
@@ -199,11 +202,13 @@ saveCheckpoint(const CmpSystem &system, const std::string &path,
                std::uint64_t configHash)
 {
     try {
+        prof::Scope profSave(prof::Phase::CheckpointSave);
         std::error_code ec;
         std::filesystem::create_directories(
             std::filesystem::path(path).parent_path(), ec);
         Serializer s;
         system.checkpoint(s);
+        prof::add(prof::Counter::CheckpointBytesOut, s.size());
         writeCheckpointFile(path, configHash, s.bytes());
     } catch (const CheckpointError &e) {
         warn("could not save checkpoint ", path, ": ", e.what());

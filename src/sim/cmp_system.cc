@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "base/logging.hh"
+#include "base/profiler.hh"
 #include "nuca/private_l3.hh"
 #include "nuca/random_replacement_l3.hh"
 #include "nuca/shared_l3.hh"
@@ -207,6 +208,7 @@ CmpSystem::settleCores()
 void
 CmpSystem::run(Cycle cycles)
 {
+    prof::Scope profRun(prof::Phase::Run);
     const Cycle end = now_ + cycles;
     while (now_ < end) {
         if (fastForward_) {
@@ -278,6 +280,7 @@ CmpSystem::fastForwardNow(Cycle end)
     // event caps the jump so both fire at exactly the cycle the
     // reference loop fires them. The cores' skipped bookkeeping is
     // folded lazily by settleCores / their next real tick.
+    prof::Scope profHorizon(prof::Phase::FastForwardHorizon);
     Cycle target = std::min(end, nextWakeCycle(now_ - 1));
     if (trace_)
         target = std::min(target, nextSample_);
@@ -285,7 +288,20 @@ CmpSystem::fastForwardNow(Cycle end)
         target = std::min(target, nextRobustEvent_);
     if (target <= now_)
         return;
-    ffSkipped_ += target - now_;
+    const Cycle skipped = target - now_;
+    // Jump diagnostics go to the host-side profiler/trace-event
+    // surfaces only: the reference loop takes no jumps, so folding
+    // them into stats or telemetry would break bit-identity.
+    prof::add(prof::Counter::FastForwardJumps, 1);
+    prof::add(prof::Counter::FastForwardCycles, skipped);
+    if (events_ && events_->enabled()) {
+        events_->complete(evtPid_, 0, "ff_jump",
+                          static_cast<double>(now_),
+                          static_cast<double>(skipped),
+                          json::Value::object().set("cycles",
+                                                    skipped));
+    }
+    ffSkipped_ += skipped;
     now_ = target;
     ++ffJumps_;
 }
@@ -298,6 +314,9 @@ CmpSystem::robustnessTick()
         plantFault();
     }
     if (robust_.checkEnabled && now_ >= nextCheck_) {
+        if (events_ && events_->enabled())
+            events_->instant(evtPid_, 0, "invariant_check",
+                             static_cast<double>(now_));
         checkStructuralInvariants();
         nextCheck_ += robust_.checkPeriod;
     }
@@ -306,6 +325,9 @@ CmpSystem::robustnessTick()
         nextWatchdog_ += watchdogPeriod_;
     }
     if (robust_.maxCycles != 0 && now_ >= robust_.maxCycles) {
+        if (events_ && events_->enabled())
+            events_->instant(evtPid_, 0, "cycle_budget_exceeded",
+                             static_cast<double>(now_));
         throw CycleBudgetExceeded(
             "cycle budget of " + std::to_string(robust_.maxCycles) +
             " exhausted at cycle " + std::to_string(now_) + "\n" +
@@ -360,6 +382,9 @@ CmpSystem::watchdogCheck()
         watchdogLastCommitted_ = committed;
         watchdogLastProgress_ = now_;
     } else if (now_ - watchdogLastProgress_ >= robust_.watchdogWindow) {
+        if (events_ && events_->enabled())
+            events_->instant(evtPid_, 0, "watchdog_stall",
+                             static_cast<double>(now_));
         throw SimulationStalled(
             "no instruction retired in " +
             std::to_string(now_ - watchdogLastProgress_) +
@@ -372,6 +397,9 @@ CmpSystem::watchdogCheck()
         const Cycle age =
             memSystems_[c]->l2d().mshrs().oldestAge(now_);
         if (age > robust_.mshrAgeBound) {
+            if (events_ && events_->enabled())
+                events_->instant(evtPid_, 0, "mshr_age_bound",
+                                 static_cast<double>(now_));
             throw SimulationStalled(
                 "core " + std::to_string(c) +
                 " has an L2D MSHR entry outstanding for " +
@@ -446,11 +474,13 @@ CmpSystem::attachTelemetry(TraceSink *sink, Cycle period)
     meta.set("cores", static_cast<std::uint64_t>(config_.numCores));
     meta.set("period", period);
     trace_->write(meta);
+    prof::add(prof::Counter::TraceRecords, 1);
 }
 
 void
 CmpSystem::emitSample()
 {
+    prof::Scope profSample(prof::Phase::TelemetrySample);
     const Cycle span = now_ - samplePrevCycle_;
     json::Value record = json::Value::object();
     record.set("type", "sample");
@@ -523,6 +553,134 @@ CmpSystem::emitSample()
 
     samplePrevCycle_ = now_;
     trace_->write(record);
+    prof::add(prof::Counter::TraceRecords, 1);
+
+    // The add-on observability surfaces ride the sample boundary:
+    // the heatmap record follows its sample in the same JSONL
+    // stream, and the counter tracks land at the same cycle on the
+    // trace-event log. Both read counters the simulation maintains
+    // anyway, so enabling them cannot change simulated behaviour.
+    if (heatBuckets_ != 0)
+        emitHeatmap();
+    if (events_ && events_->enabled())
+        emitCounterEvents();
+}
+
+bool
+CmpSystem::enableHeatmap(unsigned buckets)
+{
+    fatal_if(buckets == 0, "heatmap bucket count must be positive");
+    if (!l3_->enableHeatmap())
+        return false;
+    const L3Heatmap &heat = *l3_->heatmap();
+    heatBuckets_ = std::min(buckets, heat.sets());
+    heatPrevAccess_.assign(std::size_t(heat.banks()) * heatBuckets_,
+                           0);
+    heatPrevMiss_.assign(std::size_t(heat.banks()) * heatBuckets_, 0);
+    return true;
+}
+
+void
+CmpSystem::emitHeatmap()
+{
+    prof::Scope profHeat(prof::Phase::HeatmapSample);
+    const L3Heatmap &heat = *l3_->heatmap();
+    const unsigned banks = heat.banks();
+    const unsigned sets = heat.sets();
+
+    json::Value record = json::Value::object();
+    record.set("type", "heatmap");
+    record.set("cycle", now_);
+    record.set("scheme", l3_->schemeName());
+    record.set("banks", static_cast<std::uint64_t>(banks));
+    record.set("sets", static_cast<std::uint64_t>(sets));
+    record.set("buckets", static_cast<std::uint64_t>(heatBuckets_));
+
+    // Bucketize the running totals and report the delta since the
+    // previous heatmap record, so each record maps the *interval*
+    // (like the sample records) rather than ever-growing sums.
+    auto grid = [&](const std::vector<std::uint64_t> &totals,
+                    std::vector<std::uint64_t> &prev) {
+        json::Value rows = json::Value::array();
+        for (unsigned b = 0; b < banks; ++b) {
+            json::Value row = json::Value::array();
+            for (unsigned k = 0; k < heatBuckets_; ++k) {
+                const std::size_t setLo =
+                    std::size_t(k) * sets / heatBuckets_;
+                const std::size_t setHi =
+                    std::size_t(k + 1) * sets / heatBuckets_;
+                std::uint64_t sum = 0;
+                for (std::size_t s = setLo; s < setHi; ++s)
+                    sum += totals[std::size_t(b) * sets + s];
+                const std::size_t i =
+                    std::size_t(b) * heatBuckets_ + k;
+                row.append(sum - prev[i]);
+                prev[i] = sum;
+            }
+            rows.append(std::move(row));
+        }
+        return rows;
+    };
+    record.set("access", grid(heat.accesses(), heatPrevAccess_));
+    record.set("miss", grid(heat.misses(), heatPrevMiss_));
+
+    json::Value occ = json::Value::array();
+    for (const auto &hist : l3_->occupancyHistograms()) {
+        json::Value row = json::Value::array();
+        for (const std::uint64_t n : hist)
+            row.append(n);
+        occ.append(std::move(row));
+    }
+    record.set("occupancy", std::move(occ));
+
+    trace_->write(record);
+    prof::add(prof::Counter::TraceRecords, 1);
+    prof::add(prof::Counter::HeatmapRecords, 1);
+}
+
+void
+CmpSystem::attachTraceEvents(TraceEventLog *log,
+                             const std::string &label)
+{
+    events_ = log;
+    if (log == nullptr)
+        return;
+    evtPid_ = log->newProcess("sim:" + label);
+    evtPrevMshrStalls_.assign(config_.numCores, 0);
+    for (unsigned c = 0; c < config_.numCores; ++c) {
+        evtPrevMshrStalls_[c] =
+            memSystems_[c]->l2d().mshrs().structuralStalls();
+    }
+}
+
+void
+CmpSystem::emitCounterEvents()
+{
+    const double ts = static_cast<double>(now_);
+    json::Value ipc = json::Value::object();
+    json::Value stalls = json::Value::object();
+    for (unsigned c = 0; c < config_.numCores; ++c) {
+        const std::string key = "core" + std::to_string(c);
+        ipc.set(key, ipcOf(static_cast<CoreId>(c)));
+        const Counter total =
+            memSystems_[c]->l2d().mshrs().structuralStalls();
+        stalls.set(key, total - evtPrevMshrStalls_[c]);
+        evtPrevMshrStalls_[c] = total;
+    }
+    events_->counter(evtPid_, 0, "ipc", ts, std::move(ipc));
+    events_->counter(evtPid_, 0, "mshr_full_stalls", ts,
+                     std::move(stalls));
+
+    if (adaptive_) {
+        json::Value quota = json::Value::object();
+        for (unsigned c = 0; c < config_.numCores; ++c) {
+            quota.set("core" + std::to_string(c),
+                      static_cast<std::uint64_t>(
+                          adaptive_->engine().quota(
+                              static_cast<CoreId>(c))));
+        }
+        events_->counter(evtPid_, 0, "quota", ts, std::move(quota));
+    }
 }
 
 void
@@ -554,6 +712,19 @@ CmpSystem::emitRepartition(const RepartitionEvent &event)
     record.set("shadow_hits", counterArray(event.shadowHits));
     record.set("lru_hits", counterArray(event.lruHits));
     trace_->write(record);
+    prof::add(prof::Counter::TraceRecords, 1);
+
+    if (events_ && events_->enabled()) {
+        json::Value args = json::Value::object();
+        args.set("epoch", event.epoch);
+        args.set("gainer", event.gainer);
+        args.set("loser", event.loser);
+        args.set("moved", event.moved);
+        args.set("quota_before", unsignedArray(event.quotaBefore));
+        args.set("quota_after", unsignedArray(event.quotaAfter));
+        events_->instant(evtPid_, 0, "repartition",
+                         static_cast<double>(now_), std::move(args));
+    }
 }
 
 void

@@ -23,6 +23,7 @@
 #include "sim/robustness.hh"
 #include "sim/system_config.hh"
 #include "sim/telemetry.hh"
+#include "sim/trace_event.hh"
 #include "workload/profile.hh"
 #include "workload/synth_workload.hh"
 
@@ -111,6 +112,30 @@ class CmpSystem
      * this system's remaining run() calls; pass nullptr to detach.
      */
     void attachTelemetry(TraceSink *sink, Cycle period);
+
+    /**
+     * Start emitting "heatmap" telemetry records next to every
+     * sample: per-bank/per-set-bucket L3 access and miss interval
+     * counts plus the partition-occupancy histograms. @p buckets
+     * groups the (large) set index space into at most that many
+     * spatial buckets per bank. Requires an attached telemetry sink
+     * to produce output. Purely observational: heatmap counters live
+     * outside the stats tree and are never checkpointed, so stats,
+     * checkpoint bytes, and the non-heatmap telemetry records stay
+     * bit-identical (asserted by the differential tests). @return
+     * false when the L3 organization has no spatial structure.
+     */
+    bool enableHeatmap(unsigned buckets = 64);
+
+    /**
+     * Register this system on a trace-event log: fast-forward jumps,
+     * repartitions, watchdog/invariant events, and per-sample
+     * counter tracks (IPC, MSHR-full stalls, quotas) are emitted on
+     * an own Perfetto process track whose timestamps are simulated
+     * cycles. Pass nullptr to detach.
+     */
+    void attachTraceEvents(TraceEventLog *log,
+                           const std::string &label);
 
     /**
      * Zero all statistics (the warm-up boundary). Cache contents
@@ -218,6 +243,10 @@ class CmpSystem
 
     /** Emit one telemetry sample and advance the interval baseline. */
     void emitSample();
+    /** Emit one "heatmap" record (bucketized interval deltas). */
+    void emitHeatmap();
+    /** Emit per-sample counter tracks on the trace-event log. */
+    void emitCounterEvents();
     /** Forward one sharing-engine epoch event to the sink. */
     void emitRepartition(const RepartitionEvent &event);
 
@@ -274,6 +303,20 @@ class CmpSystem
     Counter samplePrevFetches_ = 0;
     Counter samplePrevWritebacks_ = 0;
     Counter samplePrevQueueCycles_ = 0;
+
+    /**
+     * Spatial heatmap sampling (enableHeatmap). Bucketized previous
+     * totals, bank-major: index bank * heatBuckets_ + bucket. Host
+     * observability only — never checkpointed.
+     */
+    unsigned heatBuckets_ = 0;
+    std::vector<std::uint64_t> heatPrevAccess_;
+    std::vector<std::uint64_t> heatPrevMiss_;
+
+    /** Trace-event emission (attachTraceEvents). */
+    TraceEventLog *events_ = nullptr;
+    int evtPid_ = 0;
+    std::vector<Counter> evtPrevMshrStalls_;
 };
 
 } // namespace nuca

@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "base/logging.hh"
+#include "base/profiler.hh"
 #include "base/random.hh"
 #include "serialize/checkpoint_io.hh"
 #include "sim/checkpoint.hh"
@@ -83,6 +84,11 @@ MixResult
 runMix(const SystemConfig &config, const ExperimentSpec &spec,
        const SimWindow &window, const std::string &trace_label)
 {
+    // Every experiment harness funnels through here, so this is
+    // where REPRO_PROFILE arms the self-profiler (idempotent; costs
+    // one static check per experiment).
+    prof::initFromEnv();
+
     std::vector<WorkloadProfile> apps;
     apps.reserve(spec.apps.size());
     for (const auto &name : spec.apps)

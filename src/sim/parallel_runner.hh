@@ -34,7 +34,9 @@
 #include <type_traits>
 #include <vector>
 
+#include "base/profiler.hh"
 #include "sim/robustness.hh"
+#include "sim/trace_event.hh"
 
 namespace nuca {
 
@@ -208,10 +210,25 @@ runParallelOutcomes(
     std::atomic<bool> stop{false};
     std::mutex outcome_mutex;
 
-    auto settleInto = [&](std::size_t i) {
+    auto settleInto = [&](std::size_t i, int trace_tid) {
         attempted[i] = 1;
-        outcomes[i] = parallel_detail::settleJob<Result>(
-            jobs[i], fn, policy);
+        {
+            // Each job is one host-track span (and one profiler Job
+            // phase), so a sweep's wall-clock decomposes per job in
+            // the exported trace. Worker threads get distinct tids so
+            // concurrent spans land on separate tracks.
+            TraceEventLog &log = TraceEventLog::global();
+            std::string span_name;
+            if (log.enabled())
+                span_name = "job " + std::to_string(i);
+            TraceEventLog::Span span(log, TraceEventLog::kHostPid,
+                                     trace_tid,
+                                     std::move(span_name));
+            prof::Scope profJob(prof::Phase::Job);
+            outcomes[i] = parallel_detail::settleJob<Result>(
+                jobs[i], fn, policy);
+        }
+        prof::add(prof::Counter::JobsFinished, 1);
         if (!outcomes[i].ok() && policy.onFail == FailPolicy::Abort)
             stop.store(true, std::memory_order_relaxed);
         if (progress) {
@@ -230,7 +247,7 @@ runParallelOutcomes(
         for (std::size_t i = 0; i < jobs.size(); ++i) {
             if (stop.load(std::memory_order_relaxed))
                 break;
-            settleInto(i);
+            settleInto(i, 0);
         }
     } else {
         // The job queue: a shared cursor over the submission-ordered
@@ -239,7 +256,7 @@ runParallelOutcomes(
         // touch the same element. The stop flag is checked at claim
         // time: once a failure aborts the sweep, the leftover jobs
         // are not burned through just to be discarded.
-        auto worker = [&]() {
+        auto worker = [&](int trace_tid) {
             for (;;) {
                 if (stop.load(std::memory_order_relaxed))
                     return;
@@ -247,14 +264,21 @@ runParallelOutcomes(
                     next.fetch_add(1, std::memory_order_relaxed);
                 if (i >= jobs.size())
                     return;
-                settleInto(i);
+                settleInto(i, trace_tid);
             }
         };
 
+        TraceEventLog &log = TraceEventLog::global();
         std::vector<std::thread> threads;
         threads.reserve(workers);
-        for (std::size_t t = 0; t < workers; ++t)
-            threads.emplace_back(worker);
+        for (std::size_t t = 0; t < workers; ++t) {
+            const int trace_tid =
+                log.enabled()
+                    ? log.newThread(TraceEventLog::kHostPid,
+                                    "worker " + std::to_string(t))
+                    : static_cast<int>(t);
+            threads.emplace_back(worker, trace_tid);
+        }
         for (auto &thread : threads)
             thread.join();
     }

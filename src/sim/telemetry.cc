@@ -4,8 +4,10 @@
 #include <cstdlib>
 
 #include "base/logging.hh"
+#include "base/profiler.hh"
 #include "sim/cmp_system.hh"
 #include "sim/experiment.hh"
+#include "sim/trace_event.hh"
 
 namespace nuca {
 
@@ -33,18 +35,33 @@ JsonlTraceSink::write(const json::Value &record)
     buffer_ += record.dump();
     buffer_ += '\n';
     ++records_;
+    // A full buffer is handed to stdio in one batched fwrite; only
+    // an explicit flush() forces the bytes down to the OS, so the
+    // steady-state cost per buffer is exactly one write call.
     if (buffer_.size() >= bufferBytes_)
-        flush();
+        drain(false);
 }
 
 void
 JsonlTraceSink::flush()
 {
-    if (failed_ || buffer_.empty())
+    drain(true);
+}
+
+void
+JsonlTraceSink::drain(bool sync)
+{
+    if (failed_ || (buffer_.empty() && !sync))
         return;
-    const std::size_t written =
-        std::fwrite(buffer_.data(), 1, buffer_.size(), file_);
-    if (written != buffer_.size() || std::fflush(file_) != 0) {
+    prof::Scope profFlush(prof::Phase::TelemetryFlush);
+    prof::add(prof::Counter::TraceFlushes, 1);
+    std::size_t written = buffer_.size();
+    if (!buffer_.empty()) {
+        written = std::fwrite(buffer_.data(), 1, buffer_.size(),
+                              file_);
+    }
+    if (written != buffer_.size() ||
+        (sync && std::fflush(file_) != 0)) {
         // Losing telemetry must not kill the simulation that produces
         // it; warn once and drop the remainder of this trace.
         failed_ = true;
@@ -65,7 +82,33 @@ TelemetryConfig::fromEnv()
         envOr("REPRO_TRACE_PERIOD", config.samplePeriod);
     fatal_if(config.samplePeriod == 0,
              "REPRO_TRACE_PERIOD must be positive");
+    config.heatmap = envOr("REPRO_HEATMAP", 0) != 0;
+    config.heatmapBuckets = static_cast<unsigned>(
+        envOr("REPRO_HEATMAP_BUCKETS", config.heatmapBuckets));
+    fatal_if(config.heatmapBuckets == 0,
+             "REPRO_HEATMAP_BUCKETS must be positive");
     return config;
+}
+
+std::string
+sanitizeLabel(const std::string &label)
+{
+    std::string safe;
+    safe.reserve(label.size());
+    for (const char c : label) {
+        const auto u = static_cast<unsigned char>(c);
+        if (std::isalnum(u) || c == '.' || c == '-' || c == '_') {
+            safe += c;
+        } else if (safe.empty() || safe.back() != '_') {
+            // Slashes, whitespace and other shell/filesystem
+            // metacharacters collapse runs-of-unsafe into one '_'.
+            safe += '_';
+        }
+    }
+    bool anySafe = false;
+    for (const char c : safe)
+        anySafe |= c != '_';
+    return anySafe ? safe : "trace";
 }
 
 std::string
@@ -74,14 +117,7 @@ tracePathFor(const std::string &base, const std::string &label)
     if (label.empty())
         return base;
 
-    std::string safe;
-    safe.reserve(label.size());
-    for (const char c : label) {
-        const auto u = static_cast<unsigned char>(c);
-        safe += (std::isalnum(u) || c == '.' || c == '-' || c == '_')
-                    ? c
-                    : '_';
-    }
+    const std::string safe = sanitizeLabel(label);
 
     // Insert the label before the filename's extension so the files
     // keep sorting (and opening) as traces of the base name.
@@ -107,11 +143,20 @@ sinkFromEnv(const std::string &label)
 std::unique_ptr<TraceSink>
 attachTelemetryFromEnv(CmpSystem &system, const std::string &label)
 {
+    const TelemetryConfig config = TelemetryConfig::fromEnv();
     auto sink = sinkFromEnv(label);
     if (sink) {
-        system.attachTelemetry(sink.get(),
-                               TelemetryConfig::fromEnv().samplePeriod);
+        system.attachTelemetry(sink.get(), config.samplePeriod);
+        // Heatmap records ride the sample cadence, so without a sink
+        // there is nowhere for them to go and counting would be
+        // wasted work.
+        if (config.heatmap)
+            system.enableHeatmap(config.heatmapBuckets);
     }
+    TraceEventLog &events = traceEventsFromEnv();
+    if (events.enabled())
+        system.attachTraceEvents(&events, label.empty() ? "system"
+                                                        : label);
     return sink;
 }
 

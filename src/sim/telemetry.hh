@@ -87,6 +87,10 @@ class JsonlTraceSink final : public TraceSink
     bool failed() const { return failed_; }
 
   private:
+    /** Hand the whole buffer to the file in one fwrite; @p sync
+     * additionally forces it down to the OS (explicit flush()). */
+    void drain(bool sync);
+
     std::string path_;
     std::FILE *file_;
     std::string buffer_;
@@ -102,12 +106,27 @@ struct TelemetryConfig
     std::string tracePath;
     /** Cycles between sample records (REPRO_TRACE_PERIOD). */
     Cycle samplePeriod = 100000;
+    /** Emit spatial heatmap records next to every sample
+     * (REPRO_HEATMAP; needs REPRO_TRACE to produce output). */
+    bool heatmap = false;
+    /** Spatial buckets per bank (REPRO_HEATMAP_BUCKETS). */
+    unsigned heatmapBuckets = 64;
 
     bool enabled() const { return !tracePath.empty(); }
 
-    /** Read REPRO_TRACE / REPRO_TRACE_PERIOD. */
+    /** Read REPRO_TRACE / REPRO_TRACE_PERIOD / REPRO_HEATMAP /
+     *  REPRO_HEATMAP_BUCKETS. */
     static TelemetryConfig fromEnv();
 };
+
+/**
+ * Filename-safe form of an experiment label: every character outside
+ * [A-Za-z0-9.-_] (slashes, whitespace, shell metacharacters) maps to
+ * '_', runs of replacements collapse to a single '_', and a label
+ * with no safe characters at all becomes "trace" rather than an
+ * empty path component.
+ */
+std::string sanitizeLabel(const std::string &label);
 
 /**
  * Derive one experiment's trace path from the base REPRO_TRACE path

@@ -7,6 +7,12 @@
  * robustness machinery active, and across a checkpoint/restore
  * boundary (including restoring into a system running in the
  * opposite mode).
+ *
+ * The observability matrix rides the same contract: the host
+ * self-profiler and the spatial heatmaps must be strictly
+ * observational, so a profiled + heatmapped fast-forward run has to
+ * produce the same stats, checkpoint bytes, and (heatmap records
+ * aside) the same telemetry as the bare reference run.
  */
 
 #include <gtest/gtest.h>
@@ -15,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "base/profiler.hh"
 #include "serialize/serializer.hh"
 #include "sim/cmp_system.hh"
 #include "sim/robustness.hh"
@@ -93,15 +100,41 @@ struct RunArtifacts
     Counter skipped = 0;
 };
 
+/** Observability switches for one differential run. */
+struct ObsOptions
+{
+    bool profile = false;
+    bool heatmap = false;
+};
+
+/** Flips the global profiler flag and restores it on scope exit. */
+class ProfileGuard
+{
+  public:
+    explicit ProfileGuard(bool on) : prev_(prof::enabled())
+    {
+        prof::setEnabled(on);
+    }
+    ~ProfileGuard() { prof::setEnabled(prev_); }
+
+  private:
+    bool prev_;
+};
+
 RunArtifacts
 runOnce(L3Scheme scheme, bool fastForward, Cycle cycles,
-        const std::vector<WorkloadProfile> &mix = memoryMix())
+        const std::vector<WorkloadProfile> &mix = memoryMix(),
+        const ObsOptions &obs = {})
 {
+    ProfileGuard profiling(obs.profile);
     CmpSystem system(SystemConfig::baseline(scheme), mix, kSeed);
     system.setFastForward(fastForward);
     system.setRobustness(activeRobustness());
     RecordingSink sink;
     system.attachTelemetry(&sink, kTracePeriod);
+    if (obs.heatmap) {
+        EXPECT_TRUE(system.enableHeatmap(16));
+    }
     system.run(cycles);
 
     RunArtifacts out;
@@ -160,6 +193,55 @@ TEST(FastForward, BitIdenticalOnComputeBoundMix)
             << "scheme " << to_string(scheme);
         EXPECT_FALSE(ff.trace.empty());
     }
+}
+
+TEST(FastForward, ObservabilityPreservesBitIdentity)
+{
+    // Profiler + heatmaps on, against the bare reference run. The
+    // observability layer must not perturb the simulation: stats and
+    // checkpoint bytes stay identical, and removing the (purely
+    // additive) heatmap records recovers the baseline telemetry
+    // byte for byte.
+    bool sawHeatmap = false;
+    for (const auto scheme :
+         {L3Scheme::Private, L3Scheme::Shared, L3Scheme::Adaptive,
+          L3Scheme::RandomReplacement}) {
+        const RunArtifacts ref = runOnce(scheme, false, 60000);
+        const RunArtifacts obs = runOnce(scheme, true, 60000,
+                                         memoryMix(),
+                                         ObsOptions{true, true});
+
+        EXPECT_EQ(obs.stats, ref.stats)
+            << "scheme " << to_string(scheme);
+        EXPECT_EQ(obs.machine, ref.machine)
+            << "scheme " << to_string(scheme);
+
+        std::vector<std::string> filtered;
+        std::size_t heatRecords = 0;
+        for (const auto &line : obs.trace) {
+            const auto record = json::Value::tryParse(line);
+            ASSERT_TRUE(record.has_value());
+            if (record->at("type").asString() == "heatmap") {
+                ++heatRecords;
+                EXPECT_GT(record->at("banks").asNumber(), 0.0);
+                EXPECT_GT(record->at("buckets").asNumber(), 0.0);
+            } else {
+                filtered.push_back(line);
+            }
+        }
+        EXPECT_EQ(filtered, ref.trace)
+            << "scheme " << to_string(scheme);
+        EXPECT_GT(heatRecords, 0u)
+            << "scheme " << to_string(scheme);
+        sawHeatmap |= heatRecords > 0;
+    }
+    EXPECT_TRUE(sawHeatmap);
+
+    // The profiled runs must also have fed the profiler: the run
+    // phase and the per-tick samples both saw entries.
+    const prof::Snapshot snap = prof::snapshot();
+    EXPECT_GT(snap.estCalls(prof::Phase::Run), 0u);
+    EXPECT_GT(snap.estCalls(prof::Phase::CoreTick), 0u);
 }
 
 TEST(FastForward, SurvivesCheckpointRestoreCrossover)

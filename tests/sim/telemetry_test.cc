@@ -68,6 +68,20 @@ TEST(TracePathFor, DerivesPerExperimentFiles)
     EXPECT_EQ(tracePathFor("out.d/trace", "x"), "out.d/trace.x");
 }
 
+TEST(SanitizeLabel, MapsUnsafeCharactersToUnderscores)
+{
+    EXPECT_EQ(sanitizeLabel("adaptive.mix3"), "adaptive.mix3");
+    EXPECT_EQ(sanitizeLabel("a/b c"), "a_b_c");
+    // Runs of unsafe characters collapse to a single '_' so a label
+    // like "a / b" cannot produce "a___b".
+    EXPECT_EQ(sanitizeLabel("a / b"), "a_b");
+    EXPECT_EQ(sanitizeLabel("x\t\n!y"), "x_y");
+    // A label with nothing safe in it still yields a usable path
+    // component rather than an empty or all-underscore one.
+    EXPECT_EQ(sanitizeLabel("///"), "trace");
+    EXPECT_EQ(sanitizeLabel(""), "trace");
+}
+
 TEST(JsonlTraceSink, WritesOneParseableObjectPerLine)
 {
     const std::string path = scratchPath("sink");

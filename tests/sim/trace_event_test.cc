@@ -1,0 +1,211 @@
+/**
+ * @file
+ * TraceEventLog unit tests: event collection, the bounded-log drop
+ * counter, JSON serialization, file round-trips, and the Chrome
+ * trace-event validator the exported-trace ctests rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "sim/json_writer.hh"
+#include "sim/trace_event.hh"
+
+namespace nuca {
+namespace {
+
+json::Value
+event(const char *ph, int pid, int tid, double ts, const char *name)
+{
+    json::Value ev = json::Value::object();
+    if (name != nullptr)
+        ev.set("name", name);
+    ev.set("ph", ph);
+    ev.set("pid", pid);
+    ev.set("tid", tid);
+    ev.set("ts", ts);
+    return ev;
+}
+
+json::Value
+wrap(json::Value events)
+{
+    json::Value doc = json::Value::object();
+    doc.set("traceEvents", std::move(events));
+    return doc;
+}
+
+TEST(TraceEventLog, CollectsAndSerializesAllEventKinds)
+{
+    TraceEventLog log;
+    log.configure("unused.trace.json");
+    ASSERT_TRUE(log.enabled());
+
+    const int simPid = log.newProcess("sim:test");
+    EXPECT_GT(simPid, TraceEventLog::kHostPid);
+    const int tid = log.newThread(TraceEventLog::kHostPid, "worker");
+    EXPECT_GE(tid, 1);
+
+    log.begin(TraceEventLog::kHostPid, tid, "job", 1.0);
+    log.end(TraceEventLog::kHostPid, tid, "job", 5.0);
+    log.complete(simPid, 0, "ff_jump", 100.0, 40.0,
+                 json::Value::object().set("cycles", 40));
+    log.instant(simPid, 0, "repartition", 150.0);
+    log.counter(simPid, 0, "ipc", 160.0,
+                json::Value::object().set("core0", 0.5));
+    EXPECT_EQ(log.events(), 5u);
+    EXPECT_EQ(log.dropped(), 0u);
+
+    std::string error;
+    EXPECT_TRUE(validateChromeTrace(log.toJson(), &error)) << error;
+}
+
+TEST(TraceEventLog, DisabledCollectsNothing)
+{
+    TraceEventLog log;
+    log.instant(1, 0, "before-configure", 1.0);
+    EXPECT_EQ(log.events(), 0u);
+
+    log.configure("unused.trace.json");
+    log.disable();
+    log.instant(1, 0, "after-disable", 2.0);
+    EXPECT_EQ(log.events(), 0u);
+}
+
+TEST(TraceEventLog, BoundedLogCountsDrops)
+{
+    TraceEventLog log;
+    log.configure("unused.trace.json", /*max_events=*/2);
+    for (int i = 0; i < 5; ++i)
+        log.instant(1, 0, "e", static_cast<double>(i));
+    EXPECT_EQ(log.events(), 2u);
+    EXPECT_EQ(log.dropped(), 3u);
+    const json::Value doc = log.toJson();
+    ASSERT_TRUE(doc.contains("droppedEvents"));
+    EXPECT_EQ(doc.at("droppedEvents").asNumber(), 3.0);
+}
+
+TEST(TraceEventLog, SpanEmitsMatchedPair)
+{
+    TraceEventLog log;
+    log.configure("unused.trace.json");
+    {
+        TraceEventLog::Span span(log, TraceEventLog::kHostPid, 0,
+                                 "scoped");
+    }
+    EXPECT_EQ(log.events(), 2u);
+    std::string error;
+    EXPECT_TRUE(validateChromeTrace(log.toJson(), &error)) << error;
+}
+
+TEST(TraceEventLog, WritesParseableFile)
+{
+    const std::string path =
+        ::testing::TempDir() + "/trace_event_test.trace.json";
+    TraceEventLog log;
+    log.configure(path);
+    const int pid = log.newProcess("sim:file");
+    log.complete(pid, 0, "span", 10.0, 5.0);
+    EXPECT_TRUE(log.writeIfPending());
+    // writeIfPending is once per configure().
+    EXPECT_FALSE(log.writeIfPending());
+
+    const auto doc = json::Value::tryParse(json::readFile(path));
+    ASSERT_TRUE(doc.has_value());
+    std::string error;
+    EXPECT_TRUE(validateChromeTrace(*doc, &error)) << error;
+    std::remove(path.c_str());
+}
+
+TEST(ValidateChromeTrace, AcceptsBareArray)
+{
+    json::Value events = json::Value::array();
+    events.append(event("i", 1, 0, 1.0, "tick"));
+    std::string error;
+    EXPECT_TRUE(validateChromeTrace(events, &error)) << error;
+}
+
+TEST(ValidateChromeTrace, RejectsMissingTraceEvents)
+{
+    std::string error;
+    EXPECT_FALSE(
+        validateChromeTrace(json::Value::object(), &error));
+    EXPECT_NE(error.find("traceEvents"), std::string::npos);
+}
+
+TEST(ValidateChromeTrace, RejectsBackwardsTimePerTrack)
+{
+    json::Value events = json::Value::array();
+    events.append(event("i", 1, 0, 10.0, "a"));
+    events.append(event("i", 1, 0, 5.0, "b")); // same track, earlier
+    std::string error;
+    EXPECT_FALSE(validateChromeTrace(wrap(std::move(events)),
+                                     &error));
+    EXPECT_NE(error.find("backwards"), std::string::npos);
+}
+
+TEST(ValidateChromeTrace, AllowsBackwardsTimeAcrossTracks)
+{
+    // Different (pid, tid) tracks are different clock domains; only
+    // within a track must time be monotonic.
+    json::Value events = json::Value::array();
+    events.append(event("i", 1, 0, 10.0, "host"));
+    events.append(event("i", 2, 0, 5.0, "sim"));
+    std::string error;
+    EXPECT_TRUE(validateChromeTrace(wrap(std::move(events)), &error))
+        << error;
+}
+
+TEST(ValidateChromeTrace, RejectsUnmatchedBeginEnd)
+{
+    {
+        json::Value events = json::Value::array();
+        events.append(event("B", 1, 0, 1.0, "open"));
+        std::string error;
+        EXPECT_FALSE(validateChromeTrace(wrap(std::move(events)),
+                                         &error));
+        EXPECT_NE(error.find("unclosed"), std::string::npos);
+    }
+    {
+        json::Value events = json::Value::array();
+        events.append(event("E", 1, 0, 1.0, "close"));
+        std::string error;
+        EXPECT_FALSE(validateChromeTrace(wrap(std::move(events)),
+                                         &error));
+        EXPECT_NE(error.find("without matching"), std::string::npos);
+    }
+    {
+        json::Value events = json::Value::array();
+        events.append(event("B", 1, 0, 1.0, "outer"));
+        events.append(event("E", 1, 0, 2.0, "wrong-name"));
+        std::string error;
+        EXPECT_FALSE(validateChromeTrace(wrap(std::move(events)),
+                                         &error));
+        EXPECT_NE(error.find("does not match"), std::string::npos);
+    }
+}
+
+TEST(ValidateChromeTrace, RejectsBadPhases)
+{
+    json::Value events = json::Value::array();
+    events.append(event("Z", 1, 0, 1.0, "weird"));
+    std::string error;
+    EXPECT_FALSE(validateChromeTrace(wrap(std::move(events)),
+                                     &error));
+    EXPECT_NE(error.find("unsupported ph"), std::string::npos);
+}
+
+TEST(ValidateChromeTrace, RejectsCompleteWithoutDuration)
+{
+    json::Value events = json::Value::array();
+    events.append(event("X", 1, 0, 1.0, "span"));
+    std::string error;
+    EXPECT_FALSE(validateChromeTrace(wrap(std::move(events)),
+                                     &error));
+    EXPECT_NE(error.find("dur"), std::string::npos);
+}
+
+} // namespace
+} // namespace nuca

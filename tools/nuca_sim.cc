@@ -27,8 +27,10 @@
 #include <vector>
 
 #include "base/logging.hh"
+#include "base/profiler.hh"
 #include "sim/cmp_system.hh"
 #include "sim/metrics.hh"
+#include "sim/telemetry.hh"
 #include "workload/spec_profiles.hh"
 #include "workload/synth_workload.hh"
 #include "workload/profile_io.hh"
@@ -215,6 +217,11 @@ main(int argc, char **argv)
             std::make_unique<CmpSystem>(config, profiles, seed);
     }
     CmpSystem &system = *system_ptr;
+    // Observability knobs work on the CLI front end too:
+    // REPRO_PROFILE (host self-profile at exit), REPRO_TRACE
+    // (+REPRO_HEATMAP) telemetry, REPRO_PERFETTO trace export.
+    prof::initFromEnv();
+    const auto trace = attachTelemetryFromEnv(system, "");
     std::fprintf(stderr, "warming %llu cycles...\n",
                  static_cast<unsigned long long>(warmup));
     system.run(warmup);

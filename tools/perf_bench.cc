@@ -31,6 +31,13 @@
  * REPRO_BENCH_SPEC_CYCLES (per spec run, default 2M),
  * REPRO_BENCH_COMPUTE_CYCLES (per compute run, default 2M),
  * REPRO_BENCH_OUT (output path, default BENCH_perf.json).
+ *
+ * Observability: REPRO_PROFILE=1 turns on the host self-profiler for
+ * the timed runs; its hierarchical report lands on stderr at exit and
+ * a "profile" section (plus a dedicated profiler-overhead measurement
+ * on the compute_bound mix) is folded into the JSON document.
+ * REPRO_PERFETTO=<path> exports the benched systems' simulated-time
+ * events as a Chrome trace.
  */
 
 #include <sys/utsname.h>
@@ -42,9 +49,11 @@
 #include <vector>
 
 #include "base/logging.hh"
+#include "base/profiler.hh"
 #include "sim/cmp_system.hh"
 #include "sim/experiment.hh"
 #include "sim/json_writer.hh"
+#include "sim/trace_event.hh"
 #include "workload/spec_profiles.hh"
 
 namespace {
@@ -106,7 +115,7 @@ struct RunResult
 RunResult
 timeRun(const SystemConfig &config,
         const std::vector<WorkloadProfile> &apps, bool fastForward,
-        Cycle cycles)
+        Cycle cycles, const std::string &label)
 {
     // A zero-cycle window would divide by zero below and report NaN
     // throughput, which JSON cannot even represent; it can only come
@@ -114,6 +123,9 @@ timeRun(const SystemConfig &config,
     panic_if(cycles == 0, "perf_bench run with a zero-cycle window");
     CmpSystem system(config, apps, /*seed=*/20070201);
     system.setFastForward(fastForward);
+    TraceEventLog &events = traceEventsFromEnv();
+    if (events.enabled())
+        system.attachTraceEvents(&events, label);
 
     const auto start = std::chrono::steady_clock::now();
     system.run(cycles);
@@ -154,6 +166,7 @@ runJson(const RunResult &r, bool fastForward)
 int
 main()
 {
+    prof::initFromEnv();
     const Cycle pchaseCycles = envOr("REPRO_BENCH_CYCLES", 8000000);
     const Cycle specCycles =
         envOr("REPRO_BENCH_SPEC_CYCLES", 2000000);
@@ -198,10 +211,14 @@ main()
                 std::string(spec.configName) == "scaledTech"
                     ? SystemConfig::scaledTech(scheme)
                     : SystemConfig::baseline(scheme);
-            const RunResult ref =
-                timeRun(config, *spec.apps, false, spec.cycles);
-            const RunResult ff =
-                timeRun(config, *spec.apps, true, spec.cycles);
+            const std::string runLabel =
+                std::string(spec.name) + "." + to_string(scheme);
+            const RunResult ref = timeRun(config, *spec.apps, false,
+                                          spec.cycles,
+                                          runLabel + ".ref");
+            const RunResult ff = timeRun(config, *spec.apps, true,
+                                         spec.cycles,
+                                         runLabel + ".ff");
             const double speedup = ref.wallSeconds / ff.wallSeconds;
 
             json::Value row = json::Value::object();
@@ -230,6 +247,39 @@ main()
         }
     }
 
+    // Profiler-overhead check: the same compute-bound run (the mix
+    // with the fewest skippable cycles, i.e. the most scope entries
+    // per wall second) timed with the profiler off and on. The
+    // acceptance bound is <= 2% — sampled scopes should cost a few
+    // nanoseconds per simulated tick.
+    json::Value overhead = json::Value::object();
+    {
+        const bool wasEnabled = prof::enabled();
+        const SystemConfig config =
+            SystemConfig::baseline(L3Scheme::Adaptive);
+        prof::setEnabled(false);
+        const RunResult off =
+            timeRun(config, computeMix, false, computeCycles,
+                    "profiler_overhead.off");
+        prof::setEnabled(true);
+        const RunResult on =
+            timeRun(config, computeMix, false, computeCycles,
+                    "profiler_overhead.on");
+        prof::setEnabled(wasEnabled);
+        const double frac =
+            on.wallSeconds / off.wallSeconds - 1.0;
+        overhead.set("mix", "compute_bound");
+        overhead.set("scheme", "adaptive");
+        overhead.set("cycles", computeCycles);
+        overhead.set("off_seconds", off.wallSeconds);
+        overhead.set("on_seconds", on.wallSeconds);
+        overhead.set("overhead_frac", frac);
+        std::printf("profiler overhead on compute_bound: "
+                    "off %5.2fs  on %5.2fs  (%+.2f%%)\n",
+                    off.wallSeconds, on.wallSeconds, 100.0 * frac);
+        std::fflush(stdout);
+    }
+
     struct utsname uts = {};
     ::uname(&uts);
     json::Value host = json::Value::object();
@@ -246,6 +296,13 @@ main()
     doc.set("host", std::move(host));
     doc.set("mixes", std::move(mixes));
     doc.set("min_speedup_pchase", minCriterionSpeedup);
+    doc.set("profiler_overhead", std::move(overhead));
+    if (prof::enabled()) {
+        // The self-profiler's own JSON (phase tree with estimated
+        // nanoseconds and call counts) rides along in the benchmark
+        // document so CI artifacts carry the attribution.
+        doc.set("profile", json::Value::parse(prof::jsonReport()));
+    }
     json::writeFileAtomic(outPath, doc);
     std::printf("wrote %s (min pchase speedup %.2fx)\n",
                 outPath.c_str(), minCriterionSpeedup);

@@ -5,7 +5,19 @@
  * quota-vs-time and IPC-vs-time ASCII plots plus an epoch summary
  * table of the sharing engine's repartitioning decisions.
  *
- * Usage: trace_report <trace.jsonl> [plot-width]
+ * Usage:
+ *   trace_report <trace.jsonl> [plot-width]     time-series report
+ *   trace_report --heatmap <trace.jsonl>        spatial cache view
+ *                                               (REPRO_HEATMAP records)
+ *   trace_report --export-trace <out.trace.json> <trace.jsonl>
+ *                                               convert to Chrome
+ *                                               trace-event JSON
+ *   trace_report --check-trace <file.trace.json>
+ *                                               validate a trace file
+ *
+ * Malformed or truncated trace lines (a killed writer, a torn tail)
+ * are skipped and counted; the count is reported on stderr at exit
+ * instead of aborting the report.
  */
 
 #include <algorithm>
@@ -16,6 +28,7 @@
 #include <vector>
 
 #include "sim/json_writer.hh"
+#include "sim/trace_event.hh"
 
 namespace {
 
@@ -42,6 +55,20 @@ struct EpochPoint
     std::vector<double> lruHits;
 };
 
+/** Accumulated spatial heatmap (REPRO_HEATMAP records). */
+struct HeatmapData
+{
+    unsigned banks = 0;
+    unsigned buckets = 0;
+    unsigned sets = 0;
+    std::size_t records = 0;
+    /** Bank-major interval deltas summed over the whole trace. */
+    std::vector<std::uint64_t> access;
+    std::vector<std::uint64_t> miss;
+    /** The last record's instantaneous occupancy histograms. */
+    std::vector<std::vector<std::uint64_t>> occupancy;
+};
+
 /** Everything parsed out of one trace file. */
 struct Trace
 {
@@ -50,6 +77,8 @@ struct Trace
     std::uint64_t period = 0;
     std::vector<SamplePoint> samples;
     std::vector<EpochPoint> epochs;
+    HeatmapData heat;
+    std::size_t malformed = 0;
 };
 
 std::vector<double>
@@ -65,80 +94,138 @@ numberArray(const Value &object, const char *key)
     return out;
 }
 
-bool
+void
+addHeatmapGrid(const Value &rows, std::vector<std::uint64_t> &grid,
+               unsigned banks, unsigned buckets)
+{
+    for (unsigned b = 0; b < banks && b < rows.size(); ++b) {
+        const Value &row = rows.at(b);
+        for (unsigned k = 0; k < buckets && k < row.size(); ++k) {
+            grid[std::size_t(b) * buckets + k] +=
+                static_cast<std::uint64_t>(row.at(k).asNumber());
+        }
+    }
+}
+
+void
+parseHeatmap(const Value &record, HeatmapData &heat)
+{
+    const auto banks =
+        static_cast<unsigned>(record.at("banks").asNumber());
+    const auto buckets =
+        static_cast<unsigned>(record.at("buckets").asNumber());
+    if (banks == 0 || buckets == 0)
+        return;
+    if (heat.records == 0) {
+        heat.banks = banks;
+        heat.buckets = buckets;
+        heat.sets =
+            static_cast<unsigned>(record.at("sets").asNumber());
+        heat.access.assign(std::size_t(banks) * buckets, 0);
+        heat.miss.assign(std::size_t(banks) * buckets, 0);
+    } else if (banks != heat.banks || buckets != heat.buckets) {
+        // A trace stitched from differently-configured runs; keep
+        // the first geometry rather than mixing incompatible grids.
+        return;
+    }
+    ++heat.records;
+    addHeatmapGrid(record.at("access"), heat.access, banks, buckets);
+    addHeatmapGrid(record.at("miss"), heat.miss, banks, buckets);
+
+    heat.occupancy.clear();
+    if (record.contains("occupancy")) {
+        const Value &occ = record.at("occupancy");
+        for (std::size_t r = 0; r < occ.size(); ++r) {
+            std::vector<std::uint64_t> hist;
+            const Value &row = occ.at(r);
+            hist.reserve(row.size());
+            for (std::size_t i = 0; i < row.size(); ++i)
+                hist.push_back(static_cast<std::uint64_t>(
+                    row.at(i).asNumber()));
+            heat.occupancy.push_back(std::move(hist));
+        }
+    }
+}
+
+void
 parseTrace(const std::string &text, Trace &trace)
 {
     std::size_t pos = 0;
-    std::size_t lineno = 0;
-    bool ok = true;
     while (pos < text.size()) {
         std::size_t end = text.find('\n', pos);
         if (end == std::string::npos)
             end = text.size();
         const std::string line = text.substr(pos, end - pos);
         pos = end + 1;
-        ++lineno;
         if (line.empty())
             continue;
 
         const auto record = Value::tryParse(line);
         if (!record || record->type() != Value::Type::Object ||
             !record->contains("type")) {
-            std::fprintf(stderr,
-                         "trace_report: line %zu is not a trace "
-                         "record\n",
-                         lineno);
-            ok = false;
+            // A torn tail from a killed writer, or plain garbage:
+            // skip it, count it, keep reporting the good records.
+            ++trace.malformed;
             continue;
         }
-        const std::string &type = record->at("type").asString();
-        if (type == "meta") {
-            if (record->contains("scheme"))
-                trace.scheme = record->at("scheme").asString();
-            if (record->contains("cores"))
-                trace.cores = static_cast<unsigned>(
-                    record->at("cores").asNumber());
-            if (record->contains("period"))
-                trace.period = static_cast<std::uint64_t>(
-                    record->at("period").asNumber());
-        } else if (type == "sample") {
-            // Functional traces (fig3) sample by instruction count
-            // and carry no per-core series; skip what is absent.
-            if (!record->contains("cycle") ||
-                !record->contains("cores"))
-                continue;
-            SamplePoint point;
-            point.cycle = static_cast<std::uint64_t>(
-                record->at("cycle").asNumber());
-            const Value &cores = record->at("cores");
-            for (std::size_t c = 0; c < cores.size(); ++c) {
-                const Value &entry = cores.at(c);
-                point.ipc.push_back(entry.at("ipc").asNumber());
-                if (entry.contains("quota"))
-                    point.quota.push_back(
-                        entry.at("quota").asNumber());
+        // A record of a known type with fields missing or mistyped
+        // is malformed too; classify per record, not per file.
+        try {
+            const std::string &type = record->at("type").asString();
+            if (type == "meta") {
+                if (record->contains("scheme"))
+                    trace.scheme = record->at("scheme").asString();
+                if (record->contains("cores"))
+                    trace.cores = static_cast<unsigned>(
+                        record->at("cores").asNumber());
+                if (record->contains("period"))
+                    trace.period = static_cast<std::uint64_t>(
+                        record->at("period").asNumber());
+            } else if (type == "sample") {
+                // Functional traces (fig3) sample by instruction
+                // count and carry no per-core series; skip what is
+                // absent.
+                if (!record->contains("cycle") ||
+                    !record->contains("cores"))
+                    continue;
+                SamplePoint point;
+                point.cycle = static_cast<std::uint64_t>(
+                    record->at("cycle").asNumber());
+                const Value &cores = record->at("cores");
+                for (std::size_t c = 0; c < cores.size(); ++c) {
+                    const Value &entry = cores.at(c);
+                    point.ipc.push_back(entry.at("ipc").asNumber());
+                    if (entry.contains("quota"))
+                        point.quota.push_back(
+                            entry.at("quota").asNumber());
+                }
+                trace.samples.push_back(std::move(point));
+            } else if (type == "repartition") {
+                EpochPoint point;
+                point.cycle = static_cast<std::uint64_t>(
+                    record->at("cycle").asNumber());
+                point.epoch = static_cast<std::uint64_t>(
+                    record->at("epoch").asNumber());
+                point.gainer = static_cast<int>(
+                    record->at("gainer").asNumber());
+                point.loser = static_cast<int>(
+                    record->at("loser").asNumber());
+                point.moved = record->at("moved").asBool();
+                point.quotaAfter =
+                    numberArray(*record, "quota_after");
+                point.shadowHits =
+                    numberArray(*record, "shadow_hits");
+                point.lruHits = numberArray(*record, "lru_hits");
+                trace.epochs.push_back(std::move(point));
+            } else if (type == "heatmap") {
+                parseHeatmap(*record, trace.heat);
             }
-            trace.samples.push_back(std::move(point));
-        } else if (type == "repartition") {
-            EpochPoint point;
-            point.cycle = static_cast<std::uint64_t>(
-                record->at("cycle").asNumber());
-            point.epoch = static_cast<std::uint64_t>(
-                record->at("epoch").asNumber());
-            point.gainer =
-                static_cast<int>(record->at("gainer").asNumber());
-            point.loser =
-                static_cast<int>(record->at("loser").asNumber());
-            point.moved = record->at("moved").asBool();
-            point.quotaAfter = numberArray(*record, "quota_after");
-            point.shadowHits = numberArray(*record, "shadow_hits");
-            point.lruHits = numberArray(*record, "lru_hits");
-            trace.epochs.push_back(std::move(point));
+            // Unknown record types are ignored: traces are forward
+            // compatible.
+        } catch (const std::exception &) {
+            ++trace.malformed;
         }
-        // Unknown record types are ignored: traces are forward
-        // compatible.
     }
-    return ok;
 }
 
 char
@@ -250,111 +337,380 @@ sum(const std::vector<double> &values)
     return s;
 }
 
+/** Shade 0..1 into the " .:-=+*#%@" intensity ramp. */
+char
+shade(double frac)
+{
+    static const char ramp[] = " .:-=+*#%@";
+    const int steps = static_cast<int>(sizeof(ramp)) - 2;
+    const int i = static_cast<int>(frac * steps + 0.5);
+    return ramp[std::clamp(i, 0, steps)];
+}
+
+void
+printHeatmap(const Trace &trace)
+{
+    const HeatmapData &heat = trace.heat;
+    if (heat.records == 0) {
+        std::printf("no heatmap records in this trace.\n"
+                    "(run the simulation with REPRO_HEATMAP=1 to "
+                    "produce them)\n");
+        return;
+    }
+
+    std::printf("spatial heatmap: %u banks x %u set-buckets "
+                "(%u sets/bank, %zu records)\n\n",
+                heat.banks, heat.buckets, heat.sets, heat.records);
+
+    std::uint64_t maxAccess = 1;
+    for (const std::uint64_t a : heat.access)
+        maxAccess = std::max(maxAccess, a);
+
+    std::printf("L3 accesses per bucket (darker = hotter, "
+                "max %llu):\n",
+                static_cast<unsigned long long>(maxAccess));
+    for (unsigned b = 0; b < heat.banks; ++b) {
+        std::string row;
+        for (unsigned k = 0; k < heat.buckets; ++k) {
+            const double v = static_cast<double>(
+                heat.access[std::size_t(b) * heat.buckets + k]);
+            // Log scale: cache traffic spans orders of magnitude,
+            // and a linear ramp would blank everything but the
+            // hottest bucket.
+            row += shade(v <= 0.0 ? 0.0
+                                  : std::log1p(v) /
+                                        std::log1p(static_cast<double>(
+                                            maxAccess)));
+        }
+        std::printf("  bank %2u |%s|\n", b, row.c_str());
+    }
+
+    std::printf("\nmiss rate per bucket (darker = more misses):\n");
+    for (unsigned b = 0; b < heat.banks; ++b) {
+        std::string row;
+        for (unsigned k = 0; k < heat.buckets; ++k) {
+            const std::size_t i = std::size_t(b) * heat.buckets + k;
+            row += heat.access[i] == 0
+                       ? ' '
+                       : shade(static_cast<double>(heat.miss[i]) /
+                               static_cast<double>(heat.access[i]));
+        }
+        std::printf("  bank %2u |%s|\n", b, row.c_str());
+    }
+
+    if (!heat.occupancy.empty()) {
+        std::printf("\npartition occupancy (final record; mean "
+                    "blocks per set):\n");
+        for (std::size_t r = 0; r < heat.occupancy.size(); ++r) {
+            const auto &hist = heat.occupancy[r];
+            std::uint64_t setsTotal = 0, blocksTotal = 0;
+            for (std::size_t k = 0; k < hist.size(); ++k) {
+                setsTotal += hist[k];
+                blocksTotal += hist[k] * k;
+            }
+            const double mean =
+                setsTotal == 0 ? 0.0
+                               : static_cast<double>(blocksTotal) /
+                                     static_cast<double>(setsTotal);
+            std::string bar;
+            for (std::size_t k = 0; k < hist.size(); ++k) {
+                bar += setsTotal == 0
+                           ? ' '
+                           : shade(static_cast<double>(hist[k]) /
+                                   static_cast<double>(setsTotal));
+            }
+            std::printf("  core %2zu  mean %5.2f  0..%zu blocks "
+                        "|%s|\n",
+                        r, mean, hist.size() - 1, bar.c_str());
+        }
+    }
+    std::printf("\n");
+}
+
+/**
+ * Convert the telemetry time series into Chrome trace-event JSON:
+ * per-core IPC and quota become counter tracks, repartitions become
+ * instant events — the same document shape CmpSystem exports live
+ * via REPRO_PERFETTO, derived offline from a JSONL trace.
+ */
+Value
+telemetryToChromeTrace(const Trace &trace)
+{
+    constexpr int pid = 2; // pid 1 is the host track by convention
+    Value events = Value::array();
+
+    Value meta = Value::object();
+    meta.set("name", "process_name");
+    meta.set("ph", "M");
+    meta.set("pid", pid);
+    meta.set("tid", 0);
+    Value metaArgs = Value::object();
+    metaArgs.set("name", "sim:" + (trace.scheme.empty()
+                                       ? std::string("telemetry")
+                                       : trace.scheme));
+    meta.set("args", std::move(metaArgs));
+    events.append(std::move(meta));
+
+    // Samples and epochs are each cycle-ordered streams, but the
+    // merged stream must be too (validateChromeTrace checks per-track
+    // monotonicity), so walk the two in lockstep.
+    std::size_t s = 0, e = 0;
+    const auto emitSample = [&](const SamplePoint &point) {
+        Value args = Value::object();
+        for (std::size_t c = 0; c < point.ipc.size(); ++c)
+            args.set("core" + std::to_string(c), point.ipc[c]);
+        Value event = Value::object();
+        event.set("name", "ipc");
+        event.set("ph", "C");
+        event.set("pid", pid);
+        event.set("tid", 0);
+        event.set("ts", static_cast<double>(point.cycle));
+        event.set("args", std::move(args));
+        events.append(std::move(event));
+
+        if (!point.quota.empty()) {
+            Value qargs = Value::object();
+            for (std::size_t c = 0; c < point.quota.size(); ++c)
+                qargs.set("core" + std::to_string(c),
+                          point.quota[c]);
+            Value qevent = Value::object();
+            qevent.set("name", "quota");
+            qevent.set("ph", "C");
+            qevent.set("pid", pid);
+            qevent.set("tid", 0);
+            qevent.set("ts", static_cast<double>(point.cycle));
+            qevent.set("args", std::move(qargs));
+            events.append(std::move(qevent));
+        }
+    };
+    const auto emitEpoch = [&](const EpochPoint &point) {
+        Value args = Value::object();
+        args.set("epoch", point.epoch);
+        args.set("gainer", point.gainer);
+        args.set("loser", point.loser);
+        args.set("moved", point.moved);
+        Value event = Value::object();
+        event.set("name", "repartition");
+        event.set("ph", "i");
+        event.set("pid", pid);
+        event.set("tid", 0);
+        event.set("ts", static_cast<double>(point.cycle));
+        event.set("s", "t");
+        event.set("args", std::move(args));
+        events.append(std::move(event));
+    };
+    while (s < trace.samples.size() || e < trace.epochs.size()) {
+        if (e >= trace.epochs.size() ||
+            (s < trace.samples.size() &&
+             trace.samples[s].cycle <= trace.epochs[e].cycle)) {
+            emitSample(trace.samples[s++]);
+        } else {
+            emitEpoch(trace.epochs[e++]);
+        }
+    }
+
+    Value doc = Value::object();
+    doc.set("traceEvents", std::move(events));
+    doc.set("displayTimeUnit", "ms");
+    return doc;
+}
+
+int
+checkTraceFile(const std::string &path)
+{
+    const auto doc = Value::tryParse(nuca::json::readFile(path));
+    if (!doc) {
+        std::fprintf(stderr,
+                     "trace_report: %s is not valid JSON\n",
+                     path.c_str());
+        return 1;
+    }
+    std::string error;
+    if (!nuca::validateChromeTrace(*doc, &error)) {
+        std::fprintf(stderr, "trace_report: %s: %s\n", path.c_str(),
+                     error.c_str());
+        return 1;
+    }
+    const std::size_t events =
+        doc->type() == Value::Type::Object
+            ? doc->at("traceEvents").size()
+            : doc->size();
+    std::printf("trace ok: %s (%zu events)\n", path.c_str(), events);
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    if (argc < 2 || argc > 3) {
+    bool heatmapMode = false;
+    std::string exportPath;
+    std::string checkPath;
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--heatmap") {
+            heatmapMode = true;
+        } else if (arg == "--export-trace") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "--export-trace needs a path\n");
+                return 1;
+            }
+            exportPath = argv[++i];
+        } else if (arg == "--check-trace") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--check-trace needs a path\n");
+                return 1;
+            }
+            checkPath = argv[++i];
+        } else {
+            positional.push_back(arg);
+        }
+    }
+
+    if (!checkPath.empty())
+        return checkTraceFile(checkPath);
+
+    if (positional.empty() || positional.size() > 2) {
         std::fprintf(stderr,
-                     "usage: trace_report <trace.jsonl> "
-                     "[plot-width]\n");
+                     "usage: trace_report [--heatmap] "
+                     "[--export-trace out.trace.json] "
+                     "<trace.jsonl> [plot-width]\n"
+                     "       trace_report --check-trace "
+                     "<file.trace.json>\n");
         return 1;
     }
-    const std::string path = argv[1];
+    const std::string path = positional[0];
     const unsigned width =
-        argc == 3
+        positional.size() == 2
             ? std::max(16u, static_cast<unsigned>(
-                                std::atoi(argv[2])))
+                                std::atoi(positional[1].c_str())))
             : 72;
 
     Trace trace;
-    if (!parseTrace(nuca::json::readFile(path), trace))
-        return 1;
+    parseTrace(nuca::json::readFile(path), trace);
 
-    std::printf("trace: %s\n", path.c_str());
-    std::printf("scheme: %s, %u cores, sample period %llu\n",
-                trace.scheme.empty() ? "?" : trace.scheme.c_str(),
-                trace.cores,
-                static_cast<unsigned long long>(trace.period));
-    std::printf("%zu samples, %zu repartition events\n\n",
-                trace.samples.size(), trace.epochs.size());
-
-    const std::size_t cores = [&] {
-        std::size_t n = trace.cores;
-        for (const auto &s : trace.samples)
-            n = std::max(n, s.ipc.size());
-        for (const auto &e : trace.epochs)
-            n = std::max(n, e.quotaAfter.size());
-        return n;
-    }();
-
-    // ---- quota vs time ------------------------------------------
-    // Prefer the dense per-sample quota series; fall back to the
-    // step function of the repartition events.
-    std::vector<std::vector<std::pair<std::uint64_t, double>>>
-        quotaSeries(cores);
-    for (const auto &s : trace.samples) {
-        for (std::size_t c = 0; c < s.quota.size(); ++c)
-            quotaSeries[c].emplace_back(s.cycle, s.quota[c]);
-    }
-    if (quotaSeries.empty() ||
-        quotaSeries[0].empty()) {
-        for (const auto &e : trace.epochs) {
-            for (std::size_t c = 0; c < e.quotaAfter.size(); ++c)
-                quotaSeries[c].emplace_back(e.cycle,
-                                            e.quotaAfter[c]);
+    int status = 0;
+    if (!exportPath.empty()) {
+        const Value doc = telemetryToChromeTrace(trace);
+        std::string error;
+        if (!nuca::validateChromeTrace(doc, &error)) {
+            std::fprintf(stderr,
+                         "trace_report: exported trace failed "
+                         "validation: %s\n",
+                         error.c_str());
+            status = 1;
+        } else {
+            nuca::json::writeFileAtomic(exportPath, doc);
+            std::printf("trace ok: wrote %s (%zu events)\n",
+                        exportPath.c_str(),
+                        doc.at("traceEvents").size());
         }
-    }
-    plotSeries("quota (blocks/set) vs time", quotaSeries, width, 0,
-               /*integerAxis=*/true);
+    } else if (heatmapMode) {
+        std::printf("trace: %s\n", path.c_str());
+        std::printf("scheme: %s, %u cores\n\n",
+                    trace.scheme.empty() ? "?"
+                                         : trace.scheme.c_str(),
+                    trace.cores);
+        printHeatmap(trace);
+    } else {
+        std::printf("trace: %s\n", path.c_str());
+        std::printf("scheme: %s, %u cores, sample period %llu\n",
+                    trace.scheme.empty() ? "?"
+                                         : trace.scheme.c_str(),
+                    trace.cores,
+                    static_cast<unsigned long long>(trace.period));
+        std::printf("%zu samples, %zu repartition events\n\n",
+                    trace.samples.size(), trace.epochs.size());
 
-    // ---- IPC vs time --------------------------------------------
-    std::vector<std::vector<std::pair<std::uint64_t, double>>>
-        ipcSeries(cores);
-    for (const auto &s : trace.samples) {
-        for (std::size_t c = 0; c < s.ipc.size(); ++c)
-            ipcSeries[c].emplace_back(s.cycle, s.ipc[c]);
-    }
-    plotSeries("IPC (per sample interval) vs time", ipcSeries, width,
-               12, /*integerAxis=*/false);
+        const std::size_t cores = [&] {
+            std::size_t n = trace.cores;
+            for (const auto &s : trace.samples)
+                n = std::max(n, s.ipc.size());
+            for (const auto &e : trace.epochs)
+                n = std::max(n, e.quotaAfter.size());
+            return n;
+        }();
 
-    // ---- epoch summary ------------------------------------------
-    if (trace.epochs.empty()) {
-        std::printf("no repartition events in this trace.\n");
-        return 0;
-    }
-    std::printf("epoch summary (%zu epochs", trace.epochs.size());
-    std::size_t moves = 0;
-    for (const auto &e : trace.epochs)
-        moves += e.moved ? 1 : 0;
-    std::printf(", %zu moves):\n", moves);
-    std::printf("%8s %12s %6s %6s %6s %12s %10s  %s\n", "epoch",
-                "cycle", "gain", "lose", "moved", "shadow_hits",
-                "lru_hits", "quotas after");
-
-    // Long runs are thinned to ~40 evenly spaced rows; the table is
-    // a summary, the full data stays in the trace.
-    const std::size_t step =
-        std::max<std::size_t>(1, trace.epochs.size() / 40);
-    for (std::size_t i = 0; i < trace.epochs.size(); i += step) {
-        const auto &e = trace.epochs[i];
-        std::string quotas;
-        for (const double q : e.quotaAfter) {
-            if (!quotas.empty())
-                quotas += ' ';
-            char buf[16];
-            std::snprintf(buf, sizeof(buf), "%.0f", q);
-            quotas += buf;
+        // ---- quota vs time --------------------------------------
+        // Prefer the dense per-sample quota series; fall back to the
+        // step function of the repartition events.
+        std::vector<std::vector<std::pair<std::uint64_t, double>>>
+            quotaSeries(cores);
+        for (const auto &s : trace.samples) {
+            for (std::size_t c = 0; c < s.quota.size(); ++c)
+                quotaSeries[c].emplace_back(s.cycle, s.quota[c]);
         }
-        std::printf("%8llu %12llu %6d %6d %6s %12.0f %10.0f  [%s]\n",
+        if (quotaSeries.empty() || quotaSeries[0].empty()) {
+            for (const auto &e : trace.epochs) {
+                for (std::size_t c = 0; c < e.quotaAfter.size(); ++c)
+                    quotaSeries[c].emplace_back(e.cycle,
+                                                e.quotaAfter[c]);
+            }
+        }
+        plotSeries("quota (blocks/set) vs time", quotaSeries, width,
+                   0, /*integerAxis=*/true);
+
+        // ---- IPC vs time ----------------------------------------
+        std::vector<std::vector<std::pair<std::uint64_t, double>>>
+            ipcSeries(cores);
+        for (const auto &s : trace.samples) {
+            for (std::size_t c = 0; c < s.ipc.size(); ++c)
+                ipcSeries[c].emplace_back(s.cycle, s.ipc[c]);
+        }
+        plotSeries("IPC (per sample interval) vs time", ipcSeries,
+                   width, 12, /*integerAxis=*/false);
+
+        // ---- epoch summary --------------------------------------
+        if (trace.epochs.empty()) {
+            std::printf("no repartition events in this trace.\n");
+        } else {
+            std::printf("epoch summary (%zu epochs",
+                        trace.epochs.size());
+            std::size_t moves = 0;
+            for (const auto &e : trace.epochs)
+                moves += e.moved ? 1 : 0;
+            std::printf(", %zu moves):\n", moves);
+            std::printf("%8s %12s %6s %6s %6s %12s %10s  %s\n",
+                        "epoch", "cycle", "gain", "lose", "moved",
+                        "shadow_hits", "lru_hits", "quotas after");
+
+            // Long runs are thinned to ~40 evenly spaced rows; the
+            // table is a summary, the full data stays in the trace.
+            const std::size_t step = std::max<std::size_t>(
+                1, trace.epochs.size() / 40);
+            for (std::size_t i = 0; i < trace.epochs.size();
+                 i += step) {
+                const auto &e = trace.epochs[i];
+                std::string quotas;
+                for (const double q : e.quotaAfter) {
+                    if (!quotas.empty())
+                        quotas += ' ';
+                    char buf[16];
+                    std::snprintf(buf, sizeof(buf), "%.0f", q);
+                    quotas += buf;
+                }
+                std::printf(
+                    "%8llu %12llu %6d %6d %6s %12.0f %10.0f  "
+                    "[%s]\n",
                     static_cast<unsigned long long>(e.epoch),
                     static_cast<unsigned long long>(e.cycle),
                     e.gainer, e.loser, e.moved ? "yes" : "-",
                     sum(e.shadowHits), sum(e.lruHits),
                     quotas.c_str());
+            }
+            if (step > 1)
+                std::printf("(every %zuth epoch shown)\n", step);
+        }
     }
-    if (step > 1)
-        std::printf("(every %zuth epoch shown)\n", step);
-    return 0;
+
+    if (trace.malformed != 0) {
+        std::fprintf(stderr,
+                     "trace_report: skipped %zu malformed or "
+                     "truncated line(s) in %s\n",
+                     trace.malformed, path.c_str());
+    }
+    return status;
 }
