@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "base/logging.hh"
+#include "sim/proc_pool.hh"
 #include "sim/sweep_store.hh"
 
 namespace nuca {
@@ -44,6 +45,13 @@ runAll(const std::vector<std::pair<std::string, SystemConfig>> &configs,
 
     const SweepPolicy policy = SweepPolicy::fromEnv();
     const FaultSpec fault = FaultSpec::fromEnv();
+    const ProcIsolation isolate = ProcIsolation::fromEnv();
+    // A crash fault kills whatever process runs the job; without a
+    // sandboxed child that is the sweep itself, which would make the
+    // injection test meaningless rather than prove isolation works.
+    fatal_if(fault.isCrashFault() && !isolate.enabled,
+             "REPRO_FAULT=", to_string(fault.kind),
+             " crashes the job process; it needs REPRO_ISOLATE=proc");
 
     std::string jsonPath;
     if (const char *path = std::getenv("REPRO_JSON");
@@ -98,18 +106,21 @@ runAll(const std::vector<std::pair<std::string, SystemConfig>> &configs,
     auto settled = runParallelOutcomes(
         pending,
         [&](std::size_t i) {
-            if (fault.kind == FaultKind::ThrowJob && fault.arg == i) {
-                throw SimulationError(
-                    "fault injection: sweep job " +
-                    std::to_string(i) + " (" + labels[i] +
-                    ") threw");
-            }
-            // The label makes REPRO_TRACE write one file per
-            // (scheme, mix) experiment, so concurrent workers never
-            // share a trace writer.
-            const SweepJob &job = sweep[i];
-            return runMix(configs[job.scheme].second, mixes[job.mix],
-                          window, labels[i]);
+            const auto runOne = [&]() {
+                injectJobFault(fault, i, labels[i]);
+                // The label makes REPRO_TRACE write one file per
+                // (scheme, mix) experiment, so concurrent workers
+                // never share a trace writer.
+                const SweepJob &job = sweep[i];
+                return runMix(configs[job.scheme].second,
+                              mixes[job.mix], window, labels[i]);
+            };
+            // Under REPRO_ISOLATE=proc the fault (and the job) runs
+            // inside the forked child, so a crash fault proves the
+            // sandbox contains exactly what it claims to.
+            if (isolate.enabled)
+                return runMixSandboxed(isolate, runOne);
+            return runOne();
         },
         pool, &progress, policy,
         [&](std::size_t k, const JobOutcome<MixResult> &outcome) {

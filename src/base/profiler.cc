@@ -68,6 +68,7 @@ constexpr const char *kCounterNames[kNumCounters] = {
     "trace_records",       "trace_flushes",    "heatmap_records",
     "fastforward_jumps",   "fastforward_cycles",
     "checkpoint_bytes_out", "checkpoint_bytes_in", "jobs_finished",
+    "job_retries",          "job_crashes",
 };
 
 /** Exited-thread totals plus the registry of live thread states. */

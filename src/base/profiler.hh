@@ -92,6 +92,8 @@ enum class Counter : unsigned {
     CheckpointBytesOut, ///< bytes serialized into checkpoints
     CheckpointBytesIn, ///< bytes restored from checkpoints
     JobsFinished,      ///< parallel_runner jobs completed
+    JobRetries,        ///< failed attempts granted a re-run
+    JobCrashes,        ///< jobs settled crashed/timed_out/quarantined
     NumCounters,
 };
 

@@ -43,6 +43,13 @@ envOr(const char *name, std::uint64_t def)
     return parsed;
 }
 
+std::string
+envString(const char *name)
+{
+    const char *value = std::getenv(name);
+    return value == nullptr ? std::string() : std::string(value);
+}
+
 SimWindow
 SimWindow::fromEnv(Cycle warmup_default, Cycle measure_default)
 {

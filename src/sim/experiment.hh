@@ -51,6 +51,9 @@ struct SimWindow
 /** Read an unsigned environment override, or the default. */
 std::uint64_t envOr(const char *name, std::uint64_t def);
 
+/** Raw environment string, or empty when unset. */
+std::string envString(const char *name);
+
 /**
  * Draw @p count random 4-app mixes (with replacement, like the
  * paper's random selection) from @p pool.

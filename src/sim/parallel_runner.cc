@@ -1,8 +1,11 @@
 #include "sim/parallel_runner.hh"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 
 #include "base/logging.hh"
+#include "base/random.hh"
 #include "sim/experiment.hh"
 
 namespace nuca {
@@ -29,9 +32,69 @@ to_string(JobStatus status)
         return "stalled";
       case JobStatus::OverBudget:
         return "over_budget";
+      case JobStatus::Crashed:
+        return "crashed";
+      case JobStatus::TimedOut:
+        return "timed_out";
+      case JobStatus::Quarantined:
+        return "quarantined";
     }
     panic("unknown job status");
 }
+
+bool
+isRetryable(JobStatus status)
+{
+    switch (status) {
+      case JobStatus::Ok:
+      case JobStatus::OverBudget:
+      case JobStatus::Quarantined:
+        return false;
+      case JobStatus::Failed:
+      case JobStatus::Stalled:
+      case JobStatus::Crashed:
+      case JobStatus::TimedOut:
+        return true;
+    }
+    panic("unknown job status");
+}
+
+unsigned
+retryBackoffMs(const SweepPolicy &policy, std::size_t job_index,
+               unsigned attempt)
+{
+    if (policy.backoffMs == 0 || attempt == 0)
+        return 0;
+    // Exponential in the retry ordinal, capped well before the shift
+    // can overflow and at 30 s overall — a sweep's backoff should
+    // yield the core, not park the worker for the night.
+    constexpr unsigned kCapMs = 30'000;
+    const unsigned doublings = std::min(attempt - 1, 20u);
+    const std::uint64_t base =
+        std::min<std::uint64_t>(std::uint64_t(policy.backoffMs)
+                                    << doublings,
+                                kCapMs);
+    // Deterministic jitter: seeded from (job, attempt) so two workers
+    // retrying simultaneously desynchronize, yet every run of the
+    // same sweep sleeps the same schedule.
+    Rng rng(0x9e3779b97f4a7c15ull ^
+            (std::uint64_t(job_index) * 0xdeadbeefull + attempt));
+    const std::uint64_t jitter = rng.below(base / 2 + 1);
+    return static_cast<unsigned>(
+        std::min<std::uint64_t>(base + jitter, kCapMs));
+}
+
+namespace parallel_detail {
+
+void
+backoffSleep(unsigned delay_ms)
+{
+    if (delay_ms != 0)
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(delay_ms));
+}
+
+} // namespace parallel_detail
 
 ProgressReporter::ProgressReporter(std::string label,
                                    std::size_t total, bool quiet)
@@ -48,10 +111,15 @@ ProgressReporter::redraw()
     if (failed_ == 0) {
         std::fprintf(stderr, "  [%s] %zu/%zu\r", label_.c_str(),
                      done_, total_);
-    } else {
+    } else if (crashed_ == 0) {
         std::fprintf(stderr, "  [%s] %zu/%zu (%zu failed)\r",
                      label_.c_str(), done_ + failed_, total_,
                      failed_);
+    } else {
+        std::fprintf(stderr,
+                     "  [%s] %zu/%zu (%zu failed, %zu crashed)\r",
+                     label_.c_str(), done_ + failed_, total_,
+                     failed_, crashed_);
     }
     std::fflush(stderr);
 }
@@ -73,6 +141,15 @@ ProgressReporter::failed()
 }
 
 void
+ProgressReporter::crashed()
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    ++failed_;
+    ++crashed_;
+    redraw();
+}
+
+void
 ProgressReporter::finish()
 {
     std::lock_guard<std::mutex> guard(mutex_);
@@ -82,10 +159,15 @@ ProgressReporter::finish()
     if (failed_ == 0) {
         std::fprintf(stderr, "  [%s] done (%zu jobs)      \n",
                      label_.c_str(), done_);
-    } else {
+    } else if (crashed_ == 0) {
         std::fprintf(stderr,
                      "  [%s] done %zu/%zu (%zu failed)      \n",
                      label_.c_str(), done_, total_, failed_);
+    } else {
+        std::fprintf(
+            stderr,
+            "  [%s] done %zu/%zu (%zu failed, %zu crashed)      \n",
+            label_.c_str(), done_, total_, failed_, crashed_);
     }
     std::fflush(stderr);
 }
@@ -102,6 +184,13 @@ ProgressReporter::failures() const
 {
     std::lock_guard<std::mutex> guard(mutex_);
     return failed_;
+}
+
+std::size_t
+ProgressReporter::crashes() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return crashed_;
 }
 
 } // namespace nuca

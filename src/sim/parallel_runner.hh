@@ -49,14 +49,36 @@ unsigned jobsFromEnv();
 /** How one sweep job settled. */
 enum class JobStatus
 {
-    Ok,         ///< the job returned a result
-    Failed,     ///< the job threw (result slot holds a default value)
-    Stalled,    ///< the watchdog raised SimulationStalled
-    OverBudget, ///< the REPRO_MAX_CYCLES budget ran out
+    Ok,          ///< the job returned a result
+    Failed,      ///< the job threw (result slot holds a default value)
+    Stalled,     ///< the watchdog raised SimulationStalled
+    OverBudget,  ///< the REPRO_MAX_CYCLES budget ran out
+    Crashed,     ///< the isolated child died (signal / nonzero exit)
+    TimedOut,    ///< wall-clock deadline or RLIMIT_CPU expired
+    Quarantined, ///< crashed repeatedly; retries stopped early
 };
 
-/** Printable status name ("ok", "failed", "stalled", "over_budget"). */
+/** Printable status name ("ok", "failed", "stalled", "over_budget",
+ *  "crashed", "timed_out", "quarantined"). */
 const char *to_string(JobStatus status);
+
+/**
+ * True when a re-run could plausibly settle differently. OverBudget
+ * is deterministic — the same cycle budget runs out at the same
+ * cycle every time — so retrying it burns the budget for nothing;
+ * Quarantined exists precisely to stop further attempts.
+ */
+bool isRetryable(JobStatus status);
+
+/**
+ * Delay before retry number @p attempt of job @p job_index:
+ * exponential in the attempt (policy.backoffMs doubling per retry,
+ * capped at 30 s) plus deterministic jitter seeded from
+ * (job, attempt) so concurrent retries desynchronize identically on
+ * every run. 0 when the policy disables backoff.
+ */
+unsigned retryBackoffMs(const SweepPolicy &policy,
+                        std::size_t job_index, unsigned attempt);
 
 /**
  * One job's settled outcome. Non-ok outcomes keep the error text (the
@@ -99,14 +121,23 @@ class ProgressReporter
      * failures are settled jobs, not missing ones). */
     void failed();
 
+    /** Count one crashed/timed-out/quarantined job: a failure (it
+     * advances the failed count) that is also surfaced separately,
+     * since a dying child is operationally louder than a clean
+     * in-process error. */
+    void crashed();
+
     /** Print the closing "done" line (idempotent). */
     void finish();
 
     /** Jobs reported successfully finished so far. */
     std::size_t done() const;
 
-    /** Jobs reported failed so far. */
+    /** Jobs reported failed so far (crashes included). */
     std::size_t failures() const;
+
+    /** The crashed/timed-out/quarantined subset of failures(). */
+    std::size_t crashes() const;
 
   private:
     void redraw();
@@ -116,21 +147,43 @@ class ProgressReporter
     std::size_t total_;
     std::size_t done_ = 0;
     std::size_t failed_ = 0;
+    std::size_t crashed_ = 0;
     bool quiet_;
     bool finished_ = false;
 };
 
 namespace parallel_detail {
 
-/** Run one job, classify any failure, honor the retry budget. */
+/** Sleep for a retry backoff (out-of-line; no-op for 0 ms). */
+void backoffSleep(unsigned delay_ms);
+
+/**
+ * Run one job, classify any failure, honor the retry budget.
+ *
+ * The retry loop is hardened three ways. Non-retryable outcomes
+ * (isRetryable) settle immediately instead of burning the budget on
+ * a deterministic failure. Attempts are separated by exponential
+ * backoff with seeded jitter (retryBackoffMs) so a transient
+ * environmental failure isn't hammered. And crashes (child death or
+ * timeout under process isolation) are counted against the
+ * policy.maxCrashes quarantine threshold: a poison job that keeps
+ * killing its child settles Quarantined after that many crashes, so
+ * one bad point cannot consume the whole pool's retry time.
+ * Every multi-attempt settlement annotates the error text with the
+ * attempt count.
+ */
 template <typename Result, typename Job, typename Fn>
 JobOutcome<Result>
-settleJob(const Job &job, Fn &fn, const SweepPolicy &policy)
+settleJob(const Job &job, std::size_t index, Fn &fn,
+          const SweepPolicy &policy)
 {
     JobOutcome<Result> outcome;
     const unsigned attempts =
         policy.onFail == FailPolicy::Retry ? policy.retries + 1 : 1;
-    for (unsigned attempt = 0; attempt < attempts; ++attempt) {
+    unsigned attempt = 0;
+    unsigned crashes = 0;
+    for (;;) {
+        ++attempt;
         try {
             outcome.value = fn(job);
             outcome.status = JobStatus::Ok;
@@ -145,6 +198,14 @@ settleJob(const Job &job, Fn &fn, const SweepPolicy &policy)
             outcome.status = JobStatus::OverBudget;
             outcome.error = e.what();
             outcome.exception = std::current_exception();
+        } catch (const JobCrashed &e) {
+            outcome.status = JobStatus::Crashed;
+            outcome.error = e.what();
+            outcome.exception = std::current_exception();
+        } catch (const JobTimedOut &e) {
+            outcome.status = JobStatus::TimedOut;
+            outcome.error = e.what();
+            outcome.exception = std::current_exception();
         } catch (const std::exception &e) {
             outcome.status = JobStatus::Failed;
             outcome.error = e.what();
@@ -154,8 +215,40 @@ settleJob(const Job &job, Fn &fn, const SweepPolicy &policy)
             outcome.error = "unknown exception";
             outcome.exception = std::current_exception();
         }
+
+        if (outcome.status == JobStatus::Crashed ||
+            outcome.status == JobStatus::TimedOut)
+            ++crashes;
+
+        if (!isRetryable(outcome.status)) {
+            if (attempts > 1) {
+                outcome.error += " [attempt " +
+                                 std::to_string(attempt) + " of " +
+                                 std::to_string(attempts) + "; " +
+                                 to_string(outcome.status) +
+                                 " is not retryable]";
+            }
+            return outcome;
+        }
+        if (policy.onFail == FailPolicy::Retry &&
+            policy.maxCrashes != 0 && crashes >= policy.maxCrashes) {
+            outcome.error = "quarantined after " +
+                            std::to_string(crashes) +
+                            " crashed attempt(s): " + outcome.error;
+            outcome.status = JobStatus::Quarantined;
+            return outcome;
+        }
+        if (attempt >= attempts) {
+            if (attempt > 1) {
+                outcome.error += " [after " +
+                                 std::to_string(attempt) +
+                                 " attempts]";
+            }
+            return outcome;
+        }
+        prof::add(prof::Counter::JobRetries, 1);
+        backoffSleep(retryBackoffMs(policy, index, attempt));
     }
-    return outcome;
 }
 
 } // namespace parallel_detail
@@ -226,14 +319,37 @@ runParallelOutcomes(
                                      std::move(span_name));
             prof::Scope profJob(prof::Phase::Job);
             outcomes[i] = parallel_detail::settleJob<Result>(
-                jobs[i], fn, policy);
+                jobs[i], i, fn, policy);
+            if (!outcomes[i].ok() && log.enabled()) {
+                // Mark the failure inside the job's span so the
+                // trace shows *how* each red job settled, not just
+                // that it ran.
+                log.instant(
+                    TraceEventLog::kHostPid, trace_tid,
+                    "job " + std::to_string(i) + " " +
+                        to_string(outcomes[i].status),
+                    log.nowUs(),
+                    json::Value::object()
+                        .set("status",
+                             std::string(
+                                 to_string(outcomes[i].status)))
+                        .set("error", outcomes[i].error));
+            }
         }
         prof::add(prof::Counter::JobsFinished, 1);
+        const JobStatus status = outcomes[i].status;
+        const bool crashed = status == JobStatus::Crashed ||
+                             status == JobStatus::TimedOut ||
+                             status == JobStatus::Quarantined;
+        if (crashed)
+            prof::add(prof::Counter::JobCrashes, 1);
         if (!outcomes[i].ok() && policy.onFail == FailPolicy::Abort)
             stop.store(true, std::memory_order_relaxed);
         if (progress) {
             if (outcomes[i].ok())
                 progress->completed();
+            else if (crashed)
+                progress->crashed();
             else
                 progress->failed();
         }

@@ -1,7 +1,12 @@
 #include "sim/robustness.hh"
 
+#include <chrono>
+#include <csignal>
 #include <cstdlib>
+#include <new>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "base/logging.hh"
 #include "sim/experiment.hh"
@@ -9,14 +14,6 @@
 namespace nuca {
 
 namespace {
-
-/** Raw environment string, or empty when unset. */
-std::string
-envString(const char *name)
-{
-    const char *value = std::getenv(name);
-    return value == nullptr ? std::string() : std::string(value);
-}
 
 /** Parse the decimal suffix of "<kind>:<number>" specs. */
 std::uint64_t
@@ -38,8 +35,11 @@ parseArg(const char *what, const std::string &spec, std::size_t colon)
 
 } // namespace
 
+namespace {
+
+/** The REPRO_FAIL part of the policy (mode + retry budget). */
 SweepPolicy
-SweepPolicy::fromEnv()
+failPolicyFromEnv()
 {
     SweepPolicy policy;
     const std::string spec = envString("REPRO_FAIL");
@@ -61,6 +61,19 @@ SweepPolicy::fromEnv()
           "'");
 }
 
+} // namespace
+
+SweepPolicy
+SweepPolicy::fromEnv()
+{
+    SweepPolicy policy = failPolicyFromEnv();
+    policy.backoffMs = static_cast<unsigned>(
+        envOr("REPRO_RETRY_BACKOFF_MS", policy.backoffMs));
+    policy.maxCrashes = static_cast<unsigned>(
+        envOr("REPRO_QUARANTINE", policy.maxCrashes));
+    return policy;
+}
+
 const char *
 to_string(FaultKind kind)
 {
@@ -75,6 +88,12 @@ to_string(FaultKind kind)
         return "channel_stall";
       case FaultKind::ThrowJob:
         return "throw_job";
+      case FaultKind::SegvJob:
+        return "segv";
+      case FaultKind::OomJob:
+        return "oom";
+      case FaultKind::HangJob:
+        return "hang";
     }
     panic("unknown fault kind");
 }
@@ -97,16 +116,72 @@ FaultSpec::fromEnv()
         fault.kind = FaultKind::ChannelStall;
     } else if (kind == "throw_job") {
         fault.kind = FaultKind::ThrowJob;
-        fatal_if(colon == std::string::npos,
-                 "REPRO_FAULT=throw_job needs a job index "
-                 "(throw_job:K)");
+    } else if (kind == "segv") {
+        fault.kind = FaultKind::SegvJob;
+    } else if (kind == "oom") {
+        fault.kind = FaultKind::OomJob;
+    } else if (kind == "hang") {
+        fault.kind = FaultKind::HangJob;
     } else {
         fatal("REPRO_FAULT kind must be lru_corrupt, mshr_leak, "
-              "channel_stall, or throw_job, got '", spec, "'");
+              "channel_stall, throw_job, segv, oom, or hang, got '",
+              spec, "'");
     }
+    fatal_if(fault.isJobFault() && colon == std::string::npos,
+             "REPRO_FAULT=", kind, " needs a job index (", kind,
+             ":K)");
     if (colon != std::string::npos)
         fault.arg = parseArg("REPRO_FAULT", spec, colon);
     return fault;
+}
+
+namespace {
+
+/**
+ * Allocate unboundedly until the allocator gives out. noexcept on
+ * purpose: the bad_alloc raised once RLIMIT_AS is exhausted escapes a
+ * noexcept frame and std::terminate()s the process (SIGABRT) —
+ * modelling memory exhaustion that no handler survives, which is
+ * what the proc pool's crash classification must catch. The chunks
+ * are deliberately never touched, so without an address-space cap
+ * the loop consumes virtual reservations, not physical memory, until
+ * the (absurdly large) iteration cap aborts anyway.
+ */
+void
+exhaustMemory() noexcept
+{
+    std::vector<char *> chunks;
+    for (int i = 0; i < (1 << 20); ++i)
+        chunks.push_back(new char[16u << 20]);
+}
+
+} // namespace
+
+void
+injectJobFault(const FaultSpec &fault, std::size_t job,
+               const std::string &label)
+{
+    if (!fault.isJobFault() || fault.arg != job)
+        return;
+    switch (fault.kind) {
+      case FaultKind::ThrowJob:
+        throw SimulationError("fault injection: sweep job " +
+                              std::to_string(job) + " (" + label +
+                              ") threw");
+      case FaultKind::SegvJob:
+        std::raise(SIGSEGV);
+        std::abort(); // raise cannot return from SIGSEGV's default
+      case FaultKind::OomJob:
+        exhaustMemory();
+        std::abort(); // the iteration cap fired before the rlimit
+      case FaultKind::HangJob:
+        // Wedge without burning CPU: the wall-clock deadline, not
+        // RLIMIT_CPU, is the detector under test.
+        for (;;)
+            std::this_thread::sleep_for(std::chrono::seconds(1));
+      default:
+        return;
+    }
 }
 
 RobustnessConfig

@@ -29,6 +29,7 @@
 #ifndef NUCA_SIM_ROBUSTNESS_HH
 #define NUCA_SIM_ROBUSTNESS_HH
 
+#include <cstddef>
 #include <stdexcept>
 #include <string>
 
@@ -63,6 +64,28 @@ class CycleBudgetExceeded : public SimulationError
     using SimulationError::SimulationError;
 };
 
+/**
+ * A process-isolated job (REPRO_ISOLATE=proc) died abnormally: the
+ * child exited nonzero or was killed by a signal (segfault, abort,
+ * OOM kill). The message carries the decoded exit disposition.
+ */
+class JobCrashed : public SimulationError
+{
+  public:
+    using SimulationError::SimulationError;
+};
+
+/**
+ * A process-isolated job blew its deadline: either the parent's
+ * wall-clock REPRO_JOB_TIMEOUT_S (SIGTERM -> grace -> SIGKILL
+ * escalation) or the child's RLIMIT_CPU budget (SIGXCPU).
+ */
+class JobTimedOut : public SimulationError
+{
+  public:
+    using SimulationError::SimulationError;
+};
+
 /** What the sweep supervisor does with a job that fails. */
 enum class FailPolicy
 {
@@ -77,10 +100,26 @@ struct SweepPolicy
     FailPolicy onFail = FailPolicy::Abort;
     /** Re-runs granted per job under FailPolicy::Retry. */
     unsigned retries = 0;
+    /**
+     * Base delay before the first re-run (REPRO_RETRY_BACKOFF_MS);
+     * doubles per attempt with deterministic seeded jitter. 0
+     * disables the backoff entirely.
+     */
+    unsigned backoffMs = 100;
+    /**
+     * Poison-job quarantine threshold (REPRO_QUARANTINE): under
+     * FailPolicy::Retry, a job whose attempts *crash* (child death or
+     * timeout, not a clean in-process failure) this many times is
+     * recorded Quarantined and the sweep moves on, however many
+     * retries remain — one crashing job must not burn the pool's
+     * whole retry budget. 0 disables quarantine.
+     */
+    unsigned maxCrashes = 2;
 
     /**
      * Parse REPRO_FAIL: "abort" (default), "skip", or "retry:N" with
-     * N >= 1. Anything else is fatal.
+     * N >= 1; plus the REPRO_RETRY_BACKOFF_MS and REPRO_QUARANTINE
+     * retry tuning knobs. Anything else is fatal.
      */
     static SweepPolicy fromEnv();
 };
@@ -93,19 +132,23 @@ enum class FaultKind
     MshrLeak,     ///< reserve an L2D MSHR entry that never completes
     ChannelStall, ///< wedge the memory channel (watchdog's prey)
     ThrowJob,     ///< throw from sweep job `arg` (supervisor's prey)
+    SegvJob,      ///< segfault in sweep job `arg` (proc pool's prey)
+    OomJob,       ///< exhaust memory in job `arg` (RLIMIT_AS's prey)
+    HangJob,      ///< hang sweep job `arg` (the deadline's prey)
 };
 
 /**
  * One parsed REPRO_FAULT specification. The simulator-level kinds
  * (lru_corrupt, mshr_leak, channel_stall) take an optional ":cycle"
  * at which the defect is planted (default 0: the first robustness
- * check after run() starts); throw_job takes a mandatory ":K" job
- * index and is interpreted by the bench sweep, not the simulator.
+ * check after run() starts); the job-level kinds (throw_job, segv,
+ * oom, hang) take a mandatory ":K" job index and are interpreted by
+ * the bench sweep, not the simulator.
  */
 struct FaultSpec
 {
     FaultKind kind = FaultKind::None;
-    /** Injection cycle, or the target job index for ThrowJob. */
+    /** Injection cycle, or the target job index for job faults. */
     std::uint64_t arg = 0;
 
     bool enabled() const { return kind != FaultKind::None; }
@@ -116,10 +159,35 @@ struct FaultSpec
                kind == FaultKind::MshrLeak ||
                kind == FaultKind::ChannelStall;
     }
+    /** True for the kinds aimed at one sweep job (arg = job index). */
+    bool isJobFault() const
+    {
+        return kind == FaultKind::ThrowJob || isCrashFault();
+    }
+    /**
+     * True for the kinds that take down their whole process — they
+     * need REPRO_ISOLATE=proc so only a forked child dies.
+     */
+    bool isCrashFault() const
+    {
+        return kind == FaultKind::SegvJob ||
+               kind == FaultKind::OomJob ||
+               kind == FaultKind::HangJob;
+    }
 
     /** Parse REPRO_FAULT; unknown kinds are fatal. */
     static FaultSpec fromEnv();
 };
+
+/**
+ * Plant @p fault in sweep job @p job (no-op unless the spec is a job
+ * fault naming exactly that index). ThrowJob throws SimulationError;
+ * segv/oom/hang never return — they kill or wedge the calling
+ * process, so the sweep must only invoke this inside a forked child
+ * (REPRO_ISOLATE=proc).
+ */
+void injectJobFault(const FaultSpec &fault, std::size_t job,
+                    const std::string &label);
 
 /** Printable fault-kind name (for messages and records). */
 const char *to_string(FaultKind kind);

@@ -1,7 +1,10 @@
 #include "sim/sweep_store.hh"
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 #include "base/logging.hh"
-#include "sim/json_writer.hh"
 
 namespace nuca {
 
@@ -28,11 +31,52 @@ numberVector(const json::Value &arr)
 
 } // namespace
 
+json::Value
+mixResultToJson(const MixResult &result)
+{
+    json::Value obj = json::Value::object();
+    obj.set("ipc", doubleArray(result.ipc));
+    obj.set("l3apk", doubleArray(result.l3AccessesPerKilocycle));
+    return obj;
+}
+
+MixResult
+mixResultFromJson(const json::Value &obj)
+{
+    MixResult result;
+    if (obj.contains("ipc"))
+        result.ipc = numberVector(obj.at("ipc"));
+    if (obj.contains("l3apk")) {
+        result.l3AccessesPerKilocycle =
+            numberVector(obj.at("l3apk"));
+    }
+    return result;
+}
+
+JobStatus
+jobStatusFromString(const std::string &name)
+{
+    if (name == "ok")
+        return JobStatus::Ok;
+    if (name == "stalled")
+        return JobStatus::Stalled;
+    if (name == "over_budget")
+        return JobStatus::OverBudget;
+    if (name == "crashed")
+        return JobStatus::Crashed;
+    if (name == "timed_out")
+        return JobStatus::TimedOut;
+    if (name == "quarantined")
+        return JobStatus::Quarantined;
+    return JobStatus::Failed;
+}
+
 SweepStore::SweepStore(std::string path) : path_(std::move(path))
 {
     file_ = std::fopen(path_.c_str(), "a");
     fatal_if(file_ == nullptr, "sweep store: cannot open '", path_,
              "' for appending");
+    sync_ = envOr("REPRO_SYNC", 0) != 0;
 }
 
 SweepStore::~SweepStore()
@@ -48,9 +92,9 @@ SweepStore::append(const SweepRecord &record)
     line.set("status", to_string(record.status));
     if (!record.error.empty())
         line.set("error", record.error);
-    line.set("ipc", doubleArray(record.result.ipc));
-    line.set("l3apk",
-             doubleArray(record.result.l3AccessesPerKilocycle));
+    const json::Value payload = mixResultToJson(record.result);
+    line.set("ipc", payload.at("ipc"));
+    line.set("l3apk", payload.at("l3apk"));
     const std::string text = line.dump() + "\n";
 
     std::lock_guard<std::mutex> guard(mutex_);
@@ -60,6 +104,14 @@ SweepStore::append(const SweepRecord &record)
     // would defeat its purpose, so short writes are fatal.
     fatal_if(written != text.size() || std::fflush(file_) != 0,
              "sweep store: short write to '", path_, "'");
+#if defined(__unix__) || defined(__APPLE__)
+    // fflush hands the bytes to the kernel (enough to survive this
+    // process dying, the default guarantee); REPRO_SYNC=1 pushes
+    // them to stable storage so even a host crash loses at most the
+    // in-flight record.
+    fatal_if(sync_ && ::fsync(::fileno(file_)) != 0,
+             "sweep store: fsync failed on '", path_, "'");
+#endif
 }
 
 std::vector<SweepRecord>
@@ -94,23 +146,11 @@ SweepStore::load(const std::string &path)
 
         SweepRecord record;
         record.label = parsed->at("label").asString();
-        const std::string &status = parsed->at("status").asString();
-        if (status == "ok")
-            record.status = JobStatus::Ok;
-        else if (status == "stalled")
-            record.status = JobStatus::Stalled;
-        else if (status == "over_budget")
-            record.status = JobStatus::OverBudget;
-        else
-            record.status = JobStatus::Failed;
+        record.status =
+            jobStatusFromString(parsed->at("status").asString());
         if (parsed->contains("error"))
             record.error = parsed->at("error").asString();
-        if (parsed->contains("ipc"))
-            record.result.ipc = numberVector(parsed->at("ipc"));
-        if (parsed->contains("l3apk")) {
-            record.result.l3AccessesPerKilocycle =
-                numberVector(parsed->at("l3apk"));
-        }
+        record.result = mixResultFromJson(*parsed);
         out.push_back(std::move(record));
     }
     return out;

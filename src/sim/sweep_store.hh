@@ -23,9 +23,27 @@
 #include <vector>
 
 #include "sim/experiment.hh"
+#include "sim/json_writer.hh"
 #include "sim/parallel_runner.hh"
 
 namespace nuca {
+
+/**
+ * Serialize a MixResult's payload fields into a JSON object with
+ * "ipc" and "l3apk" number arrays. Shared by the sidecar records and
+ * the proc-pool wire protocol: both go through json::Value's exact
+ * double round-trip, which is what makes a proc-isolated sweep's
+ * REPRO_JSON byte-identical to the in-process pool's.
+ */
+json::Value mixResultToJson(const MixResult &result);
+
+/** Parse the fields written by mixResultToJson (absent keys yield
+ *  empty vectors). */
+MixResult mixResultFromJson(const json::Value &obj);
+
+/** Inverse of to_string(JobStatus); unknown names parse as Failed so
+ *  old or foreign sidecars still load (never reuses such a job). */
+JobStatus jobStatusFromString(const std::string &name);
 
 /** One settled sweep job as persisted in the sidecar. */
 struct SweepRecord
@@ -62,6 +80,15 @@ class SweepStore
      */
     static std::vector<SweepRecord> load(const std::string &path);
 
+    /**
+     * True when REPRO_SYNC=1 upgrades every append from fflush (data
+     * reaches the kernel; survives the *process* dying) to
+     * fflush+fsync (data reaches the disk; survives the *machine*
+     * dying). The default trades the power-loss window for not
+     * serializing every record behind a disk flush.
+     */
+    bool synced() const { return sync_; }
+
     /** Sidecar path belonging to a REPRO_JSON path. */
     static std::string sidecarPathFor(const std::string &json_path)
     {
@@ -71,6 +98,7 @@ class SweepStore
   private:
     std::string path_;
     std::FILE *file_;
+    bool sync_;
     std::mutex mutex_;
 };
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common.hh"
+#include "sim/proc_pool.hh"
 #include "sim/robustness.hh"
 #include "sim/sweep_store.hh"
 
@@ -43,6 +44,14 @@ clearKnobs()
     ::unsetenv("REPRO_FAIL");
     ::unsetenv("REPRO_FAULT");
     ::unsetenv("REPRO_RESUME");
+    ::unsetenv("REPRO_ISOLATE");
+    ::unsetenv("REPRO_JOB_MEM_MB");
+    ::unsetenv("REPRO_JOB_CPU_S");
+    ::unsetenv("REPRO_JOB_TIMEOUT_S");
+    ::unsetenv("REPRO_JOB_GRACE_MS");
+    ::unsetenv("REPRO_QUARANTINE");
+    ::unsetenv("REPRO_RETRY_BACKOFF_MS");
+    ::unsetenv("REPRO_SYNC");
 }
 
 class SweepSupervisor : public ::testing::Test
@@ -250,6 +259,145 @@ TEST_F(SweepSupervisor, RetryPolicySurvivesNothingButStillRuns)
                       reference[s].mixes[m].ipc);
         }
     }
+}
+
+TEST_F(SweepSupervisor, ProcIsolatedCleanSweepIsByteIdentical)
+{
+    if (!procIsolationSupported())
+        GTEST_SKIP() << "no fork on this platform";
+    const auto configs = smallConfigs();
+    const auto mixes = smallMixes();
+
+    const std::string inprocPath =
+        testing::TempDir() + "sweep_inproc_results.json";
+    ::setenv("REPRO_JSON", inprocPath.c_str(), 1);
+    runAll(configs, mixes, kWindow, 2);
+
+    const std::string procPath =
+        testing::TempDir() + "sweep_proc_results.json";
+    ::setenv("REPRO_JSON", procPath.c_str(), 1);
+    ::setenv("REPRO_ISOLATE", "proc", 1);
+    runAll(configs, mixes, kWindow, 2);
+
+    // The acceptance bar for the sandbox: a fault-free proc-isolated
+    // sweep writes the very same bytes as the in-process pool.
+    EXPECT_EQ(json::readFile(procPath), json::readFile(inprocPath));
+    std::remove(inprocPath.c_str());
+    std::remove(procPath.c_str());
+}
+
+TEST_F(SweepSupervisor, ProcSegvFaultRecordsCrashAndSiblingsSurvive)
+{
+    if (!procIsolationSupported())
+        GTEST_SKIP() << "no fork on this platform";
+    const auto configs = smallConfigs();
+    const auto mixes = smallMixes();
+    const auto reference = runAllSerial(configs, mixes, kWindow);
+
+    const std::string path =
+        testing::TempDir() + "sweep_segv_results.json";
+    const std::string sidecar = SweepStore::sidecarPathFor(path);
+    std::remove(path.c_str());
+    std::remove(sidecar.c_str());
+    ::setenv("REPRO_JSON", path.c_str(), 1);
+    ::setenv("REPRO_ISOLATE", "proc", 1);
+    ::setenv("REPRO_FAIL", "skip", 1);
+    ::setenv("REPRO_FAULT", "segv:2", 1);
+    const auto results = runAll(configs, mixes, kWindow, 2);
+
+    // Sweep job 2 = (scheme 0, mix 2) died of SIGSEGV in its child
+    // process; the sweep itself completed and classified it.
+    EXPECT_EQ(results[0].statuses[2], JobStatus::Crashed);
+    EXPECT_NE(results[0].errors[2].find("SIGSEGV"),
+              std::string::npos)
+        << results[0].errors[2];
+
+    // Every sibling matches the fault-free serial reference bit for
+    // bit — the crash never contaminated the rest of the sweep.
+    for (std::size_t s = 0; s < results.size(); ++s) {
+        for (std::size_t m = 0; m < results[s].mixes.size(); ++m) {
+            if (s == 0 && m == 2)
+                continue;
+            EXPECT_TRUE(results[s].okAt(m));
+            EXPECT_EQ(results[s].mixes[m].ipc,
+                      reference[s].mixes[m].ipc)
+                << results[s].label << " mix " << m;
+        }
+    }
+
+    // The sidecar kept the crash for post-mortem and resume.
+    bool sawCrash = false;
+    for (const auto &record : SweepStore::load(sidecar))
+        sawCrash |= record.status == JobStatus::Crashed;
+    EXPECT_TRUE(sawCrash);
+    std::remove(path.c_str());
+    std::remove(sidecar.c_str());
+}
+
+TEST_F(SweepSupervisor, ProcHangFaultTimesOut)
+{
+    if (!procIsolationSupported())
+        GTEST_SKIP() << "no fork on this platform";
+    ::setenv("REPRO_ISOLATE", "proc", 1);
+    ::setenv("REPRO_JOB_TIMEOUT_S", "1", 1);
+    ::setenv("REPRO_JOB_GRACE_MS", "200", 1);
+    ::setenv("REPRO_FAIL", "skip", 1);
+    ::setenv("REPRO_FAULT", "hang:1", 1);
+    const auto results =
+        runAll(smallConfigs(), smallMixes(), kWindow, 2);
+
+    // Sweep job 1 = (scheme 0, mix 1) slept forever; the parent's
+    // wall-clock deadline reaped it and the sweep moved on.
+    EXPECT_EQ(results[0].statuses[1], JobStatus::TimedOut);
+    EXPECT_NE(results[0].errors[1].find("wall-clock"),
+              std::string::npos)
+        << results[0].errors[1];
+    EXPECT_TRUE(results[1].okAt(1));
+}
+
+TEST_F(SweepSupervisor, ProcQuarantineAfterRepeatedCrashes)
+{
+    if (!procIsolationSupported())
+        GTEST_SKIP() << "no fork on this platform";
+    const std::string path =
+        testing::TempDir() + "sweep_quarantine_results.json";
+    const std::string sidecar = SweepStore::sidecarPathFor(path);
+    std::remove(path.c_str());
+    std::remove(sidecar.c_str());
+    ::setenv("REPRO_JSON", path.c_str(), 1);
+    ::setenv("REPRO_ISOLATE", "proc", 1);
+    ::setenv("REPRO_FAIL", "retry:4", 1);
+    ::setenv("REPRO_QUARANTINE", "2", 1);
+    ::setenv("REPRO_RETRY_BACKOFF_MS", "1", 1);
+    ::setenv("REPRO_FAULT", "segv:0", 1);
+    const auto results =
+        runAll(smallConfigs(), smallMixes(), kWindow, 2);
+
+    // The poison job crashed on every retry; after two crashed
+    // attempts it was quarantined instead of burning the remaining
+    // retry budget, and the sweep still completed.
+    EXPECT_EQ(results[0].statuses[0], JobStatus::Quarantined);
+    EXPECT_NE(results[0].errors[0].find("quarantined after 2"),
+              std::string::npos)
+        << results[0].errors[0];
+    EXPECT_TRUE(results[0].okAt(1));
+
+    bool sawQuarantine = false;
+    for (const auto &record : SweepStore::load(sidecar))
+        sawQuarantine |= record.status == JobStatus::Quarantined;
+    EXPECT_TRUE(sawQuarantine);
+    std::remove(path.c_str());
+    std::remove(sidecar.c_str());
+}
+
+TEST_F(SweepSupervisor, CrashFaultWithoutProcIsolationIsFatal)
+{
+    // A segv/oom/hang fault without the sandbox would take down (or
+    // wedge) the whole sweep process; the harness refuses up front.
+    ::setenv("REPRO_FAIL", "skip", 1);
+    ::setenv("REPRO_FAULT", "segv:0", 1);
+    EXPECT_EXIT(runAll(smallConfigs(), smallMixes(), kWindow, 1),
+                ::testing::ExitedWithCode(1), "REPRO_ISOLATE");
 }
 
 } // namespace

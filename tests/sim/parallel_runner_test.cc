@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <numeric>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sim/experiment.hh"
@@ -174,6 +175,7 @@ TEST(ParallelRunnerOutcomes, RetryPolicyRerunsUntilSuccess)
     SweepPolicy policy;
     policy.onFail = FailPolicy::Retry;
     policy.retries = 3;
+    policy.backoffMs = 0;
     std::atomic<int> attempts{0};
     const auto outcomes = runParallelOutcomes(
         jobs,
@@ -196,6 +198,7 @@ TEST(ParallelRunnerOutcomes, RetryBudgetExhaustionSettlesFailed)
     SweepPolicy policy;
     policy.onFail = FailPolicy::Retry;
     policy.retries = 2;
+    policy.backoffMs = 0;
     std::atomic<int> attempts{0};
     const auto outcomes = runParallelOutcomes(
         jobs,
@@ -207,7 +210,168 @@ TEST(ParallelRunnerOutcomes, RetryBudgetExhaustionSettlesFailed)
     // 1 initial attempt + 2 retries.
     EXPECT_EQ(attempts.load(), 3);
     EXPECT_EQ(outcomes[0].status, JobStatus::Failed);
-    EXPECT_EQ(outcomes[0].error, "permanent");
+    // The settled error keeps the original message and says how
+    // much retrying it survived.
+    EXPECT_NE(outcomes[0].error.find("permanent"),
+              std::string::npos);
+    EXPECT_NE(outcomes[0].error.find("after 3 attempts"),
+              std::string::npos);
+}
+
+TEST(ParallelRunnerOutcomes, OverBudgetIsNotRetried)
+{
+    // CycleBudgetExceeded is deterministic: the same budget runs out
+    // at the same cycle, so the retry loop must settle immediately
+    // instead of burning its whole budget re-proving it.
+    const std::vector<int> jobs = {0};
+    SweepPolicy policy;
+    policy.onFail = FailPolicy::Retry;
+    policy.retries = 5;
+    policy.backoffMs = 0;
+    std::atomic<int> attempts{0};
+    const auto outcomes = runParallelOutcomes(
+        jobs,
+        [&](int) -> int {
+            attempts.fetch_add(1);
+            throw CycleBudgetExceeded("budget gone");
+        },
+        1, nullptr, policy);
+    EXPECT_EQ(attempts.load(), 1);
+    EXPECT_EQ(outcomes[0].status, JobStatus::OverBudget);
+    EXPECT_NE(outcomes[0].error.find("budget gone"),
+              std::string::npos);
+    EXPECT_NE(outcomes[0].error.find("not retryable"),
+              std::string::npos);
+}
+
+TEST(ParallelRunnerOutcomes, RepeatedCrashesQuarantineTheJob)
+{
+    // A poison job that kills its child on every attempt must stop
+    // retrying at the quarantine threshold, not the retry budget.
+    const std::vector<int> jobs = {0};
+    SweepPolicy policy;
+    policy.onFail = FailPolicy::Retry;
+    policy.retries = 10;
+    policy.backoffMs = 0;
+    policy.maxCrashes = 2;
+    std::atomic<int> attempts{0};
+    const auto outcomes = runParallelOutcomes(
+        jobs,
+        [&](int) -> int {
+            attempts.fetch_add(1);
+            throw JobCrashed("child died");
+        },
+        1, nullptr, policy);
+    EXPECT_EQ(attempts.load(), 2);
+    EXPECT_EQ(outcomes[0].status, JobStatus::Quarantined);
+    EXPECT_NE(outcomes[0].error.find("quarantined after 2"),
+              std::string::npos);
+    EXPECT_NE(outcomes[0].error.find("child died"),
+              std::string::npos);
+}
+
+TEST(ParallelRunnerOutcomes, QuarantineDisabledHonorsRetryBudget)
+{
+    const std::vector<int> jobs = {0};
+    SweepPolicy policy;
+    policy.onFail = FailPolicy::Retry;
+    policy.retries = 3;
+    policy.backoffMs = 0;
+    policy.maxCrashes = 0; // REPRO_QUARANTINE=0
+    std::atomic<int> attempts{0};
+    const auto outcomes = runParallelOutcomes(
+        jobs,
+        [&](int) -> int {
+            attempts.fetch_add(1);
+            throw JobTimedOut("deadline");
+        },
+        1, nullptr, policy);
+    EXPECT_EQ(attempts.load(), 4);
+    EXPECT_EQ(outcomes[0].status, JobStatus::TimedOut);
+}
+
+TEST(ParallelRunnerOutcomes, ClassifiesCrashAndTimeoutKinds)
+{
+    const std::vector<int> jobs = {0, 1};
+    SweepPolicy policy;
+    policy.onFail = FailPolicy::Skip;
+    const auto outcomes = runParallelOutcomes(
+        jobs,
+        [](int i) -> int {
+            if (i == 0)
+                throw JobCrashed("SIGSEGV");
+            throw JobTimedOut("deadline");
+        },
+        1, nullptr, policy);
+    EXPECT_EQ(outcomes[0].status, JobStatus::Crashed);
+    EXPECT_EQ(outcomes[1].status, JobStatus::TimedOut);
+    EXPECT_STREQ(to_string(outcomes[0].status), "crashed");
+    EXPECT_STREQ(to_string(outcomes[1].status), "timed_out");
+    EXPECT_STREQ(to_string(JobStatus::Quarantined), "quarantined");
+}
+
+TEST(ParallelRunnerOutcomes, BackoffScheduleIsDeterministic)
+{
+    SweepPolicy policy;
+    policy.backoffMs = 100;
+    // Same (job, attempt) -> same delay, on every call.
+    for (unsigned attempt = 1; attempt <= 5; ++attempt) {
+        EXPECT_EQ(retryBackoffMs(policy, 3, attempt),
+                  retryBackoffMs(policy, 3, attempt));
+    }
+    // Exponential envelope: attempt k's delay lives in
+    // [base * 2^(k-1), 1.5 * base * 2^(k-1)] until the 30 s cap.
+    for (unsigned attempt = 1; attempt <= 5; ++attempt) {
+        const unsigned base = 100u << (attempt - 1);
+        const unsigned delay = retryBackoffMs(policy, 7, attempt);
+        EXPECT_GE(delay, base) << "attempt " << attempt;
+        EXPECT_LE(delay, base + base / 2) << "attempt " << attempt;
+    }
+    // Different jobs jitter differently somewhere in the schedule
+    // (equal-by-chance for one attempt is fine; all five is not).
+    bool anyDiffer = false;
+    for (unsigned attempt = 1; attempt <= 5; ++attempt) {
+        anyDiffer |= retryBackoffMs(policy, 1, attempt) !=
+                     retryBackoffMs(policy, 2, attempt);
+    }
+    EXPECT_TRUE(anyDiffer);
+    // The cap holds even for absurd attempt counts.
+    EXPECT_LE(retryBackoffMs(policy, 0, 64), 30000u);
+    // Disabled backoff sleeps nowhere.
+    policy.backoffMs = 0;
+    EXPECT_EQ(retryBackoffMs(policy, 5, 3), 0u);
+}
+
+TEST(ParallelRunnerProgress, ConcurrentAccountingIsExact)
+{
+    // 8 threads hammer completed()/failed()/crashed() concurrently;
+    // the final accounting must balance exactly: done + failures ==
+    // total, crashes <= failures.
+    constexpr std::size_t kPerThread = 500;
+    constexpr unsigned kThreads = 8;
+    ProgressReporter progress("hammer", kPerThread * kThreads,
+                              /*quiet=*/true);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&progress, t]() {
+            for (std::size_t i = 0; i < kPerThread; ++i) {
+                if ((i + t) % 3 == 0)
+                    progress.completed();
+                else if ((i + t) % 3 == 1)
+                    progress.failed();
+                else
+                    progress.crashed();
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(progress.done() + progress.failures(),
+              kPerThread * kThreads);
+    EXPECT_LE(progress.crashes(), progress.failures());
+    EXPECT_GT(progress.crashes(), 0u);
+    progress.finish();
 }
 
 TEST(ParallelRunnerOutcomes, AbortStopsClaimingAfterFailure)

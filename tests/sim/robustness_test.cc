@@ -71,6 +71,23 @@ TEST(SweepPolicyEnv, ParsesEveryMode)
     ::unsetenv("REPRO_FAIL");
 }
 
+TEST(SweepPolicyEnv, ReadsRetryTuningKnobs)
+{
+    ::unsetenv("REPRO_RETRY_BACKOFF_MS");
+    ::unsetenv("REPRO_QUARANTINE");
+    auto policy = SweepPolicy::fromEnv();
+    EXPECT_EQ(policy.backoffMs, 100u);
+    EXPECT_EQ(policy.maxCrashes, 2u);
+
+    ::setenv("REPRO_RETRY_BACKOFF_MS", "0", 1);
+    ::setenv("REPRO_QUARANTINE", "5", 1);
+    policy = SweepPolicy::fromEnv();
+    EXPECT_EQ(policy.backoffMs, 0u);
+    EXPECT_EQ(policy.maxCrashes, 5u);
+    ::unsetenv("REPRO_RETRY_BACKOFF_MS");
+    ::unsetenv("REPRO_QUARANTINE");
+}
+
 TEST(SweepPolicyEnv, RejectsMalformedSpecs)
 {
     ::setenv("REPRO_FAIL", "continue", 1);
@@ -108,6 +125,30 @@ TEST(FaultSpecEnv, ParsesKindsAndArguments)
     EXPECT_EQ(fault.kind, FaultKind::ThrowJob);
     EXPECT_EQ(fault.arg, 7u);
     EXPECT_FALSE(fault.isSimFault());
+    EXPECT_TRUE(fault.isJobFault());
+    EXPECT_FALSE(fault.isCrashFault());
+
+    // The crash kinds: job faults that take their process down, so
+    // they are flagged for the REPRO_ISOLATE=proc requirement.
+    ::setenv("REPRO_FAULT", "segv:2", 1);
+    fault = FaultSpec::fromEnv();
+    EXPECT_EQ(fault.kind, FaultKind::SegvJob);
+    EXPECT_EQ(fault.arg, 2u);
+    EXPECT_TRUE(fault.isJobFault());
+    EXPECT_TRUE(fault.isCrashFault());
+
+    ::setenv("REPRO_FAULT", "oom:1", 1);
+    fault = FaultSpec::fromEnv();
+    EXPECT_EQ(fault.kind, FaultKind::OomJob);
+    EXPECT_TRUE(fault.isCrashFault());
+
+    ::setenv("REPRO_FAULT", "hang:0", 1);
+    fault = FaultSpec::fromEnv();
+    EXPECT_EQ(fault.kind, FaultKind::HangJob);
+    EXPECT_TRUE(fault.isCrashFault());
+    EXPECT_STREQ(to_string(FaultKind::SegvJob), "segv");
+    EXPECT_STREQ(to_string(FaultKind::OomJob), "oom");
+    EXPECT_STREQ(to_string(FaultKind::HangJob), "hang");
     ::unsetenv("REPRO_FAULT");
 }
 
@@ -119,7 +160,32 @@ TEST(FaultSpecEnv, RejectsMalformedSpecs)
     ::setenv("REPRO_FAULT", "throw_job", 1);
     EXPECT_EXIT(FaultSpec::fromEnv(), ExitedWithCode(1),
                 "job index");
+    // Every job-fault kind requires its ":K" target index.
+    ::setenv("REPRO_FAULT", "segv", 1);
+    EXPECT_EXIT(FaultSpec::fromEnv(), ExitedWithCode(1),
+                "job index");
+    ::setenv("REPRO_FAULT", "hang", 1);
+    EXPECT_EXIT(FaultSpec::fromEnv(), ExitedWithCode(1),
+                "job index");
     ::unsetenv("REPRO_FAULT");
+}
+
+TEST(FaultInjection, ThrowJobFiresOnlyOnItsTarget)
+{
+    FaultSpec fault;
+    fault.kind = FaultKind::ThrowJob;
+    fault.arg = 3;
+    // Other jobs (and disabled specs) pass through untouched.
+    EXPECT_NO_THROW(injectJobFault(fault, 2, "private.mix2"));
+    EXPECT_NO_THROW(injectJobFault(FaultSpec{}, 3, "private.mix3"));
+    try {
+        injectJobFault(fault, 3, "private.mix3");
+        FAIL() << "expected SimulationError";
+    } catch (const SimulationError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("fault injection"), std::string::npos);
+        EXPECT_NE(what.find("private.mix3"), std::string::npos);
+    }
 }
 
 TEST(RobustnessConfigEnv, ReadsKnobsAndDefaults)

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -60,6 +61,126 @@ TEST(SweepStore, AppendLoadRoundTripsEveryField)
     EXPECT_EQ(records[1].error,
               "no instruction retired in 5000 cycles");
     EXPECT_TRUE(records[1].result.ipc.empty());
+}
+
+TEST(SweepStore, CrashStatusesRoundTrip)
+{
+    const std::string path = tempPath("sweep_store_crash.jsonl");
+    std::remove(path.c_str());
+    {
+        SweepStore store(path);
+        SweepRecord crashed;
+        crashed.label = "adaptive.mix0";
+        crashed.status = JobStatus::Crashed;
+        crashed.error = "isolated job killed by SIGSEGV";
+        store.append(crashed);
+        SweepRecord timed;
+        timed.label = "adaptive.mix1";
+        timed.status = JobStatus::TimedOut;
+        store.append(timed);
+        SweepRecord quarantined;
+        quarantined.label = "adaptive.mix2";
+        quarantined.status = JobStatus::Quarantined;
+        store.append(quarantined);
+    }
+    const auto records = SweepStore::load(path);
+    std::remove(path.c_str());
+    ASSERT_EQ(records.size(), 3u);
+    EXPECT_EQ(records[0].status, JobStatus::Crashed);
+    EXPECT_NE(records[0].error.find("SIGSEGV"), std::string::npos);
+    EXPECT_EQ(records[1].status, JobStatus::TimedOut);
+    EXPECT_EQ(records[2].status, JobStatus::Quarantined);
+}
+
+TEST(SweepStore, UnknownStatusLoadsAsFailed)
+{
+    // A sidecar written by a newer build must still load — and an
+    // unrecognized status must never be mistaken for a reusable ok.
+    EXPECT_EQ(jobStatusFromString("exploded"), JobStatus::Failed);
+    EXPECT_EQ(jobStatusFromString("ok"), JobStatus::Ok);
+    EXPECT_EQ(jobStatusFromString("crashed"), JobStatus::Crashed);
+    EXPECT_EQ(jobStatusFromString("timed_out"),
+              JobStatus::TimedOut);
+    EXPECT_EQ(jobStatusFromString("quarantined"),
+              JobStatus::Quarantined);
+}
+
+TEST(SweepStore, MixResultCodecRoundTripsEveryBit)
+{
+    // The codec backs both the sidecar and the proc-pool pipe; a
+    // double that fails to round-trip would silently break the
+    // proc-isolated sweep's byte-identity guarantee.
+    MixResult result;
+    result.ipc = {1.0 / 3.0, 0.1, 1e-300, 12345.6789012345678,
+                  2.0 / 7.0};
+    result.l3AccessesPerKilocycle = {0.0, 1e300, 0.3333333333333333};
+    const std::string wire = mixResultToJson(result).dump();
+    const auto back =
+        mixResultFromJson(json::Value::parse(wire));
+    EXPECT_EQ(back.ipc, result.ipc);
+    EXPECT_EQ(back.l3AccessesPerKilocycle,
+              result.l3AccessesPerKilocycle);
+    // And a second pass through text is byte-stable.
+    EXPECT_EQ(mixResultToJson(back).dump(), wire);
+}
+
+TEST(SweepStore, SyncKnobIsReadPerStore)
+{
+    const std::string path = tempPath("sweep_store_sync.jsonl");
+    std::remove(path.c_str());
+    ::setenv("REPRO_SYNC", "1", 1);
+    {
+        SweepStore store(path);
+        EXPECT_TRUE(store.synced());
+        store.append(okRecord("sync.mix0", 1.0));
+    }
+    ::unsetenv("REPRO_SYNC");
+    {
+        SweepStore store(path);
+        EXPECT_FALSE(store.synced());
+        store.append(okRecord("sync.mix1", 2.0));
+    }
+    // Synced and unsynced appends write the same bytes; the knob
+    // changes durability, never content.
+    const auto records = SweepStore::load(path);
+    std::remove(path.c_str());
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].label, "sync.mix0");
+    EXPECT_EQ(records[1].label, "sync.mix1");
+}
+
+TEST(SweepStore, ResumeStyleLoadSurvivesTornMidRecordWrite)
+{
+    // A record torn *mid-line* (killed between fwrite chunks, or a
+    // partial flush) must not poison the records after it when a
+    // later run appended past the tear.
+    const std::string path = tempPath("sweep_store_midtorn.jsonl");
+    std::remove(path.c_str());
+    {
+        SweepStore store(path);
+        store.append(okRecord("a.mix0", 1.0));
+    }
+    {
+        // The torn middle: half a record with no newline...
+        std::FILE *f = std::fopen(path.c_str(), "a");
+        ASSERT_NE(f, nullptr);
+        std::fputs("{\"label\":\"a.mix1\",\"ipc\":[0.5,", f);
+        std::fclose(f);
+    }
+    {
+        // ...then the resumed run appends a complete record. The
+        // torn bytes and the new record share one physical line.
+        SweepStore store(path);
+        store.append(okRecord("a.mix2", 3.0));
+        store.append(okRecord("a.mix3", 4.0));
+    }
+    const auto records = SweepStore::load(path);
+    std::remove(path.c_str());
+    // The torn line (glued to a.mix2's record) is unparsable and
+    // skipped; the first and last records survive.
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].label, "a.mix0");
+    EXPECT_EQ(records[1].label, "a.mix3");
 }
 
 TEST(SweepStore, LoadSkipsTornTrailingLine)

@@ -14,6 +14,10 @@
  *                                               trace-event JSON
  *   trace_report --check-trace <file.trace.json>
  *                                               validate a trace file
+ *   trace_report --sweep <results.json.partial>
+ *                                               sweep sidecar triage:
+ *                                               per-status counts and
+ *                                               every non-ok job
  *
  * Malformed or truncated trace lines (a killed writer, a torn tail)
  * are skipped and counted; the count is reported on stderr at exit
@@ -28,6 +32,7 @@
 #include <vector>
 
 #include "sim/json_writer.hh"
+#include "sim/sweep_store.hh"
 #include "sim/trace_event.hh"
 
 namespace {
@@ -515,6 +520,54 @@ telemetryToChromeTrace(const Trace &trace)
     return doc;
 }
 
+/**
+ * Triage a sweep-results sidecar: how every job settled, with one
+ * row per non-ok job — the first place to look when a proc-isolated
+ * sweep reports crashes or quarantines.
+ */
+int
+sweepReport(const std::string &path)
+{
+    const auto records = nuca::SweepStore::load(path);
+    if (records.empty()) {
+        std::printf("sweep sidecar %s: no records\n", path.c_str());
+        return 0;
+    }
+
+    // Count by status in a fixed display order.
+    const nuca::JobStatus order[] = {
+        nuca::JobStatus::Ok,          nuca::JobStatus::Failed,
+        nuca::JobStatus::Stalled,     nuca::JobStatus::OverBudget,
+        nuca::JobStatus::Crashed,     nuca::JobStatus::TimedOut,
+        nuca::JobStatus::Quarantined,
+    };
+    std::printf("sweep sidecar: %s (%zu records)\n", path.c_str(),
+                records.size());
+    for (const nuca::JobStatus status : order) {
+        std::size_t n = 0;
+        for (const auto &record : records)
+            n += record.status == status ? 1 : 0;
+        if (n != 0)
+            std::printf("  %-12s %zu\n", nuca::to_string(status), n);
+    }
+
+    bool anyBad = false;
+    for (const auto &record : records) {
+        if (record.status == nuca::JobStatus::Ok)
+            continue;
+        if (!anyBad) {
+            std::printf("\nnon-ok jobs:\n");
+            anyBad = true;
+        }
+        std::printf("  %-24s %-12s %s\n", record.label.c_str(),
+                    nuca::to_string(record.status),
+                    record.error.c_str());
+    }
+    if (!anyBad)
+        std::printf("all jobs ok\n");
+    return 0;
+}
+
 int
 checkTraceFile(const std::string &path)
 {
@@ -547,6 +600,7 @@ main(int argc, char **argv)
     bool heatmapMode = false;
     std::string exportPath;
     std::string checkPath;
+    std::string sweepPath;
     std::vector<std::string> positional;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -565,6 +619,12 @@ main(int argc, char **argv)
                 return 1;
             }
             checkPath = argv[++i];
+        } else if (arg == "--sweep") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--sweep needs a path\n");
+                return 1;
+            }
+            sweepPath = argv[++i];
         } else {
             positional.push_back(arg);
         }
@@ -572,6 +632,8 @@ main(int argc, char **argv)
 
     if (!checkPath.empty())
         return checkTraceFile(checkPath);
+    if (!sweepPath.empty())
+        return sweepReport(sweepPath);
 
     if (positional.empty() || positional.size() > 2) {
         std::fprintf(stderr,
@@ -579,7 +641,9 @@ main(int argc, char **argv)
                      "[--export-trace out.trace.json] "
                      "<trace.jsonl> [plot-width]\n"
                      "       trace_report --check-trace "
-                     "<file.trace.json>\n");
+                     "<file.trace.json>\n"
+                     "       trace_report --sweep "
+                     "<results.json.partial>\n");
         return 1;
     }
     const std::string path = positional[0];
