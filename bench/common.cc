@@ -102,6 +102,12 @@ runAll(const std::vector<std::pair<std::string, SystemConfig>> &configs,
     }
 
     const unsigned pool = jobs == 0 ? jobsFromEnv() : jobs;
+    // Graceful shutdown: SIGINT/SIGTERM raises a flag instead of
+    // killing the sweep mid-record. Workers stop claiming, in-flight
+    // jobs finish and reach the sidecar, the unattempted remainder
+    // is recorded Interrupted below, and a REPRO_RESUME=1 rerun
+    // continues from exactly here.
+    installSweepInterruptHandlers();
     ProgressReporter progress("sweep", pending.size());
     auto settled = runParallelOutcomes(
         pending,
@@ -130,20 +136,42 @@ runAll(const std::vector<std::pair<std::string, SystemConfig>> &configs,
             }
         });
     progress.finish();
+    restoreSweepInterruptHandlers();
+
+    const bool interrupted = sweepInterruptRequested();
+    if (interrupted) {
+        std::fprintf(stderr,
+                     "  sweep interrupted by signal %d: in-flight "
+                     "jobs flushed, remainder recorded interrupted "
+                     "(rerun with REPRO_RESUME=1 to continue)\n",
+                     sweepInterruptSignal());
+    }
 
     bool allOk = true;
     for (std::size_t k = 0; k < pending.size(); ++k) {
         if (!settled[k].ok())
             allOk = false;
+        // Unattempted jobs never pass through the on_outcome hook;
+        // give each one an explicit Interrupted sidecar record so
+        // the file ends whole, with every job accounted for.
+        if (store &&
+            settled[k].status == JobStatus::Interrupted) {
+            store->append({labels[pending[k]], settled[k].status,
+                           settled[k].error, settled[k].value});
+        }
         outcomes[pending[k]] = std::move(settled[k]);
     }
 
     // Under the abort policy a failed sweep is still an error — but
     // only after the drained pool's completed results reached the
     // sidecar above; a rerun with REPRO_RESUME=1 picks them up.
+    // Interrupted jobs are not failures: the operator asked the
+    // sweep to stop, so it returns the partial document instead of
+    // throwing.
     if (policy.onFail == FailPolicy::Abort) {
         for (const auto &outcome : outcomes) {
-            if (outcome.ok())
+            if (outcome.ok() ||
+                outcome.status == JobStatus::Interrupted)
                 continue;
             if (outcome.exception)
                 std::rethrow_exception(outcome.exception);

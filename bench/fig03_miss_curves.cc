@@ -17,42 +17,27 @@
  */
 
 #include <cstdio>
-#include <memory>
 #include <vector>
 
-#include "cache/set_assoc_cache.hh"
 #include "sim/experiment.hh"
 #include "sim/parallel_runner.hh"
 #include "sim/telemetry.hh"
+#include "workload/miss_curve.hh"
 #include "workload/spec_profiles.hh"
-#include "workload/synth_workload.hh"
 
 namespace {
 
 using namespace nuca;
 
-constexpr unsigned l3Sets = 4096;
 constexpr unsigned maxWays = 16;
 
-/** L3 miss counts per associativity for one application. */
+/** L3 miss counts per associativity for one application: the shared
+ *  l3MissCurve replay, with REPRO_TRACE telemetry hung off its
+ *  sample hook. The replay is functional (no cycles), so the sample
+ *  period is interpreted in instructions. */
 std::vector<Counter>
 missCurve(const WorkloadProfile &profile, std::uint64_t insts)
 {
-    stats::Group root("fig3");
-    SetAssocCache l1(root, "l1d", 64ull << 10, 2);
-    SetAssocCache l2(root, "l2d", 256ull << 10, 4);
-    std::vector<std::unique_ptr<SetAssocCache>> l3s;
-    for (unsigned ways = 1; ways <= maxWays; ++ways) {
-        l3s.push_back(std::make_unique<SetAssocCache>(
-            root, "l3_" + std::to_string(ways),
-            static_cast<std::uint64_t>(ways) * l3Sets * blockBytes,
-            ways));
-    }
-
-    // REPRO_TRACE: periodic snapshots of the per-associativity miss
-    // counters so the curve's convergence over the replay is
-    // visible. The replay is functional (no cycles), so the sample
-    // period is interpreted in instructions.
     const auto trace = sinkFromEnv("fig3." + profile.name);
     const std::uint64_t period =
         TelemetryConfig::fromEnv().samplePeriod;
@@ -64,44 +49,24 @@ missCurve(const WorkloadProfile &profile, std::uint64_t insts)
         meta.set("period", period);
         trace->write(meta);
     }
-    const auto emitSample = [&](std::uint64_t inst) {
-        json::Value record = json::Value::object();
-        record.set("type", "sample");
-        record.set("inst", inst);
-        json::Value misses = json::Value::array();
-        for (const auto &l3 : l3s)
-            misses.append(l3->misses());
-        record.set("misses_per_way", std::move(misses));
-        trace->write(record);
-    };
-
-    SynthWorkload workload(profile, 0, 2024);
-    for (std::uint64_t i = 0; i < insts; ++i) {
-        const SynthInst inst = workload.next();
-        if (trace && i > 0 && i % period == 0)
-            emitSample(i);
-        if (!inst.isMem())
-            continue;
-        const bool is_write = inst.isStore();
-        if (l1.access(inst.effAddr, is_write))
-            continue;
-        l1.fill(inst.effAddr, is_write, 0);
-        if (l2.access(inst.effAddr, false))
-            continue;
-        l2.fill(inst.effAddr, false, 0);
-        for (auto &l3 : l3s) {
-            if (!l3->access(inst.effAddr, false))
-                l3->fill(inst.effAddr, false, 0);
-        }
+    MissCurveSampleFn sample;
+    if (trace) {
+        sample = [&trace](std::uint64_t inst,
+                          const std::vector<Counter> &per_way) {
+            json::Value record = json::Value::object();
+            record.set("type", "sample");
+            record.set("inst", inst);
+            json::Value misses = json::Value::array();
+            for (const Counter m : per_way)
+                misses.append(m);
+            record.set("misses_per_way", std::move(misses));
+            trace->write(record);
+        };
     }
-    if (trace)
-        emitSample(insts);
 
-    std::vector<Counter> curve;
-    curve.reserve(maxWays);
-    for (const auto &l3 : l3s)
-        curve.push_back(l3->misses());
-    return curve;
+    MissCurveParams params;
+    params.insts = insts;
+    return l3MissCurve(profile, params, sample, period);
 }
 
 } // namespace

@@ -1,0 +1,83 @@
+#include "service/scheduler.hh"
+
+namespace nuca {
+namespace service {
+
+std::uint64_t
+serviceOf(const TenantService &service, const std::string &tenant)
+{
+    const auto it = service.find(tenant);
+    return it == service.end() ? 0 : it->second;
+}
+
+std::size_t
+pickNextIndex(const std::vector<SchedJob> &queued,
+              const TenantService &service)
+{
+    std::size_t best = static_cast<std::size_t>(-1);
+    for (std::size_t i = 0; i < queued.size(); ++i) {
+        if (best == static_cast<std::size_t>(-1)) {
+            best = i;
+            continue;
+        }
+        const SchedJob &a = queued[i];
+        const SchedJob &b = queued[best];
+        const std::uint64_t sa = serviceOf(service, a.tenant);
+        const std::uint64_t sb = serviceOf(service, b.tenant);
+        if (sa != sb) {
+            if (sa < sb)
+                best = i;
+            continue;
+        }
+        if (a.priority != b.priority) {
+            if (a.priority > b.priority)
+                best = i;
+            continue;
+        }
+        if (a.id < b.id)
+            best = i;
+    }
+    return best;
+}
+
+std::size_t
+pickPreemptVictim(const std::vector<SchedJob> &running,
+                  const SchedJob &waiting,
+                  const TenantService &service)
+{
+    const std::uint64_t waiting_service =
+        serviceOf(service, waiting.tenant);
+    std::size_t best = static_cast<std::size_t>(-1);
+    for (std::size_t i = 0; i < running.size(); ++i) {
+        const SchedJob &cand = running[i];
+        // Preempting a peer of the waiting tenant (or a more starved
+        // tenant) would just thrash; only an over-served tenant's job
+        // is a victim.
+        if (cand.tenant == waiting.tenant ||
+            serviceOf(service, cand.tenant) <= waiting_service)
+            continue;
+        if (best == static_cast<std::size_t>(-1)) {
+            best = i;
+            continue;
+        }
+        const SchedJob &b = running[best];
+        const std::uint64_t sc = serviceOf(service, cand.tenant);
+        const std::uint64_t sb = serviceOf(service, b.tenant);
+        if (sc != sb) {
+            if (sc > sb)
+                best = i;
+            continue;
+        }
+        if (cand.priority != b.priority) {
+            if (cand.priority < b.priority)
+                best = i;
+            continue;
+        }
+        if (cand.id > b.id)
+            best = i;
+    }
+    return best;
+}
+
+} // namespace service
+} // namespace nuca

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The daemon's scheduling policy, factored into pure functions over
+ * plain snapshots so the policy is unit-testable without sockets,
+ * threads, or simulations.
+ *
+ * Fair share: each tenant accumulates the milliseconds of worker time
+ * its jobs have consumed. A free worker always goes to the most
+ * starved tenant — minimum accumulated service — and only within that
+ * tenant do priority (higher first) and submission order (earlier
+ * first) break ties. Preemption closes the loop: when a starved
+ * tenant waits while every worker is busy, the scheduler picks the
+ * running victim whose tenant is most *over*-served and asks the run
+ * to stop at its next checkpoint, requeueing it with its snapshot.
+ */
+
+#ifndef NUCA_SERVICE_SCHEDULER_HH
+#define NUCA_SERVICE_SCHEDULER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nuca {
+namespace service {
+
+/** What the policy needs to know about one queued or running job. */
+struct SchedJob
+{
+    std::uint64_t id = 0;
+    std::string tenant;
+    int priority = 0;
+};
+
+/** Accumulated worker milliseconds per tenant. */
+using TenantService = std::map<std::string, std::uint64_t>;
+
+/**
+ * Index into @p queued of the job a free worker should take: minimum
+ * tenant service, then maximum priority, then minimum id. Returns
+ * (size_t)-1 when the queue is empty.
+ */
+std::size_t pickNextIndex(const std::vector<SchedJob> &queued,
+                          const TenantService &service);
+
+/**
+ * Index into @p running of the job to preempt so @p waiting can run:
+ * the victim with maximum tenant service, then minimum priority, then
+ * maximum id (the youngest of the most over-served — it has the least
+ * sunk work past its snapshot). Returns (size_t)-1 when no victim
+ * would help: every running job's tenant is at most as served as the
+ * waiting job's, or @p running is empty.
+ */
+std::size_t pickPreemptVictim(const std::vector<SchedJob> &running,
+                              const SchedJob &waiting,
+                              const TenantService &service);
+
+/** service[tenant], defaulting to 0 for tenants not yet seen. */
+std::uint64_t serviceOf(const TenantService &service,
+                        const std::string &tenant);
+
+} // namespace service
+} // namespace nuca
+
+#endif // NUCA_SERVICE_SCHEDULER_HH

@@ -1,0 +1,778 @@
+#include "service/sweepd.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "sim/checkpoint.hh"
+#include "sim/robustness.hh"
+#include "workload/miss_curve.hh"
+#include "workload/spec_profiles.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define NUCA_SERVICE_HAVE_SOCKETS 1
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+#else
+#define NUCA_SERVICE_HAVE_SOCKETS 0
+#endif
+
+namespace nuca {
+namespace service {
+
+namespace {
+
+std::uint64_t
+nowMs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+std::uint64_t
+msSince(std::chrono::steady_clock::time_point t0)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+}
+
+std::string
+hex16(std::uint64_t key)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64, key);
+    return buf;
+}
+
+json::Value
+errorResponse(const std::string &message)
+{
+    json::Value resp = json::Value::object();
+    resp.set("ok", false);
+    resp.set("error", message);
+    return resp;
+}
+
+JobStatus
+journalStatus(JobState state)
+{
+    switch (state) {
+      case JobState::Queued: return JobStatus::Queued;
+      case JobState::Running: return JobStatus::Queued;
+      case JobState::Preempted: return JobStatus::Preempted;
+      case JobState::Ok: return JobStatus::Ok;
+      case JobState::CacheHit: return JobStatus::CacheHit;
+      case JobState::Failed: return JobStatus::Failed;
+      case JobState::Cancelled: return JobStatus::Cancelled;
+    }
+    return JobStatus::Failed;
+}
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+} // namespace
+
+const char *
+to_string(JobState state)
+{
+    switch (state) {
+      case JobState::Queued: return "queued";
+      case JobState::Running: return "running";
+      case JobState::Preempted: return "preempted";
+      case JobState::Ok: return "ok";
+      case JobState::CacheHit: return "cache_hit";
+      case JobState::Failed: return "failed";
+      case JobState::Cancelled: return "cancelled";
+    }
+    return "unknown";
+}
+
+bool
+isTerminal(JobState state)
+{
+    return state == JobState::Ok || state == JobState::CacheHit ||
+           state == JobState::Failed ||
+           state == JobState::Cancelled;
+}
+
+DaemonOptions
+DaemonOptions::fromEnv()
+{
+    DaemonOptions opts;
+    opts.socketPath = envString("SWEEPD_SOCKET");
+    const std::string state = envString("SWEEPD_STATE");
+    if (!state.empty())
+        opts.stateDir = state;
+    opts.workers = static_cast<unsigned>(
+        envOr("SWEEPD_WORKERS", opts.workers));
+    if (opts.workers == 0)
+        opts.workers = 1;
+    opts.preemptPeriod = envOr("SWEEPD_PREEMPT_PERIOD",
+                               opts.preemptPeriod);
+    opts.quantumMs = envOr("SWEEPD_QUANTUM_MS", opts.quantumMs);
+    opts.isolate = envOr("SWEEPD_ISOLATE", 1) != 0;
+    return opts;
+}
+
+SweepDaemon::SweepDaemon(DaemonOptions options)
+    : opts_(std::move(options)),
+      iso_(ProcIsolation::fromEnv()),
+      cache_(opts_.stateDir + "/results")
+{
+    std::error_code ec;
+    std::filesystem::create_directories(opts_.stateDir, ec);
+    if (ec)
+        throw SimulationError("cannot create state dir " +
+                              opts_.stateDir + ": " + ec.message());
+    // The daemon decides isolation itself; REPRO_ISOLATE only
+    // contributes the resource-limit knobs.
+    iso_.enabled = opts_.isolate && procIsolationSupported();
+    iso_.preemptible = true;
+    journal_ = std::make_unique<SweepStore>(opts_.stateDir +
+                                            "/jobs.jsonl");
+}
+
+SweepDaemon::~SweepDaemon()
+{
+    requestStop();
+    join();
+}
+
+void
+SweepDaemon::journal(const Job &job)
+{
+    SweepRecord record;
+    record.label = "job" + std::to_string(job.id) + ":" +
+                   job.spec.displayLabel();
+    record.status = journalStatus(job.state);
+    record.error = job.error;
+    if (job.state == JobState::Ok ||
+        job.state == JobState::CacheHit)
+        record.result = job.result;
+    record.queueMs = job.queueMs;
+    record.preempts = job.preempts;
+    record.timed = true;
+    journal_->append(record);
+}
+
+Job *
+SweepDaemon::findJob(std::uint64_t id)
+{
+    const auto it = jobs_.find(id);
+    return it == jobs_.end() ? nullptr : &it->second;
+}
+
+MixResult
+SweepDaemon::execute(const JobSpec &spec, ProcJobHandle *handle)
+{
+    RunPolicy policy;
+    policy.ckpt.dir = opts_.stateDir + "/ckpt";
+    policy.ckpt.period = opts_.preemptPeriod;
+    policy.ckpt.maxMb = CheckpointConfig::fromEnv().maxMb;
+    policy.resume = true;
+    policy.preempt = &handle->preempt;
+
+    const auto body = [spec, policy]() -> MixResult {
+        if (spec.kind == JobKind::MissCurve) {
+            const WorkloadProfile *profile =
+                findProfile(spec.apps.at(0));
+            if (profile == nullptr)
+                throw SpecError("unknown application \"" +
+                                spec.apps.at(0) + "\"");
+            MissCurveParams params;
+            params.insts = spec.insts;
+            const std::vector<Counter> counts =
+                l3MissCurve(*profile, params);
+            MixResult result;
+            result.curve.assign(counts.begin(), counts.end());
+            return result;
+        }
+        const ExperimentSpec mix{spec.apps, spec.seed};
+        const SimWindow window{spec.warmupCycles,
+                               spec.measureCycles};
+        return runMix(spec.config(), mix, window,
+                      spec.displayLabel(), policy);
+    };
+
+    if (iso_.enabled)
+        return runMixSandboxed(iso_, body, handle);
+    return body();
+}
+
+void
+SweepDaemon::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        cv_.wait(lock, [&] {
+            if (stop_)
+                return true;
+            for (const auto &[id, job] : jobs_) {
+                if (job.state == JobState::Queued ||
+                    job.state == JobState::Preempted)
+                    return true;
+            }
+            return false;
+        });
+        if (stop_)
+            return;
+
+        // Fair-share pick among everything runnable.
+        std::vector<SchedJob> runnable;
+        std::vector<std::uint64_t> ids;
+        for (const auto &[id, job] : jobs_) {
+            if (job.state == JobState::Queued ||
+                job.state == JobState::Preempted) {
+                runnable.push_back(
+                    {id, job.spec.tenant, job.spec.priority});
+                ids.push_back(id);
+            }
+        }
+        const std::size_t pick =
+            pickNextIndex(runnable, tenantService_);
+        if (pick == kNone)
+            continue;
+
+        Job &job = jobs_.at(ids[pick]);
+        job.queueMs += msSince(job.enqueuedAt);
+        job.state = JobState::Running;
+        job.startedAt = std::chrono::steady_clock::now();
+        job.handle = std::make_shared<ProcJobHandle>();
+        const auto handle = job.handle;
+        const JobSpec spec = job.spec;
+        const std::uint64_t id = job.id;
+        const std::uint64_t key = job.key;
+        ++busyWorkers_;
+        ++executed_;
+        lock.unlock();
+
+        enum class Outcome { Ok, Preempted, Failed };
+        Outcome outcome = Outcome::Ok;
+        MixResult result;
+        std::string error;
+        try {
+            result = execute(spec, handle.get());
+        } catch (const JobPreempted &e) {
+            outcome = Outcome::Preempted;
+            error = e.what();
+        } catch (const std::exception &e) {
+            outcome = Outcome::Failed;
+            error = e.what();
+        }
+
+        lock.lock();
+        Job &settled = jobs_.at(id);
+        tenantService_[spec.tenant] += msSince(settled.startedAt);
+        --busyWorkers_;
+        settled.handle.reset();
+        switch (outcome) {
+          case Outcome::Ok:
+            settled.state = JobState::Ok;
+            settled.result = result;
+            settled.error.clear();
+            cache_.put(key, spec, result);
+            journal(settled);
+            break;
+          case Outcome::Preempted:
+            if (settled.cancelRequested) {
+                settled.state = JobState::Cancelled;
+                settled.error = "cancelled";
+                journal(settled);
+                break;
+            }
+            // Requeue with the snapshot it just saved; the next
+            // attempt resumes from it (even after a daemon restart,
+            // since the snapshot is content-addressed on disk).
+            settled.state = JobState::Preempted;
+            settled.error = error;
+            ++settled.preempts;
+            settled.enqueuedAt = std::chrono::steady_clock::now();
+            journal(settled);
+            break;
+          case Outcome::Failed:
+            settled.state = JobState::Failed;
+            settled.error = error;
+            journal(settled);
+            break;
+        }
+        cv_.notify_all();
+    }
+}
+
+void
+SweepDaemon::preempterLoop()
+{
+    const std::uint64_t quantum = opts_.quantumMs;
+    if (quantum == 0)
+        return;
+    const auto tick =
+        std::chrono::milliseconds(std::min<std::uint64_t>(
+            quantum, 200));
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stop_) {
+        cv_.wait_for(lock, tick);
+        if (stop_)
+            return;
+        if (busyWorkers_ < opts_.workers)
+            continue; // a free worker will drain the queue itself
+
+        std::vector<SchedJob> waiting_jobs;
+        for (const auto &[id, job] : jobs_) {
+            if (job.state == JobState::Queued ||
+                job.state == JobState::Preempted)
+                waiting_jobs.push_back(
+                    {id, job.spec.tenant, job.spec.priority});
+        }
+        // Charge running jobs' in-flight time to their tenants
+        // before comparing: otherwise a fresh hog (zero settled
+        // service) could never be preempted for a fresh waiter.
+        TenantService charged = tenantService_;
+        for (const auto &[id, job] : jobs_) {
+            if (job.state == JobState::Running)
+                charged[job.spec.tenant] += msSince(job.startedAt);
+        }
+        const std::size_t next =
+            pickNextIndex(waiting_jobs, charged);
+        if (next == kNone)
+            continue;
+
+        std::vector<SchedJob> running;
+        std::vector<std::uint64_t> ids;
+        for (const auto &[id, job] : jobs_) {
+            if (job.state == JobState::Running && job.handle &&
+                msSince(job.startedAt) >= quantum) {
+                running.push_back(
+                    {id, job.spec.tenant, job.spec.priority});
+                ids.push_back(id);
+            }
+        }
+        const std::size_t victim = pickPreemptVictim(
+            running, waiting_jobs[next], charged);
+        if (victim != kNone)
+            jobs_.at(ids[victim]).handle->requestPreempt();
+    }
+}
+
+json::Value
+SweepDaemon::opSubmit(const json::Value &request)
+{
+    if (!request.contains("spec"))
+        return errorResponse("submit needs a \"spec\" object");
+    const JobSpec spec = JobSpec::fromJson(request.at("spec"));
+    const std::uint64_t key = spec.resultKey();
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_ || draining_)
+        return errorResponse("daemon is draining");
+
+    Job job;
+    job.id = nextId_++;
+    job.spec = spec;
+    job.key = key;
+
+    if (auto cached = cache_.get(key)) {
+        job.state = JobState::CacheHit;
+        job.result = std::move(*cached);
+    } else {
+        job.state = JobState::Queued;
+        job.enqueuedAt = std::chrono::steady_clock::now();
+    }
+
+    json::Value resp = json::Value::object();
+    resp.set("ok", true);
+    resp.set("id", job.id);
+    resp.set("state", to_string(job.state));
+    resp.set("key", hex16(key));
+    resp.set("label", spec.displayLabel());
+
+    const bool hit = job.state == JobState::CacheHit;
+    const Job &stored =
+        jobs_.emplace(job.id, std::move(job)).first->second;
+    if (hit)
+        journal(stored);
+    else
+        cv_.notify_all();
+    return resp;
+}
+
+json::Value
+SweepDaemon::opStatus(const json::Value &request)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    json::Value list = json::Value::array();
+    std::uint64_t queued = 0, running = 0;
+    for (const auto &[id, job] : jobs_) {
+        if (request.contains("id") &&
+            request.at("id").asNumber() !=
+                static_cast<double>(id))
+            continue;
+        json::Value info = json::Value::object();
+        info.set("id", id);
+        info.set("label", job.spec.displayLabel());
+        info.set("tenant", job.spec.tenant);
+        info.set("priority", job.spec.priority);
+        info.set("state", to_string(job.state));
+        info.set("preempts", job.preempts);
+        info.set("queue_ms", job.queueMs);
+        if (!job.error.empty())
+            info.set("error", job.error);
+        list.append(std::move(info));
+        if (job.state == JobState::Queued ||
+            job.state == JobState::Preempted)
+            ++queued;
+        if (job.state == JobState::Running)
+            ++running;
+    }
+    json::Value resp = json::Value::object();
+    resp.set("ok", true);
+    resp.set("jobs", std::move(list));
+    resp.set("queued", queued);
+    resp.set("running", running);
+    resp.set("draining", draining_);
+    return resp;
+}
+
+json::Value
+SweepDaemon::opResult(const json::Value &request)
+{
+    if (!request.contains("id") ||
+        request.at("id").type() != json::Value::Type::Number)
+        return errorResponse("result needs a numeric \"id\"");
+    const auto id = static_cast<std::uint64_t>(
+        request.at("id").asNumber());
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    const Job *job = findJob(id);
+    if (job == nullptr)
+        return errorResponse("no such job " + std::to_string(id));
+
+    json::Value resp = json::Value::object();
+    resp.set("state", to_string(job->state));
+    resp.set("preempts", job->preempts);
+    resp.set("queue_ms", job->queueMs);
+    if (job->state == JobState::Ok ||
+        job->state == JobState::CacheHit) {
+        resp.set("ok", true);
+        resp.set("result", mixResultToJson(job->result));
+    } else if (job->state == JobState::Failed ||
+               job->state == JobState::Cancelled) {
+        resp.set("ok", false);
+        resp.set("error", job->error.empty()
+                              ? std::string(to_string(job->state))
+                              : job->error);
+    } else {
+        resp.set("ok", true); // not done yet: poll again
+    }
+    return resp;
+}
+
+json::Value
+SweepDaemon::opPreempt(const json::Value &request)
+{
+    if (!request.contains("id") ||
+        request.at("id").type() != json::Value::Type::Number)
+        return errorResponse("preempt needs a numeric \"id\"");
+    const auto id = static_cast<std::uint64_t>(
+        request.at("id").asNumber());
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    Job *job = findJob(id);
+    if (job == nullptr)
+        return errorResponse("no such job " + std::to_string(id));
+    if (job->state != JobState::Running || !job->handle)
+        return errorResponse("job " + std::to_string(id) +
+                             " is not running (" +
+                             to_string(job->state) + ")");
+    job->handle->requestPreempt();
+    json::Value resp = json::Value::object();
+    resp.set("ok", true);
+    resp.set("state", to_string(job->state));
+    return resp;
+}
+
+json::Value
+SweepDaemon::opCancel(const json::Value &request)
+{
+    if (!request.contains("id") ||
+        request.at("id").type() != json::Value::Type::Number)
+        return errorResponse("cancel needs a numeric \"id\"");
+    const auto id = static_cast<std::uint64_t>(
+        request.at("id").asNumber());
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    Job *job = findJob(id);
+    if (job == nullptr)
+        return errorResponse("no such job " + std::to_string(id));
+    json::Value resp = json::Value::object();
+    if (isTerminal(job->state)) {
+        resp.set("ok", false);
+        resp.set("error", "job already " +
+                              std::string(to_string(job->state)));
+        return resp;
+    }
+    job->cancelRequested = true;
+    if (job->state == JobState::Running && job->handle) {
+        job->handle->requestPreempt(); // settles cancelled at the
+                                       // next snapshot boundary
+    } else {
+        job->state = JobState::Cancelled;
+        job->error = "cancelled";
+        journal(*job);
+    }
+    resp.set("ok", true);
+    resp.set("state", to_string(job->state));
+    return resp;
+}
+
+json::Value
+SweepDaemon::opDrain()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;
+    std::uint64_t pending = 0;
+    for (const auto &[id, job] : jobs_) {
+        if (!isTerminal(job.state))
+            ++pending;
+    }
+    json::Value resp = json::Value::object();
+    resp.set("ok", true);
+    resp.set("pending", pending);
+    return resp;
+}
+
+json::Value
+SweepDaemon::opStats()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    json::Value tenants = json::Value::object();
+    for (const auto &[tenant, ms] : tenantService_)
+        tenants.set(tenant, ms);
+    json::Value resp = json::Value::object();
+    resp.set("ok", true);
+    resp.set("jobs", static_cast<std::uint64_t>(jobs_.size()));
+    resp.set("executed", executed_);
+    resp.set("cache_entries",
+             static_cast<std::uint64_t>(cache_.count()));
+    resp.set("tenant_service_ms", std::move(tenants));
+    resp.set("workers", static_cast<std::uint64_t>(opts_.workers));
+    return resp;
+}
+
+json::Value
+SweepDaemon::handle(const json::Value &request)
+{
+    try {
+        if (request.type() != json::Value::Type::Object ||
+            !request.contains("op") ||
+            request.at("op").type() != json::Value::Type::String)
+            return errorResponse(
+                "request must be an object with an \"op\" string");
+        const std::string &op = request.at("op").asString();
+
+        if (op == "ping") {
+            json::Value resp = json::Value::object();
+            resp.set("ok", true);
+            resp.set("pong", true);
+            resp.set("now_ms", nowMs());
+            return resp;
+        }
+        if (op == "submit")
+            return opSubmit(request);
+        if (op == "status")
+            return opStatus(request);
+        if (op == "result")
+            return opResult(request);
+        if (op == "preempt")
+            return opPreempt(request);
+        if (op == "cancel")
+            return opCancel(request);
+        if (op == "drain")
+            return opDrain();
+        if (op == "stats")
+            return opStats();
+        if (op == "shutdown") {
+            requestStop();
+            json::Value resp = json::Value::object();
+            resp.set("ok", true);
+            resp.set("stopping", true);
+            return resp;
+        }
+        return errorResponse("unknown op \"" + op + "\"");
+    } catch (const std::exception &e) {
+        return errorResponse(e.what());
+    }
+}
+
+void
+SweepDaemon::requestStop()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_)
+        return;
+    stop_ = true;
+    draining_ = true;
+    // Running jobs yield at their next snapshot; the requeued state
+    // plus the on-disk snapshot make them resumable.
+    for (auto &[id, job] : jobs_) {
+        if (job.state == JobState::Running && job.handle)
+            job.handle->requestPreempt();
+    }
+    cv_.notify_all();
+}
+
+bool
+SweepDaemon::stopRequested() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stop_;
+}
+
+std::uint64_t
+SweepDaemon::executedJobs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return executed_;
+}
+
+void
+SweepDaemon::join()
+{
+    for (std::thread &worker : workers_) {
+        if (worker.joinable())
+            worker.join();
+    }
+    workers_.clear();
+    if (preempter_.joinable())
+        preempter_.join();
+    if (accepter_.joinable())
+        accepter_.join();
+#if NUCA_SERVICE_HAVE_SOCKETS
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        ::unlink(opts_.socketPath.c_str());
+    }
+#endif
+}
+
+#if NUCA_SERVICE_HAVE_SOCKETS
+
+void
+SweepDaemon::start()
+{
+    if (!opts_.socketPath.empty()) {
+        sockaddr_un addr{};
+        if (opts_.socketPath.size() >= sizeof(addr.sun_path))
+            throw SimulationError("socket path too long: " +
+                                  opts_.socketPath);
+        listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (listenFd_ < 0)
+            throw SimulationError("socket() failed");
+        addr.sun_family = AF_UNIX;
+        std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                      opts_.socketPath.c_str());
+        ::unlink(opts_.socketPath.c_str());
+        if (::bind(listenFd_,
+                   reinterpret_cast<const sockaddr *>(&addr),
+                   sizeof(addr)) != 0 ||
+            ::listen(listenFd_, 16) != 0) {
+            ::close(listenFd_);
+            listenFd_ = -1;
+            throw SimulationError("cannot listen on " +
+                                  opts_.socketPath);
+        }
+        accepter_ = std::thread([this] { acceptLoop(); });
+    }
+    for (unsigned i = 0; i < opts_.workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+    preempter_ = std::thread([this] { preempterLoop(); });
+}
+
+void
+SweepDaemon::acceptLoop()
+{
+    while (!stopRequested()) {
+        pollfd pfd{listenFd_, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, 200);
+        if (ready <= 0)
+            continue;
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        // A wedged client may stall reads but not wedge the daemon
+        // forever.
+        timeval timeout{};
+        timeout.tv_sec = 5;
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout,
+                     sizeof(timeout));
+
+        std::string buffer;
+        char chunk[4096];
+        bool open = true;
+        while (open && !stopRequested()) {
+            const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+            if (n <= 0)
+                break;
+            buffer.append(chunk, static_cast<std::size_t>(n));
+            std::size_t eol;
+            while ((eol = buffer.find('\n')) !=
+                   std::string::npos) {
+                const std::string line = buffer.substr(0, eol);
+                buffer.erase(0, eol + 1);
+                if (line.empty())
+                    continue;
+                const auto request = json::Value::tryParse(line);
+                const json::Value response =
+                    request ? handle(*request)
+                            : errorResponse("request line is not "
+                                            "valid JSON");
+                const std::string out = response.dump() + "\n";
+                std::size_t sent = 0;
+                while (sent < out.size()) {
+                    const ssize_t w = ::write(
+                        fd, out.data() + sent, out.size() - sent);
+                    if (w <= 0) {
+                        open = false;
+                        break;
+                    }
+                    sent += static_cast<std::size_t>(w);
+                }
+                if (!open)
+                    break;
+            }
+        }
+        ::close(fd);
+    }
+}
+
+#else // !NUCA_SERVICE_HAVE_SOCKETS
+
+void
+SweepDaemon::start()
+{
+    if (!opts_.socketPath.empty())
+        throw SimulationError(
+            "Unix-domain sockets are unavailable on this platform; "
+            "run with an empty socket path");
+    for (unsigned i = 0; i < opts_.workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+    preempter_ = std::thread([this] { preempterLoop(); });
+}
+
+void
+SweepDaemon::acceptLoop()
+{
+}
+
+#endif // NUCA_SERVICE_HAVE_SOCKETS
+
+} // namespace service
+} // namespace nuca

@@ -1,5 +1,6 @@
 #include "sim/checkpoint.hh"
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
 #include <system_error>
@@ -135,7 +136,14 @@ CheckpointConfig::fromEnv()
     if (dir != nullptr && *dir != '\0')
         cfg.dir = dir;
     cfg.period = envOr("REPRO_CKPT_PERIOD", 0);
+    cfg.maxMb = envOr("REPRO_CKPT_MAX_MB", 0);
     return cfg;
+}
+
+std::uint64_t
+hashBytes(const std::uint8_t *data, std::size_t size)
+{
+    return fnv1a(fnvOffsetBasis, data, size);
 }
 
 std::uint64_t
@@ -194,6 +202,11 @@ tryRestoreCheckpoint(CmpSystem &system, const std::string &path,
         warn("ignoring unusable checkpoint ", path, ": ", e.what());
         return false;
     }
+    // Touch the artifact so the size-capped prune's mtime order is
+    // true LRU order, not just write order. Best-effort.
+    std::error_code ec;
+    std::filesystem::last_write_time(
+        path, std::filesystem::file_time_type::clock::now(), ec);
     return true;
 }
 
@@ -220,6 +233,64 @@ removeCheckpoint(const std::string &path)
 {
     std::error_code ec;
     std::filesystem::remove(path, ec);
+}
+
+std::size_t
+pruneCheckpointDir(const CheckpointConfig &cfg)
+{
+    if (!cfg.enabled() || cfg.maxMb == 0)
+        return 0;
+
+    namespace fs = std::filesystem;
+    struct Entry
+    {
+        fs::path path;
+        fs::file_time_type mtime;
+        std::uint64_t size;
+    };
+
+    std::error_code ec;
+    std::vector<Entry> entries;
+    std::uint64_t total = 0;
+    for (fs::directory_iterator it(cfg.dir, ec), end;
+         !ec && it != end; it.increment(ec)) {
+        const fs::path &p = it->path();
+        if (p.extension() != ".ckpt")
+            continue;
+        std::error_code fec;
+        if (!it->is_regular_file(fec) || fec)
+            continue;
+        Entry e;
+        e.path = p;
+        e.size = it->file_size(fec);
+        if (fec)
+            continue;
+        e.mtime = fs::last_write_time(p, fec);
+        if (fec)
+            continue;
+        total += e.size;
+        entries.push_back(std::move(e));
+    }
+
+    const std::uint64_t cap = cfg.maxMb * 1024 * 1024;
+    if (total <= cap)
+        return 0;
+
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.mtime < b.mtime;
+              });
+    std::size_t pruned = 0;
+    for (const Entry &e : entries) {
+        if (total <= cap)
+            break;
+        std::error_code rec;
+        if (fs::remove(e.path, rec) && !rec) {
+            total -= e.size;
+            ++pruned;
+        }
+    }
+    return pruned;
 }
 
 } // namespace nuca

@@ -33,7 +33,8 @@ namespace nuca {
 
 class CmpSystem;
 
-/** Checkpoint knobs (REPRO_CKPT_DIR / REPRO_CKPT_PERIOD). */
+/** Checkpoint knobs (REPRO_CKPT_DIR / REPRO_CKPT_PERIOD /
+ *  REPRO_CKPT_MAX_MB). */
 struct CheckpointConfig
 {
     /** Cache directory; empty disables checkpointing entirely. */
@@ -41,6 +42,10 @@ struct CheckpointConfig
 
     /** Cycles between mid-run snapshots; 0 disables them. */
     Cycle period = 0;
+
+    /** Size cap on the cache directory in MiB; 0 = unbounded
+     *  (REPRO_CKPT_MAX_MB). */
+    std::uint64_t maxMb = 0;
 
     bool enabled() const { return !dir.empty(); }
 
@@ -89,6 +94,25 @@ void saveCheckpoint(const CmpSystem &system, const std::string &path,
 
 /** Delete the artifact at @p path, ignoring a missing file. */
 void removeCheckpoint(const std::string &path);
+
+/**
+ * Enforce cfg.maxMb on the cache directory: while the total size of
+ * its "*.ckpt" files exceeds the cap, delete the least-recently-used
+ * one (restores touch their artifact's mtime, so mtime order IS use
+ * order). Best-effort and safe under concurrency — a file deleted
+ * out from under a reader is just a cache miss. No-op when the cap
+ * is 0 or the directory is missing.
+ *
+ * @return the number of artifacts deleted.
+ */
+std::size_t pruneCheckpointDir(const CheckpointConfig &cfg);
+
+/**
+ * FNV-1a digest of a byte range — the same function every checkpoint
+ * content key uses, exported so the service layer can derive keys
+ * for non-mix artifacts (miss-curve results) in the same key space.
+ */
+std::uint64_t hashBytes(const std::uint8_t *data, std::size_t size);
 
 } // namespace nuca
 

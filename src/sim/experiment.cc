@@ -12,6 +12,7 @@
 #include "serialize/checkpoint_io.hh"
 #include "sim/checkpoint.hh"
 #include "sim/cmp_system.hh"
+#include "sim/proc_pool.hh"
 #include "sim/robustness.hh"
 #include "sim/telemetry.hh"
 #include "workload/spec_profiles.hh"
@@ -80,6 +81,29 @@ makeMixes(const std::vector<std::string> &pool, unsigned count,
     return mixes;
 }
 
+RunPolicy
+RunPolicy::fromEnv()
+{
+    RunPolicy policy;
+    policy.ckpt = CheckpointConfig::fromEnv();
+    policy.resume = resumeFromEnv();
+    return policy;
+}
+
+namespace {
+
+/** True when the scheduler (explicit flag or the proc-pool child's
+ *  SIGTERM) wants this run to yield at the next snapshot boundary. */
+bool
+preemptWanted(const RunPolicy &policy)
+{
+    return (policy.preempt != nullptr &&
+            policy.preempt->load(std::memory_order_relaxed)) ||
+           procPreemptSignalled();
+}
+
+} // namespace
+
 MixResult
 runMix(const SystemConfig &config, const ExperimentSpec &spec,
        const SimWindow &window)
@@ -90,6 +114,15 @@ runMix(const SystemConfig &config, const ExperimentSpec &spec,
 MixResult
 runMix(const SystemConfig &config, const ExperimentSpec &spec,
        const SimWindow &window, const std::string &trace_label)
+{
+    return runMix(config, spec, window, trace_label,
+                  RunPolicy::fromEnv());
+}
+
+MixResult
+runMix(const SystemConfig &config, const ExperimentSpec &spec,
+       const SimWindow &window, const std::string &trace_label,
+       const RunPolicy &policy)
 {
     // Every experiment harness funnels through here, so this is
     // where REPRO_PROFILE arms the self-profiler (idempotent; costs
@@ -106,10 +139,10 @@ runMix(const SystemConfig &config, const ExperimentSpec &spec,
 
     // Content-addressed checkpoint cache: restore a matching mid-run
     // snapshot (REPRO_RESUME=1 after a killed sweep) or warmup
-    // artifact instead of re-simulating it. With REPRO_CKPT_DIR
-    // unset every branch below is dead and the run proceeds exactly
-    // as it always has.
-    const auto ckpt = CheckpointConfig::fromEnv();
+    // artifact instead of re-simulating it. With the directory unset
+    // every branch below is dead and the run proceeds exactly as it
+    // always has.
+    const auto &ckpt = policy.ckpt;
     const std::uint64_t hash =
         ckpt.enabled() ? configHash(config) : 0;
     const std::string warmFile =
@@ -141,7 +174,7 @@ runMix(const SystemConfig &config, const ExperimentSpec &spec,
     bool restoredMid = false;
     bool restoredWarm = false;
     if (ckpt.enabled()) {
-        if (resumeFromEnv())
+        if (policy.resume)
             restoredMid = restoreOrRebuild(runFile);
         if (!restoredMid)
             restoredWarm = restoreOrRebuild(warmFile);
@@ -152,8 +185,10 @@ runMix(const SystemConfig &config, const ExperimentSpec &spec,
     if (!restoredMid) {
         if (!restoredWarm) {
             system->run(window.warmupCycles);
-            if (ckpt.enabled())
+            if (ckpt.enabled()) {
                 saveCheckpoint(*system, warmFile, hash);
+                pruneCheckpointDir(ckpt);
+            }
         }
         system->resetStats();
     }
@@ -163,15 +198,27 @@ runMix(const SystemConfig &config, const ExperimentSpec &spec,
         // Measure in period-sized chunks, snapshotting between them
         // so a killed job restarts from its last chunk boundary. The
         // artifact only covers the measurement window: the warmup is
-        // already backed by its own artifact above.
+        // already backed by its own artifact above. A preemption
+        // request is honored at the same boundaries — the snapshot
+        // just written IS the resume point, so yielding here loses
+        // no work and a resumed run stays bit-identical.
         while (system->now() < end) {
             const Cycle step =
                 std::min<Cycle>(ckpt.period, end - system->now());
             system->run(step);
-            if (system->now() < end)
-                saveCheckpoint(*system, runFile, hash);
+            if (system->now() >= end)
+                break;
+            saveCheckpoint(*system, runFile, hash);
+            if (preemptWanted(policy)) {
+                throw JobPreempted(
+                    "preempted at cycle " +
+                    std::to_string(system->now()) +
+                    " of " + std::to_string(end) +
+                    "; snapshot saved");
+            }
         }
         removeCheckpoint(runFile);
+        pruneCheckpointDir(ckpt);
     } else if (system->now() < end) {
         system->run(end - system->now());
     }

@@ -10,10 +10,12 @@
 #ifndef NUCA_SIM_EXPERIMENT_HH
 #define NUCA_SIM_EXPERIMENT_HH
 
+#include <atomic>
 #include <string>
 #include <vector>
 
 #include "base/types.hh"
+#include "sim/checkpoint.hh"
 #include "sim/system_config.hh"
 
 namespace nuca {
@@ -30,6 +32,13 @@ struct MixResult
 {
     std::vector<double> ipc;
     std::vector<double> l3AccessesPerKilocycle;
+    /**
+     * Auxiliary per-way payload carried by miss-curve jobs run
+     * through the service daemon; empty (and never serialized) for
+     * ordinary mix experiments, so the classic REPRO_JSON byte
+     * format is untouched.
+     */
+    std::vector<double> curve;
 };
 
 /** Simulation window lengths. */
@@ -62,6 +71,31 @@ std::vector<ExperimentSpec>
 makeMixes(const std::vector<std::string> &pool, unsigned count,
           unsigned apps_per_mix, std::uint64_t seed);
 
+/**
+ * Explicit per-run policy for checkpointing, resume, and preemption.
+ * The classic runMix overloads build one from the environment; the
+ * service daemon builds its own — environment variables are
+ * process-global and the daemon runs many jobs concurrently with
+ * different state directories, so it must not mutate the env.
+ */
+struct RunPolicy
+{
+    /** Checkpoint cache + snapshot period for this run. */
+    CheckpointConfig ckpt;
+    /** Consume a matching mid-run snapshot when one exists. */
+    bool resume = false;
+    /**
+     * When non-null, polled at every snapshot boundary: once true
+     * the run saves a mid-run snapshot and throws JobPreempted. The
+     * proc-pool child has its own signal-driven flag that is polled
+     * alongside this one.
+     */
+    const std::atomic<bool> *preempt = nullptr;
+
+    /** REPRO_CKPT_DIR / REPRO_CKPT_PERIOD / REPRO_RESUME. */
+    static RunPolicy fromEnv();
+};
+
 /** Run one mix on one configuration. */
 MixResult runMix(const SystemConfig &config,
                  const ExperimentSpec &spec, const SimWindow &window);
@@ -76,6 +110,19 @@ MixResult runMix(const SystemConfig &config,
 MixResult runMix(const SystemConfig &config,
                  const ExperimentSpec &spec, const SimWindow &window,
                  const std::string &trace_label);
+
+/**
+ * The fully explicit form: checkpointing, resume, and preemption come
+ * from @p policy instead of the environment. Preemption (see
+ * RunPolicy::preempt) throws JobPreempted after saving a mid-run
+ * snapshot; a later call with the same policy restores it and
+ * continues, producing a result bit-identical to an uninterrupted
+ * run.
+ */
+MixResult runMix(const SystemConfig &config,
+                 const ExperimentSpec &spec, const SimWindow &window,
+                 const std::string &trace_label,
+                 const RunPolicy &policy);
 
 } // namespace nuca
 

@@ -38,6 +38,16 @@ to_string(JobStatus status)
         return "timed_out";
       case JobStatus::Quarantined:
         return "quarantined";
+      case JobStatus::Queued:
+        return "queued";
+      case JobStatus::Preempted:
+        return "preempted";
+      case JobStatus::CacheHit:
+        return "cache_hit";
+      case JobStatus::Interrupted:
+        return "interrupted";
+      case JobStatus::Cancelled:
+        return "cancelled";
     }
     panic("unknown job status");
 }
@@ -49,11 +59,18 @@ isRetryable(JobStatus status)
       case JobStatus::Ok:
       case JobStatus::OverBudget:
       case JobStatus::Quarantined:
+      case JobStatus::CacheHit:
+      case JobStatus::Cancelled:
         return false;
       case JobStatus::Failed:
       case JobStatus::Stalled:
       case JobStatus::Crashed:
       case JobStatus::TimedOut:
+      // The non-terminal lifecycle states: by definition another
+      // attempt (or the first) is still to come.
+      case JobStatus::Queued:
+      case JobStatus::Preempted:
+      case JobStatus::Interrupted:
         return true;
     }
     panic("unknown job status");

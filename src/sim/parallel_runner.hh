@@ -46,7 +46,8 @@ namespace nuca {
  */
 unsigned jobsFromEnv();
 
-/** How one sweep job settled. */
+/** How one sweep job settled (or, for the service daemon's journal,
+ *  where it currently sits in its lifecycle). */
 enum class JobStatus
 {
     Ok,          ///< the job returned a result
@@ -56,10 +57,16 @@ enum class JobStatus
     Crashed,     ///< the isolated child died (signal / nonzero exit)
     TimedOut,    ///< wall-clock deadline or RLIMIT_CPU expired
     Quarantined, ///< crashed repeatedly; retries stopped early
+    Queued,      ///< waiting in the daemon's job queue
+    Preempted,   ///< yielded at a snapshot boundary; will resume
+    CacheHit,    ///< served from the full-result cache, no worker ran
+    Interrupted, ///< sweep stopped by SIGINT/SIGTERM before this job
+    Cancelled,   ///< withdrawn by an explicit cancel request
 };
 
 /** Printable status name ("ok", "failed", "stalled", "over_budget",
- *  "crashed", "timed_out", "quarantined"). */
+ *  "crashed", "timed_out", "quarantined", "queued", "preempted",
+ *  "cache_hit", "interrupted", "cancelled"). */
 const char *to_string(JobStatus status);
 
 /**
@@ -206,6 +213,16 @@ settleJob(const Job &job, std::size_t index, Fn &fn,
             outcome.status = JobStatus::TimedOut;
             outcome.error = e.what();
             outcome.exception = std::current_exception();
+        } catch (const JobPreempted &e) {
+            // Not a failure: the job yielded at a snapshot boundary
+            // on request. Settle immediately — rerunning it here
+            // would defeat the point of asking it to stop — and let
+            // the caller (the daemon's scheduler, or a resumed
+            // sweep) decide when it continues.
+            outcome.status = JobStatus::Preempted;
+            outcome.error = e.what();
+            outcome.exception = std::current_exception();
+            return outcome;
         } catch (const std::exception &e) {
             outcome.status = JobStatus::Failed;
             outcome.error = e.what();
@@ -361,7 +378,8 @@ runParallelOutcomes(
 
     if (workers <= 1) {
         for (std::size_t i = 0; i < jobs.size(); ++i) {
-            if (stop.load(std::memory_order_relaxed))
+            if (stop.load(std::memory_order_relaxed) ||
+                sweepInterruptRequested())
                 break;
             settleInto(i, 0);
         }
@@ -374,7 +392,10 @@ runParallelOutcomes(
         // are not burned through just to be discarded.
         auto worker = [&](int trace_tid) {
             for (;;) {
-                if (stop.load(std::memory_order_relaxed))
+                // A graceful SIGINT/SIGTERM behaves like an abort:
+                // in-flight jobs finish, nothing new is claimed.
+                if (stop.load(std::memory_order_relaxed) ||
+                    sweepInterruptRequested())
                     return;
                 const std::size_t i =
                     next.fetch_add(1, std::memory_order_relaxed);
@@ -401,8 +422,14 @@ runParallelOutcomes(
 
     for (std::size_t i = 0; i < jobs.size(); ++i) {
         if (!attempted[i]) {
-            outcomes[i].status = JobStatus::Failed;
-            outcomes[i].error = "not attempted (sweep aborted)";
+            if (sweepInterruptRequested()) {
+                outcomes[i].status = JobStatus::Interrupted;
+                outcomes[i].error =
+                    "not attempted (sweep interrupted by signal)";
+            } else {
+                outcomes[i].status = JobStatus::Failed;
+                outcomes[i].error = "not attempted (sweep aborted)";
+            }
         }
     }
     return outcomes;

@@ -30,6 +30,55 @@ procIsolationSupported()
     return NUCA_HAVE_FORK != 0;
 }
 
+#if NUCA_HAVE_FORK
+
+namespace {
+
+/** Set in a preemptible sandbox child when SIGTERM arrives. */
+volatile std::sig_atomic_t g_proc_preempt = 0;
+
+extern "C" void
+procPreemptHandler(int)
+{
+    g_proc_preempt = 1;
+}
+
+} // namespace
+
+bool
+procPreemptSignalled()
+{
+    return g_proc_preempt != 0;
+}
+
+void
+ProcJobHandle::requestPreempt()
+{
+    preempt.store(true, std::memory_order_relaxed);
+    // The pid is cleared before the child is reaped (at pipe EOF the
+    // child is dead-or-zombie), so this signal can only land on our
+    // own live-or-zombie child, never a recycled pid.
+    const long long p = pid.load(std::memory_order_relaxed);
+    if (p > 0)
+        ::kill(static_cast<pid_t>(p), SIGTERM);
+}
+
+#else // !NUCA_HAVE_FORK
+
+bool
+procPreemptSignalled()
+{
+    return false;
+}
+
+void
+ProcJobHandle::requestPreempt()
+{
+    preempt.store(true, std::memory_order_relaxed);
+}
+
+#endif
+
 ProcIsolation
 ProcIsolation::fromEnv()
 {
@@ -144,6 +193,13 @@ childMain(int fd, const ProcIsolation &iso,
           const std::function<MixResult()> &body)
 {
     applyLimits(iso);
+    // Preemptible children turn SIGTERM into a yield request; the
+    // job saves a snapshot at its next checkpoint boundary and the
+    // settlement below ships "preempted". Non-preemptible children
+    // keep the default disposition so the deadline escalation
+    // (SIGTERM -> grace -> SIGKILL) kills them as before.
+    if (iso.preemptible)
+        std::signal(SIGTERM, procPreemptHandler);
     json::Value record = json::Value::object();
     try {
         const MixResult result = body();
@@ -154,6 +210,9 @@ childMain(int fd, const ProcIsolation &iso,
         record.set("error", std::string(e.what()));
     } catch (const CycleBudgetExceeded &e) {
         record.set("status", "over_budget");
+        record.set("error", std::string(e.what()));
+    } catch (const JobPreempted &e) {
+        record.set("status", "preempted");
         record.set("error", std::string(e.what()));
     } catch (const std::exception &e) {
         record.set("status", "failed");
@@ -273,6 +332,8 @@ settleWire(const std::string &payload)
         throw SimulationStalled(error);
     if (status == "over_budget")
         throw CycleBudgetExceeded(error);
+    if (status == "preempted")
+        throw JobPreempted(error);
     throw SimulationError(error.empty() ? "isolated job failed"
                                         : error);
 }
@@ -281,7 +342,8 @@ settleWire(const std::string &payload)
 
 MixResult
 runMixSandboxed(const ProcIsolation &iso,
-                const std::function<MixResult()> &body)
+                const std::function<MixResult()> &body,
+                ProcJobHandle *handle)
 {
     if (!iso.enabled)
         return body();
@@ -310,7 +372,19 @@ runMixSandboxed(const ProcIsolation &iso,
 
     // Parent.
     ::close(fds[1]);
+    if (handle != nullptr) {
+        handle->pid.store(pid, std::memory_order_relaxed);
+        // A preempt that raced the fork: deliver it now that there
+        // is a child to deliver it to.
+        if (handle->preempt.load(std::memory_order_relaxed))
+            ::kill(pid, SIGTERM);
+    }
     const WatchResult watch = watchChild(fds[0], pid, iso);
+    // EOF means the child closed its pipe end (dead or exiting), so
+    // its pid cannot be recycled until we reap it below: clearing
+    // the handle here closes the requestPreempt() pid-reuse window.
+    if (handle != nullptr)
+        handle->pid.store(0, std::memory_order_relaxed);
     ::close(fds[0]);
     const int status = awaitChild(pid);
 
@@ -356,9 +430,11 @@ runMixSandboxed(const ProcIsolation &iso,
 
 MixResult
 runMixSandboxed(const ProcIsolation &iso,
-                const std::function<MixResult()> &body)
+                const std::function<MixResult()> &body,
+                ProcJobHandle *handle)
 {
     (void)iso; // fromEnv() already warned and disabled
+    (void)handle;
     return body();
 }
 

@@ -94,6 +94,8 @@ to_string(FaultKind kind)
         return "oom";
       case FaultKind::HangJob:
         return "hang";
+      case FaultKind::SigtermJob:
+        return "sigterm";
     }
     panic("unknown fault kind");
 }
@@ -122,10 +124,12 @@ FaultSpec::fromEnv()
         fault.kind = FaultKind::OomJob;
     } else if (kind == "hang") {
         fault.kind = FaultKind::HangJob;
+    } else if (kind == "sigterm") {
+        fault.kind = FaultKind::SigtermJob;
     } else {
         fatal("REPRO_FAULT kind must be lru_corrupt, mshr_leak, "
-              "channel_stall, throw_job, segv, oom, or hang, got '",
-              spec, "'");
+              "channel_stall, throw_job, segv, oom, hang, or "
+              "sigterm, got '", spec, "'");
     }
     fatal_if(fault.isJobFault() && colon == std::string::npos,
              "REPRO_FAULT=", kind, " needs a job index (", kind,
@@ -179,6 +183,14 @@ injectJobFault(const FaultSpec &fault, std::size_t job,
         // RLIMIT_CPU, is the detector under test.
         for (;;)
             std::this_thread::sleep_for(std::chrono::seconds(1));
+      case FaultKind::SigtermJob:
+        // Delivered to this very process: with the graceful-stop
+        // handlers installed the flag goes up, this job finishes
+        // normally, and the sweep winds down. Without them the
+        // default disposition kills the process — which is exactly
+        // why the supervisor installs the handlers first.
+        std::raise(SIGTERM);
+        return;
       default:
         return;
     }
@@ -213,6 +225,66 @@ bool
 resumeFromEnv()
 {
     return envOr("REPRO_RESUME", 0) != 0;
+}
+
+namespace {
+
+volatile std::sig_atomic_t g_sweep_signal = 0;
+bool g_handlers_installed = false;
+void (*g_prev_int)(int) = SIG_DFL;
+void (*g_prev_term)(int) = SIG_DFL;
+
+extern "C" void
+sweepSignalHandler(int sig)
+{
+    // Second signal: the operator means it. _exit is async-signal-
+    // safe; 128+sig is the shell's convention for signal deaths.
+    if (g_sweep_signal != 0)
+        ::_Exit(128 + sig);
+    g_sweep_signal = sig;
+}
+
+} // namespace
+
+void
+installSweepInterruptHandlers()
+{
+    if (g_handlers_installed)
+        return;
+    // Each install opens a fresh interrupt window: a signal consumed
+    // by a previous sweep must not abort this one.
+    g_sweep_signal = 0;
+    g_prev_int = std::signal(SIGINT, sweepSignalHandler);
+    g_prev_term = std::signal(SIGTERM, sweepSignalHandler);
+    g_handlers_installed = true;
+}
+
+void
+restoreSweepInterruptHandlers()
+{
+    if (!g_handlers_installed)
+        return;
+    std::signal(SIGINT, g_prev_int);
+    std::signal(SIGTERM, g_prev_term);
+    g_handlers_installed = false;
+}
+
+bool
+sweepInterruptRequested()
+{
+    return g_sweep_signal != 0;
+}
+
+int
+sweepInterruptSignal()
+{
+    return static_cast<int>(g_sweep_signal);
+}
+
+void
+clearSweepInterrupt()
+{
+    g_sweep_signal = 0;
 }
 
 } // namespace nuca

@@ -86,6 +86,18 @@ class JobTimedOut : public SimulationError
     using SimulationError::SimulationError;
 };
 
+/**
+ * A job was preempted at a checkpoint boundary: the scheduler asked
+ * it to yield, it saved a mid-run snapshot, and it unwound instead of
+ * finishing. Not a failure — the job is requeued and a later attempt
+ * restores the snapshot and continues where it left off.
+ */
+class JobPreempted : public SimulationError
+{
+  public:
+    using SimulationError::SimulationError;
+};
+
 /** What the sweep supervisor does with a job that fails. */
 enum class FailPolicy
 {
@@ -135,6 +147,7 @@ enum class FaultKind
     SegvJob,      ///< segfault in sweep job `arg` (proc pool's prey)
     OomJob,       ///< exhaust memory in job `arg` (RLIMIT_AS's prey)
     HangJob,      ///< hang sweep job `arg` (the deadline's prey)
+    SigtermJob,   ///< raise SIGTERM in job `arg` (graceful stop's prey)
 };
 
 /**
@@ -162,7 +175,8 @@ struct FaultSpec
     /** True for the kinds aimed at one sweep job (arg = job index). */
     bool isJobFault() const
     {
-        return kind == FaultKind::ThrowJob || isCrashFault();
+        return kind == FaultKind::ThrowJob ||
+               kind == FaultKind::SigtermJob || isCrashFault();
     }
     /**
      * True for the kinds that take down their whole process — they
@@ -232,6 +246,30 @@ struct RobustnessConfig
 
 /** True when REPRO_RESUME=1: sweeps skip sidecar-completed labels. */
 bool resumeFromEnv();
+
+/**
+ * Graceful sweep shutdown. installSweepInterruptHandlers() arms
+ * SIGINT/SIGTERM handlers that raise a flag instead of killing the
+ * process: the worker pool stops claiming jobs at the next boundary,
+ * in-flight jobs finish, and the supervisor records everything
+ * unattempted as Interrupted — the JSONL sidecar stays whole and a
+ * REPRO_RESUME=1 rerun picks up exactly where the sweep stopped.
+ * A second signal while the flag is already up _exit(128+sig)s, so
+ * an impatient operator can still kill a long in-flight job.
+ * Handlers are process-global; restore puts the previous
+ * dispositions back (the flag itself persists until cleared).
+ */
+void installSweepInterruptHandlers();
+void restoreSweepInterruptHandlers();
+
+/** True once a SIGINT/SIGTERM arrived under the installed handlers. */
+bool sweepInterruptRequested();
+
+/** The signal number that raised the flag (0 when none). */
+int sweepInterruptSignal();
+
+/** Lower the flag (tests; a supervisor deciding to carry on). */
+void clearSweepInterrupt();
 
 } // namespace nuca
 

@@ -37,6 +37,10 @@ mixResultToJson(const MixResult &result)
     json::Value obj = json::Value::object();
     obj.set("ipc", doubleArray(result.ipc));
     obj.set("l3apk", doubleArray(result.l3AccessesPerKilocycle));
+    // Only miss-curve service jobs carry a curve; omitting the key
+    // otherwise keeps classic records byte-identical.
+    if (!result.curve.empty())
+        obj.set("curve", doubleArray(result.curve));
     return obj;
 }
 
@@ -50,6 +54,8 @@ mixResultFromJson(const json::Value &obj)
         result.l3AccessesPerKilocycle =
             numberVector(obj.at("l3apk"));
     }
+    if (obj.contains("curve"))
+        result.curve = numberVector(obj.at("curve"));
     return result;
 }
 
@@ -68,6 +74,16 @@ jobStatusFromString(const std::string &name)
         return JobStatus::TimedOut;
     if (name == "quarantined")
         return JobStatus::Quarantined;
+    if (name == "queued")
+        return JobStatus::Queued;
+    if (name == "preempted")
+        return JobStatus::Preempted;
+    if (name == "cache_hit")
+        return JobStatus::CacheHit;
+    if (name == "interrupted")
+        return JobStatus::Interrupted;
+    if (name == "cancelled")
+        return JobStatus::Cancelled;
     return JobStatus::Failed;
 }
 
@@ -95,6 +111,12 @@ SweepStore::append(const SweepRecord &record)
     const json::Value payload = mixResultToJson(record.result);
     line.set("ipc", payload.at("ipc"));
     line.set("l3apk", payload.at("l3apk"));
+    if (payload.contains("curve"))
+        line.set("curve", payload.at("curve"));
+    if (record.timed) {
+        line.set("queue_ms", record.queueMs);
+        line.set("preempts", record.preempts);
+    }
     const std::string text = line.dump() + "\n";
 
     std::lock_guard<std::mutex> guard(mutex_);
@@ -151,6 +173,15 @@ SweepStore::load(const std::string &path)
         if (parsed->contains("error"))
             record.error = parsed->at("error").asString();
         record.result = mixResultFromJson(*parsed);
+        if (parsed->contains("queue_ms")) {
+            record.timed = true;
+            record.queueMs = static_cast<std::uint64_t>(
+                parsed->at("queue_ms").asNumber());
+            if (parsed->contains("preempts")) {
+                record.preempts = static_cast<std::uint64_t>(
+                    parsed->at("preempts").asNumber());
+            }
+        }
         out.push_back(std::move(record));
     }
     return out;

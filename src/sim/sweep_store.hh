@@ -55,6 +55,16 @@ struct SweepRecord
     std::string error;
     /** The job's result; default-valued when not ok. */
     MixResult result;
+    /**
+     * Daemon-side scheduling telemetry: total milliseconds spent
+     * waiting in the queue and times the job was preempted. Only
+     * written (and only meaningful) when `timed` is set — classic
+     * sweep sidecars omit the keys entirely, keeping their byte
+     * format unchanged.
+     */
+    std::uint64_t queueMs = 0;
+    std::uint64_t preempts = 0;
+    bool timed = false;
 };
 
 /** Append-only JSONL sidecar writer (thread-safe). */

@@ -1,0 +1,64 @@
+#include "workload/miss_curve.hh"
+
+#include <memory>
+#include <string>
+
+#include "base/stats.hh"
+#include "cache/set_assoc_cache.hh"
+#include "workload/synth_workload.hh"
+
+namespace nuca {
+
+std::vector<Counter>
+l3MissCurve(const WorkloadProfile &profile,
+            const MissCurveParams &params,
+            const MissCurveSampleFn &sample,
+            std::uint64_t samplePeriod)
+{
+    stats::Group root("fig3");
+    SetAssocCache l1(root, "l1d", 64ull << 10, 2);
+    SetAssocCache l2(root, "l2d", 256ull << 10, 4);
+    std::vector<std::unique_ptr<SetAssocCache>> l3s;
+    for (unsigned ways = 1; ways <= params.maxWays; ++ways) {
+        l3s.push_back(std::make_unique<SetAssocCache>(
+            root, "l3_" + std::to_string(ways),
+            static_cast<std::uint64_t>(ways) * params.l3Sets *
+                blockBytes,
+            ways));
+    }
+
+    const auto counts = [&] {
+        std::vector<Counter> curve;
+        curve.reserve(l3s.size());
+        for (const auto &l3 : l3s)
+            curve.push_back(l3->misses());
+        return curve;
+    };
+    const bool sampling = sample && samplePeriod != 0;
+
+    SynthWorkload workload(profile, 0, params.seed);
+    for (std::uint64_t i = 0; i < params.insts; ++i) {
+        const SynthInst inst = workload.next();
+        if (sampling && i > 0 && i % samplePeriod == 0)
+            sample(i, counts());
+        if (!inst.isMem())
+            continue;
+        const bool is_write = inst.isStore();
+        if (l1.access(inst.effAddr, is_write))
+            continue;
+        l1.fill(inst.effAddr, is_write, 0);
+        if (l2.access(inst.effAddr, false))
+            continue;
+        l2.fill(inst.effAddr, false, 0);
+        for (auto &l3 : l3s) {
+            if (!l3->access(inst.effAddr, false))
+                l3->fill(inst.effAddr, false, 0);
+        }
+    }
+    if (sampling)
+        sample(params.insts, counts());
+
+    return counts();
+}
+
+} // namespace nuca

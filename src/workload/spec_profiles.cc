@@ -300,14 +300,28 @@ specProfiles()
     return profiles;
 }
 
-const WorkloadProfile &
-specProfile(const std::string &name)
+const WorkloadProfile *
+findProfile(const std::string &name)
 {
     for (const auto &p : specProfiles()) {
         if (p.name == name)
-            return p;
+            return &p;
     }
-    fatal("unknown SPEC2000 profile '", name, "'");
+    // "idle" resolves too: experiment specs submitted to the service
+    // daemon name the no-interference companion the same way the
+    // characterization benches build it by hand.
+    if (name == idleProfile().name)
+        return &idleProfile();
+    return nullptr;
+}
+
+const WorkloadProfile &
+specProfile(const std::string &name)
+{
+    const WorkloadProfile *p = findProfile(name);
+    if (p == nullptr)
+        fatal("unknown SPEC2000 profile '", name, "'");
+    return *p;
 }
 
 std::vector<std::string>

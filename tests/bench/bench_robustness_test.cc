@@ -400,6 +400,88 @@ TEST_F(SweepSupervisor, CrashFaultWithoutProcIsolationIsFatal)
                 ::testing::ExitedWithCode(1), "REPRO_ISOLATE");
 }
 
+TEST_F(SweepSupervisor, SigtermStopsTheSweepGracefully)
+{
+    // The sigterm fault raises SIGTERM inside job 0 — exactly what a
+    // Ctrl-C / kill during a sweep looks like. The supervisor must
+    // finish the in-flight job, flush its record, mark the untried
+    // remainder interrupted (not failed), and return without
+    // throwing or leaving a torn sidecar.
+    const auto configs = smallConfigs();
+    const auto mixes = smallMixes();
+    const auto reference = runAllSerial(configs, mixes, kWindow);
+
+    const std::string path =
+        testing::TempDir() + "interrupt_sweep.json";
+    const std::string sidecar = SweepStore::sidecarPathFor(path);
+    std::remove(path.c_str());
+    std::remove(sidecar.c_str());
+
+    ::setenv("REPRO_JSON", path.c_str(), 1);
+    ::setenv("REPRO_FAULT", "sigterm:0", 1);
+    const auto results = runAll(configs, mixes, kWindow, 1);
+    ::unsetenv("REPRO_JSON");
+    ::unsetenv("REPRO_FAULT");
+
+    EXPECT_TRUE(sweepInterruptRequested());
+    clearSweepInterrupt();
+
+    // Job 0 ran to completion (the signal interrupts the *sweep*,
+    // not the in-flight simulation) and matches the clean reference
+    // bit for bit; everything after it was never attempted.
+    ASSERT_EQ(results.size(), configs.size());
+    EXPECT_TRUE(results[0].okAt(0));
+    EXPECT_EQ(results[0].mixes[0].ipc, reference[0].mixes[0].ipc);
+    std::size_t interrupted = 0;
+    for (std::size_t s = 0; s < results.size(); ++s) {
+        for (std::size_t m = 0; m < mixes.size(); ++m) {
+            if (s == 0 && m == 0)
+                continue;
+            EXPECT_EQ(results[s].statuses[m],
+                      JobStatus::Interrupted)
+                << "scheme " << s << " mix " << m;
+            EXPECT_TRUE(results[s].mixes[m].ipc.empty());
+            ++interrupted;
+        }
+    }
+    EXPECT_EQ(interrupted, configs.size() * mixes.size() - 1);
+
+    // The sidecar accounts for every job — one ok record plus one
+    // interrupted record each for the rest, no torn lines — so a
+    // REPRO_RESUME=1 rerun knows exactly where to continue.
+    const auto records = SweepStore::load(sidecar);
+    ASSERT_EQ(records.size(), configs.size() * mixes.size());
+    std::size_t ok_records = 0, interrupted_records = 0;
+    for (const auto &record : records) {
+        if (record.status == JobStatus::Ok)
+            ++ok_records;
+        if (record.status == JobStatus::Interrupted)
+            ++interrupted_records;
+    }
+    EXPECT_EQ(ok_records, 1u);
+    EXPECT_EQ(interrupted_records,
+              configs.size() * mixes.size() - 1);
+
+    // An interrupted sweep resumes: the rerun reuses the ok record
+    // and simulates only the interrupted remainder, landing on the
+    // clean sweep's results exactly.
+    ::setenv("REPRO_JSON", path.c_str(), 1);
+    ::setenv("REPRO_RESUME", "1", 1);
+    const auto resumed = runAll(configs, mixes, kWindow, 1);
+    ::unsetenv("REPRO_RESUME");
+    ::unsetenv("REPRO_JSON");
+    for (std::size_t s = 0; s < resumed.size(); ++s) {
+        for (std::size_t m = 0; m < mixes.size(); ++m) {
+            EXPECT_TRUE(resumed[s].okAt(m));
+            EXPECT_EQ(resumed[s].mixes[m].ipc,
+                      reference[s].mixes[m].ipc)
+                << "scheme " << s << " mix " << m;
+        }
+    }
+    std::remove(path.c_str());
+    std::remove(sidecar.c_str());
+}
+
 } // namespace
 } // namespace bench
 } // namespace nuca

@@ -1,0 +1,126 @@
+#include "service/scheduler.hh"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace nuca::service;
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+TEST(SchedulerTest, EmptyQueuePicksNothing)
+{
+    EXPECT_EQ(pickNextIndex({}, {}), kNone);
+}
+
+TEST(SchedulerTest, StarvedTenantWinsRegardlessOfPriority)
+{
+    const std::vector<SchedJob> queued = {
+        {1, "hog", 100},
+        {2, "starved", -5},
+    };
+    const TenantService service = {{"hog", 5000}, {"starved", 10}};
+    EXPECT_EQ(pickNextIndex(queued, service), 1u);
+}
+
+TEST(SchedulerTest, UnknownTenantCountsAsZeroService)
+{
+    const std::vector<SchedJob> queued = {
+        {1, "veteran", 0},
+        {2, "newcomer", 0},
+    };
+    const TenantService service = {{"veteran", 1}};
+    EXPECT_EQ(pickNextIndex(queued, service), 1u);
+    EXPECT_EQ(serviceOf(service, "newcomer"), 0u);
+}
+
+TEST(SchedulerTest, PriorityBreaksTiesWithinATenant)
+{
+    const std::vector<SchedJob> queued = {
+        {1, "t", 0},
+        {2, "t", 7},
+        {3, "t", 7},
+    };
+    // Equal service, so priority decides; equal priority falls back
+    // to submission order (lowest id).
+    EXPECT_EQ(pickNextIndex(queued, {}), 1u);
+}
+
+TEST(SchedulerTest, SubmissionOrderIsTheFinalTieBreak)
+{
+    const std::vector<SchedJob> queued = {
+        {9, "t", 0},
+        {4, "t", 0},
+        {7, "t", 0},
+    };
+    EXPECT_EQ(pickNextIndex(queued, {}), 1u);
+}
+
+TEST(SchedulerTest, NoVictimAmongEquallyServedTenants)
+{
+    const std::vector<SchedJob> running = {{1, "a", 0},
+                                           {2, "b", 0}};
+    const SchedJob waiting{3, "c", 0};
+    // Every tenant at zero service: preempting anyone would thrash.
+    EXPECT_EQ(pickPreemptVictim(running, waiting, {}), kNone);
+}
+
+TEST(SchedulerTest, MostOverServedTenantIsTheVictim)
+{
+    const std::vector<SchedJob> running = {
+        {1, "mild", 0},
+        {2, "hog", 0},
+    };
+    const SchedJob waiting{3, "starved", 0};
+    const TenantService service = {
+        {"mild", 100}, {"hog", 9000}, {"starved", 50}};
+    EXPECT_EQ(pickPreemptVictim(running, waiting, service), 1u);
+}
+
+TEST(SchedulerTest, OwnTenantIsNeverPreempted)
+{
+    const std::vector<SchedJob> running = {{1, "t", 0}};
+    const SchedJob waiting{2, "t", 0};
+    const TenantService service = {{"t", 1000000}};
+    EXPECT_EQ(pickPreemptVictim(running, waiting, service), kNone);
+}
+
+TEST(SchedulerTest, YoungestLowestPriorityJobOfTheHogYields)
+{
+    const std::vector<SchedJob> running = {
+        {1, "hog", 5},
+        {2, "hog", 1},
+        {3, "hog", 1},
+    };
+    const SchedJob waiting{4, "starved", 0};
+    const TenantService service = {{"hog", 1000}, {"starved", 0}};
+    // Lowest priority among the hog's jobs, then the youngest (id 3
+    // has the least sunk work past its last snapshot).
+    EXPECT_EQ(pickPreemptVictim(running, waiting, service), 2u);
+}
+
+TEST(SchedulerTest, FairShareConvergesOverRounds)
+{
+    // Simulate the daemon's accounting loop: two tenants with queued
+    // backlogs, one worker, equal job cost. Fair share must
+    // alternate between them rather than draining one tenant first.
+    TenantService service;
+    std::vector<SchedJob> queued;
+    for (std::uint64_t i = 0; i < 6; ++i)
+        queued.push_back({i, i < 3 ? "a" : "b", 0});
+
+    std::vector<std::string> order;
+    while (!queued.empty()) {
+        const std::size_t pick = pickNextIndex(queued, service);
+        ASSERT_NE(pick, kNone);
+        service[queued[pick].tenant] += 100;
+        order.push_back(queued[pick].tenant);
+        queued.erase(queued.begin() +
+                     static_cast<std::ptrdiff_t>(pick));
+    }
+    const std::vector<std::string> expected = {"a", "b", "a",
+                                               "b", "a", "b"};
+    EXPECT_EQ(order, expected);
+}
+
+} // namespace

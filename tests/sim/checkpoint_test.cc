@@ -7,8 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -337,14 +341,19 @@ TEST_F(WarmupCacheTest, CachedWarmupReproducesColdResult)
         warmupKey(config_, spec_.apps, spec_.seed,
                   window_.warmupCycles));
     ASSERT_TRUE(checkpointFileExists(warm));
-    const auto mtime = std::filesystem::last_write_time(warm);
+    const auto bytes = [&] {
+        std::ifstream in(warm, std::ios::binary);
+        return std::string(std::istreambuf_iterator<char>(in), {});
+    };
+    const std::string written = bytes();
 
     const MixResult reused = runMix(config_, spec_, window_);
     EXPECT_EQ(reused.ipc, cold.ipc);
     EXPECT_EQ(reused.l3AccessesPerKilocycle,
               cold.l3AccessesPerKilocycle);
-    // Reuse must not rewrite the artifact.
-    EXPECT_EQ(std::filesystem::last_write_time(warm), mtime);
+    // Reuse must not rewrite the artifact's content (its mtime does
+    // refresh — restores count as use for the LRU prune).
+    EXPECT_EQ(bytes(), written);
 }
 
 TEST_F(WarmupCacheTest, CorruptArtifactFallsBackToSimulation)
@@ -392,6 +401,135 @@ TEST_F(WarmupCacheTest, PeriodicCheckpointsResumeAKilledRun)
     EXPECT_EQ(resumed.l3AccessesPerKilocycle,
               whole.l3AccessesPerKilocycle);
     EXPECT_FALSE(checkpointFileExists(run));
+}
+
+/** REPRO_CKPT_MAX_MB: size-capped LRU pruning of the cache dir. */
+class CheckpointPruneTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = ::testing::TempDir() + "ckpt_prune_" +
+               ::testing::UnitTest::GetInstance()
+                   ->current_test_info()
+                   ->name();
+        std::filesystem::remove_all(dir_);
+        std::filesystem::create_directories(dir_);
+    }
+
+    void
+    TearDown() override
+    {
+        ::unsetenv("REPRO_CKPT_MAX_MB");
+        std::filesystem::remove_all(dir_);
+    }
+
+    /** Write a 512 KiB artifact with an mtime @p age_s back. */
+    std::string
+    artifact(const std::string &name, int age_s)
+    {
+        const std::string path = dir_ + "/" + name + ".ckpt";
+        {
+            std::vector<char> blob(512 * 1024, 'x');
+            std::FILE *f = std::fopen(path.c_str(), "wb");
+            std::fwrite(blob.data(), 1, blob.size(), f);
+            std::fclose(f);
+        }
+        std::filesystem::last_write_time(
+            path, std::filesystem::file_time_type::clock::now() -
+                      std::chrono::seconds(age_s));
+        return path;
+    }
+
+    std::string dir_;
+};
+
+TEST_F(CheckpointPruneTest, OldestArtifactsGoFirstUnderTheCap)
+{
+    // Four 512 KiB artifacts = 2 MiB; a 1 MiB cap must evict the two
+    // least-recently-used ones and keep the newest two.
+    const std::string oldest = artifact("a", 400);
+    const std::string older = artifact("b", 300);
+    const std::string newer = artifact("c", 200);
+    const std::string newest = artifact("d", 100);
+
+    CheckpointConfig cfg;
+    cfg.dir = dir_;
+    cfg.maxMb = 1;
+    EXPECT_EQ(pruneCheckpointDir(cfg), 2u);
+    EXPECT_FALSE(std::filesystem::exists(oldest));
+    EXPECT_FALSE(std::filesystem::exists(older));
+    EXPECT_TRUE(std::filesystem::exists(newer));
+    EXPECT_TRUE(std::filesystem::exists(newest));
+}
+
+TEST_F(CheckpointPruneTest, NoCapMeansNoPruning)
+{
+    artifact("a", 400);
+    artifact("b", 300);
+    CheckpointConfig cfg;
+    cfg.dir = dir_;
+    cfg.maxMb = 0; // unbounded
+    EXPECT_EQ(pruneCheckpointDir(cfg), 0u);
+    EXPECT_EQ(pruneCheckpointDir(CheckpointConfig{}), 0u);
+}
+
+TEST_F(CheckpointPruneTest, NonCheckpointFilesAreIgnored)
+{
+    artifact("a", 400);
+    const std::string stranger = dir_ + "/README.txt";
+    {
+        std::FILE *f = std::fopen(stranger.c_str(), "wb");
+        std::fputs("not a checkpoint", f);
+        std::fclose(f);
+    }
+    CheckpointConfig cfg;
+    cfg.dir = dir_;
+    cfg.maxMb = 1; // 512 KiB artifact fits: nothing to prune
+    EXPECT_EQ(pruneCheckpointDir(cfg), 0u);
+    EXPECT_TRUE(std::filesystem::exists(stranger));
+}
+
+TEST_F(CheckpointPruneTest, RestoreTouchKeepsHotArtifactsAlive)
+{
+    // tryRestoreCheckpoint bumps its artifact's mtime, so a restored
+    // (hot) artifact outlives an untouched (cold) one at prune time.
+    ExperimentSpec spec;
+    spec.apps = {"art", "mcf", "gzip", "ammp"};
+    spec.seed = 1234;
+    const SimWindow window{20000, 30000};
+    const SystemConfig config =
+        SystemConfig::baseline(L3Scheme::Adaptive);
+
+    ::setenv("REPRO_CKPT_DIR", dir_.c_str(), 1);
+    runMix(config, spec, window); // populates the warmup artifact
+    ::unsetenv("REPRO_CKPT_DIR");
+
+    CheckpointConfig cfg;
+    cfg.dir = dir_;
+    const std::string warm = warmupPath(
+        cfg, warmupKey(config, spec.apps, spec.seed,
+                       window.warmupCycles));
+    ASSERT_TRUE(std::filesystem::exists(warm));
+    std::filesystem::last_write_time(
+        warm, std::filesystem::file_time_type::clock::now() -
+                  std::chrono::hours(24));
+    const auto stale = std::filesystem::last_write_time(warm);
+
+    // A restoring run marks the artifact as used...
+    ::setenv("REPRO_CKPT_DIR", dir_.c_str(), 1);
+    runMix(config, spec, window);
+    ::unsetenv("REPRO_CKPT_DIR");
+    EXPECT_GT(std::filesystem::last_write_time(warm), stale);
+}
+
+TEST(CheckpointConfigEnv, ReadsMaxMbKnob)
+{
+    ::setenv("REPRO_CKPT_MAX_MB", "64", 1);
+    EXPECT_EQ(CheckpointConfig::fromEnv().maxMb, 64u);
+    ::unsetenv("REPRO_CKPT_MAX_MB");
+    EXPECT_EQ(CheckpointConfig::fromEnv().maxMb, 0u);
 }
 
 } // namespace

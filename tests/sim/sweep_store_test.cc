@@ -103,6 +103,107 @@ TEST(SweepStore, UnknownStatusLoadsAsFailed)
               JobStatus::TimedOut);
     EXPECT_EQ(jobStatusFromString("quarantined"),
               JobStatus::Quarantined);
+    EXPECT_EQ(jobStatusFromString("queued"), JobStatus::Queued);
+    EXPECT_EQ(jobStatusFromString("preempted"),
+              JobStatus::Preempted);
+    EXPECT_EQ(jobStatusFromString("cache_hit"),
+              JobStatus::CacheHit);
+    EXPECT_EQ(jobStatusFromString("interrupted"),
+              JobStatus::Interrupted);
+    EXPECT_EQ(jobStatusFromString("cancelled"),
+              JobStatus::Cancelled);
+}
+
+TEST(SweepStore, ServiceStatusesRoundTrip)
+{
+    // The daemon's job lifecycle states persist through the same
+    // sidecar codec as classic sweeps.
+    const std::string path = tempPath("sweep_store_service.jsonl");
+    std::remove(path.c_str());
+    {
+        SweepStore store(path);
+        SweepRecord queued;
+        queued.label = "job1:mix";
+        queued.status = JobStatus::Queued;
+        store.append(queued);
+        SweepRecord preempted;
+        preempted.label = "job1:mix";
+        preempted.status = JobStatus::Preempted;
+        preempted.error = "preempted at cycle 40000 of 400000";
+        store.append(preempted);
+        SweepRecord hit;
+        hit.label = "job2:mix";
+        hit.status = JobStatus::CacheHit;
+        hit.result.ipc = {1.5, 0.5};
+        store.append(hit);
+        SweepRecord interrupted;
+        interrupted.label = "job3:mix";
+        interrupted.status = JobStatus::Interrupted;
+        store.append(interrupted);
+        SweepRecord cancelled;
+        cancelled.label = "job4:mix";
+        cancelled.status = JobStatus::Cancelled;
+        store.append(cancelled);
+    }
+    const auto records = SweepStore::load(path);
+    std::remove(path.c_str());
+    ASSERT_EQ(records.size(), 5u);
+    EXPECT_EQ(records[0].status, JobStatus::Queued);
+    EXPECT_EQ(records[1].status, JobStatus::Preempted);
+    EXPECT_NE(records[1].error.find("preempted"),
+              std::string::npos);
+    EXPECT_EQ(records[2].status, JobStatus::CacheHit);
+    EXPECT_EQ(records[2].result.ipc,
+              (std::vector<double>{1.5, 0.5}));
+    EXPECT_EQ(records[3].status, JobStatus::Interrupted);
+    EXPECT_EQ(records[4].status, JobStatus::Cancelled);
+    // None of the new states may ever be reused as an ok result.
+    for (const auto &record : records)
+        EXPECT_NE(record.status, JobStatus::Ok);
+}
+
+TEST(SweepStore, SchedulingTelemetryRoundTripsOnlyWhenTimed)
+{
+    const std::string path = tempPath("sweep_store_timed.jsonl");
+    std::remove(path.c_str());
+    {
+        SweepStore store(path);
+        SweepRecord classic = okRecord("adaptive.mix0", 1.0);
+        store.append(classic); // timed defaults to false
+        SweepRecord daemon = okRecord("job1:mix", 2.0);
+        daemon.timed = true;
+        daemon.queueMs = 1234;
+        daemon.preempts = 3;
+        store.append(daemon);
+    }
+    // Classic records carry no scheduling keys on disk (byte format
+    // unchanged); daemon records round-trip theirs.
+    const std::string raw = json::readFile(path);
+    const std::size_t first_eol = raw.find('\n');
+    EXPECT_EQ(raw.substr(0, first_eol).find("queue_ms"),
+              std::string::npos);
+
+    const auto records = SweepStore::load(path);
+    std::remove(path.c_str());
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_FALSE(records[0].timed);
+    EXPECT_TRUE(records[1].timed);
+    EXPECT_EQ(records[1].queueMs, 1234u);
+    EXPECT_EQ(records[1].preempts, 3u);
+}
+
+TEST(SweepStore, CurvePayloadRoundTripsAndStaysOptional)
+{
+    MixResult plain;
+    plain.ipc = {1.0};
+    EXPECT_EQ(mixResultToJson(plain).dump().find("curve"),
+              std::string::npos);
+
+    MixResult curved;
+    curved.curve = {1048576.0, 524288.0, 262144.0};
+    const auto back = mixResultFromJson(
+        json::Value::parse(mixResultToJson(curved).dump()));
+    EXPECT_EQ(back.curve, curved.curve);
 }
 
 TEST(SweepStore, MixResultCodecRoundTripsEveryBit)

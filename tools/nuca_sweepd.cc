@@ -1,0 +1,102 @@
+/**
+ * @file
+ * nuca_sweepd: the simulation service daemon. Listens on a
+ * Unix-domain socket for line-delimited JSON requests (submit /
+ * status / result / preempt / cancel / drain / stats / shutdown) and
+ * runs submitted experiments on a bounded worker pool with
+ * preemptive fair-share scheduling and a cross-run result cache.
+ * See docs/SERVICE.md.
+ *
+ * Flags override the SWEEPD_* environment defaults:
+ *   --socket PATH    socket to listen on (default <state>/sock)
+ *   --state DIR      state directory (journal, snapshots, cache)
+ *   --workers N      worker pool size
+ *   --period CYCLES  snapshot/preemption period
+ *   --quantum-ms MS  fair-share quantum (0 = no automatic preemption)
+ *   --no-isolate     run jobs in-process instead of forked children
+ *
+ * SIGINT/SIGTERM stop the daemon gracefully: running jobs yield at
+ * their next snapshot and stay resumable on disk.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "service/sweepd.hh"
+#include "sim/robustness.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace nuca;
+    using namespace nuca::service;
+
+    DaemonOptions opts = DaemonOptions::fromEnv();
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            opts.socketPath = value();
+        } else if (arg == "--state") {
+            opts.stateDir = value();
+        } else if (arg == "--workers") {
+            opts.workers = static_cast<unsigned>(
+                std::strtoul(value(), nullptr, 10));
+            if (opts.workers == 0)
+                opts.workers = 1;
+        } else if (arg == "--period") {
+            opts.preemptPeriod =
+                std::strtoull(value(), nullptr, 10);
+        } else if (arg == "--quantum-ms") {
+            opts.quantumMs = std::strtoull(value(), nullptr, 10);
+        } else if (arg == "--no-isolate") {
+            opts.isolate = false;
+        } else {
+            std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+            return 2;
+        }
+    }
+    if (opts.socketPath.empty())
+        opts.socketPath = opts.stateDir + "/sock";
+
+    try {
+        SweepDaemon daemon(opts);
+        daemon.start();
+        std::printf("nuca_sweepd listening on %s (state %s, %u "
+                    "workers, period %llu, quantum %llu ms, "
+                    "isolation %s)\n",
+                    opts.socketPath.c_str(), opts.stateDir.c_str(),
+                    opts.workers,
+                    static_cast<unsigned long long>(
+                        opts.preemptPeriod),
+                    static_cast<unsigned long long>(opts.quantumMs),
+                    opts.isolate ? "proc" : "off");
+        std::fflush(stdout);
+
+        installSweepInterruptHandlers();
+        while (!daemon.stopRequested() &&
+               !sweepInterruptRequested()) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(200));
+        }
+        restoreSweepInterruptHandlers();
+        daemon.requestStop();
+        daemon.join();
+        std::printf("nuca_sweepd stopped\n");
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "nuca_sweepd: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,37 @@
+#!/bin/sh
+# Warm-cache smoke for the sweep daemon: run `figures fig03` twice
+# against a fresh daemon and require the second pass to be served
+# entirely from the cross-run result cache. Invoked by ctest as
+#   sh sweepd_figures_smoke.sh <nuca_sweepd> <nuca_subctl>
+# from the build directory (the state dir stays relative so the
+# socket path fits sun_path).
+set -eu
+
+SWEEPD=$1
+SUBCTL=$2
+STATE=sweepd_smoke_state
+SOCK=$STATE/sock
+
+case "$(uname -s 2>/dev/null || echo unknown)" in
+    Linux|Darwin) ;;
+    *)
+        echo "skip: unix-domain sockets unavailable on this platform"
+        exit 77
+        ;;
+esac
+
+rm -rf "$STATE"
+
+"$SWEEPD" --state "$STATE" --socket "$SOCK" --workers 2 &
+DAEMON=$!
+trap 'kill "$DAEMON" 2>/dev/null || true; wait "$DAEMON" 2>/dev/null || true' EXIT
+
+"$SUBCTL" --socket "$SOCK" ping --retry 25
+
+# Cold pass populates the cache; warm pass must not execute anything.
+"$SUBCTL" --socket "$SOCK" figures fig03
+"$SUBCTL" --socket "$SOCK" figures fig03
+
+"$SUBCTL" --socket "$SOCK" shutdown
+wait "$DAEMON"
+trap - EXIT
