@@ -50,6 +50,12 @@ constexpr PhaseInfo kPhases[kNumPhases] = {
     {"l3_access", Phase::CacheMissWalk, 2},
     // Phase::FastForwardHorizon
     {"ff_horizon", Phase::Run, 6},
+    // Phase::CoreAdvance
+    {"core_advance", Phase::Run, 6},
+    // Phase::WakeHeap
+    {"wake_heap", Phase::Run, 6},
+    // Phase::UncoreDrain
+    {"uncore_drain", Phase::Run, 0},
     // Phase::TelemetrySample
     {"telemetry_sample", Phase::Run, 0},
     // Phase::HeatmapSample
@@ -67,6 +73,8 @@ constexpr PhaseInfo kPhases[kNumPhases] = {
 constexpr const char *kCounterNames[kNumCounters] = {
     "trace_records",       "trace_flushes",    "heatmap_records",
     "fastforward_jumps",   "fastforward_cycles",
+    "decoupled_batched_cycles", "wake_heap_pops",
+    "horizon_recomputes",
     "checkpoint_bytes_out", "checkpoint_bytes_in", "jobs_finished",
     "job_retries",          "job_crashes",
 };

@@ -73,6 +73,9 @@ enum class Phase : unsigned {
     CacheMissWalk,     ///< L1-miss path through L2/L3/memory
     L3Access,          ///< the L3 organization's access() itself
     FastForwardHorizon, ///< nextWakeCycle / fastForwardNow bookkeeping
+    CoreAdvance,       ///< one batched OooCore::advance call (sampled)
+    WakeHeap,          ///< decoupled-loop heap pop/dispatch (sampled)
+    UncoreDrain,       ///< decoupled-loop barrier: settle + events
     TelemetrySample,   ///< building one JSONL sample record
     HeatmapSample,     ///< building one spatial heatmap record
     TelemetryFlush,    ///< JsonlTraceSink buffered writes
@@ -89,6 +92,9 @@ enum class Counter : unsigned {
     HeatmapRecords,    ///< spatial heatmap records emitted
     FastForwardJumps,  ///< multi-cycle jumps taken
     FastForwardCycles, ///< cycles skipped by those jumps
+    DecoupledBatchedCycles, ///< cycles run inside advance() batches
+    WakeHeapPops,      ///< decoupled-loop scheduler heap pops
+    HorizonRecomputes, ///< per-core wake horizons recomputed
     CheckpointBytesOut, ///< bytes serialized into checkpoints
     CheckpointBytesIn, ///< bytes restored from checkpoints
     JobsFinished,      ///< parallel_runner jobs completed

@@ -177,6 +177,32 @@ OooCore::skipStalledCycles(Cycle first, std::uint64_t count)
         fetchStallCycles_ += count;
 }
 
+OooCore::AdvanceResult
+OooCore::advance(Cycle start, Cycle limit, Cycle &globalNow)
+{
+    AdvanceResult res;
+    Cycle at = start;
+    for (;;) {
+        globalNow = at;
+        tick(at);
+        ++res.ticks;
+        const Cycle wake = nextWakeCycle(at);
+        if (wake >= limit) {
+            // Checked before any arithmetic on `wake`: neverWakes
+            // (~0) + 1 would wrap to 0 and fold a bogus span.
+            res.nextWake = wake;
+            res.doneThrough = at + 1;
+            return res;
+        }
+        // The stall stays inside the batch: fold it here instead of
+        // bouncing back to the scheduler. The window (at, wake) is
+        // exactly the one nextWakeCycle proved no-op.
+        if (wake > at + 1)
+            skipStalledCycles(at + 1, wake - at - 1);
+        at = wake;
+    }
+}
+
 void
 OooCore::releaseLsqSlots(Cycle now)
 {

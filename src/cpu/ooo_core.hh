@@ -96,6 +96,36 @@ class OooCore
      */
     void skipStalledCycles(Cycle first, std::uint64_t count);
 
+    /** What one advance() batch did (decoupled scheduler). */
+    struct AdvanceResult
+    {
+        /** Horizon computed by the last executed tick. */
+        Cycle nextWake = 0;
+        /** First cycle not executed (last tick + 1); the pending
+         * stall span for lazy folding starts here. */
+        Cycle doneThrough = 0;
+        /** Real ticks executed inside the batch. */
+        std::uint64_t ticks = 0;
+    };
+
+    /**
+     * Run this core alone from @p start until its wake horizon
+     * reaches @p limit, without returning to the outer scheduler
+     * between ticks. Short internal stalls (horizon still below the
+     * limit) are folded via skipStalledCycles() exactly as the
+     * reference loop's lazy settling would, so a batch is
+     * bit-identical to ticking the same cycles one by one. The
+     * caller guarantees no other core ticks in [start, limit) —
+     * that is what makes the batch's uncore accesses arrive in
+     * reference order — and that no telemetry sample, robustness
+     * event, or run-window end lies inside the batch. @p globalNow
+     * (the system clock) is updated to each executed tick's cycle
+     * before the tick runs, so anything that reads the system clock
+     * mid-tick (the repartition observer) sees the same value the
+     * reference loop would show it.
+     */
+    AdvanceResult advance(Cycle start, Cycle limit, Cycle &globalNow);
+
     /** Instructions committed so far. */
     Counter committed() const { return committed_.value(); }
 

@@ -1,6 +1,8 @@
 #include "sim/cmp_system.hh"
 
 #include <algorithm>
+#include <bit>
+#include <functional>
 #include <limits>
 #include <sstream>
 
@@ -139,8 +141,17 @@ CmpSystem::buildSystem()
     l3AccessZero_.assign(config_.numCores, 0);
     coreWake_.assign(config_.numCores, now_);
     corePendingStart_.assign(config_.numCores, now_);
+    coreTicks_.assign(config_.numCores, 0);
+    // Bucket k of the batch-span histogram holds spans with
+    // bit_width k; 64-bit spans give buckets 1..64.
+    horizonHist_.assign(65, 0);
+    wakeHeap_.reserve(config_.numCores);
+    cohort_.reserve(config_.numCores);
+    joiners_.reserve(config_.numCores);
 
     fastForward_ = envOr("REPRO_FASTFWD", 1) != 0;
+    decoupled_ = envOr("REPRO_DECOUPLE", 1) != 0;
+    batchCap_ = envOr("REPRO_DECOUPLE_BATCH", 0);
     setRobustness(RobustnessConfig::fromEnv());
 }
 
@@ -194,6 +205,20 @@ CmpSystem::setFastForward(bool enabled)
 }
 
 void
+CmpSystem::setDecoupled(bool enabled)
+{
+    if (fastForward_)
+        settleCores();
+    decoupled_ = enabled;
+    // Same re-anchoring as setFastForward: the wake heap is rebuilt
+    // from coreWake_ at the next run() entry, so resetting the
+    // horizons here is all a mode switch needs.
+    std::fill(coreWake_.begin(), coreWake_.end(), now_);
+    std::fill(corePendingStart_.begin(), corePendingStart_.end(),
+              now_);
+}
+
+void
 CmpSystem::settleCores()
 {
     for (unsigned c = 0; c < coreWake_.size(); ++c) {
@@ -210,6 +235,24 @@ CmpSystem::run(Cycle cycles)
 {
     prof::Scope profRun(prof::Phase::Run);
     const Cycle end = now_ + cycles;
+    if (fastForward_ && decoupled_) {
+        const Counter pops0 = heapPops_;
+        const Counter pushes0 = horizonPushes_;
+        const Counter batched0 = batchedCycles_;
+        runDecoupled(end);
+        prof::add(prof::Counter::WakeHeapPops, heapPops_ - pops0);
+        prof::add(prof::Counter::HorizonRecomputes,
+                  horizonPushes_ - pushes0);
+        prof::add(prof::Counter::DecoupledBatchedCycles,
+                  batchedCycles_ - batched0);
+        return;
+    }
+    runLegacy(end);
+}
+
+void
+CmpSystem::runLegacy(Cycle end)
+{
     while (now_ < end) {
         if (fastForward_) {
             for (unsigned c = 0; c < cores_.size(); ++c) {
@@ -222,14 +265,17 @@ CmpSystem::run(Cycle cycles)
                         now_ - corePendingStart_[c]);
                 }
                 core.tick(now_);
+                ++coreTicks_[c];
                 corePendingStart_[c] = now_ + 1;
                 coreWake_[c] = core.nextWakeCycle(now_);
             }
             ++now_;
             fastForwardNow(end);
         } else {
-            for (auto &core : cores_)
-                core->tick(now_);
+            for (unsigned c = 0; c < cores_.size(); ++c) {
+                cores_[c]->tick(now_);
+                ++coreTicks_[c];
+            }
             ++now_;
         }
         if (trace_ && now_ >= nextSample_) {
@@ -248,6 +294,242 @@ CmpSystem::run(Cycle cycles)
     // to dump stats, checkpoint, or emit telemetry next.
     if (fastForward_)
         settleCores();
+}
+
+void
+CmpSystem::runDecoupled(Cycle end)
+{
+    rebuildWakeHeap();
+    frontier_ = now_;
+    while (now_ < end) {
+        // The barrier: no core tick at or past this cycle may run
+        // before the events due there have fired. These are exactly
+        // the caps the legacy jump respects, so samples, robustness
+        // events, and the run window end land at the cycles the
+        // reference loop lands them.
+        Cycle cap = end;
+        if (trace_ && nextSample_ < cap)
+            cap = nextSample_;
+        if (robustActive_ && nextRobustEvent_ < cap)
+            cap = nextRobustEvent_;
+        if (cap <= now_) {
+            // An event that stays due (the lru_corrupt fault retries
+            // until the L3 can be corrupted) re-fires after every
+            // cycle in the reference loop; advance exactly one.
+            cap = now_ + 1;
+        }
+
+        runCoresUntil(cap);
+
+        const bool sampleDue = trace_ && now_ >= nextSample_;
+        const bool robustDue =
+            robustActive_ && now_ >= nextRobustEvent_;
+        if (sampleDue || robustDue) {
+            prof::Scope profDrain(prof::Phase::UncoreDrain);
+            settleCores();
+            if (sampleDue) {
+                emitSample();
+                nextSample_ += tracePeriod_;
+            }
+            if (robustDue)
+                robustnessTick();
+        }
+    }
+    settleCores();
+}
+
+void
+CmpSystem::runCoresUntil(Cycle cap)
+{
+    for (;;) {
+        Cycle t;
+        std::uint32_t c;
+        {
+            const bool profHeap =
+                prof::samplePoint(prof::Phase::WakeHeap);
+            prof::MaybeScope s(profHeap, prof::Phase::WakeHeap);
+            if (wakeHeap_.empty() || wakeHeap_.front().first >= cap)
+                break;
+            std::pop_heap(wakeHeap_.begin(), wakeHeap_.end(),
+                          std::greater<>());
+            t = wakeHeap_.back().first;
+            c = wakeHeap_.back().second;
+            wakeHeap_.pop_back();
+            ++heapPops_;
+        }
+        if (t > frontier_)
+            accountIdleGap(t);
+
+        if (wakeHeap_.empty() || wakeHeap_.front().first > t) {
+            advanceSole(c, t, cap);
+            continue;
+        }
+
+        // Several cores share cycle t: lockstep, ascending coreId
+        // per cycle (equal-cycle heap pops already arrive in id
+        // order), demoting a core that stalls back to the heap and
+        // joining cores as their wake-ups come due.
+        cohort_.clear();
+        cohort_.push_back(c);
+        while (!wakeHeap_.empty() && wakeHeap_.front().first == t) {
+            std::pop_heap(wakeHeap_.begin(), wakeHeap_.end(),
+                          std::greater<>());
+            cohort_.push_back(wakeHeap_.back().second);
+            wakeHeap_.pop_back();
+            ++heapPops_;
+        }
+        Cycle u = t;
+        for (;;) {
+            if (u >= cap) {
+                // Still runnable, but the window is over: park the
+                // survivors at the barrier cycle.
+                for (const std::uint32_t id : cohort_)
+                    pushWake(u, id);
+                frontier_ = u;
+                break;
+            }
+            if (cohort_.size() == 1) {
+                advanceSole(cohort_[0], u, cap);
+                break;
+            }
+            now_ = u;
+            std::size_t keep = 0;
+            for (std::size_t i = 0; i < cohort_.size(); ++i) {
+                const std::uint32_t id = cohort_[i];
+                OooCore &core = *cores_[id];
+                settlePending(id, u);
+                core.tick(u);
+                ++coreTicks_[id];
+                const Cycle w = core.nextWakeCycle(u);
+                corePendingStart_[id] = u + 1;
+                if (w == u + 1)
+                    cohort_[keep++] = id;
+                else
+                    pushWake(w, id);
+            }
+            cohort_.resize(keep);
+            ++u;
+            if (!wakeHeap_.empty() && wakeHeap_.front().first == u) {
+                joiners_.clear();
+                while (!wakeHeap_.empty() &&
+                       wakeHeap_.front().first == u) {
+                    std::pop_heap(wakeHeap_.begin(), wakeHeap_.end(),
+                                  std::greater<>());
+                    joiners_.push_back(wakeHeap_.back().second);
+                    wakeHeap_.pop_back();
+                    ++heapPops_;
+                }
+                const std::size_t mid = cohort_.size();
+                cohort_.insert(cohort_.end(), joiners_.begin(),
+                               joiners_.end());
+                std::inplace_merge(cohort_.begin(),
+                                   cohort_.begin() +
+                                       static_cast<std::ptrdiff_t>(
+                                           mid),
+                                   cohort_.end());
+            }
+            if (cohort_.empty()) {
+                frontier_ = u;
+                break;
+            }
+        }
+    }
+    if (cap > frontier_)
+        accountIdleGap(cap);
+    now_ = cap;
+}
+
+void
+CmpSystem::advanceSole(std::uint32_t c, Cycle start, Cycle cap)
+{
+    // The largest window in which core c provably acts alone: up to
+    // the next scheduled core tick — inclusive when this core's id
+    // orders it first within that shared cycle — and never past the
+    // barrier. Every uncore access the batch makes therefore lands
+    // in reference (cycle, coreId) order, and the cores still
+    // sleeping only observe shared state at ticks >= the limit.
+    Cycle limit = cap;
+    if (!wakeHeap_.empty()) {
+        const Cycle t2 = wakeHeap_.front().first;
+        if (t2 < cap)
+            limit = c < wakeHeap_.front().second ? t2 + 1 : t2;
+    }
+    if (batchCap_ != 0 && start + batchCap_ < limit)
+        limit = start + batchCap_;
+
+    settlePending(c, start);
+    const bool profAdv = prof::samplePoint(prof::Phase::CoreAdvance);
+    prof::MaybeScope profScope(profAdv, prof::Phase::CoreAdvance);
+    const OooCore::AdvanceResult res =
+        cores_[c]->advance(start, limit, now_);
+    coreTicks_[c] += res.ticks;
+    const Cycle span = res.doneThrough - start;
+    batchedCycles_ += span;
+    ++horizonHist_[static_cast<std::size_t>(std::bit_width(span))];
+    // Cycles the batch folded internally are machine-idle (no other
+    // core was scheduled inside the window): keep the legacy
+    // skipped-cycles semantics.
+    ffSkipped_ += span - res.ticks;
+    corePendingStart_[c] = res.doneThrough;
+    frontier_ = res.doneThrough;
+    pushWake(res.nextWake, c);
+}
+
+void
+CmpSystem::rebuildWakeHeap()
+{
+    wakeHeap_.clear();
+    for (unsigned c = 0; c < coreWake_.size(); ++c) {
+        if (coreWake_[c] == OooCore::neverWakes)
+            continue;
+        // Horizons are >= now_ on every entry path (run() exits with
+        // all wakes past now_; restore and the mode switches anchor
+        // at now_); the clamp only defends that invariant.
+        wakeHeap_.emplace_back(std::max(coreWake_[c], now_),
+                               static_cast<std::uint32_t>(c));
+    }
+    std::make_heap(wakeHeap_.begin(), wakeHeap_.end(),
+                   std::greater<>());
+}
+
+void
+CmpSystem::pushWake(Cycle wake, std::uint32_t c)
+{
+    coreWake_[c] = wake;
+    if (wake == OooCore::neverWakes)
+        return;
+    wakeHeap_.emplace_back(wake, c);
+    std::push_heap(wakeHeap_.begin(), wakeHeap_.end(),
+                   std::greater<>());
+    ++horizonPushes_;
+}
+
+void
+CmpSystem::settlePending(std::uint32_t c, Cycle upTo)
+{
+    if (corePendingStart_[c] < upTo) {
+        cores_[c]->skipStalledCycles(corePendingStart_[c],
+                                     upTo - corePendingStart_[c]);
+        corePendingStart_[c] = upTo;
+    }
+}
+
+void
+CmpSystem::accountIdleGap(Cycle to)
+{
+    const Cycle skipped = to - frontier_;
+    ffSkipped_ += skipped;
+    ++ffJumps_;
+    prof::add(prof::Counter::FastForwardJumps, 1);
+    prof::add(prof::Counter::FastForwardCycles, skipped);
+    if (events_ && events_->enabled()) {
+        events_->complete(evtPid_, 0, "ff_jump",
+                          static_cast<double>(frontier_),
+                          static_cast<double>(skipped),
+                          json::Value::object().set("cycles",
+                                                    skipped));
+    }
+    frontier_ = to;
 }
 
 Cycle
@@ -784,6 +1066,15 @@ CmpSystem::resetStats()
         committedZero_[c] = cores_[c]->committed();
         l3AccessZero_[c] = memSystems_[c]->l3DataAccesses();
     }
+}
+
+Counter
+CmpSystem::coreTicksExecuted(CoreId core) const
+{
+    panic_if(core < 0 ||
+                 static_cast<unsigned>(core) >= coreTicks_.size(),
+             "core id out of range");
+    return coreTicks_[static_cast<unsigned>(core)];
 }
 
 double

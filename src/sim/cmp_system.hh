@@ -2,14 +2,19 @@
  * @file
  * Assembly of the full chip multiprocessor: four out-of-order cores
  * with private L1/L2 hierarchies, one of the four last-level cache
- * organizations, and the shared memory channel, driven in lockstep
- * one cycle at a time.
+ * organizations, and the shared memory channel. The default run loop
+ * is a decoupled per-core event scheduler (a wake heap orders core
+ * ticks by (cycle, coreId) and batches a lone runnable core's ticks
+ * without re-entering the loop); a legacy whole-machine fast-forward
+ * loop and the cycle-by-cycle reference loop are retained behind
+ * REPRO_DECOUPLE=0 / REPRO_FASTFWD=0 and are bit-identical to it.
  */
 
 #ifndef NUCA_SIM_CMP_SYSTEM_HH
 #define NUCA_SIM_CMP_SYSTEM_HH
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "base/stats.hh"
@@ -85,6 +90,51 @@ class CmpSystem
 
     /** True when run() may skip fully-stalled windows. */
     bool fastForwardEnabled() const { return fastForward_; }
+
+    /**
+     * Select the decoupled per-core event scheduler (constructors
+     * install REPRO_DECOUPLE, default on; only consulted while
+     * fast-forward is enabled — REPRO_FASTFWD=0 always selects the
+     * cycle-by-cycle reference loop). The scheduler keeps a min-heap
+     * of (nextWakeCycle, coreId), pops ticks in exactly the
+     * reference loop's (cycle, coreId) order, and hands a core that
+     * is provably the only actor until the next heap entry /
+     * telemetry sample / robustness event to OooCore::advance as one
+     * batch. Bit-identical to both other loops (asserted by the
+     * differential tests); see docs/PERFORMANCE.md.
+     */
+    void setDecoupled(bool enabled);
+
+    /** True when run() uses the decoupled per-core scheduler. */
+    bool decoupledEnabled() const { return decoupled_; }
+
+    /**
+     * Host-side scheduler diagnostics (like the fast-forward
+     * counters: never statistics, never checkpointed). Ticks
+     * actually executed per core — the complement of the cycles the
+     * active loop skipped for that core individually.
+     */
+    Counter coreTicksExecuted(CoreId core) const;
+
+    /** Cycles covered by OooCore::advance batches (executed ticks
+     * plus the stall cycles folded inside them). */
+    Counter decoupledBatchedCycles() const { return batchedCycles_; }
+
+    /** Wake-heap pops taken by the decoupled scheduler. */
+    Counter wakeHeapPops() const { return heapPops_; }
+
+    /** Per-core wake horizons recomputed (heap pushes). */
+    Counter horizonRecomputes() const { return horizonPushes_; }
+
+    /**
+     * Histogram of advance-batch spans in cycles: bucket k counts
+     * batches whose span s has bit_width(s) == k, i.e. s in
+     * [2^(k-1), 2^k). Bucket 0 is unused.
+     */
+    const std::vector<Counter> &horizonHistogram() const
+    {
+        return horizonHist_;
+    }
 
     /**
      * Host-side fast-forward diagnostics: cycles run() skipped and
@@ -209,6 +259,56 @@ class CmpSystem
     std::vector<Counter> committedZero_;
     std::vector<Counter> l3AccessZero_;
 
+    /** The legacy whole-machine fast-forward loop (REPRO_DECOUPLE=0)
+     * and the cycle-by-cycle reference loop (REPRO_FASTFWD=0). */
+    void runLegacy(Cycle end);
+
+    /**
+     * The decoupled per-core event scheduler. Repeats: compute the
+     * next barrier (run end, telemetry sample, robustness event),
+     * execute every core tick strictly before it in (cycle, coreId)
+     * order via runCoresUntil, then settle and fire the barrier's
+     * events exactly as the reference loop would at that cycle.
+     */
+    void runDecoupled(Cycle end);
+
+    /**
+     * Pop-and-dispatch until every scheduled core tick at a cycle
+     * before @p cap has executed, then account the trailing idle gap
+     * and set now_ = cap. A popped core that is alone at its cycle
+     * is batched (advanceSole); cores sharing a cycle run in
+     * lockstep, ascending coreId per cycle, with per-cycle joins
+     * from the heap and demotion back to it on stall — exactly the
+     * reference loop's mutation order, minus the provably-stalled
+     * ticks.
+     */
+    void runCoresUntil(Cycle cap);
+
+    /**
+     * Batch core @p c from @p start: the advance limit is the
+     * largest window in which it provably stays the only actor (the
+     * next heap entry's cycle — plus one when this core's id is
+     * smaller, since it precedes that core within the shared cycle —
+     * all capped by @p cap and REPRO_DECOUPLE_BATCH), then one
+     * OooCore::advance call plus the scheduler bookkeeping.
+     */
+    void advanceSole(std::uint32_t c, Cycle start, Cycle cap);
+
+    /** Rebuild the wake heap from coreWake_ (every run() entry:
+     * restore/setFastForward/setDecoupled re-anchor the horizons). */
+    void rebuildWakeHeap();
+
+    /** Record a new horizon for @p c and re-insert it in the heap
+     * (neverWakes cores stay out until something re-anchors them). */
+    void pushWake(Cycle wake, std::uint32_t c);
+
+    /** Fold core @p c's pending skipped span up to @p upTo. */
+    void settlePending(std::uint32_t c, Cycle upTo);
+
+    /** Account the machine-idle window [frontier_, to) against the
+     * fast-forward counters and trace events. */
+    void accountIdleGap(Cycle to);
+
     /**
      * Event horizon across the whole machine: the earliest cycle
      * after @p last (the cycle just ticked) at which any core can
@@ -289,6 +389,36 @@ class CmpSystem
      */
     std::vector<Cycle> coreWake_;
     std::vector<Cycle> corePendingStart_;
+
+    /** REPRO_DECOUPLE: per-core event scheduling in run(). */
+    bool decoupled_ = true;
+    /** REPRO_DECOUPLE_BATCH: advance-batch span cap (0 = none). */
+    Cycle batchCap_ = 0;
+    /**
+     * Min-heap (std::*_heap with std::greater) of (wake, coreId):
+     * one entry per core whose horizon is finite. Pair ordering
+     * makes equal-cycle pops come out in ascending coreId — the
+     * reference loop's within-cycle order — for free. Rebuilt from
+     * coreWake_ at every run() entry; only meaningful inside
+     * runDecoupled.
+     */
+    std::vector<std::pair<Cycle, std::uint32_t>> wakeHeap_;
+    /** Cores ticking in lockstep at the current cycle (ascending
+     * id) and the per-cycle joiners scratch (runCoresUntil). */
+    std::vector<std::uint32_t> cohort_;
+    std::vector<std::uint32_t> joiners_;
+    /**
+     * One past the last executed tick cycle: the start of the
+     * current machine-idle window, so gaps discovered at the next
+     * pop or barrier can be accounted once, contiguously.
+     */
+    Cycle frontier_ = 0;
+    /** Scheduler diagnostics (host-side; see the accessors). */
+    std::vector<Counter> coreTicks_;
+    Counter batchedCycles_ = 0;
+    Counter heapPops_ = 0;
+    Counter horizonPushes_ = 0;
+    std::vector<Counter> horizonHist_;
 
     TraceSink *trace_ = nullptr;
     Cycle tracePeriod_ = 0;

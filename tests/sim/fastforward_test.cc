@@ -1,12 +1,13 @@
 /**
  * @file
- * Differential tests for event-horizon fast-forwarding: running with
- * REPRO_FASTFWD on must be bit-identical to the cycle-by-cycle
- * reference loop — same statistics, same telemetry records, same
- * checkpoint bytes — for every L3 scheme, with tracing and the
- * robustness machinery active, and across a checkpoint/restore
- * boundary (including restoring into a system running in the
- * opposite mode).
+ * Differential tests for the skipping run loops: both the legacy
+ * whole-machine fast-forward (REPRO_FASTFWD=1 REPRO_DECOUPLE=0) and
+ * the decoupled per-core event scheduler (the default) must be
+ * bit-identical to the cycle-by-cycle reference loop — same
+ * statistics, same telemetry records, same checkpoint bytes — for
+ * every L3 scheme, with tracing and the robustness machinery active,
+ * and across a checkpoint/restore boundary (including restoring into
+ * a system running a different loop mode).
  *
  * The observability matrix rides the same contract: the host
  * self-profiler and the spatial heatmaps must be strictly
@@ -17,6 +18,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -121,14 +123,35 @@ class ProfileGuard
     bool prev_;
 };
 
+/** Which of the three run loops a differential run uses. */
+enum class LoopMode { Reference, Legacy, Decoupled };
+
+const char *
+to_string(LoopMode mode)
+{
+    switch (mode) {
+      case LoopMode::Reference: return "reference";
+      case LoopMode::Legacy: return "legacy";
+      case LoopMode::Decoupled: return "decoupled";
+    }
+    return "?";
+}
+
+void
+selectLoop(CmpSystem &system, LoopMode mode)
+{
+    system.setFastForward(mode != LoopMode::Reference);
+    system.setDecoupled(mode == LoopMode::Decoupled);
+}
+
 RunArtifacts
-runOnce(L3Scheme scheme, bool fastForward, Cycle cycles,
+runOnce(L3Scheme scheme, LoopMode mode, Cycle cycles,
         const std::vector<WorkloadProfile> &mix = memoryMix(),
         const ObsOptions &obs = {})
 {
     ProfileGuard profiling(obs.profile);
     CmpSystem system(SystemConfig::baseline(scheme), mix, kSeed);
-    system.setFastForward(fastForward);
+    selectLoop(system, mode);
     system.setRobustness(activeRobustness());
     RecordingSink sink;
     system.attachTelemetry(&sink, kTracePeriod);
@@ -154,22 +177,32 @@ TEST(FastForward, BitIdenticalToReferenceForEveryScheme)
     for (const auto scheme :
          {L3Scheme::Private, L3Scheme::Shared, L3Scheme::Adaptive,
           L3Scheme::RandomReplacement}) {
-        const RunArtifacts ff = runOnce(scheme, true, 60000);
-        const RunArtifacts ref = runOnce(scheme, false, 60000);
-
-        // The point of the test: a skipping and a non-skipping run
-        // are indistinguishable from every observable surface.
-        EXPECT_EQ(ff.stats, ref.stats)
-            << "scheme " << to_string(scheme);
-        EXPECT_EQ(ff.machine, ref.machine)
-            << "scheme " << to_string(scheme);
-        EXPECT_EQ(ff.trace, ref.trace)
-            << "scheme " << to_string(scheme);
-        EXPECT_FALSE(ff.trace.empty());
-
-        // ...and the fast path genuinely exercised itself.
-        EXPECT_GT(ff.skipped, 0u) << "scheme " << to_string(scheme);
+        const RunArtifacts ref =
+            runOnce(scheme, LoopMode::Reference, 60000);
         EXPECT_EQ(ref.skipped, 0u);
+        for (const auto mode :
+             {LoopMode::Legacy, LoopMode::Decoupled}) {
+            const RunArtifacts ff = runOnce(scheme, mode, 60000);
+
+            // The point of the test: a skipping and a non-skipping
+            // run are indistinguishable from every observable
+            // surface.
+            EXPECT_EQ(ff.stats, ref.stats)
+                << "scheme " << to_string(scheme) << " mode "
+                << to_string(mode);
+            EXPECT_EQ(ff.machine, ref.machine)
+                << "scheme " << to_string(scheme) << " mode "
+                << to_string(mode);
+            EXPECT_EQ(ff.trace, ref.trace)
+                << "scheme " << to_string(scheme) << " mode "
+                << to_string(mode);
+            EXPECT_FALSE(ff.trace.empty());
+
+            // ...and the fast path genuinely exercised itself.
+            EXPECT_GT(ff.skipped, 0u)
+                << "scheme " << to_string(scheme) << " mode "
+                << to_string(mode);
+        }
     }
 }
 
@@ -178,20 +211,27 @@ TEST(FastForward, BitIdenticalOnComputeBoundMix)
     // The busy-core counterpart of the scheme sweep above: with
     // nearly every cycle active, any divergence here points at the
     // issue/commit hot path itself (ready-set walk order, parked
-    // load wakeup, completion-ring reuse) rather than at the jump
-    // logic.
+    // load wakeup, completion-ring reuse) or, for the decoupled
+    // scheduler, at its dense-cohort lockstep sub-loop, rather than
+    // at the jump logic.
     for (const auto scheme : {L3Scheme::Adaptive, L3Scheme::Shared}) {
-        const RunArtifacts ff =
-            runOnce(scheme, true, 60000, computeMix());
-        const RunArtifacts ref =
-            runOnce(scheme, false, 60000, computeMix());
-        EXPECT_EQ(ff.stats, ref.stats)
-            << "scheme " << to_string(scheme);
-        EXPECT_EQ(ff.machine, ref.machine)
-            << "scheme " << to_string(scheme);
-        EXPECT_EQ(ff.trace, ref.trace)
-            << "scheme " << to_string(scheme);
-        EXPECT_FALSE(ff.trace.empty());
+        const RunArtifacts ref = runOnce(scheme, LoopMode::Reference,
+                                         60000, computeMix());
+        for (const auto mode :
+             {LoopMode::Legacy, LoopMode::Decoupled}) {
+            const RunArtifacts ff =
+                runOnce(scheme, mode, 60000, computeMix());
+            EXPECT_EQ(ff.stats, ref.stats)
+                << "scheme " << to_string(scheme) << " mode "
+                << to_string(mode);
+            EXPECT_EQ(ff.machine, ref.machine)
+                << "scheme " << to_string(scheme) << " mode "
+                << to_string(mode);
+            EXPECT_EQ(ff.trace, ref.trace)
+                << "scheme " << to_string(scheme) << " mode "
+                << to_string(mode);
+            EXPECT_FALSE(ff.trace.empty());
+        }
     }
 }
 
@@ -206,9 +246,10 @@ TEST(FastForward, ObservabilityPreservesBitIdentity)
     for (const auto scheme :
          {L3Scheme::Private, L3Scheme::Shared, L3Scheme::Adaptive,
           L3Scheme::RandomReplacement}) {
-        const RunArtifacts ref = runOnce(scheme, false, 60000);
-        const RunArtifacts obs = runOnce(scheme, true, 60000,
-                                         memoryMix(),
+        const RunArtifacts ref =
+            runOnce(scheme, LoopMode::Reference, 60000);
+        const RunArtifacts obs = runOnce(scheme, LoopMode::Decoupled,
+                                         60000, memoryMix(),
                                          ObsOptions{true, true});
 
         EXPECT_EQ(obs.stats, ref.stats)
@@ -250,29 +291,28 @@ TEST(FastForward, SurvivesCheckpointRestoreCrossover)
         SystemConfig::baseline(L3Scheme::Adaptive);
     constexpr Cycle before = 30000, after = 30000;
 
-    // Phase 1 in both modes; the snapshots must already agree.
-    auto firstHalf = [&](bool fastForward) {
+    // Phase 1 in every mode; the snapshots must already agree.
+    auto firstHalf = [&](LoopMode mode) {
         CmpSystem system(config, memoryMix(), kSeed);
-        system.setFastForward(fastForward);
+        selectLoop(system, mode);
         system.setRobustness(activeRobustness());
         system.run(before);
         Serializer s;
         system.checkpoint(s);
         return s.bytes();
     };
-    const auto ffBytes = firstHalf(true);
-    const auto refBytes = firstHalf(false);
-    ASSERT_EQ(ffBytes, refBytes);
+    const auto refBytes = firstHalf(LoopMode::Reference);
+    for (const auto mode : {LoopMode::Legacy, LoopMode::Decoupled})
+        ASSERT_EQ(firstHalf(mode), refBytes) << to_string(mode);
 
-    // Phase 2: restore each snapshot into a system running the
-    // *opposite* loop mode. Both resume from identical state, so any
-    // divergence is the fast-forward path's fault alone.
-    auto secondHalf = [&](const std::vector<std::uint8_t> &bytes,
-                          bool fastForward) {
+    // Phase 2: restore the snapshot into a system running each loop
+    // mode — a mid-run mode crossover. All resume from identical
+    // state, so any divergence is the skipping path's fault alone.
+    auto secondHalf = [&](LoopMode mode) {
         CmpSystem system(config, memoryMix(), kSeed);
-        Deserializer d(bytes.data(), bytes.size());
+        Deserializer d(refBytes.data(), refBytes.size());
         system.restore(d);
-        system.setFastForward(fastForward);
+        selectLoop(system, mode);
         system.setRobustness(activeRobustness());
         EXPECT_EQ(system.now(), before);
         system.run(after);
@@ -282,10 +322,88 @@ TEST(FastForward, SurvivesCheckpointRestoreCrossover)
         system.statsRoot().dump(os);
         return std::make_pair(s.bytes(), os.str());
     };
-    const auto [ffFinal, ffStats] = secondHalf(refBytes, true);
-    const auto [refFinal, refStats] = secondHalf(ffBytes, false);
-    EXPECT_EQ(ffFinal, refFinal);
-    EXPECT_EQ(ffStats, refStats);
+    const auto [refFinal, refStats] =
+        secondHalf(LoopMode::Reference);
+    for (const auto mode : {LoopMode::Legacy, LoopMode::Decoupled}) {
+        const auto [bytes, stats] = secondHalf(mode);
+        EXPECT_EQ(bytes, refFinal) << to_string(mode);
+        EXPECT_EQ(stats, refStats) << to_string(mode);
+    }
+}
+
+TEST(FastForward, BatchCapPreservesBitIdentity)
+{
+    // A small REPRO_DECOUPLE_BATCH forces advance() batches to end
+    // mid-stall constantly, exercising the pending-span handoff
+    // between OooCore::advance's internal folds and the scheduler's
+    // lazy settling at every boundary.
+    ASSERT_EQ(::setenv("REPRO_DECOUPLE_BATCH", "16", 1), 0);
+    const RunArtifacts capped =
+        runOnce(L3Scheme::Adaptive, LoopMode::Decoupled, 60000);
+    ASSERT_EQ(::unsetenv("REPRO_DECOUPLE_BATCH"), 0);
+    const RunArtifacts ref =
+        runOnce(L3Scheme::Adaptive, LoopMode::Reference, 60000);
+    EXPECT_EQ(capped.stats, ref.stats);
+    EXPECT_EQ(capped.machine, ref.machine);
+    EXPECT_EQ(capped.trace, ref.trace);
+}
+
+TEST(FastForward, EnvEscapeHatchesSelectTheLoop)
+{
+    const SystemConfig config =
+        SystemConfig::baseline(L3Scheme::Shared);
+
+    // Default: decoupled fast-forward.
+    {
+        CmpSystem system(config, memoryMix(), kSeed);
+        EXPECT_TRUE(system.fastForwardEnabled());
+        EXPECT_TRUE(system.decoupledEnabled());
+    }
+    // REPRO_DECOUPLE=0 keeps fast-forward but selects the legacy
+    // whole-machine loop.
+    ASSERT_EQ(::setenv("REPRO_DECOUPLE", "0", 1), 0);
+    {
+        CmpSystem system(config, memoryMix(), kSeed);
+        EXPECT_TRUE(system.fastForwardEnabled());
+        EXPECT_FALSE(system.decoupledEnabled());
+    }
+    ASSERT_EQ(::unsetenv("REPRO_DECOUPLE"), 0);
+    // REPRO_FASTFWD=0 selects the reference loop regardless.
+    ASSERT_EQ(::setenv("REPRO_FASTFWD", "0", 1), 0);
+    {
+        CmpSystem system(config, memoryMix(), kSeed);
+        EXPECT_FALSE(system.fastForwardEnabled());
+        EXPECT_TRUE(system.decoupledEnabled());
+        system.run(2000);
+        EXPECT_EQ(system.fastForwardedCycles(), 0u);
+    }
+    ASSERT_EQ(::unsetenv("REPRO_FASTFWD"), 0);
+}
+
+TEST(FastForward, SchedulerDiagnosticsAccumulate)
+{
+    // The decoupled scheduler's host-side counters: every executed
+    // tick is attributed to its core, batches land in the span
+    // histogram, and the heap sees pops and horizon pushes. None of
+    // this is part of the simulation (the bit-identity tests above
+    // prove that); this pins the diagnostics themselves.
+    CmpSystem system(SystemConfig::baseline(L3Scheme::Adaptive),
+                     memoryMix(), kSeed);
+    selectLoop(system, LoopMode::Decoupled);
+    system.run(30000);
+
+    Counter ticks = 0;
+    for (unsigned c = 0; c < system.numCores(); ++c)
+        ticks += system.coreTicksExecuted(static_cast<CoreId>(c));
+    EXPECT_GT(ticks, 0u);
+    EXPECT_LT(ticks, 4u * 30000u); // something was skipped
+    EXPECT_GT(system.wakeHeapPops(), 0u);
+    EXPECT_GT(system.horizonRecomputes(), 0u);
+    EXPECT_GT(system.decoupledBatchedCycles(), 0u);
+    Counter batches = 0;
+    for (const Counter n : system.horizonHistogram())
+        batches += n;
+    EXPECT_GT(batches, 0u);
 }
 
 } // namespace

@@ -1,13 +1,19 @@
 /**
  * @file
- * perf_bench: the host-performance trajectory for the event-horizon
- * fast-forward (docs/PERFORMANCE.md). Runs two fixed
- * memory-intensive mixes under every L3 scheme, once with the
- * cycle-by-cycle reference loop and once with fast-forwarding, and
- * writes BENCH_perf.json with wall seconds, simulated kilocycles per
- * second, committed MIPS and the measured speedups. CI uploads the
- * file and warns when throughput regresses >20% against the
- * committed baseline.
+ * perf_bench: the host-performance trajectory for the skipping run
+ * loops (docs/PERFORMANCE.md). Runs three fixed mixes under every
+ * L3 scheme through all three loop modes — the cycle-by-cycle
+ * reference loop, the legacy whole-machine fast-forward, and the
+ * decoupled per-core event scheduler (the default; the "fastforward"
+ * rows) — and writes BENCH_perf.json with wall seconds, simulated
+ * kilocycles per second, committed MIPS, per-core executed-tick
+ * fractions, the decoupled scheduler's batch-span histogram, and the
+ * measured speedups. Every row also asserts the three runs produced
+ * bit-identical stats dumps and checkpoint bytes; a mismatch fails
+ * the benchmark (exit 1), which is what lets CI gate on loop
+ * equivalence without a separate harness. CI uploads the file and
+ * fails when throughput regresses >20% against the committed
+ * baseline or a per-mix speedup floor is missed.
  *
  * Mixes:
  *  - "pchase_latency": four pointer-chasing cores with ~1 MSHR of
@@ -43,13 +49,16 @@
 #include <sys/utsname.h>
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "base/logging.hh"
 #include "base/profiler.hh"
+#include "serialize/serializer.hh"
 #include "sim/cmp_system.hh"
 #include "sim/experiment.hh"
 #include "sim/json_writer.hh"
@@ -103,6 +112,9 @@ computeProfile()
     return p;
 }
 
+/** The three run-loop modes a row is timed under. */
+enum class LoopMode { Reference, Legacy, Decoupled };
+
 struct RunResult
 {
     double wallSeconds = 0.0;
@@ -110,11 +122,18 @@ struct RunResult
     double mips = 0.0;
     double skippedFrac = 0.0;
     std::uint64_t jumps = 0;
+    /** Fraction of the window each core actually ticked. */
+    std::vector<double> coreTickFrac;
+    /** Decoupled advance-batch span histogram (bit_width buckets). */
+    std::vector<Counter> horizonHist;
+    /** End-of-run observables for the loop-equivalence assert. */
+    std::string stats;
+    std::vector<std::uint8_t> machine;
 };
 
 RunResult
 timeRun(const SystemConfig &config,
-        const std::vector<WorkloadProfile> &apps, bool fastForward,
+        const std::vector<WorkloadProfile> &apps, LoopMode mode,
         Cycle cycles, const std::string &label)
 {
     // A zero-cycle window would divide by zero below and report NaN
@@ -122,7 +141,8 @@ timeRun(const SystemConfig &config,
     // from a bad REPRO_BENCH_*_CYCLES override, so refuse loudly.
     panic_if(cycles == 0, "perf_bench run with a zero-cycle window");
     CmpSystem system(config, apps, /*seed=*/20070201);
-    system.setFastForward(fastForward);
+    system.setFastForward(mode != LoopMode::Reference);
+    system.setDecoupled(mode == LoopMode::Decoupled);
     TraceEventLog &events = traceEventsFromEnv();
     if (events.enabled())
         system.attachTraceEvents(&events, label);
@@ -144,19 +164,58 @@ timeRun(const SystemConfig &config,
     r.skippedFrac = static_cast<double>(system.fastForwardedCycles()) /
                     static_cast<double>(cycles);
     r.jumps = system.fastForwardJumps();
+    for (unsigned c = 0; c < system.numCores(); ++c) {
+        r.coreTickFrac.push_back(
+            static_cast<double>(
+                system.coreTicksExecuted(static_cast<CoreId>(c))) /
+            static_cast<double>(cycles));
+    }
+    if (mode == LoopMode::Decoupled)
+        r.horizonHist = system.horizonHistogram();
+
+    // Captured outside the timed window: the stats dump and the
+    // checkpoint image are what the loop-equivalence check below
+    // compares across the three modes.
+    std::ostringstream os;
+    system.statsRoot().dump(os);
+    r.stats = os.str();
+    Serializer s;
+    system.checkpoint(s);
+    r.machine = s.bytes();
     return r;
 }
 
 json::Value
-runJson(const RunResult &r, bool fastForward)
+runJson(const RunResult &r, LoopMode mode)
 {
     json::Value v = json::Value::object();
     v.set("wall_seconds", r.wallSeconds);
     v.set("kcycles_per_sec", r.kcyclesPerSec);
     v.set("mips", r.mips);
-    if (fastForward) {
+    if (mode != LoopMode::Reference) {
         v.set("skipped_frac", r.skippedFrac);
         v.set("jumps", r.jumps);
+    }
+    json::Value fracs = json::Value::array();
+    for (const double f : r.coreTickFrac)
+        fracs.append(f);
+    v.set("core_tick_frac", std::move(fracs));
+    if (mode == LoopMode::Decoupled) {
+        // Non-empty buckets of the advance-span histogram: bucket k
+        // holds spans in [2^(k-1), 2^k).
+        json::Value hist = json::Value::array();
+        for (std::size_t k = 1; k < r.horizonHist.size(); ++k) {
+            if (r.horizonHist[k] == 0)
+                continue;
+            json::Value bucket = json::Value::object();
+            bucket.set("span_min", std::uint64_t(1) << (k - 1));
+            bucket.set("span_max",
+                       k >= 64 ? ~std::uint64_t(0)
+                               : (std::uint64_t(1) << k) - 1);
+            bucket.set("batches", r.horizonHist[k]);
+            hist.append(std::move(bucket));
+        }
+        v.set("horizon_hist", std::move(hist));
     }
     return v;
 }
@@ -204,7 +263,10 @@ main()
 
     json::Value mixes = json::Value::array();
     double minCriterionSpeedup = 0.0;
-    bool first = true;
+    double minSpecSpeedup = 0.0;
+    bool firstCriterion = true;
+    bool firstSpec = true;
+    bool allBitIdentical = true;
     for (const auto &spec : mixSpecs) {
         for (const auto scheme : schemes) {
             const SystemConfig config =
@@ -213,36 +275,74 @@ main()
                     : SystemConfig::baseline(scheme);
             const std::string runLabel =
                 std::string(spec.name) + "." + to_string(scheme);
-            const RunResult ref = timeRun(config, *spec.apps, false,
-                                          spec.cycles,
-                                          runLabel + ".ref");
-            const RunResult ff = timeRun(config, *spec.apps, true,
-                                         spec.cycles,
-                                         runLabel + ".ff");
+            const RunResult ref =
+                timeRun(config, *spec.apps, LoopMode::Reference,
+                        spec.cycles, runLabel + ".ref");
+            const RunResult legacy =
+                timeRun(config, *spec.apps, LoopMode::Legacy,
+                        spec.cycles, runLabel + ".legacy");
+            const RunResult ff =
+                timeRun(config, *spec.apps, LoopMode::Decoupled,
+                        spec.cycles, runLabel + ".ff");
             const double speedup = ref.wallSeconds / ff.wallSeconds;
+            const double speedupLegacy =
+                ref.wallSeconds / legacy.wallSeconds;
+            const bool bitIdentical =
+                legacy.stats == ref.stats &&
+                legacy.machine == ref.machine &&
+                ff.stats == ref.stats && ff.machine == ref.machine;
+            if (!bitIdentical) {
+                allBitIdentical = false;
+                std::fprintf(stderr,
+                             "BIT-IDENTITY MISMATCH on %s: "
+                             "legacy stats %s machine %s, "
+                             "decoupled stats %s machine %s\n",
+                             runLabel.c_str(),
+                             legacy.stats == ref.stats ? "ok" : "DIFF",
+                             legacy.machine == ref.machine ? "ok"
+                                                           : "DIFF",
+                             ff.stats == ref.stats ? "ok" : "DIFF",
+                             ff.machine == ref.machine ? "ok"
+                                                       : "DIFF");
+            }
 
             json::Value row = json::Value::object();
             row.set("mix", spec.name);
             row.set("scheme", to_string(scheme));
             row.set("config", spec.configName);
             row.set("cycles", spec.cycles);
-            row.set("reference", runJson(ref, false));
-            row.set("fastforward", runJson(ff, true));
+            row.set("reference", runJson(ref, LoopMode::Reference));
+            row.set("legacy_fastforward",
+                    runJson(legacy, LoopMode::Legacy));
+            row.set("fastforward", runJson(ff, LoopMode::Decoupled));
             row.set("speedup", speedup);
+            row.set("speedup_legacy", speedupLegacy);
+            row.set("bit_identical", bitIdentical);
             mixes.append(std::move(row));
 
-            std::printf("%-15s %-18s ref %6.2fs  ff %6.2fs  "
-                        "speedup %.2fx  skipped %.1f%%\n",
+            std::printf("%-15s %-18s ref %6.2fs  legacy %6.2fs  "
+                        "ff %6.2fs  speedup %.2fx (legacy %.2fx)  "
+                        "skipped %.1f%%  %s\n",
                         spec.name, to_string(scheme).c_str(),
-                        ref.wallSeconds, ff.wallSeconds, speedup,
-                        100.0 * ff.skippedFrac);
+                        ref.wallSeconds, legacy.wallSeconds,
+                        ff.wallSeconds, speedup, speedupLegacy,
+                        100.0 * ff.skippedFrac,
+                        bitIdentical ? "bit-identical"
+                                     : "MISMATCH");
             std::fflush(stdout);
 
             if (spec.criterion) {
                 minCriterionSpeedup =
-                    first ? speedup
-                          : std::min(minCriterionSpeedup, speedup);
-                first = false;
+                    firstCriterion
+                        ? speedup
+                        : std::min(minCriterionSpeedup, speedup);
+                firstCriterion = false;
+            }
+            if (std::string(spec.name) == "spec_memory") {
+                minSpecSpeedup =
+                    firstSpec ? speedup
+                              : std::min(minSpecSpeedup, speedup);
+                firstSpec = false;
             }
         }
     }
@@ -259,12 +359,12 @@ main()
             SystemConfig::baseline(L3Scheme::Adaptive);
         prof::setEnabled(false);
         const RunResult off =
-            timeRun(config, computeMix, false, computeCycles,
-                    "profiler_overhead.off");
+            timeRun(config, computeMix, LoopMode::Reference,
+                    computeCycles, "profiler_overhead.off");
         prof::setEnabled(true);
         const RunResult on =
-            timeRun(config, computeMix, false, computeCycles,
-                    "profiler_overhead.on");
+            timeRun(config, computeMix, LoopMode::Reference,
+                    computeCycles, "profiler_overhead.on");
         prof::setEnabled(wasEnabled);
         const double frac =
             on.wallSeconds / off.wallSeconds - 1.0;
@@ -296,6 +396,8 @@ main()
     doc.set("host", std::move(host));
     doc.set("mixes", std::move(mixes));
     doc.set("min_speedup_pchase", minCriterionSpeedup);
+    doc.set("min_speedup_spec", minSpecSpeedup);
+    doc.set("bit_identical", allBitIdentical);
     doc.set("profiler_overhead", std::move(overhead));
     if (prof::enabled()) {
         // The self-profiler's own JSON (phase tree with estimated
@@ -304,7 +406,13 @@ main()
         doc.set("profile", json::Value::parse(prof::jsonReport()));
     }
     json::writeFileAtomic(outPath, doc);
-    std::printf("wrote %s (min pchase speedup %.2fx)\n",
-                outPath.c_str(), minCriterionSpeedup);
+    std::printf("wrote %s (min pchase speedup %.2fx, "
+                "min spec speedup %.2fx)\n",
+                outPath.c_str(), minCriterionSpeedup, minSpecSpeedup);
+    if (!allBitIdentical) {
+        std::fprintf(stderr, "perf_bench: loop modes are NOT "
+                             "bit-identical; failing\n");
+        return 1;
+    }
     return 0;
 }
